@@ -1,0 +1,48 @@
+"""Ablation: three-region approximation (ref [17]) vs the exact recursion.
+
+The approximation replaces the O(N) epoch loop with O(head + K) solves;
+this benchmark measures both its speed and its accuracy as N grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clusters import central_cluster
+from repro.core import TransientModel, approximate_makespan, solve_steady_state
+from repro.distributions import Shape
+from repro.experiments.params import BASE_APP
+
+K = 5
+N_BIG = 2000
+
+
+@pytest.fixture(scope="module")
+def model():
+    spec = central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)})
+    m = TransientModel(spec, K)
+    m.level(K)
+    return m
+
+
+@pytest.mark.benchmark(group="approximation")
+def test_exact_makespan_large_N(benchmark, model):
+    span = benchmark(model.makespan, N_BIG)
+    assert span > 0
+
+
+@pytest.mark.benchmark(group="approximation")
+def test_approximate_makespan_large_N(benchmark, model, record_text):
+    steady = solve_steady_state(model)
+    approx = benchmark(
+        lambda: approximate_makespan(model, N_BIG, steady=steady).total
+    )
+    exact = model.makespan(N_BIG)
+    rel_err = abs(approx - exact) / exact
+    assert rel_err < 1e-4
+
+    rows = [f"N={N_BIG}: exact={exact:.4f}, approx={approx:.4f}, rel err={rel_err:.2e}"]
+    for n in (10, 30, 100, 300):
+        e = model.makespan(n)
+        a = approximate_makespan(model, n, steady=steady).total
+        rows.append(f"N={n}: exact={e:.4f}, approx={a:.4f}, rel err={abs(a - e) / e:.2e}")
+    record_text("ablation_approximation", "\n".join(rows))

@@ -1,0 +1,51 @@
+"""Ablation: multiprogramming level on a time-shared central cluster.
+
+The paper's "multitasking" extension (§5): admit ``mpl`` tasks per
+workstation and let CPUs/local disks time-share (K-server pools).  The
+sweep shows throughput gains with diminishing returns as the shared
+remote disk and the pooled CPUs saturate — and that ``mpl = 1`` is exactly
+the base dedicated model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clusters import central_cluster, central_cluster_multitasking
+from repro.core import TransientModel, solve_steady_state
+from repro.experiments.params import DEDICATED_APP
+from repro.experiments.result import ExperimentResult
+
+K = 4
+MPLS = (1, 2, 3, 4)
+
+
+def _sweep():
+    spec = central_cluster_multitasking(DEDICATED_APP, K)
+    t_ss = []
+    for mpl in MPLS:
+        model = TransientModel(spec, K * mpl)
+        t_ss.append(solve_steady_state(model).interdeparture_time)
+    return ExperimentResult(
+        experiment="ablation_multitasking",
+        description=f"steady-state inter-departure vs multiprogramming level, K={K}",
+        x_label="mpl",
+        x=np.array(MPLS, dtype=float),
+        series={"t_ss": np.array(t_ss)},
+    )
+
+
+def test_ablation_multitasking(benchmark, record):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    record(result)
+
+    t = result.series["t_ss"]
+    # Time-sharing more tasks improves throughput...
+    assert np.all(np.diff(t) < 1e-12)
+    # ...with diminishing returns.
+    gains = -np.diff(t)
+    assert np.all(np.diff(gains) < 1e-12)
+    # mpl=1 equals the dedicated base model.
+    base = solve_steady_state(
+        TransientModel(central_cluster(DEDICATED_APP), K)
+    ).interdeparture_time
+    assert t[0] == pytest.approx(base, rel=1e-10)

@@ -1,0 +1,78 @@
+"""Ablation: state-space growth and solver cost vs K.
+
+Quantifies the paper's D_RP(k) = C(M+k−1, k) scaling for the central
+(4-station, constant in K) and distributed (K+2 stations) architectures,
+and the wall-clock cost of one full transient solve at each size.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.clusters import central_cluster, distributed_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape
+from repro.experiments.params import BASE_APP
+
+
+def _profile(kind_builder, Ks, N):
+    rows = []
+    for K in Ks:
+        spec = kind_builder(K)
+        t0 = time.perf_counter()
+        model = TransientModel(spec, K)
+        span = model.makespan(N)
+        dt = time.perf_counter() - t0
+        rows.append((K, model.level_dim(K), span, dt))
+    return rows
+
+
+@pytest.mark.benchmark(group="statespace-scaling")
+def test_central_scaling(benchmark, record_text):
+    rows = benchmark.pedantic(
+        _profile,
+        args=(
+            lambda K: central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)}),
+            (2, 4, 6, 8, 10),
+            30,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    dims = [r[1] for r in rows]
+    assert all(b > a for a, b in zip(dims, dims[1:]))  # polynomial growth in K
+    record_text(
+        "ablation_statespace_central",
+        "\n".join(
+            f"K={K}: D(K)={dim}, makespan(30)={span:.3f}, solve={dt * 1e3:.1f} ms"
+            for K, dim, span, dt in rows
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="statespace-scaling")
+def test_distributed_scaling(benchmark, record_text):
+    rows = benchmark.pedantic(
+        _profile,
+        args=(
+            lambda K: distributed_cluster(
+                BASE_APP, K, shapes={"disk": Shape.hyperexp(10.0)}
+            ),
+            (2, 3, 4, 5),
+            30,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    dims = np.array([r[1] for r in rows])
+    # Distributed growth is much steeper: stations scale with K too.
+    growth = dims[1:] / dims[:-1]
+    assert np.all(growth > 2.0)
+    record_text(
+        "ablation_statespace_distributed",
+        "\n".join(
+            f"K={K}: D(K)={dim}, makespan(30)={span:.3f}, solve={dt * 1e3:.1f} ms"
+            for K, dim, span, dt in rows
+        ),
+    )

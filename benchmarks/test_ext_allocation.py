@@ -1,0 +1,23 @@
+"""Extension benchmark: data placement vs disk heterogeneity (ref [15] use-case)."""
+
+import numpy as np
+
+from repro.experiments import ext_allocation
+
+
+def test_ext_allocation(benchmark, record):
+    result = benchmark.pedantic(ext_allocation.run, rounds=1, iterations=1)
+    record(result)
+
+    uni = result.series["uniform"]
+    bal = result.series["load_balanced"]
+    hot = result.series["hotspot_90pct"]
+    # Speed-proportional placement never loses to uniform.
+    assert np.all(bal <= uni + 1e-9)
+    # Homogeneous disks: concentrating data is clearly worst.
+    assert hot[0] > uni[0] * 1.2
+    # High skew: the fast disk absorbs the work — hot-spot wins.
+    assert hot[-1] < bal[-1]
+    # So the policies cross: placement must adapt to the hardware.
+    crossed = np.any((hot[:-1] > bal[:-1]) & (hot[1:] <= bal[1:]))
+    assert crossed

@@ -1,0 +1,20 @@
+"""Extension benchmark: grid data locality (two-level topology)."""
+
+import numpy as np
+
+from repro.experiments import ext_grid
+
+
+def test_ext_grid(benchmark, record):
+    result = benchmark.pedantic(ext_grid.run, rounds=1, iterations=1)
+    record(result)
+
+    spans = result.series["makespan"]
+    wan = result.series["wan_util"]
+    # Losing locality always costs (x descends, makespan must ascend).
+    assert np.all(np.diff(spans) > 0)
+    # The WAN is idle at full locality and loads up monotonically.
+    assert wan[0] == 0.0
+    assert np.all(np.diff(wan) > 0)
+    # At 20 % locality the link is the dominant shared resource.
+    assert wan[-1] > 0.5

@@ -1,0 +1,29 @@
+"""Extension benchmark: power-tail shared service (the paper's §1 motivation).
+
+Not a figure of the paper — the experiment its introduction calls for:
+what the Leland/Ott–Crovella power-tail observations do to a cluster, and
+how badly the exponential assumption misses it.
+"""
+
+import numpy as np
+
+from repro.experiments import ext_powertail
+
+
+def test_ext_powertail(benchmark, record):
+    result = benchmark.pedantic(ext_powertail.run, rounds=1, iterations=1)
+    record(result)
+
+    scv, t_ss, err = (
+        result.series["scv"],
+        result.series["t_ss"],
+        result.series["error_pct"],
+    )
+    # Deeper truncation ⇒ heavier tail ⇒ larger effective C².
+    assert np.all(np.diff(scv) > 0)
+    assert scv[-1] > 100.0
+    # m = 1 is exponential: zero error by construction.
+    assert err[0] == 0.0
+    # Both the steady state and the modeling error degrade monotonically.
+    assert np.all(np.diff(t_ss) > 0)
+    assert np.all(np.diff(err) > 0)

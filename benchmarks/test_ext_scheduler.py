@@ -1,0 +1,26 @@
+"""Extension benchmark: scheduling-overhead sweep (paper §5's add-on)."""
+
+import numpy as np
+
+from repro.experiments import ext_scheduler
+
+
+def test_ext_scheduler(benchmark, record):
+    result = benchmark.pedantic(ext_scheduler.run, rounds=1, iterations=1)
+    record(result)
+
+    spans = result.series["makespan"]
+    sp = result.series["speedup"]
+    x = result.x
+    # Overhead always costs.
+    assert np.all(np.diff(spans) > 0)
+    assert np.all(np.diff(sp) < 0)
+    # Small-overhead regime: near-additive cost, well under the
+    # full serialized dispatch demand N·cycles·overhead.
+    cycles = result.meta["cycles"]
+    n = result.meta["N"]
+    added = spans[1] - spans[0]
+    assert added < n * cycles * (x[1] - x[0])
+    # The marginal cost grows once the dispatcher becomes contended.
+    slopes = np.diff(spans) / np.diff(x)
+    assert slopes[-1] > slopes[0] * 1.5

@@ -1,0 +1,43 @@
+"""Figure 4: inter-departure vs task order, N=30, K=8 central cluster.
+
+Same as Figure 3 on more workstations: the steady-state region shrinks
+(more of the 30 epochs belong to fill and drain), the paper's warning
+about finite workloads on larger clusters.
+"""
+
+import numpy as np
+
+from repro.core import TransientModel, decompose_regions
+from repro.experiments import fig03, fig04
+from repro.experiments.params import BASE_APP
+from repro.clusters import central_cluster
+from repro.distributions import Shape
+
+
+def test_fig04_interdeparture_k8(benchmark, record):
+    result = benchmark.pedantic(fig04.run, rounds=1, iterations=1)
+    record(result)
+
+    exp = result.series["exp"]
+    h50 = result.series["H2(C2=50)"]
+    assert h50[10] > exp[10]
+    for s in result.series.values():
+        assert np.all(np.diff(s[-6:]) > 0)
+
+
+def test_fig04_steady_region_shrinks_with_K(benchmark, record_text):
+    """Cross-figure claim: K=8 leaves fewer steady epochs than K=5."""
+    spec = central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)})
+
+    def _widths():
+        return {
+            K: decompose_regions(TransientModel(spec, K), 30).steady_width
+            for K in (5, 8)
+        }
+
+    widths = benchmark.pedantic(_widths, rounds=1, iterations=1)
+    record_text(
+        "fig04_region_widths",
+        "\n".join(f"K={k}: steady epochs = {w}" for k, w in widths.items()),
+    )
+    assert widths[8] < widths[5]

@@ -1,0 +1,30 @@
+"""Figure 5: steady-state inter-departure time vs C², K=8, two load levels.
+
+Paper shape: under contention the steady state depends on the shared
+server's C²; without contention the curve is flat (insensitivity).
+
+Documented deviation: the paper reports a *minimum* in the contention
+curve before it rises; with every H2 completion rule implemented here
+(balanced means, fixed-p, pdf(0), third moment) the curve is monotone
+increasing — see EXPERIMENTS.md and the H2-fitting ablation.
+"""
+
+import numpy as np
+
+from repro.experiments import fig05
+
+
+def test_fig05_steady_state_c2(benchmark, record):
+    result = benchmark.pedantic(fig05.run, rounds=1, iterations=1)
+    record(result)
+
+    cont = result.series["contention"]
+    none = result.series["no_contention"]
+    # Contention curve responds to C²...
+    assert cont[-1] > cont[0] * 1.05
+    # ...the uncontended one barely moves (within ~3%).
+    assert none.max() / none.min() < 1.03
+    # Light load runs near the ideal 12/K.
+    assert np.allclose(none, 1.5, rtol=0.03)
+    # Contention always costs.
+    assert np.all(cont > none)

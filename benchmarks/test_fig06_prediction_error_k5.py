@@ -1,0 +1,21 @@
+"""Figure 6: exponential-assumption error vs C², K=5 distributed cluster.
+
+Paper shape: error is zero at C²=1, grows monotonically with C², and
+already exceeds 20 % at C²=10 (the paper's headline number).
+"""
+
+import numpy as np
+
+from repro.experiments import fig06
+
+
+def test_fig06_prediction_error_k5(benchmark, record):
+    result = benchmark.pedantic(fig06.run, rounds=1, iterations=1)
+    record(result)
+
+    for s in result.series.values():
+        assert s[0] == 0.0
+        assert np.all(np.diff(s) > 0)  # "always increases with increasing C²"
+    # >20% at C² = 10 (x = [1, 5, 10, ...] → index 2).
+    assert result.x[2] == 10.0
+    assert result.series["N=30"][2] > 20.0

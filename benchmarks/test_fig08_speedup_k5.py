@@ -1,0 +1,21 @@
+"""Figure 8: speedup vs shared-server C², K=5, N ∈ {30, 100}.
+
+Paper shape: speedup decreases monotonically with C²; the
+steady-state-dominated workload (N=100) outperforms the
+transient-dominated one (N=30) everywhere.
+"""
+
+import numpy as np
+
+from repro.experiments import fig08
+
+
+def test_fig08_speedup_k5(benchmark, record):
+    result = benchmark.pedantic(fig08.run, rounds=1, iterations=1)
+    record(result)
+
+    n30, n100 = result.series["N=30"], result.series["N=100"]
+    assert np.all(np.diff(n30) < 0)
+    assert np.all(np.diff(n100) < 0)
+    assert np.all(n100 > n30)
+    assert np.all(n30 <= 5.0)  # bounded by K

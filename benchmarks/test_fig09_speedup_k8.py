@@ -1,0 +1,16 @@
+"""Figure 9: speedup vs shared-server C², K=8, N ∈ {30, 100} (as Fig. 8)."""
+
+import numpy as np
+
+from repro.experiments import fig09
+
+
+def test_fig09_speedup_k8(benchmark, record):
+    result = benchmark.pedantic(fig09.run, rounds=1, iterations=1)
+    record(result)
+
+    n30, n100 = result.series["N=30"], result.series["N=100"]
+    assert np.all(np.diff(n30) < 0)
+    assert np.all(np.diff(n100) < 0)
+    assert np.all(n100 > n30)
+    assert np.all(n100 <= 8.0)

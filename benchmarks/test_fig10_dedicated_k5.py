@@ -1,0 +1,29 @@
+"""Figure 10: inter-departure vs task order, N=20, K=5 distributed cluster,
+dedicated CPU ∈ {Exp, E3, H2 C²=2}.
+
+Paper shape: all three distributions converge to the *same* steady-state
+value (the product-form limit; delay stations are insensitive); E3 differs
+from exponential only slightly and mostly in the first epochs, H2 changes
+the transient and draining regions visibly.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10
+
+
+def test_fig10_dedicated_k5(benchmark, record):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    record(result)
+
+    exp, e3, h2 = result.series["exp"], result.series["E3"], result.series["H2(C2=2)"]
+    mid = 12
+    # Same steady state for all three (paper §6.2.1).
+    assert np.isclose(e3[mid], exp[mid], rtol=1e-3)
+    assert np.isclose(h2[mid], exp[mid], rtol=2e-2)
+    # E3 hugs the exponential curve after warm-up...
+    assert np.allclose(e3[3:mid], exp[3:mid], rtol=5e-3)
+    # ...while H2's warm-up deviation is larger than E3's.
+    dev_h2 = np.abs(h2[:5] - exp[:5]).max()
+    dev_e3 = np.abs(e3[1:5] - exp[1:5]).max()
+    assert dev_h2 > dev_e3

@@ -1,0 +1,21 @@
+"""Figure 11: inter-departure vs task order, N=30, K=8 central cluster,
+dedicated CPU ∈ {Exp, E3, H2 C²=2} (as Fig. 10 for the central system)."""
+
+import numpy as np
+
+from repro.experiments import fig11
+
+
+def test_fig11_dedicated_k8(benchmark, record):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    record(result)
+
+    exp, e3, h2 = result.series["exp"], result.series["E3"], result.series["H2(C2=2)"]
+    mid = 15
+    assert np.isclose(e3[mid], exp[mid], rtol=1e-3)
+    assert np.isclose(h2[mid], exp[mid], rtol=2e-2)
+    # Draining tails rise for every distribution.
+    for s in result.series.values():
+        assert np.all(np.diff(s[-6:]) > 0)
+    # H2 drains slower than Erlang (heavier task-time tail).
+    assert h2[-1] > e3[-1]

@@ -1,0 +1,23 @@
+"""Figure 12: exponential-assumption error for dedicated CPUs, K=5.
+
+Paper shape: small negative error for Erlangian applications (C² < 1 —
+"the exponential distribution can be considered a good approximation"),
+zero at C²=1, large positive and growing above it.
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_prediction_error_dedicated_k5(benchmark, record):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    record(result)
+
+    e = result.series["N=30"]
+    # x = [1/3, 1/2, 1, 5, 10]
+    assert -10.0 < e[0] < 0.0
+    assert -10.0 < e[1] < 0.0
+    assert abs(e[0]) > abs(e[1])  # further from exponential → bigger |error|
+    assert e[2] == 0.0
+    assert e[3] > 5.0
+    assert e[4] > e[3] > 0.0
+    assert e[4] > 20.0  # paper: exceeds 20% at C² = 10

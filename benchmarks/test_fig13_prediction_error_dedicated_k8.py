@@ -1,0 +1,14 @@
+"""Figure 13: exponential-assumption error for dedicated CPUs, K=8 (as Fig. 12)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_prediction_error_dedicated_k8(benchmark, record):
+    result = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    record(result)
+
+    e = result.series["N=30"]
+    assert e[0] < 0.0 and e[1] < 0.0
+    assert e[2] == 0.0
+    assert e[4] > e[3] > 0.0
+    assert e[4] > 20.0

@@ -1,0 +1,30 @@
+"""Figure 14: speedup vs cluster size, exponential service, N ∈ {20, 100, 200}.
+
+Paper shape: all curves grow with K; small workloads flatten early because
+the transient/draining regions dominate ("if the system is working in the
+transient region, the speedup is much less").
+"""
+
+import numpy as np
+
+from repro.experiments import fig14
+
+
+def test_fig14_speedup_vs_k(benchmark, record):
+    result = benchmark.pedantic(fig14.run, rounds=1, iterations=1)
+    record(result)
+
+    n20, n100, n200 = (
+        result.series["N=20"],
+        result.series["N=100"],
+        result.series["N=200"],
+    )
+    for s in (n20, n100, n200):
+        assert s[0] == 1.0
+        assert np.all(np.diff(s) > 0)
+    # Larger workloads dominate pointwise (more steady-state time).
+    assert np.all(n200 >= n100 - 1e-12)
+    assert np.all(n100 >= n20 - 1e-12)
+    # N=20 visibly flattens: its K=10 gain is far below linear.
+    assert n20[-1] < 6.0
+    assert n200[-1] > 8.0

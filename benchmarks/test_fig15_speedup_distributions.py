@@ -1,0 +1,22 @@
+"""Figure 15: speedup vs cluster size at N=100, CPU ∈ {Exp, E2, H2 C²=2}.
+
+Paper shape: the exponential curve approximates the Erlang one closely and
+overestimates the Hyperexponential one.
+"""
+
+import numpy as np
+
+from repro.experiments import fig15
+
+
+def test_fig15_speedup_distributions(benchmark, record):
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    record(result)
+
+    exp, e2, h2 = result.series["exp"], result.series["E2"], result.series["H2(C2=2)"]
+    # Exponential ≈ Erlang-2 (within 2%)...
+    assert np.allclose(exp, e2, rtol=0.02)
+    # ...but overestimates H2 at every K > 1.
+    assert np.all(exp[1:] > h2[1:])
+    for s in result.series.values():
+        assert np.all(np.diff(s) > 0)

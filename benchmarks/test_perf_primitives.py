@@ -1,0 +1,65 @@
+"""Performance tracking of the solver's primitive operations.
+
+Not a reproduction target — a regression harness for the costs that
+matter (the optimization guide's "no optimization without measuring"):
+level construction, LU factorization, one epoch step, and the steady-state
+solve, on a representative stage-expanded system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clusters import central_cluster
+from repro.core import TransientModel, solve_steady_state
+from repro.distributions import Shape
+from repro.experiments.params import BASE_APP
+
+K = 8
+
+
+def _fresh_model():
+    spec = central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)})
+    return TransientModel(spec, K)
+
+
+@pytest.fixture(scope="module")
+def warm_model():
+    model = _fresh_model()
+    top = model.level(K)
+    _ = top.lu, top.tau  # force factorization
+    return model
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_perf_level_build(benchmark):
+    """Assemble M_K, P_K, Q_K, R_K from scratch."""
+    def build():
+        return _fresh_model().level(K).dim
+
+    dim = benchmark(build)
+    # C(11,8)=165 compositions, plus an extra in-service-stage state for
+    # each of the C(10,7)=120 compositions with a busy H2 remote disk.
+    assert dim == 285
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_perf_epoch_step(benchmark, warm_model):
+    """One backlogged epoch: x ← x·Y_K·R_K (one sparse LU solve)."""
+    top = warm_model.level(K)
+    x = warm_model.entrance_vector(K)
+    y = benchmark(top.apply_YR, x)
+    assert y.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_perf_full_transient_solve(benchmark, warm_model):
+    """All 30 epochs of the Figure-4 configuration (operators cached)."""
+    times = benchmark(warm_model.interdeparture_times, 30)
+    assert times.shape == (30,)
+
+
+@pytest.mark.benchmark(group="primitives")
+def test_perf_steady_state(benchmark, warm_model):
+    """Power iteration to the stationary mix."""
+    ss = benchmark(lambda: solve_steady_state(warm_model).interdeparture_time)
+    assert np.isfinite(ss)

@@ -1,0 +1,67 @@
+"""Data allocation on a distributed-storage cluster (the authors' ref [15]).
+
+In a distributed-storage system every workstation's disk is a shared
+server; where the data lives decides which disks become hot.  This example
+compares allocation policies on a 5-workstation cluster and then performs
+a simple greedy rebalancing, using the exact finite-workload makespan as
+the objective — the use case the paper proposes its model for ("the model
+can be used in ... resource management").
+
+Run:  python examples/data_allocation.py
+"""
+
+import numpy as np
+
+from repro import ApplicationModel, TransientModel, distributed_cluster
+from repro.jackson import convolution_analysis
+
+K, N = 5, 40
+
+
+def evaluate(app, weights) -> tuple[float, float]:
+    spec = distributed_cluster(app, K, weights=weights)
+    span = TransientModel(spec, K).makespan(N)
+    thr = convolution_analysis(spec, K).throughput
+    return span, thr
+
+
+def main() -> None:
+    app = ApplicationModel()
+    policies = {
+        "uniform": np.full(K, 1.0 / K),
+        "hot-spot (50% on disk0)": np.array([0.50, 0.125, 0.125, 0.125, 0.125]),
+        "two replicas": np.array([0.35, 0.35, 0.10, 0.10, 0.10]),
+    }
+    print(f"{N} tasks on a {K}-workstation distributed cluster\n")
+    print(f"{'policy':<28} {'E[makespan]':>12} {'steady throughput':>18}")
+    for name, w in policies.items():
+        span, thr = evaluate(app, w)
+        print(f"{name:<28} {span:>12.2f} {thr:>18.4f}")
+
+    # Greedy rebalancing: repeatedly move 2% of the data from the most
+    # loaded disk to the least loaded one while the makespan improves.
+    w = policies["hot-spot (50% on disk0)"].copy()
+    best, _ = evaluate(app, w)
+    print(f"\nrebalancing the hot-spot allocation (greedy, 2% moves):")
+    for step in range(60):
+        hi, lo = int(np.argmax(w)), int(np.argmin(w))
+        trial = w.copy()
+        delta = min(0.02, trial[hi] - 1.0 / K)
+        if delta <= 1e-9:
+            break
+        trial[hi] -= delta
+        trial[lo] += delta
+        span, _ = evaluate(app, trial)
+        if span >= best - 1e-9:
+            break
+        w, best = trial, span
+        if step % 5 == 0:
+            print(f"  step {step:>2}: makespan {best:.2f}, "
+                  f"weights {np.round(w, 3)}")
+    print(f"final: makespan {best:.2f} with weights {np.round(w, 3)}")
+    print("(uniform allocation is optimal for a homogeneous workload — the "
+          "rebalancer rediscovers it)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""From measured service times to a capacity decision.
+
+The full practitioner pipeline the paper's program implies:
+
+1. *measure* — here we synthesize "measured" remote-disk service times
+   from a hidden heavy-tailed law (standing in for real I/O logs);
+2. *fit* — maximum-likelihood hyperexponential via EM
+   (:func:`repro.distributions.fit_samples`);
+3. *model* — drop the fitted law into the cluster spec;
+4. *decide* — run the one-call performance report and compare with what
+   the (wrong) exponential assumption would have promised.
+
+Run:  python examples/measured_workload.py
+"""
+
+import numpy as np
+
+from repro import (
+    ApplicationModel,
+    Shape,
+    TransientModel,
+    central_cluster,
+    exponential_twin,
+    prediction_error,
+    truncated_power_tail,
+)
+from repro.distributions import fit_samples
+from repro.reporting import performance_report
+
+K, N = 5, 40
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. "Measurements": 20 000 remote-I/O service times from a hidden
+    #    power-tail law the analyst does not know.
+    hidden = truncated_power_tail(mean=1.0, alpha=1.4, m=10)
+    measured = hidden.sample(rng, 20_000)
+    print(f"measured {measured.size} service times: "
+          f"mean {measured.mean():.3f}, C² {measured.var() / measured.mean() ** 2:.2f}")
+
+    # 2. Fit a phase-type law by maximum likelihood.
+    fit = fit_samples(measured, branches=3)
+    print(f"fitted {fit.dist.n_stages}-branch hyperexponential "
+          f"(loglik {fit.log_likelihood:.0f}, {fit.iterations} EM iterations): "
+          f"mean {fit.dist.mean:.3f}, C² {fit.dist.scv:.2f}")
+
+    # 3. Build the cluster around the fitted law.
+    app = ApplicationModel()
+    spec = central_cluster(app, {"rdisk": Shape.fixed(fit.dist)})
+
+    # 4. Decide.
+    print()
+    print(performance_report(spec, K, N, include_distribution=True))
+
+    actual = TransientModel(spec, K).makespan(N)
+    assumed = TransientModel(exponential_twin(spec), K).makespan(N)
+    print(f"\nexponential assumption would promise E(T) = {assumed:.1f}; "
+          f"the fitted model says {actual:.1f} "
+          f"({prediction_error(actual, assumed):.1f}% optimism)")
+
+
+if __name__ == "__main__":
+    main()

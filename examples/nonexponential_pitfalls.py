@@ -1,0 +1,64 @@
+"""Why the exponential assumption fails — including power-tail workloads.
+
+The paper's motivation (§1) cites measurements that CPU times and file
+sizes are power-tailed (Leland & Ott; Crovella; Lipsky).  This example
+quantifies what assuming exponential service costs on the paper's central
+cluster when the shared remote disk actually serves:
+
+* Hyperexponential-2 requests at increasing C², and
+* a truncated power tail with index α = 1.4 (infinite variance in the
+  untruncated limit).
+
+Run:  python examples/nonexponential_pitfalls.py
+"""
+
+from repro import (
+    ApplicationModel,
+    Shape,
+    TransientModel,
+    central_cluster,
+    exponential_twin,
+    prediction_error,
+    solve_steady_state,
+)
+
+K, N = 5, 50
+
+
+def report(label: str, shape: Shape, app: ApplicationModel) -> None:
+    spec = central_cluster(app, {"rdisk": shape})
+    actual = TransientModel(spec, K)
+    assumed = TransientModel(exponential_twin(spec), K)
+    span_act = actual.makespan(N)
+    span_exp = assumed.makespan(N)
+    err = prediction_error(span_act, span_exp)
+    t_ss = solve_steady_state(actual).interdeparture_time
+    scv = spec.station("rdisk").dist.scv
+    print(f"{label:<26} {scv:>8.1f} {span_act:>11.1f} {span_exp:>11.1f} "
+          f"{err:>7.1f}% {t_ss:>8.3f}")
+
+
+def main() -> None:
+    app = ApplicationModel()
+    print(f"{N} tasks, {K}-workstation central cluster, shared remote disk "
+          f"non-exponential\n")
+    print(f"{'remote disk law':<26} {'C²':>8} {'E[T] true':>11} "
+          f"{'E[T] exp':>11} {'error':>8} {'t_ss':>8}")
+    report("exponential", Shape.exponential(), app)
+    for scv in (2.0, 10.0, 50.0):
+        report(f"H2 (C²={scv:g})", Shape.hyperexp(scv), app)
+    for m in (6, 12):
+        report(f"power tail (α=1.4, m={m})", Shape.power_tail(1.4, m=m), app)
+
+    print("""
+Reading the table:
+ * the mean service time is identical in every row — only the shape of
+   the distribution changes, yet the makespan grows by double digits;
+ * the exponential model misses all of it (its prediction is the same
+   number every time), so its error grows with C²;
+ * the truncated power tail behaves like an extremely-high-C² H2: the
+   deeper the truncation (larger m), the worse the exponential model does.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Inside the transient regions: what warms up, what drains, and how noisy.
+
+The paper's Figures 3–4 show the *mean* inter-departure time per epoch;
+the library can show much more of the run's anatomy:
+
+* per-epoch, per-station utilization trajectories (what fills first, what
+  empties last),
+* per-epoch variability (the SCV of each inter-departure interval),
+* the departure process's serial correlation and index of dispersion at
+  steady state,
+
+all exact, and drawn here as ASCII charts.
+
+Run:  python examples/warmup_draining.py
+"""
+
+import numpy as np
+
+from repro import ApplicationModel, Shape, TransientModel, central_cluster
+from repro.core import (
+    epoch_scvs,
+    index_of_dispersion,
+    interdeparture_autocorrelation,
+    transient_utilizations,
+)
+from repro.reporting import ascii_plot
+
+K, N = 5, 30
+
+
+def main() -> None:
+    app = ApplicationModel()
+    spec = central_cluster(app, {"rdisk": Shape.hyperexp(10.0)})
+    model = TransientModel(spec, K)
+
+    x = np.arange(1, N + 1, dtype=float)
+    util = transient_utilizations(model, N)
+    names = [s.name for s in spec.stations]
+    print(
+        ascii_plot(
+            x,
+            {names[j]: util[:, j] for j in range(len(names))},
+            x_label="epoch",
+            title="expected busy servers per station, epoch by epoch",
+            height=16,
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            x,
+            {"epoch SCV": epoch_scvs(model, N)},
+            x_label="epoch",
+            title="variability of each inter-departure interval (C²)",
+            height=12,
+        )
+    )
+
+    rho = interdeparture_autocorrelation(model, 6)
+    print("\ndeparture-process memory at steady state:")
+    print("  lag:  " + "  ".join(f"{n:>7d}" for n in range(1, 7)))
+    print("  rho:  " + "  ".join(f"{r:>7.4f}" for r in rho[1:]))
+    print(f"  index of dispersion: I(1)={index_of_dispersion(model, 1):.4f}  "
+          f"I(50)={index_of_dispersion(model, 50):.4f}")
+    print("""
+Reading the charts:
+ * every task starts at a CPU, so the CPU bank spikes to K at epoch 1 and
+   work then spreads to the disks and the shared remote disk;
+ * the draining tail empties station by station — the remote disk keeps
+   its queue longest (it is the bottleneck);
+ * epoch variability (C² near 3 here) peaks while the remote-disk queue is
+   active — an interval is often one H2 service — and *falls* in the late
+   drain, where the last task's many-stage sojourn averages itself out;
+ * positive lag correlation + I(n) growth quantify how the H2 server
+   makes the departure stream burstier than a renewal process.""")
+
+
+if __name__ == "__main__":
+    main()

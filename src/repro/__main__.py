@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+::
+
+    python -m repro make-spec central --rdisk-scv 10 -o cluster.json
+    python -m repro describe cluster.json
+    python -m repro report cluster.json --workstations 5 --tasks 30
+    python -m repro validate cluster.json --workstations 5 --tasks 20
+    python -m repro experiment fig03 --plot
+
+Specs travel as JSON (see :mod:`repro.network.serialize`), so an analysis
+is fully reproducible from the file plus the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _load_spec(path: str):
+    from repro.network import spec_from_json
+
+    return spec_from_json(Path(path).read_text())
+
+
+def _cmd_make_spec(args) -> int:
+    from repro.clusters import ApplicationModel, central_cluster, distributed_cluster
+    from repro.distributions import Shape
+    from repro.network import spec_to_json
+
+    app = ApplicationModel(
+        compute_fraction=args.compute_fraction,
+        local_time=args.local_time,
+        remote_time=args.remote_time,
+        comm_factor=args.comm_factor,
+        cycles=args.cycles,
+        remote_fraction=args.remote_fraction,
+    )
+    shapes = {}
+    if args.rdisk_scv != 1.0:
+        key = "rdisk" if args.kind == "central" else "disk"
+        shapes[key] = Shape.scv(args.rdisk_scv)
+    if args.cpu_scv != 1.0:
+        shapes["cpu"] = Shape.scv(args.cpu_scv)
+    if args.kind == "central":
+        spec = central_cluster(app, shapes)
+    else:
+        spec = distributed_cluster(app, args.workstations, shapes=shapes)
+    text = spec_to_json(spec)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    print(_load_spec(args.spec).describe())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting import performance_report
+
+    print(
+        performance_report(
+            _load_spec(args.spec),
+            args.workstations,
+            args.tasks,
+            include_distribution=not args.no_distribution,
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.validation import cross_validate
+
+    report = cross_validate(
+        _load_spec(args.spec),
+        args.workstations,
+        args.tasks,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    print(report.summary())
+    return 0 if (report.passed and report.makespan_agrees) else 1
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.__main__ import main as exp_main
+
+    argv = [args.name]
+    if args.plot:
+        argv.append("--plot")
+    return exp_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Transient finite-workload analysis of cluster systems.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mk = sub.add_parser("make-spec", help="build a cluster spec JSON")
+    mk.add_argument("kind", choices=["central", "distributed"])
+    mk.add_argument("--workstations", "-K", type=int, default=5,
+                    help="workstation count (distributed topology only)")
+    mk.add_argument("--compute-fraction", type=float, default=0.5)
+    mk.add_argument("--local-time", type=float, default=8.0)
+    mk.add_argument("--remote-time", type=float, default=3.0)
+    mk.add_argument("--comm-factor", type=float, default=1.0 / 3.0)
+    mk.add_argument("--cycles", type=float, default=10.0)
+    mk.add_argument("--remote-fraction", type=float, default=0.4)
+    mk.add_argument("--rdisk-scv", type=float, default=1.0,
+                    help="C² of the shared storage service time")
+    mk.add_argument("--cpu-scv", type=float, default=1.0)
+    mk.add_argument("--output", "-o", default=None)
+    mk.set_defaults(func=_cmd_make_spec)
+
+    de = sub.add_parser("describe", help="summarize a spec JSON")
+    de.add_argument("spec")
+    de.set_defaults(func=_cmd_describe)
+
+    rp = sub.add_parser("report", help="full performance report")
+    rp.add_argument("spec")
+    rp.add_argument("--workstations", "-K", type=int, required=True)
+    rp.add_argument("--tasks", "-N", type=int, required=True)
+    rp.add_argument("--no-distribution", action="store_true",
+                    help="skip makespan variance/quantiles (faster)")
+    rp.set_defaults(func=_cmd_report)
+
+    va = sub.add_parser("validate", help="cross-check model vs simulation")
+    va.add_argument("spec")
+    va.add_argument("--workstations", "-K", type=int, required=True)
+    va.add_argument("--tasks", "-N", type=int, required=True)
+    va.add_argument("--reps", type=int, default=2000)
+    va.add_argument("--seed", type=int, default=0)
+    va.set_defaults(func=_cmd_validate)
+
+    ex = sub.add_parser("experiment", help="regenerate a paper figure")
+    ex.add_argument("name")
+    ex.add_argument("--plot", action="store_true")
+    ex.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Internal shared helpers: argument validation and small linear-algebra utilities.
+
+Nothing in this package is part of the public API.
+"""
+
+from repro._util.validation import (
+    check_probability,
+    check_probability_vector,
+    check_positive,
+    check_nonnegative,
+    check_square,
+    check_substochastic,
+    check_stochastic,
+)
+from repro._util.linalg import (
+    left_solve,
+    spectral_radius_bound,
+    stationary_left_vector,
+)
+
+__all__ = [
+    "check_probability",
+    "check_probability_vector",
+    "check_positive",
+    "check_nonnegative",
+    "check_square",
+    "check_substochastic",
+    "check_stochastic",
+    "left_solve",
+    "spectral_radius_bound",
+    "stationary_left_vector",
+]

@@ -1,0 +1,69 @@
+"""Small linear-algebra helpers used by the LAQT core.
+
+The transient solver never forms ``V_k = (I - P_k)^{-1} M_k^{-1}`` densely;
+instead, per-level sparse LU factors are reused for the right-solves
+(``tau``) and left-solves (propagating the epoch state vector through
+``Y_k``).  The helpers here wrap the handful of patterns we need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+def left_solve(lu: spla.SuperLU, x: np.ndarray) -> np.ndarray:
+    """Solve ``y A = x`` given the LU factorization of ``A`` (i.e. ``A^T y^T = x^T``)."""
+    return lu.solve(np.asarray(x, dtype=float), trans="T")
+
+
+def spectral_radius_bound(m: sp.spmatrix) -> float:
+    """Cheap upper bound on the spectral radius: max absolute row sum."""
+    return float(np.abs(m).sum(axis=1).max())
+
+
+def stationary_left_vector(
+    apply_left,
+    dim: int,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-12,
+    max_iter: int = 200_000,
+) -> np.ndarray:
+    """Stationary probability vector of a stochastic operator given as a callable.
+
+    Finds ``x`` with ``x = apply_left(x)``, ``x >= 0`` and ``sum(x) = 1`` by
+    power iteration with periodic renormalization.  ``apply_left`` must
+    implement one application of the (row-stochastic) operator from the left,
+    i.e. ``x @ T``.
+
+    Power iteration is used instead of ``scipy.sparse.linalg.eigs`` because
+    the operator is only available matrix-free (it hides a sparse LU solve)
+    and its dominant eigenvalue is known to be exactly 1, which makes plain
+    iteration both robust and fast; Aitken-style acceleration is unnecessary
+    at the state-space sizes we encounter.
+
+    Raises
+    ------
+    RuntimeError
+        If the iteration does not reach ``tol`` within ``max_iter`` steps.
+    """
+    if x0 is None:
+        x = np.full(dim, 1.0 / dim)
+    else:
+        x = np.asarray(x0, dtype=float)
+        total = x.sum()
+        if total <= 0:
+            raise ValueError("x0 must have positive mass")
+        x = x / total
+    for _ in range(max_iter):
+        y = apply_left(x)
+        y = np.clip(y, 0.0, None)
+        y /= y.sum()
+        if np.abs(y - x).max() < tol:
+            return y
+        x = y
+    raise RuntimeError(
+        f"power iteration did not converge within {max_iter} iterations (tol={tol})"
+    )

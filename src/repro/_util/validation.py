@@ -1,0 +1,89 @@
+"""Argument validation helpers shared across the library.
+
+All checks raise :class:`ValueError` with a message naming the offending
+argument, so callers can pass ``name`` for good error messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default absolute tolerance for probability / row-sum checks.
+PROB_ATOL = 1e-9
+
+
+def check_probability(x: float, name: str = "probability") -> float:
+    """Validate that ``x`` is a scalar probability in [0, 1] and return it as float."""
+    x = float(x)
+    if not (0.0 - PROB_ATOL <= x <= 1.0 + PROB_ATOL):
+        raise ValueError(f"{name} must lie in [0, 1], got {x!r}")
+    return min(max(x, 0.0), 1.0)
+
+
+def check_probability_vector(v, name: str = "probability vector") -> np.ndarray:
+    """Validate that ``v`` is a nonnegative vector summing to one."""
+    v = np.asarray(v, dtype=float)
+    if v.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {v.shape}")
+    if np.any(v < -PROB_ATOL):
+        raise ValueError(f"{name} has negative entries: {v!r}")
+    s = v.sum()
+    if not np.isclose(s, 1.0, atol=1e-8):
+        raise ValueError(f"{name} must sum to 1, sums to {s!r}")
+    v = np.clip(v, 0.0, None)
+    return v / v.sum()
+
+
+def check_positive(x: float, name: str = "value") -> float:
+    """Validate that ``x`` is a strictly positive finite scalar."""
+    x = float(x)
+    if not np.isfinite(x) or x <= 0.0:
+        raise ValueError(f"{name} must be positive and finite, got {x!r}")
+    return x
+
+
+def check_nonnegative(x: float, name: str = "value") -> float:
+    """Validate that ``x`` is a nonnegative finite scalar."""
+    x = float(x)
+    if not np.isfinite(x) or x < 0.0:
+        raise ValueError(f"{name} must be nonnegative and finite, got {x!r}")
+    return x
+
+
+def check_square(m, name: str = "matrix") -> np.ndarray:
+    """Validate that ``m`` is a square 2-D array and return it as float ndarray."""
+    m = np.asarray(m, dtype=float)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {m.shape}")
+    return m
+
+
+def check_substochastic(m, name: str = "matrix", *, strict_somewhere: bool = False) -> np.ndarray:
+    """Validate a nonnegative matrix with row sums ≤ 1.
+
+    Parameters
+    ----------
+    strict_somewhere:
+        If true, additionally require at least one row sum strictly below 1
+        (needed e.g. for transient PH routing so that absorption is possible).
+    """
+    m = check_square(m, name)
+    if np.any(m < -PROB_ATOL):
+        raise ValueError(f"{name} has negative entries")
+    rows = m.sum(axis=1)
+    if np.any(rows > 1.0 + 1e-8):
+        raise ValueError(f"{name} has row sums above 1: {rows!r}")
+    if strict_somewhere and not np.any(rows < 1.0 - 1e-12):
+        raise ValueError(f"{name} must have at least one row sum strictly below 1")
+    return np.clip(m, 0.0, None)
+
+
+def check_stochastic(m, name: str = "matrix") -> np.ndarray:
+    """Validate a nonnegative matrix whose row sums are all exactly 1."""
+    m = check_square(m, name)
+    if np.any(m < -PROB_ATOL):
+        raise ValueError(f"{name} has negative entries")
+    rows = m.sum(axis=1)
+    if not np.allclose(rows, 1.0, atol=1e-8):
+        raise ValueError(f"{name} rows must sum to 1, got {rows!r}")
+    return np.clip(m, 0.0, None)

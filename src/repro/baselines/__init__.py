@@ -1,0 +1,5 @@
+"""Baseline models the paper compares against or supersedes."""
+
+from repro.baselines.order_stats import expected_max, fork_join_makespan
+
+__all__ = ["expected_max", "fork_join_makespan"]

@@ -1,0 +1,24 @@
+"""Cluster system models: application workload + central/distributed storage."""
+
+from repro.clusters.application import ApplicationModel
+from repro.clusters.central import CENTRAL_STATIONS, central_cluster
+from repro.clusters.distributed import distributed_cluster
+from repro.clusters.extensions import (
+    central_cluster_multitasking,
+    central_cluster_with_scheduler,
+    heterogeneous_distributed_cluster,
+    load_balanced_weights,
+)
+from repro.clusters.grid import grid_cluster
+
+__all__ = [
+    "ApplicationModel",
+    "CENTRAL_STATIONS",
+    "central_cluster",
+    "distributed_cluster",
+    "central_cluster_multitasking",
+    "central_cluster_with_scheduler",
+    "heterogeneous_distributed_cluster",
+    "load_balanced_weights",
+    "grid_cluster",
+]

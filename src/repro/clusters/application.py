@@ -1,0 +1,164 @@
+"""The paper's application model (§5.1).
+
+A parallel application is a set of iid tasks, each a geometric number of
+*computation cycles*: a CPU burst, then (unless the task finishes) a local
+I/O or a remote-data access.  The mean contention-free task time splits
+into the paper's components
+
+.. math::
+
+    E(T) = C·X + (1−C)·X + B·Y + Y,
+
+where ``C·X`` is local CPU time, ``(1−C)·X`` local disk time, ``Y`` remote
+disk time and ``B·Y`` the communication-channel time spent reaching it.
+
+The paper leaves two degrees of freedom open when mapping components onto
+the Markov routing parameters ``(q, p₁, p₂)``: the mean number of cycles
+``1/q`` and the local/remote split of cycles.  They are explicit here
+(``cycles`` and ``remote_fraction``), and §5.4's relations then determine
+every per-visit service mean:
+
+====================  =============================  =========================
+station               visits per task                per-visit mean
+====================  =============================  =========================
+CPU                   ``1/q``                        ``t_cpu = q·CX``
+local disk            ``p₁(1−q)/q``                  ``t_d = q(1−C)X / (p₁(1−q))``
+comm channel          ``p₂(1−q)/q``                  ``t_com = q·BY / (p₂(1−q))``
+remote disk           ``p₂(1−q)/q``                  ``t_rd = q·Y / (p₂(1−q))``
+====================  =============================  =========================
+
+with ``q = t_cpu / CX`` and ``p₁ + p₂ = 1`` holding by construction (the
+paper's consistency requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.validation import check_positive, check_probability
+
+__all__ = ["ApplicationModel"]
+
+
+@dataclass(frozen=True)
+class ApplicationModel:
+    """Workload parameters of one task (all times contention-free means).
+
+    Parameters
+    ----------
+    compute_fraction:
+        ``C`` — fraction of local time spent on the CPU, in (0, 1).
+    local_time:
+        ``X`` — total local time (CPU + local disk).
+    remote_time:
+        ``Y`` — total remote-disk service time.
+    comm_factor:
+        ``B`` — communication overhead per unit of remote work; the channel
+        carries ``B·Y`` per task.
+    cycles:
+        Mean number of computation cycles ``1/q`` (> 1).
+    remote_fraction:
+        ``p₂`` — probability a post-CPU move is a remote access (0 < p₂ < 1
+        so both I/O paths are exercised).
+    """
+
+    compute_fraction: float = 0.5
+    local_time: float = 8.0
+    remote_time: float = 3.0
+    comm_factor: float = 1.0 / 3.0
+    cycles: float = 10.0
+    remote_fraction: float = 0.4
+
+    def __post_init__(self):
+        C = check_probability(self.compute_fraction, "compute_fraction")
+        if not (0.0 < C < 1.0):
+            raise ValueError(f"compute_fraction must be inside (0, 1), got {C!r}")
+        check_positive(self.local_time, "local_time")
+        check_positive(self.remote_time, "remote_time")
+        check_positive(self.comm_factor, "comm_factor")
+        if self.cycles <= 1.0:
+            raise ValueError(
+                f"cycles must exceed 1 (q < 1 so I/O happens), got {self.cycles!r}"
+            )
+        p2 = check_probability(self.remote_fraction, "remote_fraction")
+        if not (0.0 < p2 < 1.0):
+            raise ValueError(
+                f"remote_fraction must be inside (0, 1), got {p2!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # paper notation
+    # ------------------------------------------------------------------
+    @property
+    def q(self) -> float:
+        """Per-cycle completion probability."""
+        return 1.0 / self.cycles
+
+    @property
+    def p1(self) -> float:
+        """Probability a post-CPU move is a local disk access."""
+        return 1.0 - self.remote_fraction
+
+    @property
+    def p2(self) -> float:
+        """Probability a post-CPU move is a remote access."""
+        return self.remote_fraction
+
+    @property
+    def cpu_time(self) -> float:
+        """``C·X`` — total CPU time per task."""
+        return self.compute_fraction * self.local_time
+
+    @property
+    def local_disk_time(self) -> float:
+        """``(1−C)·X`` — total local disk time per task."""
+        return (1.0 - self.compute_fraction) * self.local_time
+
+    @property
+    def comm_time(self) -> float:
+        """``B·Y`` — total communication time per task."""
+        return self.comm_factor * self.remote_time
+
+    @property
+    def remote_disk_time(self) -> float:
+        """``Y`` — total remote disk time per task."""
+        return self.remote_time
+
+    @property
+    def task_time(self) -> float:
+        """Mean contention-free task time ``E(T) = X + (1 + B)·Y``."""
+        return self.local_time + (1.0 + self.comm_factor) * self.remote_time
+
+    # ------------------------------------------------------------------
+    # per-visit service means (§5.4 inverted)
+    # ------------------------------------------------------------------
+    @property
+    def t_cpu(self) -> float:
+        """Per-visit CPU service mean."""
+        return self.q * self.cpu_time
+
+    @property
+    def t_disk(self) -> float:
+        """Per-visit local-disk service mean."""
+        return self.q * self.local_disk_time / (self.p1 * (1.0 - self.q))
+
+    @property
+    def t_comm(self) -> float:
+        """Per-visit communication-channel service mean."""
+        return self.q * self.comm_time / (self.p2 * (1.0 - self.q))
+
+    @property
+    def t_rdisk(self) -> float:
+        """Per-visit remote-disk service mean."""
+        return self.q * self.remote_time / (self.p2 * (1.0 - self.q))
+
+    def with_remote_time(self, remote_time: float) -> "ApplicationModel":
+        """Copy with a different ``Y`` (used for contention sweeps)."""
+        return ApplicationModel(
+            compute_fraction=self.compute_fraction,
+            local_time=self.local_time,
+            remote_time=remote_time,
+            comm_factor=self.comm_factor,
+            cycles=self.cycles,
+            remote_fraction=self.remote_fraction,
+        )

@@ -1,0 +1,81 @@
+"""Central-storage cluster model (paper §5.4).
+
+``K`` workstations, each with a dedicated CPU and a dedicated local disk,
+share one communication channel and one central (remote) disk.  Because
+tasks never queue for dedicated hardware, all CPUs collapse into one
+load-dependent *bank* and likewise all local disks, leaving four stations
+regardless of ``K`` — the reduction that takes the state space from
+``(2K+1)^K`` to ``C(K+3, K)`` in the paper.
+
+Task activity (paper Figure 1): CPU burst → with probability ``q`` the
+task finishes; otherwise local disk (``p₁``) or comm channel → central
+disk → back to CPU (``p₂``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clusters.application import ApplicationModel
+from repro.distributions.shapes import Shape
+from repro.network.spec import DELAY, NetworkSpec, Station
+
+__all__ = ["central_cluster", "CENTRAL_STATIONS"]
+
+#: Station names in construction order.
+CENTRAL_STATIONS = ("cpu", "disk", "comm", "rdisk")
+
+
+def central_cluster(
+    app: ApplicationModel,
+    shapes: dict[str, Shape] | None = None,
+) -> NetworkSpec:
+    """Build the 4-station central-cluster network for an application.
+
+    Parameters
+    ----------
+    app:
+        Application model supplying routing probabilities and per-visit
+        means.
+    shapes:
+        Optional service-distribution shapes per station name (``"cpu"``,
+        ``"disk"``, ``"comm"``, ``"rdisk"``); anything unspecified is
+        exponential.  The paper's §6.1 experiments set a Hyperexponential
+        ``"rdisk"`` (shared server); §6.2 sets Erlang/H2 ``"cpu"``
+        (dedicated server).
+
+    Notes
+    -----
+    The population bound ``K`` is *not* part of the network: dedicated
+    banks scale with load automatically, and the shared stations are single
+    servers whatever ``K`` is.  Pass ``K`` to the solver
+    (:class:`repro.core.TransientModel`) instead.
+    """
+    shapes = dict(shapes or {})
+    unknown = set(shapes) - set(CENTRAL_STATIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown station shapes {sorted(unknown)}; valid: {CENTRAL_STATIONS}"
+        )
+
+    def shape(name: str) -> Shape:
+        return shapes.get(name, Shape.exponential())
+
+    stations = (
+        Station("cpu", shape("cpu").with_mean(app.t_cpu), DELAY),
+        Station("disk", shape("disk").with_mean(app.t_disk), DELAY),
+        Station("comm", shape("comm").with_mean(app.t_comm), 1),
+        Station("rdisk", shape("rdisk").with_mean(app.t_rdisk), 1),
+    )
+    q, p1, p2 = app.q, app.p1, app.p2
+    routing = np.array(
+        [
+            #  cpu        disk            comm            rdisk
+            [0.0, p1 * (1.0 - q), p2 * (1.0 - q), 0.0],  # cpu (exit prob q)
+            [1.0, 0.0, 0.0, 0.0],                        # disk → cpu
+            [0.0, 0.0, 0.0, 1.0],                        # comm → rdisk
+            [1.0, 0.0, 0.0, 0.0],                        # rdisk → cpu
+        ]
+    )
+    entry = np.array([1.0, 0.0, 0.0, 0.0])  # tasks start at the CPU
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)

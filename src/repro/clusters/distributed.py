@@ -1,0 +1,95 @@
+"""Distributed-storage cluster model (paper §5.5).
+
+The shared data lives on the workstations' own disks instead of one
+central store, so every disk is a *shared* station in its own right:
+modeling ``K`` workstations needs ``K + 2`` stations — one load-dependent
+CPU bank, the ``K`` disks, and the shared communication channel (replies
+return over the channel, paper's distributed ``P`` matrix).
+
+Data placement enters through the allocation weights ``w_i`` (``Σw_i = 1``):
+a post-CPU access goes to disk ``i`` with probability ``p_i = w_i``, and
+the time a task spends on disk ``i`` is ``w_i`` times the total disk
+demand, matching §5.5's ``p_i = q·Y_i / (t_d(1−q))`` with a common
+per-visit disk mean ``t_d = q·D/(1−q)`` where ``D`` is the total per-task
+disk time (local I/O plus remote data: all storage is distributed here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clusters.application import ApplicationModel
+from repro.distributions.shapes import Shape
+from repro.network.spec import DELAY, NetworkSpec, Station
+
+__all__ = ["distributed_cluster"]
+
+
+def distributed_cluster(
+    app: ApplicationModel,
+    K: int,
+    weights=None,
+    shapes: dict[str, Shape] | None = None,
+) -> NetworkSpec:
+    """Build the ``K + 2``-station distributed-storage network.
+
+    Parameters
+    ----------
+    app:
+        Application model; its local-disk and remote components together
+        form the distributed disk demand ``D = (1−C)X + Y``, and ``B·Y``
+        the channel demand.
+    K:
+        Number of workstations (and therefore of disks).  Unlike the
+        central cluster the network *shape* depends on ``K`` here.
+    weights:
+        Data-allocation weights over the ``K`` disks (default uniform).
+    shapes:
+        Optional shapes for ``"cpu"``, ``"disk"`` (applied to every disk)
+        and ``"comm"``; default exponential.
+    """
+    if K < 1 or int(K) != K:
+        raise ValueError(f"K must be a positive integer, got {K!r}")
+    K = int(K)
+    if weights is None:
+        weights = np.full(K, 1.0 / K)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (K,):
+            raise ValueError(f"weights must have length {K}, got {weights.shape}")
+        if np.any(weights <= 0) or not np.isclose(weights.sum(), 1.0, atol=1e-8):
+            raise ValueError(
+                f"weights must be positive and sum to 1, got {weights!r}"
+            )
+        weights = weights / weights.sum()
+    shapes = dict(shapes or {})
+    unknown = set(shapes) - {"cpu", "disk", "comm"}
+    if unknown:
+        raise ValueError(
+            f"unknown station shapes {sorted(unknown)}; valid: cpu, disk, comm"
+        )
+
+    def shape(name: str) -> Shape:
+        return shapes.get(name, Shape.exponential())
+
+    q = app.q
+    disk_demand = app.local_disk_time + app.remote_time
+    t_disk = q * disk_demand / (1.0 - q)
+    t_comm = q * app.comm_time / (1.0 - q)
+
+    stations = [Station("cpu", shape("cpu").with_mean(app.t_cpu), DELAY)]
+    stations += [
+        Station(f"disk{i}", shape("disk").with_mean(t_disk), 1) for i in range(K)
+    ]
+    stations.append(Station("comm", shape("comm").with_mean(t_comm), 1))
+
+    n = K + 2
+    routing = np.zeros((n, n))
+    # CPU → disk i with probability w_i (1 − q); exit with probability q.
+    routing[0, 1 : K + 1] = weights * (1.0 - q)
+    # disk i → comm channel (the reply), comm → CPU.
+    routing[1 : K + 1, K + 1] = 1.0
+    routing[K + 1, 0] = 1.0
+    entry = np.zeros(n)
+    entry[0] = 1.0
+    return NetworkSpec(stations=tuple(stations), routing=routing, entry=entry)

@@ -1,0 +1,220 @@
+"""Model extensions the paper names but does not develop (§5, §7).
+
+    "More parameters always can be added to the basic model (e.g.,
+    scheduling overhead, multitasking, ...)"
+
+Three such extensions, each staying inside the exact reduced-product
+framework:
+
+* **Scheduling overhead** — every dispatch passes through a scheduler
+  station before reaching a CPU.  The scheduler is a shared single server
+  (one dispatcher for the cluster), so heavy scheduling traffic becomes a
+  contention point exactly as in real resource managers.
+* **Multitasking** — more tasks than workstations are *admitted* and the
+  CPUs/local disks time-share: instead of a dedicated bank (rate ``n·µ``)
+  the CPU pool is a ``K``-server station (rate ``min(n, K)·µ``).  With a
+  multiprogramming level of 1 this reduces *exactly* to the base model
+  (``n ≤ K`` makes the two rate functions equal), which the tests verify.
+* **Heterogeneous storage** — distributed clusters with per-disk speed
+  factors, the setting of the authors' data-allocation work [15]: weights
+  decide where data lives, speeds decide how fast each disk serves it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clusters.application import ApplicationModel
+from repro.distributions.shapes import Shape
+from repro.network.spec import DELAY, NetworkSpec, Station
+
+__all__ = [
+    "central_cluster_with_scheduler",
+    "central_cluster_multitasking",
+    "heterogeneous_distributed_cluster",
+]
+
+
+def central_cluster_with_scheduler(
+    app: ApplicationModel,
+    overhead: float,
+    shapes: dict[str, Shape] | None = None,
+) -> NetworkSpec:
+    """Central cluster with an explicit dispatch stage.
+
+    Every computation cycle is dispatched through a shared scheduler
+    station with mean service ``overhead`` before the CPU burst begins —
+    the "scheduling overhead" extension of §5.  Stations:
+    ``sched → cpu → {disk | comm → rdisk} → sched …``; tasks enter at the
+    scheduler and exit from the CPU.
+
+    Parameters
+    ----------
+    overhead:
+        Mean scheduler service time per dispatch (> 0).  Total scheduling
+        demand per task is ``overhead / q`` (one dispatch per cycle).
+    shapes:
+        Optional shapes for ``"sched"``, ``"cpu"``, ``"disk"``, ``"comm"``,
+        ``"rdisk"``.
+    """
+    if overhead <= 0:
+        raise ValueError(f"overhead must be positive, got {overhead!r}")
+    shapes = dict(shapes or {})
+    valid = {"sched", "cpu", "disk", "comm", "rdisk"}
+    unknown = set(shapes) - valid
+    if unknown:
+        raise ValueError(f"unknown station shapes {sorted(unknown)}; valid: {sorted(valid)}")
+
+    def shape(name: str) -> Shape:
+        return shapes.get(name, Shape.exponential())
+
+    stations = (
+        Station("sched", shape("sched").with_mean(overhead), 1),
+        Station("cpu", shape("cpu").with_mean(app.t_cpu), DELAY),
+        Station("disk", shape("disk").with_mean(app.t_disk), DELAY),
+        Station("comm", shape("comm").with_mean(app.t_comm), 1),
+        Station("rdisk", shape("rdisk").with_mean(app.t_rdisk), 1),
+    )
+    q, p1, p2 = app.q, app.p1, app.p2
+    routing = np.array(
+        [
+            # sched  cpu              disk            comm            rdisk
+            [0.0, 1.0, 0.0, 0.0, 0.0],                      # sched → cpu
+            [0.0, 0.0, p1 * (1 - q), p2 * (1 - q), 0.0],    # cpu (exit q)
+            [1.0, 0.0, 0.0, 0.0, 0.0],                      # disk → sched
+            [0.0, 0.0, 0.0, 0.0, 1.0],                      # comm → rdisk
+            [1.0, 0.0, 0.0, 0.0, 0.0],                      # rdisk → sched
+        ]
+    )
+    entry = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)
+
+
+def central_cluster_multitasking(
+    app: ApplicationModel,
+    K: int,
+    shapes: dict[str, Shape] | None = None,
+) -> NetworkSpec:
+    """Central cluster whose CPUs and local disks are time-shared pools.
+
+    Use with a population above ``K`` (e.g. ``TransientModel(spec, K*mpl)``
+    for a multiprogramming level ``mpl``): the ``K`` physical CPUs serve at
+    most ``K`` tasks simultaneously and the excess queues, i.e. the CPU
+    pool is a ``K``-server station rather than an unbounded bank.  For
+    populations ≤ K it is *identical* to :func:`central_cluster`.
+
+    Notes
+    -----
+    Multi-server stations require exponential service here (the exact
+    reduced-product representation of a multi-server PH station does not
+    exist in this framework); non-exponential shapes are still available
+    for the single-server comm/rdisk stations.
+    """
+    if K < 1 or int(K) != K:
+        raise ValueError(f"K must be a positive integer, got {K!r}")
+    K = int(K)
+    shapes = dict(shapes or {})
+    unknown = set(shapes) - {"comm", "rdisk"}
+    if unknown:
+        raise ValueError(
+            f"unknown station shapes {sorted(unknown)}; multitasking pools are "
+            "exponential — only 'comm' and 'rdisk' accept shapes"
+        )
+
+    def shape(name: str) -> Shape:
+        return shapes.get(name, Shape.exponential())
+
+    stations = (
+        Station("cpu", Shape.exponential().with_mean(app.t_cpu), K),
+        Station("disk", Shape.exponential().with_mean(app.t_disk), K),
+        Station("comm", shape("comm").with_mean(app.t_comm), 1),
+        Station("rdisk", shape("rdisk").with_mean(app.t_rdisk), 1),
+    )
+    q, p1, p2 = app.q, app.p1, app.p2
+    routing = np.array(
+        [
+            [0.0, p1 * (1 - q), p2 * (1 - q), 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0, 0.0],
+        ]
+    )
+    entry = np.array([1.0, 0.0, 0.0, 0.0])
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)
+
+
+def heterogeneous_distributed_cluster(
+    app: ApplicationModel,
+    K: int,
+    weights=None,
+    speeds=None,
+    shapes: dict[str, Shape] | None = None,
+) -> NetworkSpec:
+    """Distributed-storage cluster with per-disk speed factors.
+
+    As :func:`repro.clusters.distributed_cluster`, but disk ``i`` serves
+    ``speeds[i]`` times faster than the homogeneous baseline, so its
+    per-visit mean is ``t_d / speeds[i]``.  Allocation weights and speeds
+    compose: the demand placed on disk ``i`` is ``w_i · D / speeds[i]``.
+
+    This is the setting of the authors' data-allocation work [15]: given
+    heterogeneous disks, choose weights to balance *load* (demand), not
+    data volume.
+    """
+    if K < 1 or int(K) != K:
+        raise ValueError(f"K must be a positive integer, got {K!r}")
+    K = int(K)
+    if weights is None:
+        weights = np.full(K, 1.0 / K)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (K,) or np.any(weights <= 0) or not np.isclose(weights.sum(), 1.0):
+        raise ValueError(f"weights must be {K} positive values summing to 1")
+    weights = weights / weights.sum()
+    if speeds is None:
+        speeds = np.ones(K)
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.shape != (K,) or np.any(speeds <= 0):
+        raise ValueError(f"speeds must be {K} positive factors, got {speeds!r}")
+    shapes = dict(shapes or {})
+    unknown = set(shapes) - {"cpu", "disk", "comm"}
+    if unknown:
+        raise ValueError(f"unknown station shapes {sorted(unknown)}; valid: cpu, disk, comm")
+
+    def shape(name: str) -> Shape:
+        return shapes.get(name, Shape.exponential())
+
+    q = app.q
+    disk_demand = app.local_disk_time + app.remote_time
+    t_disk = q * disk_demand / (1.0 - q)
+    t_comm = q * app.comm_time / (1.0 - q)
+
+    stations = [Station("cpu", shape("cpu").with_mean(app.t_cpu), DELAY)]
+    stations += [
+        Station(f"disk{i}", shape("disk").with_mean(t_disk / speeds[i]), 1)
+        for i in range(K)
+    ]
+    stations.append(Station("comm", shape("comm").with_mean(t_comm), 1))
+
+    n = K + 2
+    routing = np.zeros((n, n))
+    routing[0, 1 : K + 1] = weights * (1.0 - q)
+    routing[1 : K + 1, K + 1] = 1.0
+    routing[K + 1, 0] = 1.0
+    entry = np.zeros(n)
+    entry[0] = 1.0
+    return NetworkSpec(stations=tuple(stations), routing=routing, entry=entry)
+
+
+def load_balanced_weights(speeds) -> np.ndarray:
+    """Allocation weights proportional to disk speed (equal *demand* per disk).
+
+    With ``w_i ∝ s_i`` every disk carries demand ``D/K·(s_i/s̄)/s_i = const``
+    — the load-balance rule of [15] for heterogeneous storage.
+    """
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.ndim != 1 or np.any(speeds <= 0):
+        raise ValueError(f"speeds must be a vector of positive factors, got {speeds!r}")
+    return speeds / speeds.sum()
+
+
+__all__.append("load_balanced_weights")

@@ -1,0 +1,113 @@
+"""Grid of clusters: a two-level topology in the spirit of the paper's
+Grid citation (Foster & Kesselman [7]).
+
+``G`` symmetric sites, each with the central-cluster anatomy (CPU bank,
+local-disk bank, site channel, site storage), joined by a full-duplex
+wide-area link modeled as two single-server stations (``wan_up`` for
+requests, ``wan_dn`` for replies):
+
+* a remote access resolves to the site's own storage with probability
+  ``locality``; otherwise the request crosses ``wan_up`` to a uniformly
+  chosen site's storage and the reply returns over ``wan_dn``;
+* tasks enter at a uniformly chosen site.
+
+**Semantics — migrate-to-data.**  A single-class network cannot remember
+a task's home site across a cross-site hop, so after one the task
+continues from the site that served it (uniformly mixed): the scheduler
+moves work to where the data lives, a standard grid execution model.
+Site-pinned tasks would need per-class populations, which neither this
+framework nor the paper models.
+
+Every request reaches storage exactly once, so visit ratios follow the
+central-cluster pattern: the WAN stations each see ``(1 − locality)``
+of the remote visits, and the WAN becomes the system bottleneck once
+``(1 − locality) · wan_factor`` outweighs the per-site demands — swept in
+the grid example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.validation import check_probability, check_positive
+from repro.clusters.application import ApplicationModel
+from repro.distributions.shapes import Shape
+from repro.network.spec import DELAY, NetworkSpec, Station
+
+__all__ = ["grid_cluster"]
+
+
+def grid_cluster(
+    app: ApplicationModel,
+    sites: int,
+    *,
+    locality: float = 0.8,
+    wan_factor: float = 3.0,
+    shapes: dict[str, Shape] | None = None,
+) -> NetworkSpec:
+    """Build a ``sites``-site grid (``4·G + 2`` stations).
+
+    Parameters
+    ----------
+    locality:
+        Probability a remote access stays on the requesting site.
+    wan_factor:
+        WAN transfer mean relative to a site-channel transfer (≥ 1).
+    shapes:
+        Optional shapes for ``"cpu"``, ``"disk"``, ``"comm"``, ``"rdisk"``,
+        ``"wan"`` (applied to each instance of the role).
+    """
+    if sites < 2 or int(sites) != sites:
+        raise ValueError(f"need at least 2 sites, got {sites!r}")
+    G = int(sites)
+    locality = check_probability(locality, "locality")
+    wan_factor = check_positive(wan_factor, "wan_factor")
+    if wan_factor < 1.0:
+        raise ValueError(f"wan_factor must be >= 1, got {wan_factor!r}")
+    shapes = dict(shapes or {})
+    valid = {"cpu", "disk", "comm", "rdisk", "wan"}
+    unknown = set(shapes) - valid
+    if unknown:
+        raise ValueError(
+            f"unknown station shapes {sorted(unknown)}; valid: {sorted(valid)}"
+        )
+
+    def shape(name: str) -> Shape:
+        return shapes.get(name, Shape.exponential())
+
+    t_wan = wan_factor * app.t_comm
+    stations: list[Station] = []
+    for g in range(G):
+        stations += [
+            Station(f"cpu{g}", shape("cpu").with_mean(app.t_cpu), DELAY),
+            Station(f"disk{g}", shape("disk").with_mean(app.t_disk), DELAY),
+            Station(f"comm{g}", shape("comm").with_mean(app.t_comm), 1),
+            Station(f"rdisk{g}", shape("rdisk").with_mean(app.t_rdisk), 1),
+        ]
+    stations.append(Station("wan_up", shape("wan").with_mean(t_wan), 1))
+    stations.append(Station("wan_dn", shape("wan").with_mean(t_wan), 1))
+    n = 4 * G + 2
+    wan_up, wan_dn = n - 2, n - 1
+
+    q, p1, p2 = app.q, app.p1, app.p2
+    routing = np.zeros((n, n))
+    for g in range(G):
+        cpu, disk, comm, rdisk = 4 * g, 4 * g + 1, 4 * g + 2, 4 * g + 3
+        routing[cpu, disk] = p1 * (1.0 - q)  # exit q stays at the CPU row
+        routing[cpu, comm] = p2 * (1.0 - q)
+        routing[disk, cpu] = 1.0
+        routing[comm, rdisk] = locality
+        routing[comm, wan_up] = 1.0 - locality
+        # Storage replies: local requests return to the site's CPUs, the
+        # rest (cross-site traffic, a `1 − locality` share under the
+        # symmetric mix) go back over the WAN.
+        routing[rdisk, cpu] = locality
+        routing[rdisk, wan_dn] = 1.0 - locality
+        # Requests land on a uniformly chosen site's storage, replies on a
+        # uniformly chosen site's CPUs (migrate-to-data).
+        routing[wan_up, rdisk] = 1.0 / G
+        routing[wan_dn, cpu] = 1.0 / G
+    entry = np.zeros(n)
+    for g in range(G):
+        entry[4 * g] = 1.0 / G
+    return NetworkSpec(stations=tuple(stations), routing=routing, entry=entry)

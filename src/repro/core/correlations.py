@@ -1,0 +1,118 @@
+"""Serial correlation of the stationary departure process.
+
+The epochs of §4 are identically distributed at steady state but *not*
+independent: the state after one departure seeds the next epoch.  LAQT
+makes the lag covariances exact.  With ``A = I − P_K``, ``D = M_K⁻¹``,
+``V = A⁻¹D`` and the refill operator ``Y R = A⁻¹ Q R``:
+
+.. math::
+
+    E[T_1 T_{1+n}] \\;=\\; p_{ss} \\, V A^{-1} Q R \\,(Y R)^{n-1}\\, τ'_K,
+
+because ``V² M_K Q_K R_K = V A^{-1} Q R`` is the time-weighted
+departure-and-refill operator (the identity ``D M = I`` collapses the
+middle).  Everything is evaluated matrix-free with the cached level-``K``
+LU factorization, so a whole correlogram costs one solve per lag.
+
+Positive autocorrelation — which non-exponential shared servers induce —
+is exactly what makes a run's *total* time noisier than independent
+epochs would suggest; see the makespan-variance tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.linalg import left_solve
+from repro.core.steady_state import SteadyState, solve_steady_state
+from repro.core.transient import TransientModel
+
+__all__ = [
+    "interdeparture_autocovariance",
+    "interdeparture_autocorrelation",
+    "index_of_dispersion",
+]
+
+
+def _stationary_epoch_moments(model: TransientModel, steady: SteadyState):
+    """Mean and second moment of a stationary epoch (from ⟨p_ss, B_K⟩)."""
+    top = model.level(model.K)
+    x = steady.p_ss
+    xV = left_solve(top.lu, x) / top.rates
+    m1 = float(xV.sum())
+    xV2 = left_solve(top.lu, xV) / top.rates
+    m2 = 2.0 * float(xV2.sum())
+    return m1, m2, xV
+
+
+def interdeparture_autocovariance(
+    model: TransientModel,
+    lags: int = 10,
+    *,
+    steady: SteadyState | None = None,
+) -> np.ndarray:
+    """Exact autocovariance of the stationary inter-departure sequence.
+
+    Returns ``[γ₀, γ₁, …, γ_lags]`` where ``γ₀`` is the epoch variance and
+    ``γ_n = Cov(T₁, T_{1+n})``.
+    """
+    if lags < 0 or int(lags) != lags:
+        raise ValueError(f"lags must be a nonnegative integer, got {lags!r}")
+    lags = int(lags)
+    if steady is None:
+        steady = solve_steady_state(model)
+    top = model.level(model.K)
+    m1, m2, xV = _stationary_epoch_moments(model, steady)
+    out = np.empty(lags + 1)
+    out[0] = m2 - m1 * m1
+    # Time-weighted refill: y = p_ss V A⁻¹ Q R, then advance with (YR)^{n−1}.
+    y = (left_solve(top.lu, xV) @ top.Q) @ top.R
+    for n in range(1, lags + 1):
+        out[n] = top.mean_epoch_time(y) - m1 * m1
+        if n < lags:
+            y = top.apply_YR(y)
+    return out
+
+
+def interdeparture_autocorrelation(
+    model: TransientModel,
+    lags: int = 10,
+    *,
+    steady: SteadyState | None = None,
+) -> np.ndarray:
+    """Exact autocorrelation ``ρ_n = γ_n / γ₀`` for ``n = 0..lags``."""
+    gamma = interdeparture_autocovariance(model, lags, steady=steady)
+    if gamma[0] <= 0:  # pragma: no cover - defensive
+        raise RuntimeError("non-positive epoch variance")
+    return gamma / gamma[0]
+
+
+def index_of_dispersion(
+    model: TransientModel,
+    n: int,
+    *,
+    steady: SteadyState | None = None,
+) -> float:
+    """Index of dispersion for intervals, ``I_n = Var(S_n)/(n·m₁²)``.
+
+    ``S_n`` is the sum of ``n`` consecutive stationary epochs, so
+
+    .. math::
+
+        I_n = \\frac{n γ_0 + 2\\sum_{j=1}^{n-1}(n-j)\\,γ_j}{n\\, m_1^2}.
+
+    ``I_1`` is the epoch SCV; for a renewal (uncorrelated) departure
+    process ``I_n`` is constant, while positive serial correlation makes
+    it grow toward the asymptotic burstiness index — the standard summary
+    of departure-process memory in decomposition methods.
+    """
+    if n < 1 or int(n) != n:
+        raise ValueError(f"n must be a positive integer, got {n!r}")
+    n = int(n)
+    if steady is None:
+        steady = solve_steady_state(model)
+    gamma = interdeparture_autocovariance(model, n - 1, steady=steady)
+    m1 = steady.interdeparture_time
+    weights = n - np.arange(1, n)
+    var_sn = n * gamma[0] + 2.0 * float(weights @ gamma[1:n])
+    return float(var_sn / (n * m1 * m1))

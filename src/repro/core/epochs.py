@@ -1,0 +1,72 @@
+"""Exact distributions of individual inter-departure epochs.
+
+Section 4 of the paper computes the *mean* of each epoch as ``x τ'_k``.
+But each epoch is itself a phase-type passage: starting from the epoch's
+state mix ``x`` on level ``k``, the time to the next departure has the
+matrix-exponential law ``⟨x, B_k⟩`` with ``B_k = M_k (I − P_k)`` — the
+same construction as the single-customer service time, one level up.
+This module exposes that law, giving epoch variances, percentiles and
+densities the paper's mean-value analysis cannot.
+
+Note the epochs are *not* independent (the end state of one epoch is the
+start state of the next), so the makespan law still needs the absorbing
+chain of :class:`repro.markov.MakespanAnalyzer`; per-epoch marginals are
+exactly what this module returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.transient import TransientModel
+from repro.distributions.base import MatrixExponential
+
+__all__ = ["epoch_distribution", "epoch_distributions", "epoch_scvs"]
+
+
+def _level_B(model: TransientModel, k: int) -> np.ndarray:
+    ops = model.level(k)
+    eye = sp.identity(ops.dim, format="csr")
+    return (sp.diags(ops.rates) @ (eye - ops.P)).toarray()
+
+
+def _epoch_levels(model: TransientModel, N: int) -> list[int]:
+    k_active = min(model.K, int(N))
+    return [k_active] * (N - k_active) + list(range(k_active, 0, -1))
+
+
+def epoch_distribution(model: TransientModel, N: int, epoch: int) -> MatrixExponential:
+    """The exact law of one inter-departure epoch (1-indexed).
+
+    Returns a :class:`MatrixExponential` whose mean equals
+    ``model.interdeparture_times(N)[epoch − 1]``.
+    """
+    if not 1 <= epoch <= N:
+        raise ValueError(f"epoch must be in 1..{N}, got {epoch!r}")
+    levels = _epoch_levels(model, N)
+    x = model.epoch_vectors(N)[epoch - 1]
+    k = levels[epoch - 1]
+    return MatrixExponential(np.clip(x, 0.0, None) / x.sum(), _level_B(model, k))
+
+
+def epoch_distributions(model: TransientModel, N: int) -> list[MatrixExponential]:
+    """The laws of all ``N`` epochs (shares state vectors and level B's)."""
+    levels = _epoch_levels(model, N)
+    vecs = model.epoch_vectors(N)
+    B_cache: dict[int, np.ndarray] = {}
+    out = []
+    for x, k in zip(vecs, levels):
+        if k not in B_cache:
+            B_cache[k] = _level_B(model, k)
+        out.append(MatrixExponential(np.clip(x, 0.0, None) / x.sum(), B_cache[k]))
+    return out
+
+
+def epoch_scvs(model: TransientModel, N: int) -> np.ndarray:
+    """Squared coefficient of variation of every epoch.
+
+    A compact fingerprint of the regions: warm-up epochs are smoother than
+    steady state; draining epochs inherit the task-time variability.
+    """
+    return np.array([d.scv for d in epoch_distributions(model, N)])

@@ -1,0 +1,94 @@
+"""Decomposition of an epoch sequence into the paper's three regions.
+
+Figures 3–4 and 10–11 of the paper read off three qualitative phases from
+the inter-departure sequence:
+
+* the **transient** (warm-up) region while ``p_K (Y_K R_K)^i`` still moves
+  toward stationarity,
+* the **steady-state** region where epochs sit at ``t_ss``,
+* the **draining** region — by construction the final ``min(K, N)``
+  epochs, where fewer tasks than workstations remain.
+
+The boundaries of the first two are a tolerance judgement; the draining
+region is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.steady_state import solve_steady_state
+from repro.core.transient import TransientModel
+
+__all__ = ["Regions", "decompose_regions"]
+
+
+@dataclass(frozen=True)
+class Regions:
+    """Index ranges (half-open, in epoch order) of the three regions.
+
+    Any region may be empty; for small ``N`` the steady-state region
+    typically is — that is the paper's central warning about applying
+    product-form results to finite workloads.
+    """
+
+    transient: tuple[int, int]
+    steady: tuple[int, int]
+    draining: tuple[int, int]
+    #: the reference steady-state inter-departure time
+    t_ss: float
+
+    @property
+    def transient_width(self) -> int:
+        return self.transient[1] - self.transient[0]
+
+    @property
+    def steady_width(self) -> int:
+        return self.steady[1] - self.steady[0]
+
+    @property
+    def draining_width(self) -> int:
+        return self.draining[1] - self.draining[0]
+
+    @property
+    def steady_fraction(self) -> float:
+        """Fraction of epochs spent at steady state."""
+        total = self.draining[1]
+        return self.steady_width / total if total else 0.0
+
+
+def decompose_regions(
+    model: TransientModel,
+    N: int,
+    *,
+    rtol: float = 0.01,
+    t_ss: float | None = None,
+) -> Regions:
+    """Split the ``N`` epochs of ``model`` into transient/steady/draining.
+
+    An epoch belongs to the steady-state region when its mean
+    inter-departure time is within ``rtol`` (relative) of ``t_ss``.  The
+    steady region is the longest such run before draining starts; epochs
+    before it are transient.
+    """
+    times = model.interdeparture_times(N)
+    if t_ss is None:
+        t_ss = solve_steady_state(model).interdeparture_time
+    n_drain = min(model.K, int(N))
+    drain_start = int(N) - n_drain
+    close = np.abs(times[:drain_start] - t_ss) <= rtol * t_ss
+    # Steady region: trailing run of epochs (before draining) at t_ss.
+    steady_start = drain_start
+    for j in range(drain_start - 1, -1, -1):
+        if close[j]:
+            steady_start = j
+        else:
+            break
+    return Regions(
+        transient=(0, steady_start),
+        steady=(steady_start, drain_start),
+        draining=(drain_start, int(N)),
+        t_ss=float(t_ss),
+    )

@@ -1,0 +1,89 @@
+"""Parameter sensitivity of the finite-workload makespan.
+
+For "dynamic scheduling, fault tolerance, resource management" (paper §7)
+the question is rarely "what is E(T)" but "which knob moves it".  This
+module computes log-log elasticities
+
+.. math::
+
+    e_θ = \\frac{∂ \\ln E(T)}{∂ \\ln θ}
+
+of the makespan with respect to the application parameters, by central
+finite differences on the exact model (no simulation noise, so small
+steps are safe).  An elasticity of 0.4 means a 1 % faster remote disk
+buys ≈ 0.4 % makespan.
+
+The ranking also reveals *bottleneck shifts*: as one parameter's
+elasticity falls and another's rises along a sweep, capacity should move
+accordingly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.clusters.application import ApplicationModel
+from repro.core.transient import TransientModel
+from repro.network.spec import NetworkSpec
+
+__all__ = ["makespan_elasticities", "rank_parameters"]
+
+#: Application parameters that admit a log-log derivative.
+_DEFAULT_PARAMS = (
+    "local_time",
+    "remote_time",
+    "comm_factor",
+    "cycles",
+)
+
+
+def makespan_elasticities(
+    build: Callable[[ApplicationModel], NetworkSpec],
+    app: ApplicationModel,
+    K: int,
+    N: int,
+    *,
+    params: Sequence[str] = _DEFAULT_PARAMS,
+    rel_step: float = 1e-4,
+) -> dict[str, float]:
+    """Elasticity of ``E(T)`` w.r.t. each application parameter.
+
+    Parameters
+    ----------
+    build:
+        Maps an application to a network spec (e.g.
+        ``lambda a: central_cluster(a, shapes)``) so the sweep preserves
+        the distribution choices.
+    rel_step:
+        Relative perturbation for the central difference.
+    """
+    if rel_step <= 0 or rel_step > 0.1:
+        raise ValueError(f"rel_step must be in (0, 0.1], got {rel_step!r}")
+
+    def span_for(a: ApplicationModel) -> float:
+        return TransientModel(build(a), K).makespan(N)
+
+    base_val: dict[str, float] = {}
+    for name in params:
+        v = getattr(app, name, None)
+        if v is None or not isinstance(v, (int, float)) or v <= 0:
+            raise ValueError(f"parameter {name!r} is not a positive scalar: {v!r}")
+        base_val[name] = float(v)
+
+    out: dict[str, float] = {}
+    for name in params:
+        v = base_val[name]
+        hi = dataclasses.replace(app, **{name: v * (1.0 + rel_step)})
+        lo = dataclasses.replace(app, **{name: v * (1.0 - rel_step)})
+        s_hi, s_lo = span_for(hi), span_for(lo)
+        dlog_theta = np.log((1.0 + rel_step) / (1.0 - rel_step))
+        out[name] = float((np.log(s_hi) - np.log(s_lo)) / dlog_theta)
+    return out
+
+
+def rank_parameters(elasticities: dict[str, float]) -> list[tuple[str, float]]:
+    """Parameters ordered by |elasticity|, largest first."""
+    return sorted(elasticities.items(), key=lambda kv: abs(kv[1]), reverse=True)

@@ -1,0 +1,123 @@
+"""Steady-state residence and queueing metrics of the backlogged system.
+
+The transient model's level-``K`` stationary CTMC carries more than the
+throughput: its time-stationary distribution gives per-station mean
+customer counts, and Little's law converts them into per-visit residence
+and waiting times.  For exponential networks these equal exact MVA's
+numbers (verified in the tests); for non-exponential shared servers —
+where MVA and the product form do not apply — they are exact results no
+classical baseline can produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.steady_state import solve_steady_state, time_stationary_distribution
+from repro.core.transient import TransientModel
+
+__all__ = ["StationMetrics", "SojournAnalysis", "analyze_sojourn"]
+
+
+@dataclass(frozen=True)
+class StationMetrics:
+    """Steady-state per-station metrics under full backlog."""
+
+    name: str
+    #: tasks present (in service + waiting)
+    mean_customers: float
+    #: expected busy servers
+    mean_busy: float
+    #: tasks waiting for a server
+    mean_waiting: float
+    #: arrivals (visits) per unit time
+    visit_rate: float
+    #: mean time per visit (service + wait), by Little's law
+    residence_time: float
+    #: mean waiting time per visit
+    waiting_time: float
+
+
+@dataclass(frozen=True)
+class SojournAnalysis:
+    """Network-wide steady-state summary."""
+
+    stations: tuple[StationMetrics, ...]
+    throughput: float
+
+    @property
+    def task_sojourn_time(self) -> float:
+        """Mean time a task spends in the system, fill to departure.
+
+        By Little's law on the closed level-``K`` system this equals
+        ``K / throughput``.
+        """
+        return sum(s.mean_customers for s in self.stations) / self.throughput
+
+    def station(self, name: str) -> StationMetrics:
+        """Metrics for the named station."""
+        for s in self.stations:
+            if s.name == name:
+                return s
+        raise KeyError(f"no station named {name!r}")
+
+    def bottleneck(self) -> StationMetrics:
+        """The station with the highest per-server utilization pressure.
+
+        Shared stations are ranked by busy fraction; delay banks never
+        queue and are excluded unless everything is a delay bank.
+        """
+        shared = [
+            (s, st)
+            for s, st in zip(self.stations, self._specs)
+            if not st.is_delay
+        ]
+        if not shared:
+            return max(self.stations, key=lambda s: s.mean_customers)
+        return max(shared, key=lambda p: p[0].mean_busy / float(p[1].servers))[0]
+
+    # populated by analyze_sojourn; keeps Station objects for bottleneck()
+    _specs: tuple = ()
+
+
+def analyze_sojourn(model: TransientModel) -> SojournAnalysis:
+    """Compute steady-state residence metrics for every station.
+
+    Uses the time-stationary distribution of the fully-backlogged system,
+    so the numbers describe the paper's steady-state region; transient
+    epochs are available from :meth:`TransientModel.interdeparture_times`.
+    """
+    spec = model.spec
+    pi = time_stationary_distribution(model)
+    space = model.level(model.K).space
+    occ = space.occupancies().astype(float)
+    caps = np.array(
+        [np.inf if st.is_delay else float(st.servers) for st in spec.stations]
+    )
+    busy = np.minimum(occ, caps[None, :])
+    mean_customers = pi @ occ
+    mean_busy = pi @ busy
+    throughput = solve_steady_state(model).throughput
+    visits = spec.visit_ratios()
+    stations = []
+    for j, st in enumerate(spec.stations):
+        lam_j = throughput * visits[j]
+        L = float(mean_customers[j])
+        # A never-visited station (zero visit ratio) has no residence time.
+        W = L / lam_j if lam_j > 0 else 0.0
+        stations.append(
+            StationMetrics(
+                name=st.name,
+                mean_customers=L,
+                mean_busy=float(mean_busy[j]),
+                mean_waiting=float(mean_customers[j] - mean_busy[j]),
+                visit_rate=float(lam_j),
+                residence_time=float(W),
+                waiting_time=float(W - st.mean_service) if lam_j > 0 else 0.0,
+            )
+        )
+    result = SojournAnalysis(stations=tuple(stations), throughput=float(throughput))
+    object.__setattr__(result, "_specs", spec.stations)
+    return result

@@ -1,0 +1,51 @@
+"""Matrix-exponential / phase-type distribution algebra.
+
+This package implements the ``<p, B>`` machinery of LAQT (paper §3):
+representations, moments, densities, the families used in the evaluation
+(exponential, Erlangian, Hyperexponential, truncated power tail), moment
+fitting for C² sweeps, and the PH closure operations.
+"""
+
+from repro.distributions.base import MatrixExponential
+from repro.distributions.ph import PHDistribution
+from repro.distributions.builders import (
+    exponential,
+    erlang,
+    hypoexponential,
+    hyperexponential,
+    coxian,
+)
+from repro.distributions.powertail import truncated_power_tail
+from repro.distributions.fitting import fit_erlang, fit_mixed_erlang, fit_h2, fit_scv
+from repro.distributions.em import (
+    EMResult,
+    fit_erlang_ml,
+    fit_hyperexponential_em,
+    fit_samples,
+)
+from repro.distributions.operations import convolve, mixture, minimum, maximum
+from repro.distributions.shapes import Shape
+
+__all__ = [
+    "MatrixExponential",
+    "PHDistribution",
+    "exponential",
+    "erlang",
+    "hypoexponential",
+    "hyperexponential",
+    "coxian",
+    "truncated_power_tail",
+    "fit_erlang",
+    "fit_mixed_erlang",
+    "fit_h2",
+    "fit_scv",
+    "EMResult",
+    "fit_erlang_ml",
+    "fit_hyperexponential_em",
+    "fit_samples",
+    "convolve",
+    "mixture",
+    "minimum",
+    "maximum",
+    "Shape",
+]

@@ -1,0 +1,198 @@
+"""Matrix-exponential distributions: the LAQT ``<p, B>`` representation.
+
+Following Lipsky's *Queueing Theory: A Linear Algebraic Approach* (and §3.2
+of the reproduced paper), every service-time distribution is represented by
+a vector-matrix pair ``<p, B>`` with
+
+.. math::
+
+    F(t) = \\Pr(X \\le t) = 1 - \\mathbf{p}\\, e^{-tB}\\, \\boldsymbol\\varepsilon,
+
+where ``p`` is the entrance (row) vector, ``B`` is the service-rate matrix
+and ``ε`` is the all-ones column vector.  The scalar functional
+``Ψ[X] = p X ε`` gives moments via ``E[T^n] = n! Ψ[V^n]`` with ``V = B⁻¹``.
+
+:class:`MatrixExponential` implements that analytic machinery for any
+``<p, B>`` pair.  The Markovian subclass used throughout the library —
+:class:`repro.distributions.ph.PHDistribution` — additionally carries the
+stage-level structure (rates / routing / exit) needed to *embed* the
+distribution in a multi-customer queueing network.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro._util.validation import check_probability_vector, check_square
+
+__all__ = ["MatrixExponential"]
+
+
+class MatrixExponential:
+    """A distribution given by the LAQT pair ``<p, B>``.
+
+    Parameters
+    ----------
+    entry:
+        Entrance probability vector ``p`` (length ``m``, sums to 1).
+    B:
+        Service-rate matrix (``m × m``, nonsingular).  For a Markovian (PH)
+        distribution ``B = M (I - P)`` with ``M`` the diagonal matrix of
+        stage completion rates and ``P`` the substochastic stage routing.
+
+    Notes
+    -----
+    The constructor validates invertibility and that the resulting mean is
+    positive; it does *not* require ``B`` to be Markovian, so genuinely
+    matrix-exponential (non-PH) pairs are accepted.
+    """
+
+    def __init__(self, entry, B):
+        self._entry = check_probability_vector(entry, "entry")
+        B = check_square(B, "B")
+        if B.shape[0] != self._entry.shape[0]:
+            raise ValueError(
+                f"entry has length {self._entry.shape[0]} but B is {B.shape[0]}x{B.shape[0]}"
+            )
+        self._B = B
+        try:
+            self._V = sla.inv(B)
+        except sla.LinAlgError as exc:  # pragma: no cover - defensive
+            raise ValueError("B must be nonsingular") from exc
+        if self.mean <= 0:
+            raise ValueError(f"<p, B> pair has non-positive mean {self.mean!r}")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Dimension ``m`` of the representation."""
+        return self._entry.shape[0]
+
+    @property
+    def entry(self) -> np.ndarray:
+        """Entrance vector ``p`` (copy)."""
+        return self._entry.copy()
+
+    @property
+    def B(self) -> np.ndarray:
+        """Service-rate matrix ``B`` (copy)."""
+        return self._B.copy()
+
+    @property
+    def V(self) -> np.ndarray:
+        """Service-time matrix ``V = B⁻¹`` (copy)."""
+        return self._V.copy()
+
+    def psi(self, X) -> float:
+        """The LAQT scalar functional ``Ψ[X] = p X ε``."""
+        X = np.asarray(X, dtype=float)
+        return float(self._entry @ X @ np.ones(self.order))
+
+    # ------------------------------------------------------------------
+    # moments
+    # ------------------------------------------------------------------
+    def moment(self, n: int) -> float:
+        """Raw moment ``E[T^n] = n! Ψ[V^n]``."""
+        if n < 0 or int(n) != n:
+            raise ValueError(f"moment order must be a nonnegative integer, got {n!r}")
+        n = int(n)
+        Vn = np.linalg.matrix_power(self._V, n)
+        return float(math.factorial(n)) * self.psi(Vn)
+
+    @property
+    def mean(self) -> float:
+        """First moment ``E[T]``."""
+        return float(self._entry @ self._V @ np.ones(self.order))
+
+    @property
+    def variance(self) -> float:
+        """Variance ``E[T²] − E[T]²``."""
+        return self.moment(2) - self.mean**2
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``C² = Var[T] / E[T]²``."""
+        return self.variance / self.mean**2
+
+    # ------------------------------------------------------------------
+    # distribution functions
+    # ------------------------------------------------------------------
+    def _expmB(self, t: float) -> np.ndarray:
+        return sla.expm(-float(t) * self._B)
+
+    def sf(self, t) -> np.ndarray | float:
+        """Reliability function ``R(t) = Pr(X > t) = Ψ[exp(−tB)]``."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        ones = np.ones(self.order)
+        out = np.array([float(self._entry @ self._expmB(ti) @ ones) for ti in t_arr])
+        out = np.clip(out, 0.0, 1.0)
+        return out if np.ndim(t) else float(out[0])
+
+    def cdf(self, t) -> np.ndarray | float:
+        """Probability distribution function ``F(t) = 1 − R(t)``."""
+        return 1.0 - self.sf(t)
+
+    def pdf(self, t) -> np.ndarray | float:
+        """Probability density ``b(t) = Ψ[exp(−tB) B]``."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        Be = self._B @ np.ones(self.order)
+        out = np.array([float(self._entry @ self._expmB(ti) @ Be) for ti in t_arr])
+        out = np.clip(out, 0.0, None)
+        return out if np.ndim(t) else float(out[0])
+
+    def laplace(self, s) -> np.ndarray | float:
+        """Laplace–Stieltjes transform ``E[e^{−sT}] = p (sI + B)⁻¹ B ε``."""
+        s_arr = np.atleast_1d(np.asarray(s, dtype=float))
+        eye = np.eye(self.order)
+        ones = np.ones(self.order)
+        out = np.array(
+            [
+                float(self._entry @ sla.solve(si * eye + self._B, self._B @ ones))
+                for si in s_arr
+            ]
+        )
+        return out if np.ndim(s) else float(out[0])
+
+    def equilibrium(self) -> "MatrixExponential":
+        """The stationary-excess (equilibrium) distribution.
+
+        The law of the residual service time seen by a random observer,
+        ``f_e(t) = R(t)/E[T]``.  Matrix-exponential form: the same ``B``
+        with entrance vector ``pV / E[T]`` (since ``V`` commutes with
+        ``exp(−tB)``).  Its mean is ``E[T²]/(2·E[T])`` — the inspection
+        paradox in one line, used e.g. for residual epochs at steady state.
+        """
+        p_e = (self._entry @ self._V) / self.mean
+        return MatrixExponential(p_e, self._B)
+
+    def ppf(self, q: float, *, tol: float = 1e-10) -> float:
+        """Quantile function by bisection on the CDF (scalar ``q`` in (0, 1))."""
+        from scipy.optimize import brentq
+
+        q = float(q)
+        if not (0.0 < q < 1.0):
+            raise ValueError(f"quantile level must be in (0, 1), got {q!r}")
+        hi = self.mean
+        # Expand the bracket geometrically until it encloses the quantile.
+        while self.cdf(hi) < q:
+            hi *= 2.0
+            if hi > 1e12 * self.mean:  # pragma: no cover - defensive
+                raise RuntimeError("quantile bracket expansion failed")
+        return float(brentq(lambda t: self.cdf(t) - q, 0.0, hi, xtol=tol))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(order={self.order}, mean={self.mean:.6g}, "
+            f"scv={self.scv:.6g})"
+        )

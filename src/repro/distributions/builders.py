@@ -1,0 +1,96 @@
+"""Constructors for the standard phase-type families used in the paper.
+
+Every constructor returns a :class:`~repro.distributions.ph.PHDistribution`
+so the result can be embedded into a queueing network directly or scaled
+with :meth:`~repro.distributions.ph.PHDistribution.with_mean`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.validation import (
+    check_positive,
+    check_probability,
+    check_probability_vector,
+)
+from repro.distributions.ph import PHDistribution
+
+__all__ = [
+    "exponential",
+    "erlang",
+    "hypoexponential",
+    "hyperexponential",
+    "coxian",
+]
+
+
+def exponential(rate: float) -> PHDistribution:
+    """Exponential distribution with the given rate (mean ``1/rate``)."""
+    rate = check_positive(rate, "rate")
+    return PHDistribution([1.0], [rate])
+
+
+def erlang(m: int, rate: float) -> PHDistribution:
+    """Erlang-``m``: ``m`` identical exponential stages in series.
+
+    ``rate`` is the per-stage rate, so the mean is ``m / rate`` and the
+    squared coefficient of variation is ``1/m`` (paper §5.4.1; Erlang-1 is
+    the exponential distribution).
+    """
+    if m < 1 or int(m) != m:
+        raise ValueError(f"Erlang order must be a positive integer, got {m!r}")
+    m = int(m)
+    rate = check_positive(rate, "rate")
+    return hypoexponential(np.full(m, rate))
+
+
+def hypoexponential(rates) -> PHDistribution:
+    """Generalized Erlang: distinct-rate exponential stages in series."""
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 1 or rates.shape[0] < 1:
+        raise ValueError("rates must be a nonempty vector")
+    m = rates.shape[0]
+    routing = np.zeros((m, m))
+    for s in range(m - 1):
+        routing[s, s + 1] = 1.0
+    entry = np.zeros(m)
+    entry[0] = 1.0
+    return PHDistribution(entry, rates, routing)
+
+
+def hyperexponential(probs, rates) -> PHDistribution:
+    """Hyperexponential-``m``: probabilistic mixture of exponentials.
+
+    ``pdf(t) = Σ_i probs[i] rates[i] exp(−rates[i] t)`` (paper §5.4.2).
+    """
+    probs = check_probability_vector(probs, "probs")
+    rates = np.asarray(rates, dtype=float)
+    if rates.shape != probs.shape:
+        raise ValueError(
+            f"probs and rates must have the same length, got {probs.shape} vs {rates.shape}"
+        )
+    return PHDistribution(probs, rates)
+
+
+def coxian(rates, continue_probs) -> PHDistribution:
+    """Coxian distribution: series stages with early-exit probabilities.
+
+    After stage ``s`` completes, the customer continues to stage ``s+1``
+    with probability ``continue_probs[s]`` and exits otherwise; the final
+    stage always exits.  ``len(continue_probs) == len(rates) - 1``.
+    """
+    rates = np.asarray(rates, dtype=float)
+    m = rates.shape[0]
+    continue_probs = np.asarray(continue_probs, dtype=float)
+    if continue_probs.shape[0] != m - 1:
+        raise ValueError(
+            f"need {m - 1} continuation probabilities for {m} stages, "
+            f"got {continue_probs.shape[0]}"
+        )
+    routing = np.zeros((m, m))
+    for s in range(m - 1):
+        routing[s, s + 1] = check_probability(continue_probs[s], f"continue_probs[{s}]")
+    entry = np.zeros(m)
+    entry[0] = 1.0
+    return PHDistribution(entry, rates, routing)

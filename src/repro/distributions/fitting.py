@@ -1,0 +1,252 @@
+"""Moment fitting of phase-type distributions.
+
+The paper's experiments sweep the squared coefficient of variation (C²) of
+one server's service time while holding the mean fixed:
+
+* C² < 1 → Erlangian-``m`` (paper §5.4.1),
+* C² = 1 → exponential,
+* C² > 1 → Hyperexponential-2 (paper §5.4.2).
+
+§5.4.2 notes that mean + C² leave one H2 degree of freedom open and lists
+the standard ways to pin it: fix ``p`` from the physical system, match the
+third moment, or fit the pdf value at zero.  All three are implemented here
+alongside the ubiquitous *balanced-means* rule; the choice is an explicit
+``method`` argument so its effect can be studied (see the
+``ablation_h2_fitting`` benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro._util.validation import check_positive, check_probability
+from repro.distributions.builders import erlang, exponential, hyperexponential
+from repro.distributions.operations import mixture
+from repro.distributions.ph import PHDistribution
+
+__all__ = [
+    "fit_erlang",
+    "fit_mixed_erlang",
+    "fit_h2",
+    "fit_scv",
+]
+
+
+def fit_erlang(mean: float, scv: float) -> PHDistribution:
+    """Erlang with order ``m = round(1/scv)`` and exact mean.
+
+    The achieved C² is ``1/m``, the closest value an unmixed Erlang can
+    reach; use :func:`fit_mixed_erlang` for an exact C² match.
+    """
+    mean = check_positive(mean, "mean")
+    scv = check_positive(scv, "scv")
+    if scv > 1.0 + 1e-12:
+        raise ValueError(f"Erlang fits require scv <= 1, got {scv!r}")
+    m = max(1, round(1.0 / scv))
+    return erlang(m, m / mean)
+
+
+def fit_mixed_erlang(mean: float, scv: float) -> PHDistribution:
+    """Exact (mean, scv) fit for ``scv ≤ 1`` via an Erlang mixture.
+
+    For ``1/m ≤ C² ≤ 1/(m−1)`` a probabilistic mixture of Erlang-(m−1) and
+    Erlang-``m`` with a common stage rate matches both moments exactly
+    (Tijms' classic construction).  Returns a plain Erlang or exponential
+    when that suffices.
+    """
+    mean = check_positive(mean, "mean")
+    scv = check_positive(scv, "scv")
+    if scv > 1.0 + 1e-12:
+        raise ValueError(f"mixed-Erlang fits require scv <= 1, got {scv!r}")
+    if abs(scv - 1.0) < 1e-12:
+        return exponential(1.0 / mean)
+    m = int(np.ceil(1.0 / scv))
+    if np.isclose(scv, 1.0 / m):
+        return erlang(m, m / mean)
+    # Solve a p² + 2m(1−a) p + (a−1)m² − m = 0 with a = scv + 1 for the
+    # mixing probability p of the Erlang-(m−1) branch (derived from the
+    # first two moments of the mixture with common rate µ = (m − p)/mean).
+    a = scv + 1.0
+    coeffs = [a, 2.0 * m * (1.0 - a), (a - 1.0) * m * m - m]
+    roots = np.roots(coeffs)
+    candidates = [float(r.real) for r in roots if abs(r.imag) < 1e-10 and -1e-12 <= r.real <= 1.0 + 1e-12]
+    if not candidates:  # pragma: no cover - defensive
+        raise RuntimeError(f"no feasible mixing probability for scv={scv!r}")
+    p = min(max(candidates[0], 0.0), 1.0)
+    mu = (m - p) / mean
+    return mixture([(p, erlang(m - 1, mu)), (1.0 - p, erlang(m, mu))])
+
+
+def fit_h2(
+    mean: float,
+    scv: float,
+    method: str = "balanced",
+    *,
+    p: float | None = None,
+    pdf0: float | None = None,
+    moment3: float | None = None,
+) -> PHDistribution:
+    """Hyperexponential-2 with the given mean and C² (> 1).
+
+    Parameters
+    ----------
+    method:
+        ``"balanced"``
+            Balanced means: each branch contributes equally to the mean
+            (``p₁/µ₁ = p₂/µ₂``), the most common default in the literature.
+        ``"fixed_p"``
+            Branch probability ``p`` supplied by the caller ("fix the third
+            parameter based on the physical system", §5.4.2).
+        ``"pdf0"``
+            Match the density at zero, ``f(0) = p µ₁ + (1−p) µ₂ = pdf0``.
+        ``"moment3"``
+            Match a third raw moment ``E[T³] = moment3``; if omitted, the
+            third moment of a gamma distribution with the same mean and C²
+            is used (a standard completion, e.g. Whitt 1982).
+    """
+    mean = check_positive(mean, "mean")
+    scv = float(scv)
+    if scv <= 1.0:
+        raise ValueError(f"H2 fits require scv > 1, got {scv!r}")
+
+    if method == "balanced":
+        prob = 0.5 * (1.0 + np.sqrt((scv - 1.0) / (scv + 1.0)))
+        l1 = 2.0 * prob / mean
+        l2 = 2.0 * (1.0 - prob) / mean
+        return hyperexponential([prob, 1.0 - prob], [l1, l2])
+
+    if method == "fixed_p":
+        if p is None:
+            raise ValueError("method='fixed_p' requires the p keyword")
+        return _h2_fixed_p(mean, scv, check_probability(p, "p"))
+
+    if method == "pdf0":
+        if pdf0 is None:
+            raise ValueError("method='pdf0' requires the pdf0 keyword")
+        return _h2_pdf0(mean, scv, check_positive(pdf0, "pdf0"))
+
+    if method == "moment3":
+        if moment3 is None:
+            # Gamma completion: for gamma, E[T³] = m³ (1 + C²)(1 + 2C²).
+            moment3 = mean**3 * (1.0 + scv) * (1.0 + 2.0 * scv)
+        return _h2_three_moments(mean, (scv + 1.0) * mean**2, float(moment3))
+
+    raise ValueError(f"unknown H2 fitting method {method!r}")
+
+
+def _h2_fixed_p(mean: float, scv: float, p: float) -> PHDistribution:
+    """H2 with prescribed branch probability matching mean and scv.
+
+    With ``u_i = 1/µ_i``: ``p u₁ + (1−p) u₂ = mean`` and
+    ``p u₁² + (1−p) u₂² = E[T²]/2``.  Eliminating ``u₂`` gives a quadratic
+    in ``u₁``; we take the root with ``u₁ > u₂ > 0`` (slow branch carries
+    the tail).
+    """
+    if not (0.0 < p < 1.0):
+        raise ValueError(f"p must be strictly inside (0, 1), got {p!r}")
+    n2 = (scv + 1.0) * mean**2 / 2.0
+    # u2 = (mean − p u1)/(1 − p); substitute into the second equation.
+    #  p u1² + (mean − p u1)² / (1 − p) = n2
+    a = p + p**2 / (1.0 - p)
+    b = -2.0 * p * mean / (1.0 - p)
+    c = mean**2 / (1.0 - p) - n2
+    disc = b * b - 4.0 * a * c
+    if disc < 0:
+        raise ValueError(
+            f"no real H2 with p={p!r}, mean={mean!r}, scv={scv!r} "
+            "(branch probability too extreme for this C²)"
+        )
+    u1 = (-b + np.sqrt(disc)) / (2.0 * a)
+    u2 = (mean - p * u1) / (1.0 - p)
+    if u2 <= 0:
+        raise ValueError(
+            f"infeasible H2: p={p!r} with scv={scv!r} forces a negative branch mean"
+        )
+    return hyperexponential([p, 1.0 - p], [1.0 / u1, 1.0 / u2])
+
+
+def _h2_pdf0(mean: float, scv: float, f0: float) -> PHDistribution:
+    """H2 matching mean, scv and the density at zero.
+
+    Solved by a one-dimensional root search over the branch probability:
+    for each candidate ``p`` the (mean, scv) system is solved in closed form
+    and the resulting ``f(0)`` compared with the target.
+    """
+
+    def f0_of_p(p: float) -> float:
+        d = _h2_fixed_p(mean, scv, p)
+        return float(d.pdf(0.0))
+
+    lo, hi = 1e-9, 1.0 - 1e-9
+    # f(0) is monotone in p along the feasible branch; bracket then solve.
+    grid = np.linspace(lo, hi, 101)
+    vals = []
+    for g in grid:
+        try:
+            vals.append(f0_of_p(g) - f0)
+        except ValueError:
+            vals.append(np.nan)
+    vals = np.asarray(vals)
+    ok = ~np.isnan(vals)
+    sign_change = None
+    idx = np.nonzero(ok)[0]
+    for i, j in zip(idx[:-1], idx[1:]):
+        if vals[i] == 0.0:
+            sign_change = (grid[i], grid[i])
+            break
+        if vals[i] * vals[j] < 0:
+            sign_change = (grid[i], grid[j])
+            break
+    if sign_change is None:
+        raise ValueError(
+            f"pdf0={f0!r} is not attainable by an H2 with mean={mean!r}, scv={scv!r}"
+        )
+    if sign_change[0] == sign_change[1]:
+        p = sign_change[0]
+    else:
+        p = brentq(lambda q: f0_of_p(q) - f0, *sign_change, xtol=1e-12)
+    return _h2_fixed_p(mean, scv, p)
+
+
+def _h2_three_moments(m1: float, m2: float, m3: float) -> PHDistribution:
+    """H2 from three raw moments via the 2-atom Stieltjes construction.
+
+    Writing ``n_k = m_k / k!`` as power moments of the branch-mean mixture,
+    the branch means are the roots of ``u² − b u + c`` with
+    ``b = (n₃ − n₁n₂)/(n₂ − n₁²)`` and ``c = b n₁ − n₂``.
+    """
+    n1, n2, n3 = m1, m2 / 2.0, m3 / 6.0
+    denom = n2 - n1 * n1
+    if denom <= 0:
+        raise ValueError("moments imply scv <= 1; not representable as H2")
+    b = (n3 - n1 * n2) / denom
+    c = b * n1 - n2
+    disc = b * b - 4.0 * c
+    if disc <= 0:
+        raise ValueError(f"infeasible H2 moment set (m1={m1}, m2={m2}, m3={m3})")
+    root = np.sqrt(disc)
+    u1 = (b + root) / 2.0
+    u2 = (b - root) / 2.0
+    if u2 <= 0:
+        raise ValueError(
+            f"third moment {m3!r} too large for an H2 with m1={m1!r}, m2={m2!r}"
+        )
+    p = (n1 - u2) / (u1 - u2)
+    p = check_probability(p, "derived branch probability")
+    return hyperexponential([p, 1.0 - p], [1.0 / u1, 1.0 / u2])
+
+
+def fit_scv(mean: float, scv: float, h2_method: str = "balanced", **kwargs) -> PHDistribution:
+    """Dispatching fit: mixed Erlang for C² < 1, exponential at 1, H2 above.
+
+    This is the rule the experiment harness uses to turn a (mean, C²) sweep
+    point into a concrete service distribution.
+    """
+    mean = check_positive(mean, "mean")
+    scv = check_positive(scv, "scv")
+    if abs(scv - 1.0) < 1e-12:
+        return exponential(1.0 / mean)
+    if scv < 1.0:
+        return fit_mixed_erlang(mean, scv)
+    return fit_h2(mean, scv, h2_method, **kwargs)

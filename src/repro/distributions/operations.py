@@ -1,0 +1,129 @@
+"""Closure operations on phase-type distributions.
+
+Phase type is closed under convolution (series composition), probabilistic
+mixture, minimum and maximum; each operation below builds the combined
+stage structure explicitly so results remain
+:class:`~repro.distributions.ph.PHDistribution` instances usable anywhere
+in the library (including inside network stage expansion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.distributions.ph import PHDistribution
+
+__all__ = ["convolve", "mixture", "minimum", "maximum"]
+
+
+def convolve(first: PHDistribution, second: PHDistribution) -> PHDistribution:
+    """Distribution of the sum ``X₁ + X₂`` (series composition).
+
+    On absorption from the first block, the process enters the second block
+    according to its entry vector.
+    """
+    m1, m2 = first.order, second.order
+    rates = np.concatenate([first.rates, second.rates])
+    routing = np.zeros((m1 + m2, m1 + m2))
+    routing[:m1, :m1] = first.routing
+    routing[:m1, m1:] = np.outer(first.exit_probs, second.entry)
+    routing[m1:, m1:] = second.routing
+    entry = np.concatenate([first.entry, np.zeros(m2)])
+    return PHDistribution(entry, rates, routing)
+
+
+def mixture(components: Sequence[tuple[float, PHDistribution]]) -> PHDistribution:
+    """Probabilistic mixture ``Σ wᵢ · Xᵢ`` with weights summing to one."""
+    if not components:
+        raise ValueError("mixture needs at least one component")
+    weights = np.array([w for w, _ in components], dtype=float)
+    if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0, atol=1e-8):
+        raise ValueError(f"mixture weights must be nonnegative and sum to 1, got {weights!r}")
+    dists = [d for _, d in components]
+    orders = [d.order for d in dists]
+    total = sum(orders)
+    rates = np.concatenate([d.rates for d in dists])
+    routing = np.zeros((total, total))
+    entry = np.zeros(total)
+    at = 0
+    for w, d in zip(weights, dists):
+        m = d.order
+        routing[at : at + m, at : at + m] = d.routing
+        entry[at : at + m] = w * d.entry
+        at += m
+    return PHDistribution(entry, rates, routing)
+
+
+def minimum(first: PHDistribution, second: PHDistribution) -> PHDistribution:
+    """Distribution of ``min(X₁, X₂)`` for independent PH variables.
+
+    Both chains run in parallel on the Kronecker product space; the first
+    absorption wins, so any exit absorbs the pair.
+    """
+    m1, m2 = first.order, second.order
+    r1, r2 = first.rates, second.rates
+    pair_rates = (r1[:, None] + r2[None, :]).reshape(-1)
+    n = m1 * m2
+    routing = np.zeros((n, n))
+    T1, T2 = first.routing, second.routing
+
+    def _idx(i: int, j: int) -> int:
+        return i * m2 + j
+
+    for i in range(m1):
+        for j in range(m2):
+            src = _idx(i, j)
+            tot = r1[i] + r2[j]
+            for i2 in range(m1):
+                if T1[i, i2] > 0:
+                    routing[src, _idx(i2, j)] += r1[i] * T1[i, i2] / tot
+            for j2 in range(m2):
+                if T2[j, j2] > 0:
+                    routing[src, _idx(i, j2)] += r2[j] * T2[j, j2] / tot
+    entry = np.kron(first.entry, second.entry)
+    return PHDistribution(entry, pair_rates, routing)
+
+
+def maximum(first: PHDistribution, second: PHDistribution) -> PHDistribution:
+    """Distribution of ``max(X₁, X₂)`` for independent PH variables.
+
+    State space: the pair block (both still running) followed by a block
+    for "only X₁ alive" and one for "only X₂ alive"; absorption of one
+    chain moves to the survivor's block, absorption of the survivor exits.
+    This is the fork/join synchronization primitive of the order-statistics
+    baseline (paper §1).
+    """
+    m1, m2 = first.order, second.order
+    r1, r2 = first.rates, second.rates
+    n_pair = m1 * m2
+    n = n_pair + m1 + m2
+    rates = np.concatenate([(r1[:, None] + r2[None, :]).reshape(-1), r1, r2])
+    routing = np.zeros((n, n))
+    T1, T2 = first.routing, second.routing
+    e1, e2 = first.exit_probs, second.exit_probs
+
+    def _pair(i: int, j: int) -> int:
+        return i * m2 + j
+
+    only1 = lambda i: n_pair + i  # noqa: E731 - local index helpers
+    only2 = lambda j: n_pair + m1 + j  # noqa: E731
+
+    for i in range(m1):
+        for j in range(m2):
+            src = _pair(i, j)
+            tot = r1[i] + r2[j]
+            for i2 in range(m1):
+                if T1[i, i2] > 0:
+                    routing[src, _pair(i2, j)] += r1[i] * T1[i, i2] / tot
+            for j2 in range(m2):
+                if T2[j, j2] > 0:
+                    routing[src, _pair(i, j2)] += r2[j] * T2[j, j2] / tot
+            # One chain absorbs; the other keeps running in its block.
+            routing[src, only2(j)] += r1[i] * e1[i] / tot
+            routing[src, only1(i)] += r2[j] * e2[j] / tot
+    routing[n_pair : n_pair + m1, n_pair : n_pair + m1] = T1
+    routing[n_pair + m1 :, n_pair + m1 :] = T2
+    entry = np.concatenate([np.kron(first.entry, second.entry), np.zeros(m1 + m2)])
+    return PHDistribution(entry, rates, routing)

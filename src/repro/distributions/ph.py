@@ -1,0 +1,149 @@
+"""Phase-type (PH) distributions in explicit stage form.
+
+A :class:`PHDistribution` is the Markovian subclass of
+:class:`~repro.distributions.base.MatrixExponential` that the queueing core
+can *embed* into a network: in addition to the ``<p, B>`` pair it exposes
+the stage completion rates, the substochastic stage routing matrix and the
+per-stage exit probabilities.  The relationship is
+
+.. math::
+
+    B = M (I - P_{ph}),
+
+with ``M = diag(rates)`` and ``P_ph`` the stage routing.  Exit probabilities
+are ``q_s = 1 - Σ_{s'} [P_ph]_{s s'}``.
+
+Stage expansion of non-exponential servers (paper §5.4.1 / §5.4.2) is
+performed automatically by the network builder from these three pieces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.validation import (
+    check_probability_vector,
+    check_substochastic,
+)
+from repro.distributions.base import MatrixExponential
+
+__all__ = ["PHDistribution"]
+
+
+class PHDistribution(MatrixExponential):
+    """A phase-type distribution ``PH(entry, rates, routing)``.
+
+    Parameters
+    ----------
+    entry:
+        Probability of starting service in each stage (sums to 1; no atom
+        at zero is representable).
+    rates:
+        Strictly positive exponential completion rate of each stage.
+    routing:
+        Substochastic matrix; ``routing[s, s']`` is the probability of
+        moving to stage ``s'`` when stage ``s`` completes.  Row deficits are
+        the exit (absorption) probabilities.  May be omitted for a pure
+        mixture of exponentials (no internal routing).
+    """
+
+    def __init__(self, entry, rates, routing=None):
+        entry = check_probability_vector(entry, "entry")
+        rates = np.asarray(rates, dtype=float)
+        if rates.ndim != 1 or rates.shape[0] != entry.shape[0]:
+            raise ValueError(
+                f"rates must be a vector matching entry length {entry.shape[0]}, "
+                f"got shape {rates.shape}"
+            )
+        if np.any(rates <= 0):
+            raise ValueError(f"all stage rates must be positive, got {rates!r}")
+        m = rates.shape[0]
+        if routing is None:
+            routing = np.zeros((m, m))
+        routing = check_substochastic(routing, "routing")
+        if routing.shape[0] != m:
+            raise ValueError(
+                f"routing must be {m}x{m} to match rates, got {routing.shape}"
+            )
+        exit_probs = 1.0 - routing.sum(axis=1)
+        # Absorption must be reachable from every stage with positive entry
+        # mass, otherwise B is singular; inverting B below will catch truly
+        # degenerate cases, but give a clearer error for the common one.
+        if np.all(exit_probs <= 1e-12):
+            raise ValueError("routing has no exit: every row sums to 1")
+        self._rates = rates
+        self._routing = routing
+        self._exit = np.clip(exit_probs, 0.0, 1.0)
+        B = np.diag(rates) @ (np.eye(m) - routing)
+        super().__init__(entry, B)
+
+    # ------------------------------------------------------------------
+    # stage structure
+    # ------------------------------------------------------------------
+    @property
+    def rates(self) -> np.ndarray:
+        """Stage completion rates (copy)."""
+        return self._rates.copy()
+
+    @property
+    def routing(self) -> np.ndarray:
+        """Stage routing matrix ``P_ph`` (copy)."""
+        return self._routing.copy()
+
+    @property
+    def exit_probs(self) -> np.ndarray:
+        """Per-stage exit probabilities ``q_s`` (copy)."""
+        return self._exit.copy()
+
+    @property
+    def n_stages(self) -> int:
+        """Number of stages (same as :attr:`order`)."""
+        return self.order
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "PHDistribution":
+        """Return a copy with all times multiplied by ``factor`` (> 0)."""
+        factor = float(factor)
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        return PHDistribution(self._entry, self._rates / factor, self._routing)
+
+    def with_mean(self, mean: float) -> "PHDistribution":
+        """Return a copy rescaled to the requested mean (shape preserved)."""
+        mean = float(mean)
+        if mean <= 0:
+            raise ValueError(f"target mean must be positive, got {mean!r}")
+        return self.scaled(mean / self.mean)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` iid samples by exact simulation of the stage chain.
+
+        Vectorized over samples: each iteration advances every still-active
+        sample by one stage (exponential dwell + categorical routing), so the
+        loop count is the maximum number of stage visits, not ``size``.
+        """
+        if size < 0:
+            raise ValueError(f"size must be nonnegative, got {size!r}")
+        m = self.order
+        total = np.zeros(size)
+        # Stage index per sample; m means "absorbed".
+        stage = rng.choice(m, size=size, p=self._entry)
+        active = np.ones(size, dtype=bool)
+        # Routing rows augmented with the exit probability as pseudo-stage m.
+        full_rows = np.hstack([self._routing, self._exit[:, None]])
+        cum_rows = np.cumsum(full_rows, axis=1)
+        cum_rows[:, -1] = 1.0  # guard against rounding
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            s = stage[idx]
+            total[idx] += rng.exponential(1.0 / self._rates[s])
+            u = rng.random(idx.shape[0])
+            nxt = (u[:, None] <= cum_rows[s]).argmax(axis=1)
+            stage[idx] = nxt
+            active[idx] = nxt < m
+        return total

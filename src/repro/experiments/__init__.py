@@ -1,0 +1,83 @@
+"""Experiment harness: one module per figure of the paper's §6.
+
+Run from Python (``from repro.experiments import fig03; fig03.run()``) or
+from the command line (``python -m repro.experiments fig03``).  The
+benchmark suite under ``benchmarks/`` times these same entry points and
+asserts the qualitative shapes the paper reports.
+"""
+
+from repro.experiments import (
+    ext_allocation,
+    ext_grid,
+    ext_powertail,
+    ext_scheduler,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+)
+from repro.experiments.params import (
+    BASE_APP,
+    DEDICATED_APP,
+    LIGHT_APP,
+    SCV_SWEEP,
+    SCV_SWEEP_DEDICATED,
+    TASK_TIME,
+    paper_app,
+)
+from repro.experiments.result import ExperimentResult
+
+#: Registry of every reproduced figure, in paper order.
+FIGURES = {
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+}
+
+#: Experiments beyond the paper's figures (extensions of its agenda).
+EXTENSIONS = {
+    "ext_allocation": ext_allocation.run,
+    "ext_grid": ext_grid.run,
+    "ext_powertail": ext_powertail.run,
+    "ext_scheduler": ext_scheduler.run,
+}
+
+#: Everything runnable from the CLI.
+ALL_EXPERIMENTS = {**FIGURES, **EXTENSIONS}
+
+__all__ = [
+    "ExperimentResult",
+    "FIGURES",
+    "EXTENSIONS",
+    "ALL_EXPERIMENTS",
+    "ext_allocation",
+    "ext_grid",
+    "ext_powertail",
+    "ext_scheduler",
+    "BASE_APP",
+    "DEDICATED_APP",
+    "LIGHT_APP",
+    "SCV_SWEEP",
+    "SCV_SWEEP_DEDICATED",
+    "TASK_TIME",
+    "paper_app",
+] + sorted(FIGURES)

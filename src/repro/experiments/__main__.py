@@ -1,0 +1,51 @@
+"""Command-line entry point: regenerate any figure's data as a table.
+
+Usage::
+
+    python -m repro.experiments fig03
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS as FIGURES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures as tables.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="figure to regenerate, or 'all'",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="draw an ASCII chart of the series as well as the table",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        t0 = time.perf_counter()
+        result = FIGURES[name]()
+        dt = time.perf_counter() - t0
+        print(result.format_table())
+        if args.plot:
+            from repro.reporting import plot_result
+
+            print()
+            print(plot_result(result))
+        print(f"# computed in {dt:.2f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

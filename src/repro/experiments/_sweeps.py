@@ -1,0 +1,240 @@
+"""Shared sweep machinery behind the per-figure experiment modules.
+
+Each helper returns an :class:`~repro.experiments.result.ExperimentResult`
+whose series mirror the curves of the corresponding paper figure.  Figure
+modules only bind parameters; all computation lives here (and is therefore
+what the benchmark harness times).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.clusters.application import ApplicationModel
+from repro.clusters.central import central_cluster
+from repro.clusters.distributed import distributed_cluster
+from repro.core.metrics import exponential_twin, prediction_error, speedup
+from repro.core.steady_state import solve_steady_state
+from repro.core.transient import TransientModel
+from repro.distributions.shapes import Shape
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "build_cluster",
+    "shape_for_scv",
+    "interdeparture_experiment",
+    "steady_state_scv_experiment",
+    "prediction_error_experiment",
+    "speedup_scv_experiment",
+    "speedup_vs_k_experiment",
+]
+
+#: station carrying the swept distribution, per cluster kind and server role
+_SWEEP_STATION = {
+    ("central", "shared"): "rdisk",
+    ("central", "dedicated"): "cpu",
+    ("distributed", "shared"): "disk",
+    ("distributed", "dedicated"): "cpu",
+}
+
+
+def build_cluster(
+    kind: str,
+    app: ApplicationModel,
+    K: int,
+    shapes: dict[str, Shape] | None = None,
+):
+    """Build a central or distributed cluster spec by name."""
+    if kind == "central":
+        return central_cluster(app, shapes)
+    if kind == "distributed":
+        return distributed_cluster(app, K, shapes=shapes)
+    raise ValueError(f"unknown cluster kind {kind!r}; use 'central' or 'distributed'")
+
+
+def shape_for_scv(scv: float) -> Shape:
+    """The paper's distribution choice for a C² value.
+
+    Erlangian mixtures below 1 (exact C²), exponential at 1,
+    balanced-means H2 above 1.
+    """
+    return Shape.scv(scv)
+
+
+def _series_label(scv: float) -> str:
+    if np.isclose(scv, 1.0):
+        return "exp"
+    if scv < 1.0:
+        m = round(1.0 / scv)
+        return f"E{m}" if np.isclose(scv, 1.0 / m) else f"Erlang(C2={scv:g})"
+    return f"H2(C2={scv:g})"
+
+
+# ----------------------------------------------------------------------
+def interdeparture_experiment(
+    *,
+    experiment: str,
+    kind: str,
+    role: str,
+    K: int,
+    N: int,
+    scvs: Sequence[float],
+    app: ApplicationModel,
+) -> ExperimentResult:
+    """Inter-departure time vs task order for several C² (Figs. 3, 4, 10, 11)."""
+    station = _SWEEP_STATION[(kind, role)]
+    series: dict[str, np.ndarray] = {}
+    for scv in scvs:
+        spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
+        model = TransientModel(spec, K)
+        series[_series_label(scv)] = model.interdeparture_times(N)
+    return ExperimentResult(
+        experiment=experiment,
+        description=(
+            f"inter-departure time per epoch; {N}-task application on a "
+            f"{K}-workstation {kind} cluster, {role} server non-exponential"
+        ),
+        x_label="task order",
+        x=np.arange(1, N + 1, dtype=float),
+        series=series,
+        meta={"K": K, "N": N, "kind": kind, "role": role, "station": station},
+    )
+
+
+def steady_state_scv_experiment(
+    *,
+    experiment: str,
+    K: int,
+    scvs: Sequence[float],
+    heavy_app: ApplicationModel,
+    light_app: ApplicationModel,
+) -> ExperimentResult:
+    """Steady-state inter-departure time vs C² under heavy/light shared load (Fig. 5)."""
+    scvs = np.asarray(scvs, dtype=float)
+    contention = np.empty_like(scvs)
+    no_contention = np.empty_like(scvs)
+    for i, scv in enumerate(scvs):
+        shapes = {"rdisk": shape_for_scv(scv)}
+        heavy = TransientModel(central_cluster(heavy_app, shapes), K)
+        light = TransientModel(central_cluster(light_app, shapes), K)
+        contention[i] = solve_steady_state(heavy).interdeparture_time
+        no_contention[i] = solve_steady_state(light).interdeparture_time
+    return ExperimentResult(
+        experiment=experiment,
+        description=(
+            f"steady-state inter-departure time vs C² of the shared remote "
+            f"disk, K={K} central cluster (heavy vs light shared load)"
+        ),
+        x_label="C2",
+        x=scvs,
+        series={"contention": contention, "no_contention": no_contention},
+        meta={"K": K},
+    )
+
+
+def prediction_error_experiment(
+    *,
+    experiment: str,
+    kind: str,
+    role: str,
+    K: int,
+    Ns: Sequence[int],
+    scvs: Sequence[float],
+    app: ApplicationModel,
+) -> ExperimentResult:
+    """Error of the exponential approximation vs C² (Figs. 6, 7, 12, 13).
+
+    ``E% = (E(T_act) − E(T_exp)) / E(T_act) × 100`` where the exponential
+    model replaces the swept station's distribution by an exponential of
+    the same mean.
+    """
+    station = _SWEEP_STATION[(kind, role)]
+    scvs = np.asarray(scvs, dtype=float)
+    series: dict[str, np.ndarray] = {f"N={N}": np.empty_like(scvs) for N in Ns}
+    for i, scv in enumerate(scvs):
+        spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
+        actual = TransientModel(spec, K)
+        expo = TransientModel(exponential_twin(spec), K)
+        for N in Ns:
+            series[f"N={N}"][i] = prediction_error(
+                actual.makespan(N), expo.makespan(N)
+            )
+    return ExperimentResult(
+        experiment=experiment,
+        description=(
+            f"prediction error (%) of the exponential assumption vs C², "
+            f"{K}-workstation {kind} cluster, {role} server non-exponential"
+        ),
+        x_label="C2",
+        x=scvs,
+        series=series,
+        meta={"K": K, "Ns": list(Ns), "kind": kind, "role": role},
+    )
+
+
+def speedup_scv_experiment(
+    *,
+    experiment: str,
+    kind: str,
+    role: str,
+    K: int,
+    Ns: Sequence[int],
+    scvs: Sequence[float],
+    app: ApplicationModel,
+) -> ExperimentResult:
+    """Speedup vs C² of the swept station (Figs. 8, 9)."""
+    station = _SWEEP_STATION[(kind, role)]
+    scvs = np.asarray(scvs, dtype=float)
+    series: dict[str, np.ndarray] = {f"N={N}": np.empty_like(scvs) for N in Ns}
+    for i, scv in enumerate(scvs):
+        spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
+        model = TransientModel(spec, K)
+        for N in Ns:
+            series[f"N={N}"][i] = speedup(model, N)
+    return ExperimentResult(
+        experiment=experiment,
+        description=(
+            f"system speedup vs C², {K}-workstation {kind} cluster, "
+            f"{role} server non-exponential"
+        ),
+        x_label="C2",
+        x=scvs,
+        series=series,
+        meta={"K": K, "Ns": list(Ns), "kind": kind, "role": role},
+    )
+
+
+def speedup_vs_k_experiment(
+    *,
+    experiment: str,
+    Ks: Sequence[int],
+    curves: dict[str, tuple[Shape, int]],
+    app: ApplicationModel,
+) -> ExperimentResult:
+    """Speedup vs cluster size (Figs. 14, 15).
+
+    ``curves`` maps a label to a (CPU shape, N) pair — Fig. 14 varies N at
+    exponential service, Fig. 15 varies the CPU distribution at fixed N.
+    """
+    Ks = np.asarray(Ks, dtype=int)
+    series: dict[str, np.ndarray] = {
+        label: np.empty(Ks.shape[0]) for label in curves
+    }
+    for i, K in enumerate(Ks):
+        models: dict[str, TransientModel] = {}
+        for label, (shape, N) in curves.items():
+            key = shape.name + repr(sorted(shape.params.items()))
+            if key not in models:
+                spec = central_cluster(app, {"cpu": shape})
+                models[key] = TransientModel(spec, int(K))
+            series[label][i] = speedup(models[key], N)
+    return ExperimentResult(
+        experiment=experiment,
+        description="system speedup vs cluster size K, central cluster",
+        x_label="K",
+        x=Ks.astype(float),
+        series=series,
+        meta={"curves": {k: (v[0].name, v[1]) for k, v in curves.items()}},
+    )

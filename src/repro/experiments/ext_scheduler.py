@@ -1,0 +1,49 @@
+"""Extension experiment: scheduling overhead (the paper's §5 add-on).
+
+Sweep the per-dispatch overhead of a shared scheduler on the central
+cluster.  Small overheads cost roughly ``overhead × cycles`` per task
+(additive); once the scheduler's demand crosses the remote disk's it
+*becomes* the bottleneck and the makespan turns linear in the overhead
+with slope ``N · cycles`` — a clean capacity-planning threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clusters.extensions import central_cluster_with_scheduler
+from repro.core.metrics import speedup
+from repro.core.transient import TransientModel
+from repro.experiments.params import DEDICATED_APP
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    K: int = 5,
+    N: int = 40,
+    overheads=(0.01, 0.05, 0.1, 0.2, 0.4, 0.8),
+    app=DEDICATED_APP,
+) -> ExperimentResult:
+    """Makespan and speedup vs per-dispatch scheduler overhead."""
+    overheads = np.asarray(list(overheads), dtype=float)
+    spans = np.empty(overheads.shape[0])
+    sp = np.empty(overheads.shape[0])
+    for i, ov in enumerate(overheads):
+        spec = central_cluster_with_scheduler(app, float(ov))
+        model = TransientModel(spec, K)
+        spans[i] = model.makespan(N)
+        sp[i] = speedup(model, N)
+    return ExperimentResult(
+        experiment="ext_scheduler",
+        description=(
+            f"scheduling overhead on a K={K} central cluster, N={N}: "
+            "makespan and speedup vs per-dispatch cost"
+        ),
+        x_label="overhead/dispatch",
+        x=overheads,
+        series={"makespan": spans, "speedup": sp},
+        meta={"K": K, "N": N, "cycles": app.cycles},
+    )

@@ -1,0 +1,83 @@
+"""Canonical parameters for the paper's evaluation (§6).
+
+The paper fixes ``E(T) = 12`` time units per task and the workload sizes
+(N = 20/30/100/200 on K = 5/8 workstations) but not the split of the task
+time into components.  The values below are the documented substitution
+(see DESIGN.md): they satisfy the paper's consistency requirement
+``p₁ + p₂ = 1`` by construction, land the shared servers in the same
+qualitative regimes (the remote disk is the contended resource), and are
+used identically by every figure so results are comparable across
+experiments.
+
+Component split: ``C = 0.5, X = 8, Y = 3, B = 1/3`` →
+``[CX, (1−C)X, BY, Y] = [4, 4, 1, 3]``, summing to 12.
+Tasks average ``cycles = 10`` computation cycles, 40 % of post-CPU moves
+remote (``p₂ = 0.4``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clusters.application import ApplicationModel
+
+__all__ = [
+    "BASE_APP",
+    "DEDICATED_APP",
+    "LIGHT_APP",
+    "TASK_TIME",
+    "SCV_SWEEP",
+    "SCV_SWEEP_DEDICATED",
+    "paper_app",
+]
+
+
+def paper_app(*, remote_time: float = 3.0) -> ApplicationModel:
+    """An ``E(T) = 12`` application with the requested remote-disk demand.
+
+    ``local_time`` absorbs the complement so the task time stays at the
+    paper's 12 units whatever the shared-server load:
+    ``X = 12 − (1 + B)·Y`` with ``B = 1/3``.
+    """
+    comm_factor = 1.0 / 3.0
+    local_time = 12.0 - (1.0 + comm_factor) * remote_time
+    return ApplicationModel(
+        compute_fraction=0.5,
+        local_time=local_time,
+        remote_time=remote_time,
+        comm_factor=comm_factor,
+        cycles=10.0,
+        remote_fraction=0.4,
+    )
+
+
+#: §6.1 application: E(T) = 12 with a heavily loaded shared remote disk
+#: (demand 3 per task — the C² of the shared server dominates performance).
+BASE_APP = paper_app()
+
+#: §6.2 application: E(T) = 12, CPU-dominant (C = 0.9) with few cycles and
+#: a light shared load (remote demand 0.75).  The task time is then "best
+#: described by" the CPU's distribution — the regime of the paper's
+#: dedicated-server experiments — and speedup can approach K.
+DEDICATED_APP = ApplicationModel(
+    compute_fraction=0.9,
+    local_time=11.0,
+    remote_time=0.75,
+    comm_factor=1.0 / 3.0,
+    cycles=2.0,
+    remote_fraction=0.4,
+)
+
+#: Near-zero shared load for the "no contention" curve of Fig. 5: the
+#: shared server almost never queues, exposing its insensitivity.
+LIGHT_APP = paper_app(remote_time=0.15)
+
+#: Mean contention-free task time of the canonical application.
+TASK_TIME = BASE_APP.task_time
+
+#: C² sweep used by the shared-server experiments (Figs. 5–9).
+SCV_SWEEP = np.array([1.0, 5.0, 10.0, 20.0, 30.0, 50.0, 70.0, 90.0])
+
+#: C² values of the dedicated-server experiments (Figs. 12–13):
+#: Erlang-3, Erlang-2, exponential, H2.
+SCV_SWEEP_DEDICATED = np.array([1.0 / 3.0, 0.5, 1.0, 5.0, 10.0])

@@ -1,0 +1,55 @@
+"""Experiment result container with tabular rendering.
+
+Every figure module returns an :class:`ExperimentResult`: a common x-axis,
+one named series per curve in the paper's figure, and enough metadata to
+reproduce the run.  ``format_table`` prints the same rows the paper plots,
+which is what the benchmark harness and the CLI emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rows/series reproducing one figure of the paper."""
+
+    experiment: str
+    description: str
+    x_label: str
+    x: np.ndarray
+    series: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        x = np.asarray(self.x, dtype=float)
+        object.__setattr__(self, "x", x)
+        series = {k: np.asarray(v, dtype=float) for k, v in self.series.items()}
+        for name, v in series.items():
+            if v.shape != x.shape:
+                raise ValueError(
+                    f"series {name!r} has shape {v.shape}, x has {x.shape}"
+                )
+        object.__setattr__(self, "series", series)
+
+    # ------------------------------------------------------------------
+    def format_table(self, *, fmt: str = "10.4f") -> str:
+        """Fixed-width table: one row per x value, one column per series."""
+        names = list(self.series)
+        width = max(10, *(len(n) + 2 for n in names)) if names else 10
+        header = f"{self.x_label:>14} " + " ".join(f"{n:>{width}}" for n in names)
+        lines = [f"# {self.experiment}: {self.description}", header]
+        for i, xv in enumerate(self.x):
+            row = f"{xv:>14.4g} " + " ".join(
+                f"{self.series[n][i]:>{width}.4f}" for n in names
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format_table()

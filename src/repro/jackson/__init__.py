@@ -1,0 +1,38 @@
+"""Product-form baselines: the Jackson / Gordon–Newell solutions the paper extends."""
+
+from repro.jackson.convolution import (
+    ClosedNetworkSolution,
+    convolution_analysis,
+    station_rate_factors,
+)
+from repro.jackson.mva import MVASolution, mva_analysis
+from repro.jackson.amva import amva_analysis
+from repro.jackson.bounds import (
+    ThroughputBounds,
+    asymptotic_bounds,
+    balanced_job_bounds,
+    saturation_point,
+)
+from repro.jackson.open_network import (
+    OpenNetworkSolution,
+    OpenStationMetrics,
+    erlang_c,
+    open_jackson_analysis,
+)
+
+__all__ = [
+    "ClosedNetworkSolution",
+    "convolution_analysis",
+    "station_rate_factors",
+    "MVASolution",
+    "mva_analysis",
+    "amva_analysis",
+    "ThroughputBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "saturation_point",
+    "OpenNetworkSolution",
+    "OpenStationMetrics",
+    "erlang_c",
+    "open_jackson_analysis",
+]

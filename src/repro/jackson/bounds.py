@@ -1,0 +1,124 @@
+"""Classical throughput bounds for closed networks.
+
+The cheapest members of the baseline family: bounds that need only the
+service demands.  They bracket the exact solution (verified in the tests
+against both the convolution algorithm and the transient model's steady
+state) and give the saturation population ``N*`` used throughout
+capacity-planning folklore.
+
+* **Asymptotic bounds** (Muntz–Wong / operational analysis):
+
+  .. math::
+
+     X(N) \\le \\min\\!\\big(N / D_{total},\\; 1/D_{max}\\big),
+     \\qquad
+     X(N) \\ge N / \\big(D_{total} + (N-1) D_{max}\\big),
+
+  where ``D_total = Σ d_j`` over *queueing* demands plus think demand and
+  ``D_max`` the largest queueing demand.
+
+* **Balanced-job bounds** (Zahorjan et al.): tighter two-sided bounds
+  obtained by comparing with balanced systems.
+
+Both families are exact theory for single-server + delay stations; for
+multi-server stations the per-server demand is used, which keeps the
+bounds correct in all cases exercised by the test suite but is a
+heuristic extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.spec import NetworkSpec
+
+__all__ = ["ThroughputBounds", "asymptotic_bounds", "balanced_job_bounds", "saturation_point"]
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Two-sided throughput bounds at one population."""
+
+    lower: float
+    upper: float
+
+    def contains(self, x: float, *, rtol: float = 1e-9) -> bool:
+        """Whether a throughput value falls inside the bounds."""
+        return self.lower * (1 - rtol) <= x <= self.upper * (1 + rtol)
+
+
+def _demands(spec: NetworkSpec) -> tuple[float, float, float]:
+    """(queueing demand total D, max per-server queueing demand, delay demand Z)."""
+    demands = spec.service_demands()
+    is_delay = np.array([st.is_delay for st in spec.stations])
+    servers = np.array(
+        [1.0 if st.is_delay else float(st.servers) for st in spec.stations]
+    )
+    dq = demands[~is_delay] / servers[~is_delay]
+    if dq.size == 0:
+        raise ValueError("bounds need at least one queueing station")
+    return float(demands[~is_delay].sum()), float(dq.max()), float(demands[is_delay].sum())
+
+
+def asymptotic_bounds(spec: NetworkSpec, N: int) -> ThroughputBounds:
+    """Muntz–Wong asymptotic bounds on task throughput at population ``N``.
+
+    Optimistic: no queueing anywhere (``X ≤ N/(D+Z)``) and the bottleneck
+    rate (``X ≤ 1/d_max``).  Pessimistic: every queueing visit waits behind
+    all ``N−1`` other tasks (``X ≥ N/(Z + N·D)``).
+    """
+    if N < 1 or int(N) != N:
+        raise ValueError(f"N must be a positive integer, got {N!r}")
+    N = int(N)
+    D, d_max, Z = _demands(spec)
+    upper = min(N / (D + Z), 1.0 / d_max)
+    lower = N / (Z + N * D)
+    return ThroughputBounds(lower=float(lower), upper=float(upper))
+
+
+def balanced_job_bounds(spec: NetworkSpec, N: int) -> ThroughputBounds:
+    """Balanced-job bounds (tighter than ABA; exact for balanced systems).
+
+    With ``D = Σ d_j`` over queueing stations, ``Z`` the delay (think)
+    demand, ``d_avg = D/M`` and ``d_max`` the bottleneck demand (the QSP
+    forms, Lazowska et al. ch. 5):
+
+    .. math::
+
+        \\frac{N}{D + Z + (N-1)\\,d_{max}} \\;\\le\\; X(N) \\;\\le\\;
+        \\min\\!\\Big(\\frac{1}{d_{max}},\\;
+        \\frac{N}{D + Z + (N-1)\\,d_{avg}\\,\\frac{D}{D+Z}}\\Big).
+    """
+    if N < 1 or int(N) != N:
+        raise ValueError(f"N must be a positive integer, got {N!r}")
+    N = int(N)
+    demands = spec.service_demands()
+    is_delay = np.array([st.is_delay for st in spec.stations])
+    servers = np.array(
+        [1.0 if st.is_delay else float(st.servers) for st in spec.stations]
+    )
+    dq = demands[~is_delay] / servers[~is_delay]
+    if dq.size == 0:
+        raise ValueError("bounds need at least one queueing station")
+    Z = float(demands[is_delay].sum())
+    D = float(dq.sum())
+    d_max = float(dq.max())
+    d_avg = D / dq.size
+    lower = N / (D + Z + (N - 1) * d_max)
+    upper = min(N / (D + Z + (N - 1) * d_avg * D / (D + Z)), 1.0 / d_max)
+    return ThroughputBounds(lower=float(lower), upper=float(upper))
+
+
+def saturation_point(spec: NetworkSpec) -> float:
+    """The population ``N* = (D + Z)/d_max`` where the asymptotes cross."""
+    demands = spec.service_demands()
+    is_delay = np.array([st.is_delay for st in spec.stations])
+    servers = np.array(
+        [1.0 if st.is_delay else float(st.servers) for st in spec.stations]
+    )
+    dq = demands[~is_delay] / servers[~is_delay]
+    if dq.size == 0:
+        raise ValueError("saturation point needs a queueing station")
+    return float(demands.sum() / dq.max())

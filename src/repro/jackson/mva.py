@@ -1,0 +1,67 @@
+"""Exact Mean Value Analysis for closed product-form networks.
+
+Reiser–Lavenberg's recursion, restricted to the station kinds it is exact
+for: single-server FCFS stations and delay (infinite-server) banks.  It
+computes the same quantities as :mod:`repro.jackson.convolution` without
+normalizing constants and serves as an independent implementation for
+cross-checking the baseline (the two must agree to numerical precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.spec import NetworkSpec
+
+__all__ = ["MVASolution", "mva_analysis"]
+
+
+@dataclass(frozen=True)
+class MVASolution:
+    """Steady-state metrics from exact MVA at population ``N``."""
+
+    throughput: float
+    interdeparture_time: float
+    #: per-station mean customer counts
+    queue_means: np.ndarray
+    #: per-station mean residence time per *visit*
+    residence_times: np.ndarray
+
+
+def mva_analysis(spec: NetworkSpec, N: int) -> MVASolution:
+    """Run the exact MVA recursion for populations ``1..N``.
+
+    Raises
+    ------
+    ValueError
+        If any station is a finite multi-server (``1 < c < ∞``): plain MVA
+        is not exact there, use :func:`repro.jackson.convolution_analysis`.
+    """
+    if N < 1 or int(N) != N:
+        raise ValueError(f"N must be a positive integer, got {N!r}")
+    N = int(N)
+    for st in spec.stations:
+        if not st.is_delay and st.servers != 1:
+            raise ValueError(
+                f"station {st.name!r} has {st.servers} servers; exact MVA here "
+                "supports only single-server and delay stations"
+            )
+    visits = spec.visit_ratios()
+    means = np.array([st.mean_service for st in spec.stations])
+    is_delay = np.array([st.is_delay for st in spec.stations])
+
+    L = np.zeros(spec.n_stations)
+    X = 0.0
+    R = means.copy()
+    for n in range(1, N + 1):
+        R = np.where(is_delay, means, means * (1.0 + L))
+        X = n / float(visits @ R)
+        L = X * visits * R
+    return MVASolution(
+        throughput=float(X),
+        interdeparture_time=float(1.0 / X),
+        queue_means=L,
+        residence_times=R,
+    )

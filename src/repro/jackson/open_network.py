@@ -1,0 +1,132 @@
+"""Open Jackson networks (Jackson 1963).
+
+The original product-form result the paper builds on: Poisson external
+arrivals, exponential ``c``-server stations, probabilistic routing.  Each
+station behaves as an independent M/M/c queue at its effective arrival
+rate from the traffic equations.  Included as the open-system counterpart
+of the closed/transient models (useful for sizing the shared servers
+before running the finite-workload analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.validation import check_positive
+from repro.network.spec import NetworkSpec
+
+__all__ = ["OpenStationMetrics", "OpenNetworkSolution", "open_jackson_analysis", "erlang_c"]
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Erlang C probability of waiting for an M/M/c queue.
+
+    ``offered_load = λ/µ`` must satisfy ``offered_load < c``.  Computed via
+    the numerically stable Erlang-B recursion.
+    """
+    if c < 1 or int(c) != c:
+        raise ValueError(f"c must be a positive integer, got {c!r}")
+    a = check_positive(offered_load, "offered_load")
+    c = int(c)
+    if a >= c:
+        raise ValueError(f"offered load {a!r} must be below the server count {c}")
+    b = 1.0
+    for k in range(1, c + 1):
+        b = a * b / (k + a * b)
+    rho = a / c
+    return b / (1.0 - rho + rho * b)
+
+
+@dataclass(frozen=True)
+class OpenStationMetrics:
+    """Per-station M/M/c metrics in an open Jackson network."""
+
+    name: str
+    arrival_rate: float
+    utilization: float
+    mean_customers: float
+    mean_sojourn: float
+    mean_queue: float
+    mean_wait: float
+
+
+@dataclass(frozen=True)
+class OpenNetworkSolution:
+    """Full open-network solution."""
+
+    stations: tuple[OpenStationMetrics, ...]
+
+    @property
+    def total_customers(self) -> float:
+        """Mean number of tasks anywhere in the network."""
+        return sum(s.mean_customers for s in self.stations)
+
+    def system_response_time(self, external_rate: float) -> float:
+        """Mean end-to-end task time by Little's law."""
+        return self.total_customers / external_rate
+
+
+def open_jackson_analysis(spec: NetworkSpec, external_rate: float) -> OpenNetworkSolution:
+    """Solve the open Jackson network with Poisson(``external_rate``) input.
+
+    External arrivals split over stations via ``spec.entry``; routing and
+    exits are taken from the spec.  Stations must be exponential (product
+    form); delay stations are treated as M/G/∞ (exact).
+
+    Raises
+    ------
+    ValueError
+        If any station would be unstable (``ρ ≥ 1``) or a queueing station
+        is non-exponential.
+    """
+    rate = check_positive(external_rate, "external_rate")
+    gamma = rate * spec.entry
+    n = spec.n_stations
+    lam = np.linalg.solve(np.eye(n) - spec.routing.T, gamma)
+
+    out = []
+    for j, st in enumerate(spec.stations):
+        mean = st.mean_service
+        a = lam[j] * mean
+        if st.is_delay:
+            # M/G/∞: insensitive, never unstable.
+            metrics = OpenStationMetrics(
+                name=st.name,
+                arrival_rate=float(lam[j]),
+                utilization=float(a),
+                mean_customers=float(a),
+                mean_sojourn=float(mean),
+                mean_queue=0.0,
+                mean_wait=0.0,
+            )
+            out.append(metrics)
+            continue
+        if st.dist.n_stages != 1:
+            raise ValueError(
+                f"station {st.name!r}: open Jackson analysis requires "
+                "exponential service at queueing stations"
+            )
+        c = int(st.servers)
+        rho = a / c
+        if rho >= 1.0:
+            raise ValueError(
+                f"station {st.name!r} is unstable at external rate {rate!r} "
+                f"(utilization {rho:.3f})"
+            )
+        pw = erlang_c(c, a)
+        lq = pw * rho / (1.0 - rho)
+        wq = lq / lam[j]
+        out.append(
+            OpenStationMetrics(
+                name=st.name,
+                arrival_rate=float(lam[j]),
+                utilization=float(rho),
+                mean_customers=float(lq + a),
+                mean_sojourn=float(wq + mean),
+                mean_queue=float(lq),
+                mean_wait=float(wq),
+            )
+        )
+    return OpenNetworkSolution(stations=tuple(out))

@@ -1,0 +1,273 @@
+"""Per-station local-state automata.
+
+The reduced-product construction (paper §5.4) tracks, for each station,
+only as much local detail as the Markov dynamics require:
+
+* exponential station → its customer count,
+* dedicated PH bank (delay server) → occupancy of each stage,
+* shared single-server PH station → (waiting count, stage of the customer
+  in service).
+
+Each automaton enumerates its local states for a given local customer
+count and describes its outgoing transitions.  The level-operator builder
+in :mod:`repro.laqt.operators` composes these automata with the network
+routing to assemble ``M_k, P_k, Q_k, R_k`` — it never needs to know what
+kind of station it is looking at.
+
+Local states are plain tuples of ints so global states stay hashable.
+
+Exactness note (shared PH stations)
+-----------------------------------
+For a single-server FCFS station, customers in queue have not yet begun
+service, so their eventual PH stage is undetermined; the local state
+``(w, s)`` — ``w`` waiting plus one in service at stage ``s`` (``(0, 0)``
+when idle) — is therefore a *lossless* description, and the construction is
+exact (it is the classic M/PH/1 phase process, embedded in the network).
+For a dedicated bank every customer is in service, so the stage-occupancy
+vector is exact by the usual CTMC lumping of iid customers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.network.spec import Station
+
+__all__ = [
+    "LocalState",
+    "Internal",
+    "Completion",
+    "StationAutomaton",
+    "ExponentialAutomaton",
+    "DelayPHAutomaton",
+    "QueuedPHAutomaton",
+    "automaton_for",
+]
+
+LocalState = tuple  # alias for readability
+
+
+@dataclass(frozen=True)
+class Internal:
+    """A transition that keeps the customer inside the station."""
+
+    rate: float
+    target: LocalState
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A service completion: one customer is ready to leave the station.
+
+    ``outcomes`` lists the station's possible local states *after* the
+    customer has left (e.g. the next queued customer entering a random
+    stage), with probabilities summing to one.
+    """
+
+    rate: float
+    outcomes: tuple[tuple[float, LocalState], ...]
+
+
+class StationAutomaton:
+    """Interface shared by all station automata."""
+
+    def __init__(self, station: Station):
+        self.station = station
+
+    def local_states(self, n: int) -> list[LocalState]:
+        """All local states holding exactly ``n`` customers."""
+        raise NotImplementedError
+
+    def count(self, state: LocalState) -> int:
+        """Number of customers in the given local state."""
+        raise NotImplementedError
+
+    def events(self, state: LocalState) -> Iterable[Internal | Completion]:
+        """Outgoing transitions of the local CTMC."""
+        raise NotImplementedError
+
+    def arrivals(self, state: LocalState) -> Sequence[tuple[float, LocalState]]:
+        """Local states after one customer arrives, with probabilities."""
+        raise NotImplementedError
+
+
+class ExponentialAutomaton(StationAutomaton):
+    """Exponential station with ``c`` servers (``c = ∞`` for a delay bank).
+
+    The local state is just the customer count; the completion rate with
+    ``n`` present is ``min(n, c)·µ`` (``n·µ`` for the delay bank), which is
+    the load-dependent-server reduction of §5.4.
+    """
+
+    def __init__(self, station: Station):
+        if station.dist.n_stages != 1:
+            raise ValueError(
+                f"station {station.name!r} is not exponential "
+                f"({station.dist.n_stages} stages)"
+            )
+        super().__init__(station)
+        self._mu = float(station.dist.rates[0])
+
+    def local_states(self, n: int) -> list[LocalState]:
+        return [(n,)]
+
+    def count(self, state: LocalState) -> int:
+        return state[0]
+
+    def _rate(self, n: int) -> float:
+        c = self.station.servers
+        busy = n if c == np.inf else min(n, int(c))
+        return busy * self._mu
+
+    def events(self, state: LocalState):
+        n = state[0]
+        if n == 0:
+            return []
+        return [Completion(self._rate(n), (((1.0, (n - 1,)),)))]
+
+    def arrivals(self, state: LocalState):
+        return [(1.0, (state[0] + 1,))]
+
+
+class DelayPHAutomaton(StationAutomaton):
+    """Dedicated bank with PH service: every customer is in service.
+
+    Local state: occupancy of each PH stage, ``(α₁, …, α_m)``.  A stage
+    ``s`` fires at aggregate rate ``α_s µ_s``, routing internally per the
+    PH routing matrix or completing per the PH exit probabilities — the
+    direct generalization of the paper's Erlangian/Hyperexponential stage
+    expansion for the CPU/local-disk banks.
+    """
+
+    def __init__(self, station: Station):
+        if not station.is_delay:
+            raise ValueError(f"station {station.name!r} is not a delay bank")
+        super().__init__(station)
+        ph = station.dist
+        self._m = ph.n_stages
+        self._rates = ph.rates
+        self._routing = ph.routing
+        self._exit = ph.exit_probs
+        self._entry = ph.entry
+
+    def local_states(self, n: int) -> list[LocalState]:
+        return [tuple(c) for c in _compositions(n, self._m)]
+
+    def count(self, state: LocalState) -> int:
+        return sum(state)
+
+    def events(self, state: LocalState):
+        out: list[Internal | Completion] = []
+        for s, alpha in enumerate(state):
+            if alpha == 0:
+                continue
+            base = alpha * self._rates[s]
+            for s2 in range(self._m):
+                pr = self._routing[s, s2]
+                if pr > 0:
+                    tgt = list(state)
+                    tgt[s] -= 1
+                    tgt[s2] += 1
+                    out.append(Internal(base * pr, tuple(tgt)))
+            if self._exit[s] > 0:
+                tgt = list(state)
+                tgt[s] -= 1
+                out.append(Completion(base * self._exit[s], ((1.0, tuple(tgt)),)))
+        return out
+
+    def arrivals(self, state: LocalState):
+        out = []
+        for s in range(self._m):
+            if self._entry[s] > 0:
+                tgt = list(state)
+                tgt[s] += 1
+                out.append((float(self._entry[s]), tuple(tgt)))
+        return out
+
+
+class QueuedPHAutomaton(StationAutomaton):
+    """Single-server FCFS station with PH service.
+
+    Local state ``(w, s)``: ``w`` customers waiting and one in service at
+    stage ``s ∈ {1..m}``; the idle state is ``(0, 0)``.  On completion the
+    head-of-line customer (if any) enters service in stage ``s'`` with
+    probability ``entry[s']``.
+    """
+
+    def __init__(self, station: Station):
+        if station.is_delay or station.servers != 1:
+            raise ValueError(
+                f"station {station.name!r} must have exactly one server for "
+                "the queued PH automaton"
+            )
+        super().__init__(station)
+        ph = station.dist
+        self._m = ph.n_stages
+        self._rates = ph.rates
+        self._routing = ph.routing
+        self._exit = ph.exit_probs
+        self._entry = ph.entry
+
+    def local_states(self, n: int) -> list[LocalState]:
+        if n == 0:
+            return [(0, 0)]
+        return [(n - 1, s) for s in range(1, self._m + 1)]
+
+    def count(self, state: LocalState) -> int:
+        w, s = state
+        return w + (1 if s > 0 else 0)
+
+    def events(self, state: LocalState):
+        w, s = state
+        if s == 0:
+            return []
+        rate = self._rates[s - 1]
+        out: list[Internal | Completion] = []
+        for s2 in range(self._m):
+            pr = self._routing[s - 1, s2]
+            if pr > 0:
+                out.append(Internal(rate * pr, (w, s2 + 1)))
+        ex = self._exit[s - 1]
+        if ex > 0:
+            if w == 0:
+                outcomes = (((1.0, (0, 0)),))
+            else:
+                outcomes = tuple(
+                    (float(self._entry[s2]), (w - 1, s2 + 1))
+                    for s2 in range(self._m)
+                    if self._entry[s2] > 0
+                )
+            out.append(Completion(rate * ex, outcomes))
+        return out
+
+    def arrivals(self, state: LocalState):
+        w, s = state
+        if s == 0:
+            return [
+                (float(self._entry[s2]), (0, s2 + 1))
+                for s2 in range(self._m)
+                if self._entry[s2] > 0
+            ]
+        return [(1.0, (w + 1, s))]
+
+
+def automaton_for(station: Station) -> StationAutomaton:
+    """Pick the exact automaton for a station (see module docstring)."""
+    if station.dist.n_stages == 1:
+        return ExponentialAutomaton(station)
+    if station.is_delay:
+        return DelayPHAutomaton(station)
+    return QueuedPHAutomaton(station)
+
+
+def _compositions(n: int, parts: int):
+    """Yield all tuples of ``parts`` nonnegative ints summing to ``n``."""
+    if parts == 1:
+        yield (n,)
+        return
+    for first in range(n + 1):
+        for rest in _compositions(n - first, parts - 1):
+            yield (first,) + rest

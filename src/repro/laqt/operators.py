@@ -1,0 +1,209 @@
+"""Level operators ``M_k, P_k, Q_k, R_k`` and the solves built on them.
+
+These are the multi-customer matrices of paper §3.1/§5.4, assembled from
+the station automata and the network-level routing:
+
+* ``M_k`` — diagonal completion-rate matrix: ``[M_k]_{ii}`` is the total
+  event rate out of state ``i ∈ Ξ_k`` (stored as a vector);
+* ``P_k`` — embedded one-step probabilities for events that keep the
+  population at ``k`` (stage moves and completions routed to another
+  station);
+* ``Q_k`` — embedded probabilities of a *departure*, landing in Ξ_{k−1};
+* ``R_k`` — entrance operator Ξ_{k−1} → Ξ_k (a new task joins per the
+  network entry vector).
+
+Row invariant: ``P_k ε + Q_k ε = ε`` and ``R_k ε = ε``.
+
+Derived objects (paper §4):
+
+* ``τ'_k = (I − P_k)⁻¹ M_k⁻¹ ε`` — mean time until the next departure;
+* ``Y_k = (I − P_k)⁻¹ Q_k``    — state seen just after that departure.
+
+``V_k = (I − P_k)⁻¹ M_k⁻¹`` is **never formed densely**: each level keeps a
+sparse LU factorization of ``(I − P_k)`` and exposes ``x ↦ x·Y_k`` as two
+cheap operations (a transposed triangular solve and a sparse product),
+which is what makes the distributed-cluster state spaces tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro._util.linalg import left_solve
+from repro.laqt.automata import Completion, Internal, StationAutomaton
+from repro.laqt.states import LevelSpace
+
+__all__ = ["LevelOperators", "build_level", "build_entrance"]
+
+
+@dataclass
+class LevelOperators:
+    """Operators for one population level ``k`` (see module docstring)."""
+
+    k: int
+    space: LevelSpace
+    #: total event rate per state (diagonal of M_k)
+    rates: np.ndarray
+    #: embedded same-level transition probabilities (CSR, dim × dim)
+    P: sp.csr_matrix
+    #: embedded departure probabilities (CSR, dim × dim_{k−1})
+    Q: sp.csr_matrix
+    #: entrance operator from the level below (CSR, dim_{k−1} × dim)
+    R: sp.csr_matrix
+
+    def __post_init__(self):
+        self._lu: spla.SuperLU | None = None
+        self._tau: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of states at this level."""
+        return self.space.dim
+
+    @property
+    def lu(self) -> spla.SuperLU:
+        """Sparse LU of ``(I − P_k)``, built lazily and cached."""
+        if self._lu is None:
+            A = sp.identity(self.dim, format="csc") - self.P.tocsc()
+            self._lu = spla.splu(A)
+        return self._lu
+
+    @property
+    def tau(self) -> np.ndarray:
+        """``τ'_k = (I − P_k)⁻¹ M_k⁻¹ ε``: mean time to the next departure."""
+        if self._tau is None:
+            self._tau = self.lu.solve(1.0 / self.rates)
+        return self._tau
+
+    # ------------------------------------------------------------------
+    def apply_Y(self, x: np.ndarray) -> np.ndarray:
+        """``x ↦ x Y_k`` with ``Y_k = (I − P_k)⁻¹ Q_k`` (state after a departure)."""
+        return left_solve(self.lu, np.asarray(x, dtype=float)) @ self.Q
+
+    def apply_YR(self, x: np.ndarray) -> np.ndarray:
+        """``x ↦ x Y_k R_k``: departure immediately followed by a refill."""
+        return self.apply_Y(x) @ self.R
+
+    def mean_epoch_time(self, x: np.ndarray) -> float:
+        """Mean time to the next departure from state mix ``x``: ``x τ'_k``."""
+        return float(np.asarray(x, dtype=float) @ self.tau)
+
+    def dense_Y(self) -> np.ndarray:
+        """Dense ``Y_k`` (tests/ablations only — cubic memory in ``dim``)."""
+        eye = np.eye(self.dim)
+        inv = np.column_stack([self.lu.solve(eye[:, j]) for j in range(self.dim)])
+        return inv @ self.Q.toarray()
+
+    def dense_V(self) -> np.ndarray:
+        """Dense ``V_k = (I − P_k)⁻¹ M_k⁻¹`` (tests/ablations only)."""
+        eye = np.eye(self.dim)
+        inv = np.column_stack([self.lu.solve(eye[:, j]) for j in range(self.dim)])
+        return inv @ np.diag(1.0 / self.rates)
+
+
+def build_level(
+    automata: Sequence[StationAutomaton],
+    routing: np.ndarray,
+    exit_vec: np.ndarray,
+    entry_vec: np.ndarray,
+    space_k: LevelSpace,
+    space_km1: LevelSpace,
+) -> LevelOperators:
+    """Assemble the operators for level ``k = space_k.k``.
+
+    Implements the construction rules of §5.4: only one customer moves per
+    event; a completion at station ``c`` either routes into station ``c'``
+    (probability ``routing[c, c']``, applying the receiving automaton's
+    arrival split) and stays in Ξ_k, or exits the network (probability
+    ``exit_vec[c]``) and lands in Ξ_{k−1}.
+    """
+    k = space_k.k
+    if k < 1:
+        raise ValueError(f"levels start at k=1, got {k}")
+    dim = space_k.dim
+    dim_dn = space_km1.dim
+    n_stations = len(automata)
+
+    rates = np.zeros(dim)
+    P_rows: list[int] = []
+    P_cols: list[int] = []
+    P_vals: list[float] = []
+    Q_rows: list[int] = []
+    Q_cols: list[int] = []
+    Q_vals: list[float] = []
+
+    for i, state in enumerate(space_k.states):
+        events: list[tuple[int, Internal | Completion]] = []
+        total = 0.0
+        for c in range(n_stations):
+            for ev in automata[c].events(state[c]):
+                events.append((c, ev))
+                total += ev.rate
+        if total <= 0.0:  # pragma: no cover - impossible for k >= 1
+            raise RuntimeError(f"state {state!r} at level {k} has no events")
+        rates[i] = total
+        for c, ev in events:
+            w = ev.rate / total
+            if isinstance(ev, Internal):
+                tgt = state[:c] + (ev.target,) + state[c + 1 :]
+                P_rows.append(i)
+                P_cols.append(space_k.index[tgt])
+                P_vals.append(w)
+                continue
+            # Completion at station c: enumerate post-departure local states.
+            for pr, local_after in ev.outcomes:
+                base = state[:c] + (local_after,) + state[c + 1 :]
+                # Route to another station (or back into c).
+                for c2 in range(n_stations):
+                    pmove = routing[c, c2]
+                    if pmove <= 0:
+                        continue
+                    for pa, local_in in automata[c2].arrivals(base[c2]):
+                        tgt = base[:c2] + (local_in,) + base[c2 + 1 :]
+                        P_rows.append(i)
+                        P_cols.append(space_k.index[tgt])
+                        P_vals.append(w * pr * pmove * pa)
+                # Leave the network.
+                if exit_vec[c] > 0:
+                    Q_rows.append(i)
+                    Q_cols.append(space_km1.index[base])
+                    Q_vals.append(w * pr * exit_vec[c])
+
+    P = sp.csr_matrix((P_vals, (P_rows, P_cols)), shape=(dim, dim))
+    Q = sp.csr_matrix((Q_vals, (Q_rows, Q_cols)), shape=(dim, dim_dn))
+    R = build_entrance(automata, entry_vec, space_km1, space_k)
+    return LevelOperators(k=k, space=space_k, rates=rates, P=P, Q=Q, R=R)
+
+
+def build_entrance(
+    automata: Sequence[StationAutomaton],
+    entry_vec: np.ndarray,
+    space_from: LevelSpace,
+    space_to: LevelSpace,
+) -> sp.csr_matrix:
+    """The entrance operator ``R_k : Ξ_{k−1} → Ξ_k`` (one task joins)."""
+    if space_to.k != space_from.k + 1:
+        raise ValueError(
+            f"entrance must raise the level by one, got {space_from.k} → {space_to.k}"
+        )
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    n_stations = len(automata)
+    for i, state in enumerate(space_from.states):
+        for c in range(n_stations):
+            pc = entry_vec[c]
+            if pc <= 0:
+                continue
+            for pa, local_in in automata[c].arrivals(state[c]):
+                tgt = state[:c] + (local_in,) + state[c + 1 :]
+                rows.append(i)
+                cols.append(space_to.index[tgt])
+                vals.append(pc * pa)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(space_from.dim, space_to.dim))

@@ -1,0 +1,130 @@
+"""Full (non-reduced) product-space backend.
+
+Paper §5.4 motivates the reduced-product space by counting the full
+Kronecker formulation at ``(2K+1)^K`` states: one coordinate per *task*.
+This module implements that full formulation for exponential networks, as
+an independent backend whose results must match the reduced model exactly
+— the ``ablation_reduced_vs_product`` benchmark also measures the state
+explosion the reduction avoids.
+
+A full state at level ``k`` is the tuple of the ``k`` (distinguishable)
+tasks' station indices.  For exponential service the departure process is
+insensitive to queueing order, so a shared station with ``n`` tasks
+completes *some* task at rate ``min(n, c)·µ``, chosen uniformly — giving
+the same aggregated dynamics as FCFS.  Multi-stage stations are rejected:
+the reduction is exactly what makes them tractable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse as sp
+from itertools import product
+
+from repro.core.transient import TransientModel
+from repro.laqt.operators import LevelOperators
+from repro.network.spec import NetworkSpec
+
+__all__ = ["FullProductModel"]
+
+
+class _FullSpace:
+    """All ordered assignments of ``k`` tasks to stations."""
+
+    def __init__(self, n_stations: int, k: int):
+        self.k = k
+        self.states = tuple(product(range(n_stations), repeat=k)) if k else ((),)
+        self.index = {s: i for i, s in enumerate(self.states)}
+
+    @property
+    def dim(self) -> int:
+        return len(self.states)
+
+
+class FullProductModel(TransientModel):
+    """Transient solver on the full Kronecker space (exponential networks).
+
+    Same public interface as :class:`TransientModel`; exponentially more
+    states (``M^k`` per level instead of ``C(M+k−1, k)``).
+    """
+
+    def __init__(self, spec: NetworkSpec, K: int):
+        for st in spec.stations:
+            if st.dist.n_stages != 1:
+                raise ValueError(
+                    f"station {st.name!r} is non-exponential; the full product "
+                    "backend supports exponential networks only"
+                )
+        if K < 1 or int(K) != K:
+            raise ValueError(f"K must be a positive integer, got {K!r}")
+        self._spec = spec
+        self._K = int(K)
+        self._automata = ()  # unused by this backend
+        self._spaces = [_FullSpace(spec.n_stations, k) for k in range(self._K + 1)]
+        self._levels: dict[int, LevelOperators] = {}
+        self._entrance: dict[int, np.ndarray] = {}
+        self._mu = np.array([st.dist.rates[0] for st in spec.stations])
+        self._cap = np.array(
+            [math.inf if st.is_delay else float(st.servers) for st in spec.stations]
+        )
+
+    # ------------------------------------------------------------------
+    def _station_rate(self, station: int, n: int) -> float:
+        return float(min(n, self._cap[station]) * self._mu[station])
+
+    def _build_level(self, k: int) -> LevelOperators:
+        spec = self._spec
+        M = spec.n_stations
+        space_k: _FullSpace = self._spaces[k]
+        space_dn: _FullSpace = self._spaces[k - 1]
+        dim = space_k.dim
+
+        rates = np.zeros(dim)
+        Pr, Pc, Pv = [], [], []
+        Qr, Qc, Qv = [], [], []
+        for i, state in enumerate(space_k.states):
+            counts = np.bincount(state, minlength=M)
+            total = sum(self._station_rate(j, counts[j]) for j in range(M) if counts[j])
+            rates[i] = total
+            for t, j in enumerate(state):
+                # Task t finishes at rate (station rate) / (tasks present):
+                # uniform pick among the n_j tasks, valid for exponential service.
+                r_t = self._station_rate(j, counts[j]) / counts[j]
+                w = r_t / total
+                for j2 in range(M):
+                    pmove = spec.routing[j, j2]
+                    if pmove > 0:
+                        tgt = state[:t] + (j2,) + state[t + 1 :]
+                        Pr.append(i)
+                        Pc.append(space_k.index[tgt])
+                        Pv.append(w * pmove)
+                if spec.exit[j] > 0:
+                    tgt = state[:t] + state[t + 1 :]
+                    Qr.append(i)
+                    Qc.append(space_dn.index[tgt])
+                    Qv.append(w * spec.exit[j])
+        P = sp.csr_matrix((Pv, (Pr, Pc)), shape=(dim, dim))
+        Q = sp.csr_matrix((Qv, (Qr, Qc)), shape=(dim, space_dn.dim))
+
+        Rr, Rc, Rv = [], [], []
+        for i, state in enumerate(space_dn.states):
+            for j in range(M):
+                pj = spec.entry[j]
+                if pj > 0:
+                    Rr.append(i)
+                    Rc.append(space_k.index[state + (j,)])
+                    Rv.append(pj)
+        R = sp.csr_matrix((Rv, (Rr, Rc)), shape=(space_dn.dim, dim))
+        return LevelOperators(k=k, space=space_k, rates=rates, P=P, Q=Q, R=R)
+
+    # ------------------------------------------------------------------
+    def aggregate_to_reduced(self, x: np.ndarray, k: int) -> dict[tuple, float]:
+        """Project a full-space vector onto occupancy counts (for tests)."""
+        space: _FullSpace = self._spaces[k]
+        out: dict[tuple, float] = {}
+        for i, state in enumerate(space.states):
+            key = tuple(np.bincount(state, minlength=self._spec.n_stations))
+            out[key] = out.get(key, 0.0) + float(x[i])
+        return out

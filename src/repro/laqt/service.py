@@ -1,0 +1,156 @@
+"""Single-customer LAQT representation of a network (paper §3.1, §5.4).
+
+With exactly one task in the system, the network *is* a matrix-exponential
+distribution: stage-expanding every station and wiring the stage-level
+routing yields the tuple ``⟨p, P, M, q'⟩`` from which
+
+* ``B = M (I − P)`` — the service-rate matrix,
+* ``V = B⁻¹`` — the service-time matrix,
+* ``τ = V ε`` — mean time to leave, per starting stage,
+* ``pV`` — the paper's *time-component vector* (total expected time a task
+  spends in each stage; aggregated per station it reproduces the
+  ``[CX, (1−C)X, BY, Y]`` decomposition of §5.4).
+
+This module performs that stage expansion once; the same expansion data
+(stage ownership, entry stages, rates) is reused by the multi-customer
+operator builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.distributions.base import MatrixExponential
+from repro.network.spec import NetworkSpec
+
+__all__ = ["ServiceNetwork"]
+
+
+@dataclass(frozen=True)
+class _StageMap:
+    """Bookkeeping of the station → stage expansion."""
+
+    #: station index of each stage
+    owner: np.ndarray
+    #: slice of stages belonging to each station
+    spans: tuple[slice, ...]
+
+
+class ServiceNetwork:
+    """Stage-expanded single-customer view of a :class:`NetworkSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The network to expand.
+
+    Attributes
+    ----------
+    p, P, M, q:
+        The LAQT tuple: entrance vector, stage routing matrix, stage rate
+        vector and exit vector, all at stage level.
+    """
+
+    def __init__(self, spec: NetworkSpec):
+        self._spec = spec
+        owner = []
+        spans = []
+        at = 0
+        for ci, st in enumerate(spec.stations):
+            m = st.dist.n_stages
+            owner.extend([ci] * m)
+            spans.append(slice(at, at + m))
+            at += m
+        n = at
+        self._stages = _StageMap(np.asarray(owner), tuple(spans))
+
+        rates = np.concatenate([st.dist.rates for st in spec.stations])
+        P = np.zeros((n, n))
+        p = np.zeros(n)
+        q = np.zeros(n)
+        for ci, st in enumerate(spec.stations):
+            sp = spans[ci]
+            ph = st.dist
+            P[sp, sp] = ph.routing
+            p[sp] = spec.entry[ci] * ph.entry
+            # On PH exit, route at network level into the next station's
+            # entry stages, or leave the network.
+            for cj, stj in enumerate(spec.stations):
+                prob = spec.routing[ci, cj]
+                if prob > 0:
+                    P[sp, spans[cj]] += prob * np.outer(ph.exit_probs, stj.dist.entry)
+            q[sp] = spec.exit[ci] * ph.exit_probs
+        self.p = p
+        self.P = P
+        self.M = rates
+        self.q = q
+        self.B = np.diag(rates) @ (np.eye(n) - P)
+        self.V = sla.inv(self.B)
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> NetworkSpec:
+        """The originating network specification."""
+        return self._spec
+
+    @property
+    def n_stages(self) -> int:
+        """Total number of stages after expansion."""
+        return self.M.shape[0]
+
+    def stage_owner(self, stage: int) -> int:
+        """Station index owning the given stage."""
+        return int(self._stages.owner[stage])
+
+    def station_stages(self, station: int) -> slice:
+        """Slice of stage indices belonging to the given station."""
+        return self._stages.spans[station]
+
+    # ------------------------------------------------------------------
+    @property
+    def tau(self) -> np.ndarray:
+        """``τ = V ε``: mean time to leave the network from each stage."""
+        return self.V @ np.ones(self.n_stages)
+
+    @property
+    def mean_time(self) -> float:
+        """Mean contention-free task time ``Ψ[V] = p τ``."""
+        return float(self.p @ self.tau)
+
+    def psi(self, X) -> float:
+        """The LAQT functional ``Ψ[X] = p X ε`` at stage level."""
+        return float(self.p @ np.asarray(X, dtype=float) @ np.ones(self.n_stages))
+
+    def moment(self, k: int) -> float:
+        """Raw moment ``E[T^k]`` of the contention-free task time."""
+        return self.as_distribution().moment(k)
+
+    def time_components(self) -> np.ndarray:
+        """Per-station expected time per task (the paper's ``pV`` aggregated).
+
+        For the central cluster this is ``[CX, (1−C)X, BY, Y]``.
+        """
+        pV = self.p @ self.V
+        out = np.array(
+            [pV[self._stages.spans[ci]].sum() for ci in range(self._spec.n_stations)]
+        )
+        return out
+
+    def as_distribution(self) -> MatrixExponential:
+        """The task sojourn time as a ``<p, B>`` matrix-exponential law."""
+        return MatrixExponential(self.p, self.B)
+
+    def as_ph(self) -> "PHDistribution":
+        """The task sojourn time in PH stage form.
+
+        Because the expansion is Markovian, the contention-free task time is
+        itself phase-type: entry ``p``, stage rates ``M``, routing ``P``.
+        Useful for feeding a whole task into PH-closure operations (e.g. the
+        fork/join order-statistics baseline).
+        """
+        from repro.distributions.ph import PHDistribution
+
+        return PHDistribution(self.p, self.M, self.P)

@@ -1,0 +1,87 @@
+"""Reduced-product state spaces Ξ_k (paper §5.4).
+
+A *global state* at level ``k`` assigns each station automaton a local
+state such that local customer counts sum to ``k``.  For a network of
+purely exponential stations this reduces to the compositions of ``k`` over
+``M`` servers, giving the paper's count
+
+.. math::
+
+    D_{RP}(k) = \\binom{M + k - 1}{k};
+
+stage-expanded stations enlarge each composition cell by their local state
+multiplicity (stage occupancies for delay banks, in-service stage for
+shared stations).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from repro.laqt.automata import StationAutomaton
+
+__all__ = ["LevelSpace", "build_spaces", "reduced_product_count"]
+
+
+def reduced_product_count(n_servers: int, k: int) -> int:
+    """The paper's reduced-product dimension ``D_RP(k) = C(n_servers+k−1, k)``."""
+    if n_servers < 1 or k < 0:
+        raise ValueError(f"need n_servers >= 1 and k >= 0, got {n_servers}, {k}")
+    return comb(n_servers + k - 1, k)
+
+
+class LevelSpace:
+    """All global states with exactly ``k`` active customers.
+
+    States are tuples of per-station local states, enumerated in a fixed
+    deterministic order; :attr:`index` maps a state back to its position.
+    """
+
+    def __init__(self, automata: Sequence[StationAutomaton], k: int):
+        self.k = int(k)
+        self.automata = tuple(automata)
+        states: list[tuple] = []
+        self._enumerate(0, self.k, [], states)
+        self.states: tuple[tuple, ...] = tuple(states)
+        self.index: dict[tuple, int] = {s: i for i, s in enumerate(self.states)}
+
+    def _enumerate(self, station: int, remaining: int, prefix: list, out: list):
+        if station == len(self.automata) - 1:
+            for ls in self.automata[station].local_states(remaining):
+                out.append(tuple(prefix) + (ls,))
+            return
+        for n in range(remaining + 1):
+            for ls in self.automata[station].local_states(n):
+                prefix.append(ls)
+                self._enumerate(station + 1, remaining - n, prefix, out)
+                prefix.pop()
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of states ``D(k)``."""
+        return len(self.states)
+
+    def occupancies(self) -> np.ndarray:
+        """Per-state customer count at each station, shape ``(dim, n_stations)``."""
+        out = np.empty((self.dim, len(self.automata)), dtype=int)
+        for i, s in enumerate(self.states):
+            for c, a in enumerate(self.automata):
+                out[i, c] = a.count(s[c])
+        return out
+
+    def __len__(self) -> int:
+        return self.dim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LevelSpace(k={self.k}, dim={self.dim})"
+
+
+def build_spaces(automata: Sequence[StationAutomaton], K: int) -> list[LevelSpace]:
+    """Level spaces ``Ξ_0 … Ξ_K`` for a population bound ``K``."""
+    if K < 0:
+        raise ValueError(f"K must be nonnegative, got {K!r}")
+    return [LevelSpace(automata, k) for k in range(K + 1)]

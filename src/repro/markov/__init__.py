@@ -1,0 +1,17 @@
+"""Transient CTMC utilities and the exact makespan distribution."""
+
+from repro.markov.ctmc import (
+    stationary_distribution,
+    transient_distribution,
+    uniformized_dtmc,
+    validate_generator,
+)
+from repro.markov.makespan import MakespanAnalyzer
+
+__all__ = [
+    "stationary_distribution",
+    "transient_distribution",
+    "uniformized_dtmc",
+    "validate_generator",
+    "MakespanAnalyzer",
+]

@@ -1,0 +1,98 @@
+"""Generic continuous-time Markov chain utilities.
+
+Sparse-generator routines used by the makespan analyzer and available as a
+general substrate: stationary distributions, transient distributions via
+uniformization (Jensen's method), and expected hitting times for absorbing
+chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.stats import poisson
+
+from repro._util.linalg import stationary_left_vector
+
+__all__ = ["validate_generator", "stationary_distribution", "transient_distribution", "uniformized_dtmc"]
+
+
+def validate_generator(Q: sp.spmatrix, *, atol: float = 1e-8) -> sp.csr_matrix:
+    """Check that ``Q`` is a proper (sub)generator and return it as CSR.
+
+    Off-diagonal entries must be nonnegative and row sums at most zero
+    (strictly negative rows are allowed: they leak into an implicit
+    absorbing state).
+    """
+    Q = sp.csr_matrix(Q, dtype=float)
+    if Q.shape[0] != Q.shape[1]:
+        raise ValueError(f"generator must be square, got {Q.shape}")
+    off = Q.copy()
+    off.setdiag(0.0)
+    if off.count_nonzero() and off.min() < -atol:
+        raise ValueError("generator has negative off-diagonal entries")
+    rows = np.asarray(Q.sum(axis=1)).ravel()
+    if np.any(rows > atol):
+        raise ValueError(f"generator rows must sum to <= 0, max row sum {rows.max()!r}")
+    return Q
+
+
+def uniformized_dtmc(Q: sp.csr_matrix, rate: float | None = None) -> tuple[sp.csr_matrix, float]:
+    """Uniformized jump chain ``P = I + Q/Λ`` and the uniformization rate ``Λ``."""
+    diag = -Q.diagonal()
+    lam = float(diag.max()) if rate is None else float(rate)
+    if lam <= 0:
+        raise ValueError("uniformization rate must be positive (generator is zero?)")
+    P = sp.identity(Q.shape[0], format="csr") + Q / lam
+    return P.tocsr(), lam
+
+
+def transient_distribution(
+    Q: sp.spmatrix,
+    x0: np.ndarray,
+    times,
+    *,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """State distribution ``x(t) = x0 e^{Qt}`` at each requested time.
+
+    Uses uniformization: ``x(t) = Σ_n Pois(n; Λt) x0 Pᵁⁿ``, truncating the
+    Poisson sum once the accumulated mass exceeds ``1 − tol``.  Rows of the
+    result correspond to ``times``.  For substochastic generators the
+    missing mass is the absorption probability.
+    """
+    Q = validate_generator(Q)
+    x0 = np.asarray(x0, dtype=float)
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    if np.any(times < 0):
+        raise ValueError("times must be nonnegative")
+    P, lam = uniformized_dtmc(Q)
+    t_max = times.max()
+    # Truncation point covering the largest time.
+    n_max = int(poisson.ppf(1.0 - tol, lam * t_max)) + 1 if t_max > 0 else 0
+    out = np.zeros((times.shape[0], x0.shape[0]))
+    xn = x0.copy()
+    weights = np.stack([poisson.pmf(np.arange(n_max + 1), lam * t) for t in times])
+    for n in range(n_max + 1):
+        out += weights[:, n : n + 1] * xn[None, :]
+        if n < n_max:
+            xn = xn @ P
+    return out
+
+
+def stationary_distribution(Q: sp.spmatrix, *, tol: float = 1e-12) -> np.ndarray:
+    """Stationary distribution of an irreducible conservative generator.
+
+    Solved by power iteration on the uniformized chain (matrix-free, no
+    dense factorization needed).
+    """
+    Q = validate_generator(Q)
+    rows = np.asarray(Q.sum(axis=1)).ravel()
+    if np.any(rows < -1e-8):
+        raise ValueError("stationary distribution requires a conservative generator")
+    P, _ = uniformized_dtmc(Q)
+    # Damping avoids periodicity of the embedded chain.
+    half = 0.5
+    return stationary_left_vector(
+        lambda x: half * x + (1 - half) * (x @ P), Q.shape[0], tol=tol
+    )

@@ -1,0 +1,23 @@
+"""Network specification shared by every solver in the library."""
+
+from repro.network.spec import DELAY, NetworkSpec, Station
+from repro.network.serialize import (
+    dist_from_dict,
+    dist_to_dict,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+
+__all__ = [
+    "DELAY",
+    "NetworkSpec",
+    "Station",
+    "dist_from_dict",
+    "dist_to_dict",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_to_dict",
+    "spec_to_json",
+]

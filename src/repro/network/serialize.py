@@ -1,0 +1,99 @@
+"""JSON-friendly (de)serialization of network specifications.
+
+Experiment configurations are worth keeping: a serialized
+:class:`NetworkSpec` pins the exact system a result was computed on —
+stage-level distributions included — so studies can be archived, diffed
+and replayed.  The format is plain JSON-compatible dicts/lists (floats,
+strings), no pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.distributions.ph import PHDistribution
+from repro.network.spec import NetworkSpec, Station
+
+__all__ = [
+    "dist_to_dict",
+    "dist_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_json",
+    "spec_from_json",
+]
+
+#: Format marker so future revisions can migrate old files.
+FORMAT_VERSION = 1
+
+
+def dist_to_dict(dist: PHDistribution) -> dict[str, Any]:
+    """Serialize a PH distribution to its stage parameters."""
+    return {
+        "entry": dist.entry.tolist(),
+        "rates": dist.rates.tolist(),
+        "routing": dist.routing.tolist(),
+    }
+
+
+def dist_from_dict(data: dict[str, Any]) -> PHDistribution:
+    """Rebuild a PH distribution; validation happens in the constructor."""
+    try:
+        return PHDistribution(data["entry"], data["rates"], data["routing"])
+    except KeyError as exc:
+        raise ValueError(f"distribution dict is missing key {exc}") from None
+
+
+def spec_to_dict(spec: NetworkSpec) -> dict[str, Any]:
+    """Serialize a network spec (stations, routing, entry)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "stations": [
+            {
+                "name": st.name,
+                "servers": "inf" if st.is_delay else int(st.servers),
+                "dist": dist_to_dict(st.dist),
+            }
+            for st in spec.stations
+        ],
+        "routing": spec.routing.tolist(),
+        "entry": spec.entry.tolist(),
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> NetworkSpec:
+    """Rebuild a network spec; all invariants re-validated on construction."""
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported spec format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        stations = tuple(
+            Station(
+                name=s["name"],
+                dist=dist_from_dict(s["dist"]),
+                servers=math.inf if s["servers"] == "inf" else int(s["servers"]),
+            )
+            for s in data["stations"]
+        )
+        routing = np.asarray(data["routing"], dtype=float)
+        entry = np.asarray(data["entry"], dtype=float)
+    except KeyError as exc:
+        raise ValueError(f"spec dict is missing key {exc}") from None
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)
+
+
+def spec_to_json(spec: NetworkSpec, *, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(spec_to_dict(spec), indent=indent)
+
+
+def spec_from_json(text: str) -> NetworkSpec:
+    """Parse a JSON string produced by :func:`spec_to_json`."""
+    return spec_from_dict(json.loads(text))

@@ -1,0 +1,234 @@
+"""Queueing-network specification.
+
+A :class:`NetworkSpec` is the system-description object shared by every
+solver in the library: the transient LAQT model, the product-form
+baselines, the full-product-space validation backend and the discrete-event
+simulator all consume the same spec, so cross-validation never compares
+two different systems.
+
+A network is a set of :class:`Station` objects plus station-level routing:
+``routing[i, j]`` is the probability a task finishing service at station
+``i`` proceeds to station ``j``; the row deficit ``1 − Σ_j routing[i, j]``
+is the probability of *leaving the network* from station ``i`` (the paper's
+exit vector ``q'``).  Tasks enter at station ``j`` with probability
+``entry[j]`` (the paper's entrance vector ``p``).
+
+Station service capacity:
+
+* ``servers=math.inf`` — a *dedicated bank* (delay server): every customer
+  present is served simultaneously, e.g. the paper's "one CPU per
+  workstation" aggregated CPU server with rate ``n·µ``.
+* ``servers=c`` (integer) — a *shared station* with ``c`` parallel servers
+  and FCFS queueing, rate ``min(n, c)·µ`` for exponential service.  The
+  paper's communication channel and central disk are the ``c = 1`` case.
+
+Non-exponential (multi-stage PH) service is supported for ``servers=1``
+and ``servers=inf``; a multi-stage station with ``1 < c < ∞`` has no exact
+reduced-product representation in this library and is rejected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.validation import (
+    check_probability_vector,
+    check_substochastic,
+)
+from repro.distributions.ph import PHDistribution
+
+__all__ = ["Station", "NetworkSpec", "DELAY"]
+
+#: Sentinel for dedicated-bank (infinite-server / delay) stations.
+DELAY = math.inf
+
+
+@dataclass(frozen=True)
+class Station:
+    """One service center of the network.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier used in results and error messages.
+    dist:
+        Per-visit service-time distribution in PH stage form.
+    servers:
+        ``math.inf`` (:data:`DELAY`) for a dedicated bank, or a positive
+        integer server count for a shared FCFS station.
+    """
+
+    name: str
+    dist: PHDistribution
+    servers: float = 1
+
+    def __post_init__(self):
+        if not isinstance(self.dist, PHDistribution):
+            raise TypeError(
+                f"station {self.name!r}: dist must be a PHDistribution, "
+                f"got {type(self.dist).__name__}"
+            )
+        s = self.servers
+        if s != math.inf and (s < 1 or int(s) != s):
+            raise ValueError(
+                f"station {self.name!r}: servers must be a positive integer or "
+                f"math.inf, got {s!r}"
+            )
+        if self.dist.n_stages > 1 and s not in (1, math.inf):
+            raise ValueError(
+                f"station {self.name!r}: multi-stage service requires servers=1 "
+                f"or servers=inf (got {s!r}); no exact reduced-product "
+                "representation exists for finite multi-server PH stations"
+            )
+
+    @property
+    def is_delay(self) -> bool:
+        """True for dedicated-bank (infinite-server) stations."""
+        return self.servers == math.inf
+
+    @property
+    def mean_service(self) -> float:
+        """Mean per-visit service time."""
+        return self.dist.mean
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A queueing network: stations, routing, entrance.
+
+    ``routing`` rows may sum to less than one; the deficit is the
+    probability of leaving the network after service at that station.
+    """
+
+    stations: tuple[Station, ...]
+    routing: np.ndarray
+    entry: np.ndarray
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        stations = tuple(self.stations)
+        names = [s.name for s in stations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"station names must be unique, got {names!r}")
+        n = len(stations)
+        routing = check_substochastic(self.routing, "routing")
+        if routing.shape != (n, n):
+            raise ValueError(
+                f"routing must be {n}x{n} for {n} stations, got {routing.shape}"
+            )
+        entry = check_probability_vector(self.entry, "entry")
+        if entry.shape[0] != n:
+            raise ValueError(
+                f"entry must have length {n}, got {entry.shape[0]}"
+            )
+        exit_vec = 1.0 - routing.sum(axis=1)
+        if np.all(exit_vec <= 1e-12):
+            raise ValueError(
+                "network has no exit: every routing row sums to 1, so tasks "
+                "can never finish"
+            )
+        # Every station a task can reach must itself reach an exit,
+        # otherwise tasks are trapped and (I − P_k) is singular.
+        reach_exit = exit_vec > 1e-12
+        for _ in range(n):
+            reach_exit = reach_exit | ((routing > 1e-15) @ reach_exit)
+        reachable = entry > 1e-15
+        for _ in range(n):
+            reachable = reachable | (reachable @ (routing > 1e-15))
+        trapped = reachable & ~reach_exit
+        if np.any(trapped):
+            bad = [stations[i].name for i in np.nonzero(trapped)[0]]
+            raise ValueError(
+                f"stations {bad} are reachable but cannot reach an exit: "
+                "tasks entering them never finish"
+            )
+        object.__setattr__(self, "stations", stations)
+        object.__setattr__(self, "routing", routing)
+        object.__setattr__(self, "entry", entry)
+        object.__setattr__(self, "_index", {nm: i for i, nm in enumerate(names)})
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stations(self) -> int:
+        """Number of stations."""
+        return len(self.stations)
+
+    @property
+    def exit(self) -> np.ndarray:
+        """Per-station probability of leaving the network after service."""
+        return 1.0 - self.routing.sum(axis=1)
+
+    def station_index(self, name: str) -> int:
+        """Index of the station with the given name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"no station named {name!r}; have {sorted(self._index)}"
+            ) from None
+
+    def station(self, name: str) -> Station:
+        """The station with the given name."""
+        return self.stations[self.station_index(name)]
+
+    # ------------------------------------------------------------------
+    def visit_ratios(self) -> np.ndarray:
+        """Expected visits per task to each station.
+
+        Solves the traffic equations ``v = entry + v · routing``; for the
+        paper's central cluster this yields ``[1/q, p₁(1−q)/q, p₂(1−q)/q,
+        p₂(1−q)/q]``.
+        """
+        n = self.n_stations
+        return np.linalg.solve(np.eye(n) - self.routing.T, self.entry)
+
+    def service_demands(self) -> np.ndarray:
+        """Per-task total service demand at each station (visits × mean)."""
+        means = np.array([s.mean_service for s in self.stations])
+        return self.visit_ratios() * means
+
+    def task_time(self) -> float:
+        """Mean total (contention-free) time a lone task spends in the network.
+
+        Equals ``Ψ[V]`` of the single-customer representation and the sum of
+        the paper's ``pV`` time-component vector.
+        """
+        return float(self.service_demands().sum())
+
+    def describe(self) -> str:
+        """Human-readable summary of stations, routing and demands."""
+        lines = [f"network with {self.n_stations} stations:"]
+        visits = self.visit_ratios()
+        demands = self.service_demands()
+        for j, st in enumerate(self.stations):
+            kind = "delay bank" if st.is_delay else f"{int(st.servers)}-server"
+            lines.append(
+                f"  [{j}] {st.name:<10} {kind:<12} mean service {st.mean_service:.4g}, "
+                f"C2 {st.dist.scv:.3g}, visits/task {visits[j]:.4g}, "
+                f"demand/task {demands[j]:.4g}"
+            )
+        exits = self.exit
+        for j, st in enumerate(self.stations):
+            targets = [
+                f"{self.stations[j2].name} ({self.routing[j, j2]:.3g})"
+                for j2 in range(self.n_stations)
+                if self.routing[j, j2] > 0
+            ]
+            if exits[j] > 1e-12:
+                targets.append(f"exit ({exits[j]:.3g})")
+            lines.append(f"  {st.name} -> " + ", ".join(targets))
+        lines.append(f"  task time (contention-free): {self.task_time():.6g}")
+        return "\n".join(lines)
+
+    def closed_routing(self) -> np.ndarray:
+        """Routing of the equivalent *closed* network (exit re-enters at ``entry``).
+
+        Under a backlogged finite workload, every departure is replaced
+        immediately, so level-``K`` dynamics coincide with a closed
+        Gordon–Newell network with routing ``P + q'·p``.  This is what the
+        product-form baselines consume.
+        """
+        return self.routing + np.outer(self.exit, self.entry)

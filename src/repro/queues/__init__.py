@@ -1,0 +1,11 @@
+"""Classical single-queue systems in closed LAQT form.
+
+The open M/ME/1 queue (Pollaczek–Khinchine + exact waiting-time law) and
+the finite-source M/ME/C//N "generalized machine repair" queue of the
+paper's ref [19] — the building blocks underneath the cluster models.
+"""
+
+from repro.queues.mg1 import AtomMixture, MG1Queue
+from repro.queues.finite_source import FiniteSourceQueue, finite_source_spec
+
+__all__ = ["AtomMixture", "MG1Queue", "FiniteSourceQueue", "finite_source_spec"]

@@ -1,0 +1,155 @@
+"""The generalized machine-repair queue M/ME/C//N (paper ref [19]).
+
+Tehranipour & Lipsky's "generalized M/G/C//N queue as a model for
+time-sharing systems" is the two-station special case of the cluster
+models: ``N`` customers cycle between an exponential *think* stage
+(infinite-server) and a repair/service station with ``C`` servers and
+matrix-exponential service.  The paper's τ'_K derivation comes from this
+queue, so it deserves a first-class interface; everything is solved with
+the same transient machinery (and therefore inherits its validation).
+
+For ``C = 1`` the ME service is exact; for ``C > 1`` the service must be
+exponential (see :class:`repro.network.Station`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.validation import check_positive
+from repro.core.sojourn import analyze_sojourn
+from repro.core.steady_state import solve_steady_state
+from repro.core.transient import TransientModel
+from repro.distributions.ph import PHDistribution
+from repro.network.spec import DELAY, NetworkSpec, Station
+
+__all__ = ["FiniteSourceQueue", "finite_source_spec"]
+
+
+def finite_source_spec(
+    think_time: float,
+    service: PHDistribution,
+    servers: int | float = 1,
+) -> NetworkSpec:
+    """The two-station machine-repair network.
+
+    Customers think for ``Exp(1/think_time)`` then request service; after
+    service they leave (and, under a finite workload, are replaced — which
+    is exactly the closed cycle of the M/ME/C//N queue).
+    """
+    check_positive(think_time, "think_time")
+    from repro.distributions.builders import exponential
+
+    stations = (
+        Station("think", exponential(1.0 / think_time), DELAY),
+        Station("service", service, servers),
+    )
+    routing = np.array([[0.0, 1.0], [0.0, 0.0]])
+    entry = np.array([1.0, 0.0])
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)
+
+
+@dataclass(frozen=True)
+class _Metrics:
+    throughput: float
+    utilization: float
+    mean_queue: float
+    mean_response: float
+
+
+class FiniteSourceQueue:
+    """Steady-state and transient analysis of M/ME/C//N.
+
+    Parameters
+    ----------
+    think_time:
+        Mean exponential think time ``Z``.
+    service:
+        Service-time distribution (PH stage form).
+    N:
+        Customer population.
+    servers:
+        Number of service-station servers ``C`` (default 1).
+    """
+
+    def __init__(
+        self,
+        think_time: float,
+        service: PHDistribution,
+        N: int,
+        servers: int | float = 1,
+    ):
+        if N < 1 or int(N) != N:
+            raise ValueError(f"N must be a positive integer, got {N!r}")
+        self._N = int(N)
+        self._spec = finite_source_spec(think_time, service, servers)
+        self._model = TransientModel(self._spec, self._N)
+        self._metrics: _Metrics | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def N(self) -> int:
+        return self._N
+
+    @property
+    def spec(self) -> NetworkSpec:
+        return self._spec
+
+    @property
+    def model(self) -> TransientModel:
+        """The underlying transient model (for epoch-level analysis)."""
+        return self._model
+
+    def _solve(self) -> _Metrics:
+        if self._metrics is None:
+            ss = solve_steady_state(self._model)
+            soj = analyze_sojourn(self._model)
+            svc = soj.station("service")
+            self._metrics = _Metrics(
+                throughput=ss.throughput,
+                utilization=svc.mean_busy,
+                mean_queue=svc.mean_customers,
+                mean_response=svc.residence_time,
+            )
+        return self._metrics
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Cycle completions per unit time."""
+        return self._solve().throughput
+
+    @property
+    def utilization(self) -> float:
+        """Expected busy servers at the service station."""
+        return self._solve().utilization
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean customers at the service station (queued + in service)."""
+        return self._solve().mean_queue
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean time per service visit (wait + service), by Little's law."""
+        return self._solve().mean_response
+
+    def response_degradation(self) -> float:
+        """Response time relative to an empty system (a classic
+        time-sharing saturation indicator)."""
+        return self.mean_response_time / self._spec.station("service").mean_service
+
+    def saturation_population(self) -> float:
+        """The asymptote crossing ``N* = (Z + S·…)``: the population where
+        the deterministic bound ``N/(Z + R(N))`` meets the service capacity.
+
+        For C servers: ``N* = (Z + E[S]) · C / E[S]``.
+        """
+        z = self._spec.station("think").mean_service
+        s = self._spec.station("service").mean_service
+        st = self._spec.station("service")
+        c = 1.0 if st.servers == math.inf else float(st.servers)
+        return (z + s) * c / s

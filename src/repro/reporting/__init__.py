@@ -1,0 +1,6 @@
+"""Dependency-free terminal rendering of experiment results."""
+
+from repro.reporting.ascii_plot import ascii_plot, plot_result
+from repro.reporting.report import performance_report
+
+__all__ = ["ascii_plot", "plot_result", "performance_report"]

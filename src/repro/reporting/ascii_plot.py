@@ -1,0 +1,127 @@
+"""Terminal line charts for experiment results.
+
+The benchmark harness emits tables; for a quick visual check of a figure's
+*shape* (the reproduction criterion) a dependency-free ASCII renderer is
+enough.  ``python -m repro.experiments fig03 --plot`` draws the same
+series the paper plots, with a log y-axis where the paper uses one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_plot", "plot_result"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def ascii_plot(
+    x,
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logy: bool = False,
+    x_label: str = "x",
+    title: str = "",
+) -> str:
+    """Render named series over a common x-axis as an ASCII chart.
+
+    Points are plotted with one marker character per series; collisions
+    keep the earlier series' marker.  Returns the chart as a string.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size < 2:
+        raise ValueError("x must be a 1-D array with at least 2 points")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    for name, y in ys.items():
+        if y.shape != x.shape:
+            raise ValueError(f"series {name!r} shape {y.shape} != x shape {x.shape}")
+
+    all_y = np.concatenate(list(ys.values()))
+    if logy:
+        if np.any(all_y <= 0):
+            raise ValueError("log y-axis requires positive values")
+        transform = np.log10
+    else:
+        transform = lambda v: v  # noqa: E731
+    ty = {k: transform(v) for k, v in ys.items()}
+    lo = min(v.min() for v in ty.values())
+    hi = max(v.max() for v in ty.values())
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    def col(xv: float) -> int:
+        return int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(yv: float) -> int:
+        return (height - 1) - int(round((yv - lo) / (hi - lo) * (height - 1)))
+
+    for marker, (name, y) in zip(_MARKERS, ty.items()):
+        for xi, yi in zip(x, y):
+            r, c = row(yi), col(xi)
+            if grid[r][c] == " ":
+                grid[r][c] = marker
+
+    def untransform(v: float) -> float:
+        return 10.0**v if logy else v
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_lab = _format_tick(untransform(hi))
+    bot_lab = _format_tick(untransform(lo))
+    lab_w = max(len(top_lab), len(bot_lab)) + 1
+    for r in range(height):
+        if r == 0:
+            label = top_lab.rjust(lab_w)
+        elif r == height - 1:
+            label = bot_lab.rjust(lab_w)
+        else:
+            label = " " * lab_w
+        lines.append(f"{label}|{''.join(grid[r])}")
+    lines.append(" " * lab_w + "+" + "-" * width)
+    left = _format_tick(x_lo)
+    right = _format_tick(x_hi)
+    axis = left + " " * max(1, width - len(left) - len(right)) + right
+    lines.append(" " * (lab_w + 1) + axis + f"   [{x_label}]")
+    legend = "   ".join(
+        f"{m}={name}" for m, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * (lab_w + 1) + legend + ("   (log y)" if logy else ""))
+    return "\n".join(lines)
+
+
+def plot_result(result, *, logy: bool | None = None, **kwargs) -> str:
+    """Plot an :class:`~repro.experiments.result.ExperimentResult`.
+
+    ``logy`` defaults to true for the inter-departure figures (the paper's
+    Figures 3, 4, 10, 11 use log time axes) and false otherwise.
+    """
+    if logy is None:
+        logy = result.x_label == "task order"
+    return ascii_plot(
+        result.x,
+        result.series,
+        logy=logy,
+        x_label=result.x_label,
+        title=f"{result.experiment}: {result.description}",
+        **kwargs,
+    )

@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate (independent validation of the model)."""
+
+from repro.simulation.engine import SimulationResult, simulate_once
+from repro.simulation.replication import SimulationStudy, simulate_study
+from repro.simulation.traces import TaskTrace, generate_traces, replay_traces
+from repro.simulation.steady_state import SteadyStateEstimate, estimate_steady_state
+
+__all__ = [
+    "SimulationResult",
+    "simulate_once",
+    "SimulationStudy",
+    "simulate_study",
+    "TaskTrace",
+    "generate_traces",
+    "replay_traces",
+    "SteadyStateEstimate",
+    "estimate_steady_state",
+]

@@ -1,0 +1,160 @@
+"""Workload traces: generate once, replay anywhere.
+
+The paper's application model is a stochastic recipe; a *trace* is one
+realized workload — for every task, the full sequence of station visits
+with their sampled service times.  Pre-generating traces enables:
+
+* **paired comparisons**: replay the *same* workload on two system
+  configurations (different K, different data allocation, degraded mode)
+  so the difference is pure system effect, not sampling noise — the
+  common-random-numbers technique;
+* **substituted measurements**: when real traces exist (the Leland/Ott
+  style CPU logs the paper cites), load them into :class:`TaskTrace`
+  objects and drive the simulator with data instead of distributions.
+
+A trace fixes each task's service *demands*; queueing and waiting still
+emerge from the replay, so different configurations legitimately produce
+different makespans from identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.spec import NetworkSpec
+from repro.simulation.engine import SimulationResult
+
+__all__ = ["TaskTrace", "generate_traces", "replay_traces"]
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """One task's realized activity: ``(station_index, service_time)`` steps."""
+
+    steps: tuple[tuple[int, float], ...]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("a task trace needs at least one step")
+        for j, t in self.steps:
+            if t <= 0:
+                raise ValueError(f"service times must be positive, got {t!r}")
+            if j < 0:
+                raise ValueError(f"station indices must be nonnegative, got {j!r}")
+
+    @property
+    def total_demand(self) -> float:
+        """Contention-free execution time of the task."""
+        return float(sum(t for _, t in self.steps))
+
+    def station_demand(self, station: int) -> float:
+        """Total demand placed on one station."""
+        return float(sum(t for j, t in self.steps if j == station))
+
+
+def generate_traces(
+    spec: NetworkSpec,
+    n_tasks: int,
+    rng: np.random.Generator,
+) -> list[TaskTrace]:
+    """Sample ``n_tasks`` activity traces from the network's recipe.
+
+    Each task performs a random walk through ``spec.routing`` starting at
+    ``spec.entry``, drawing a per-visit service time from the station's
+    distribution, until it exits the network.
+    """
+    if n_tasks < 1 or int(n_tasks) != n_tasks:
+        raise ValueError(f"n_tasks must be a positive integer, got {n_tasks!r}")
+    M = spec.n_stations
+    cum_route = np.cumsum(
+        np.hstack([spec.routing, spec.exit[:, None]]), axis=1
+    )
+    cum_route[:, -1] = 1.0
+    cum_entry = np.cumsum(spec.entry)
+    cum_entry[-1] = 1.0
+    traces = []
+    for _ in range(int(n_tasks)):
+        steps: list[tuple[int, float]] = []
+        j = int(np.searchsorted(cum_entry, rng.random(), side="left"))
+        while True:
+            steps.append((j, float(spec.stations[j].dist.sample(rng, 1)[0])))
+            nxt = int(np.searchsorted(cum_route[j], rng.random(), side="left"))
+            if nxt >= M:
+                break
+            j = nxt
+        traces.append(TaskTrace(steps=tuple(steps)))
+    return traces
+
+
+def replay_traces(
+    spec: NetworkSpec,
+    K: int,
+    traces: list[TaskTrace],
+) -> SimulationResult:
+    """Deterministically replay pre-generated traces on a ``K``-station system.
+
+    The first ``K`` tasks start at time zero; each departure admits the
+    next queued task, exactly as in the stochastic engine.  The spec only
+    contributes station *capacities* here (service times come from the
+    traces), so the same trace list can be replayed against variant
+    configurations as long as station indices line up.
+    """
+    if K < 1 or int(K) != K:
+        raise ValueError(f"K must be a positive integer, got {K!r}")
+    if not traces:
+        raise ValueError("need at least one trace")
+    N = len(traces)
+    M = spec.n_stations
+    for t in traces:
+        for j, _ in t.steps:
+            if j >= M:
+                raise ValueError(
+                    f"trace references station {j}, but the spec has only {M}"
+                )
+    servers = [np.inf if st.is_delay else int(st.servers) for st in spec.stations]
+    busy = [0] * M
+    queues: list[list[tuple[int, int]]] = [[] for _ in range(M)]  # (task, step)
+    heap: list[tuple[float, int, int, int, int]] = []  # (t, seq, station, task, step)
+    seq = 0
+
+    def start(now: float, j: int, task: int, step: int):
+        nonlocal seq
+        heapq.heappush(heap, (now + traces[task].steps[step][1], seq, j, task, step))
+        seq += 1
+
+    def arrive(now: float, task: int, step: int):
+        j = traces[task].steps[step][0]
+        if busy[j] < servers[j]:
+            busy[j] += 1
+            start(now, j, task, step)
+        else:
+            queues[j].append((task, step))
+
+    admitted = min(int(K), N)
+    for t in range(admitted):
+        arrive(0.0, t, 0)
+    backlog = N - admitted
+    next_task = admitted
+
+    departures = np.empty(N)
+    done = 0
+    while done < N:
+        now, _, j, task, step = heapq.heappop(heap)
+        if queues[j]:
+            q_task, q_step = queues[j].pop(0)
+            start(now, j, q_task, q_step)
+        else:
+            busy[j] -= 1
+        if step + 1 < len(traces[task].steps):
+            arrive(now, task, step + 1)
+        else:
+            departures[done] = now
+            done += 1
+            if backlog > 0:
+                backlog -= 1
+                arrive(now, next_task, 0)
+                next_task += 1
+    return SimulationResult(departure_times=departures)

@@ -1,0 +1,98 @@
+"""Self-validation driver: analytic model vs simulation for any system.
+
+Users extending the library (new station kinds, new cluster topologies)
+need a one-call answer to "does the analytic model still match reality?".
+:func:`cross_validate` runs the exact transient model and a replicated
+discrete-event simulation of the same spec and scores every epoch mean
+against its confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.transient import TransientModel
+from repro.network.spec import NetworkSpec
+from repro.simulation.replication import SimulationStudy, simulate_study
+
+__all__ = ["CrossValidationReport", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class CrossValidationReport:
+    """Outcome of an analytic-vs-simulation comparison."""
+
+    exact_epochs: np.ndarray
+    study: SimulationStudy
+    #: per-epoch |exact − simulated| / CI half-width
+    z_scores: np.ndarray
+    #: epochs whose exact mean falls outside the simulation CI
+    outside: np.ndarray
+    #: fraction of epochs allowed outside before failing
+    tolerance_fraction: float
+
+    @property
+    def n_epochs(self) -> int:
+        return self.exact_epochs.shape[0]
+
+    @property
+    def n_outside(self) -> int:
+        return int(self.outside.sum())
+
+    @property
+    def passed(self) -> bool:
+        """True when the disagreement rate is within the CI's nature."""
+        return self.n_outside <= max(1, int(self.tolerance_fraction * self.n_epochs))
+
+    @property
+    def makespan_agrees(self) -> bool:
+        lo, hi = self.study.makespan_ci()
+        return lo <= float(self.exact_epochs.sum()) <= hi
+
+    def summary(self) -> str:
+        """One-paragraph verdict."""
+        verdict = "PASS" if self.passed and self.makespan_agrees else "FAIL"
+        return (
+            f"[{verdict}] {self.n_epochs} epochs, {self.n_outside} outside their "
+            f"{self.study.z:.3g}-sigma interval "
+            f"(worst z = {self.z_scores.max():.2f}); makespan exact "
+            f"{self.exact_epochs.sum():.4f} vs simulated "
+            f"{self.study.makespan_mean:.4f} ± {self.study.makespan_halfwidth:.4f}"
+        )
+
+
+def cross_validate(
+    spec: NetworkSpec,
+    K: int,
+    N: int,
+    *,
+    reps: int = 2000,
+    seed: int = 0,
+    min_halfwidth_rel: float = 0.02,
+    tolerance_fraction: float = 0.05,
+) -> CrossValidationReport:
+    """Compare the transient model with simulation, epoch by epoch.
+
+    Parameters
+    ----------
+    min_halfwidth_rel:
+        Interval floor as a fraction of the exact value — protects against
+        vanishing CIs when an epoch's variance is tiny.
+    tolerance_fraction:
+        Allowed fraction of epochs outside their interval (99 % CIs leave
+        ~1 % legitimate misses; the default 5 % adds slack for correlated
+        epochs).
+    """
+    exact = TransientModel(spec, K).interdeparture_times(N)
+    study = simulate_study(spec, K, N, reps=reps, seed=seed)
+    hw = np.maximum(study.epoch_halfwidths, min_halfwidth_rel * exact)
+    z = np.abs(exact - study.epoch_means) / hw
+    return CrossValidationReport(
+        exact_epochs=exact,
+        study=study,
+        z_scores=z,
+        outside=z > 1.0,
+        tolerance_fraction=float(tolerance_fraction),
+    )

@@ -1,0 +1,92 @@
+"""Order-statistics (fork/join) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import expected_max, fork_join_makespan
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel
+from repro.distributions import erlang, exponential, fit_h2, maximum
+from repro.laqt import ServiceNetwork
+
+
+class TestExpectedMax:
+    def test_exponential_harmonic_numbers(self):
+        """E[max of K iid exp(µ)] = H_K / µ."""
+        for K in (1, 2, 5, 10):
+            h = sum(1.0 / i for i in range(1, K + 1))
+            assert expected_max(exponential(2.0), K) == pytest.approx(
+                h / 2.0, rel=1e-8
+            )
+
+    def test_matches_ph_maximum_operator(self):
+        """Independent check against the PH max construction."""
+        d = erlang(2, 1.0)
+        ph_max = maximum(d, d)
+        assert expected_max(d, 2) == pytest.approx(ph_max.mean, rel=1e-8)
+
+    def test_heavier_tail_larger_max(self):
+        exp_max = expected_max(exponential(1.0), 8)
+        h2_max = expected_max(fit_h2(1.0, 10.0), 8)
+        assert h2_max > 1.5 * exp_max
+
+    def test_monotone_in_K(self):
+        d = fit_h2(1.0, 5.0)
+        vals = [expected_max(d, K) for K in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_rejects_bad_K(self):
+        with pytest.raises(ValueError):
+            expected_max(exponential(1.0), 0)
+
+
+class TestForkJoinMakespan:
+    def test_single_machine_is_sum(self):
+        d = exponential(1.0)
+        assert fork_join_makespan(d, 1, 5) == pytest.approx(5.0, rel=1e-6)
+
+    def test_N_equals_K_is_expected_max(self):
+        d = erlang(2, 2.0)
+        assert fork_join_makespan(d, 4, 4) == pytest.approx(
+            expected_max(d, 4), rel=1e-6
+        )
+
+    def test_between_bounds(self):
+        """N·E[S]/K ≤ makespan ≤ N·E[S]."""
+        d = fit_h2(1.0, 5.0)
+        K, N = 4, 10
+        m = fork_join_makespan(d, K, N)
+        assert N * d.mean / K < m < N * d.mean
+
+    def test_underestimates_contended_cluster(self):
+        """The paper's §1 argument: ignoring shared resources is optimistic.
+
+        The fork/join model runs each task at its contention-free law (the
+        exact PH sojourn distribution) with no queueing for the shared
+        remote disk, so it must undershoot the contention-aware model.
+        """
+        app = ApplicationModel()  # heavy shared remote disk
+        spec = central_cluster(app)
+        K, N = 6, 18
+        task_dist = ServiceNetwork(spec).as_ph()
+        fj = fork_join_makespan(task_dist, K, N)
+        exact = TransientModel(spec, K).makespan(N)
+        assert fj < exact
+
+    def test_matches_uncontended_cluster_loosely(self):
+        """With a near-zero shared load the contention-aware model and the
+        fork/join baseline land close together (same physics, different
+        scheduling: greedy replacement vs static split)."""
+        app = ApplicationModel(local_time=11.8, remote_time=0.15)
+        spec = central_cluster(app)
+        K = 4
+        task_dist = ServiceNetwork(spec).as_ph()
+        fj = fork_join_makespan(task_dist, K, K)  # N = K: identical scheduling
+        exact = TransientModel(spec, K).makespan(K)
+        assert fj == pytest.approx(exact, rel=0.02)
+
+    def test_k_larger_than_n_clamps(self):
+        d = exponential(1.0)
+        assert fork_join_makespan(d, 10, 3) == pytest.approx(
+            expected_max(d, 3), rel=1e-6
+        )

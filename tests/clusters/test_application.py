@@ -1,0 +1,83 @@
+"""Application model: the paper's (C, X, Y, B, q, p₁, p₂) calculus."""
+
+import pytest
+
+from repro.clusters import ApplicationModel
+
+
+class TestComponents:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return ApplicationModel(
+            compute_fraction=0.5,
+            local_time=8.0,
+            remote_time=3.0,
+            comm_factor=1.0 / 3.0,
+            cycles=10.0,
+            remote_fraction=0.4,
+        )
+
+    def test_paper_decomposition(self, app):
+        """E(T) = CX + (1−C)X + BY + Y."""
+        assert app.cpu_time == pytest.approx(4.0)
+        assert app.local_disk_time == pytest.approx(4.0)
+        assert app.comm_time == pytest.approx(1.0)
+        assert app.remote_disk_time == pytest.approx(3.0)
+        assert app.task_time == pytest.approx(12.0)
+
+    def test_routing_parameters(self, app):
+        assert app.q == pytest.approx(0.1)
+        assert app.p1 == pytest.approx(0.6)
+        assert app.p2 == pytest.approx(0.4)
+        assert app.p1 + app.p2 == pytest.approx(1.0)
+
+    def test_per_visit_times_invert_the_paper_formulas(self, app):
+        """§5.4: q = t_cpu/CX, p₁ = q(1−C)X/(t_d(1−q)), p₂ = qY/(t_rd(1−q))."""
+        q = app.t_cpu / app.cpu_time
+        assert q == pytest.approx(app.q)
+        p1 = q * app.local_disk_time / (app.t_disk * (1.0 - q))
+        assert p1 == pytest.approx(app.p1)
+        p2 = q * app.remote_time / (app.t_rdisk * (1.0 - q))
+        assert p2 == pytest.approx(app.p2)
+
+    def test_visit_time_accounting(self, app):
+        """visits × per-visit mean = component, for every stage."""
+        cpu_visits = 1.0 / app.q
+        assert cpu_visits * app.t_cpu == pytest.approx(app.cpu_time)
+        disk_visits = app.p1 * (1 - app.q) / app.q
+        assert disk_visits * app.t_disk == pytest.approx(app.local_disk_time)
+        comm_visits = app.p2 * (1 - app.q) / app.q
+        assert comm_visits * app.t_comm == pytest.approx(app.comm_time)
+        assert comm_visits * app.t_rdisk == pytest.approx(app.remote_disk_time)
+
+    def test_with_remote_time(self, app):
+        app2 = app.with_remote_time(1.0)
+        assert app2.remote_time == 1.0
+        assert app2.local_time == app.local_time
+        assert app2.task_time == pytest.approx(8.0 + 4.0 / 3.0)
+
+
+class TestValidation:
+    def test_compute_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ApplicationModel(compute_fraction=0.0)
+        with pytest.raises(ValueError):
+            ApplicationModel(compute_fraction=1.0)
+
+    def test_cycles_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ApplicationModel(cycles=1.0)
+
+    def test_remote_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ApplicationModel(remote_fraction=0.0)
+        with pytest.raises(ValueError):
+            ApplicationModel(remote_fraction=1.0)
+
+    def test_positive_times(self):
+        with pytest.raises(ValueError):
+            ApplicationModel(local_time=0.0)
+        with pytest.raises(ValueError):
+            ApplicationModel(remote_time=-1.0)
+        with pytest.raises(ValueError):
+            ApplicationModel(comm_factor=0.0)

@@ -1,0 +1,84 @@
+"""Central-storage cluster builder (paper §5.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.distributions import Shape
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ApplicationModel()
+
+
+class TestStructure:
+    def test_four_stations_regardless_of_K(self, app):
+        spec = central_cluster(app)
+        assert [s.name for s in spec.stations] == ["cpu", "disk", "comm", "rdisk"]
+
+    def test_server_kinds(self, app):
+        spec = central_cluster(app)
+        assert spec.station("cpu").is_delay
+        assert spec.station("disk").is_delay
+        assert spec.station("comm").servers == 1
+        assert spec.station("rdisk").servers == 1
+
+    def test_routing_matches_paper_matrix(self, app):
+        """The P matrix of §5.4 with exit q from the CPU."""
+        spec = central_cluster(app)
+        q, p1, p2 = app.q, app.p1, app.p2
+        expect = np.array(
+            [
+                [0.0, p1 * (1 - q), p2 * (1 - q), 0.0],
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+                [1.0, 0.0, 0.0, 0.0],
+            ]
+        )
+        assert np.allclose(spec.routing, expect)
+        assert np.allclose(spec.exit, [q, 0, 0, 0])
+
+    def test_entry_at_cpu(self, app):
+        assert np.allclose(central_cluster(app).entry, [1, 0, 0, 0])
+
+    def test_visit_ratios_match_paper_pV(self, app):
+        """v = [1/q, p₁(1−q)/q, p₂(1−q)/q, p₂(1−q)/q]."""
+        spec = central_cluster(app)
+        q, p1, p2 = app.q, app.p1, app.p2
+        expect = np.array([1 / q, p1 * (1 - q) / q, p2 * (1 - q) / q, p2 * (1 - q) / q])
+        assert np.allclose(spec.visit_ratios(), expect)
+
+    def test_task_time_is_ET(self, app):
+        assert central_cluster(app).task_time() == pytest.approx(app.task_time)
+
+    def test_service_means(self, app):
+        spec = central_cluster(app)
+        assert spec.station("cpu").mean_service == pytest.approx(app.t_cpu)
+        assert spec.station("rdisk").mean_service == pytest.approx(app.t_rdisk)
+
+
+class TestShapes:
+    def test_shape_applied(self, app):
+        spec = central_cluster(app, {"rdisk": Shape.hyperexp(10.0)})
+        rd = spec.station("rdisk").dist
+        assert rd.scv == pytest.approx(10.0)
+        assert rd.mean == pytest.approx(app.t_rdisk)
+
+    def test_default_exponential(self, app):
+        spec = central_cluster(app)
+        for st in spec.stations:
+            assert st.dist.n_stages == 1
+
+    def test_unknown_shape_key_rejected(self, app):
+        with pytest.raises(ValueError, match="unknown station shapes"):
+            central_cluster(app, {"gpu": Shape.exponential()})
+
+    def test_task_time_invariant_under_shapes(self, app):
+        """Stage expansion changes variability, never means."""
+        spec = central_cluster(
+            app, {"cpu": Shape.erlang(3), "rdisk": Shape.hyperexp(20.0)}
+        )
+        assert spec.task_time() == pytest.approx(app.task_time)

@@ -1,0 +1,92 @@
+"""Distributed-storage cluster builder (paper §5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, distributed_cluster
+from repro.distributions import Shape
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ApplicationModel()
+
+
+class TestStructure:
+    def test_k_plus_two_stations(self, app):
+        for K in (1, 3, 5):
+            spec = distributed_cluster(app, K)
+            assert spec.n_stations == K + 2
+
+    def test_station_kinds(self, app):
+        spec = distributed_cluster(app, 3)
+        assert spec.station("cpu").is_delay
+        for i in range(3):
+            assert spec.station(f"disk{i}").servers == 1
+        assert spec.station("comm").servers == 1
+
+    def test_task_time_preserved(self, app):
+        """Total contention-free demand stays E(T) whatever K is."""
+        for K in (1, 2, 5):
+            spec = distributed_cluster(app, K)
+            assert spec.task_time() == pytest.approx(app.task_time)
+
+    def test_disk_demand_combines_local_and_remote(self, app):
+        """All storage is distributed: disks carry (1−C)X + Y in total."""
+        spec = distributed_cluster(app, 4)
+        demands = spec.service_demands()
+        disk_total = demands[1:5].sum()
+        assert disk_total == pytest.approx(app.local_disk_time + app.remote_time)
+
+    def test_uniform_weights_default(self, app):
+        spec = distributed_cluster(app, 4)
+        demands = spec.service_demands()
+        assert np.allclose(demands[1:5], demands[1])
+
+    def test_comm_carries_BY(self, app):
+        spec = distributed_cluster(app, 4)
+        assert spec.service_demands()[-1] == pytest.approx(app.comm_time)
+
+
+class TestWeights:
+    def test_custom_allocation(self, app):
+        w = np.array([0.5, 0.3, 0.2])
+        spec = distributed_cluster(app, 3, weights=w)
+        demands = spec.service_demands()[1:4]
+        total = app.local_disk_time + app.remote_time
+        assert np.allclose(demands, w * total)
+
+    def test_rejects_bad_weights(self, app):
+        with pytest.raises(ValueError):
+            distributed_cluster(app, 3, weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            distributed_cluster(app, 2, weights=[0.5, 0.6])
+        with pytest.raises(ValueError):
+            distributed_cluster(app, 2, weights=[1.0, 0.0])
+
+    def test_skewed_allocation_hurts_throughput(self, app):
+        """Data skew creates a hot disk — the motivation for the authors'
+        data-allocation work [15]."""
+        from repro.jackson import convolution_analysis
+
+        K = 4
+        uniform = distributed_cluster(app, K)
+        skewed = distributed_cluster(app, K, weights=[0.7, 0.1, 0.1, 0.1])
+        thr_u = convolution_analysis(uniform, K).throughput
+        thr_s = convolution_analysis(skewed, K).throughput
+        assert thr_s < thr_u
+
+
+class TestShapes:
+    def test_disk_shape_applied_to_all_disks(self, app):
+        spec = distributed_cluster(app, 3, shapes={"disk": Shape.hyperexp(10.0)})
+        for i in range(3):
+            assert spec.station(f"disk{i}").dist.scv == pytest.approx(10.0)
+
+    def test_unknown_shape_rejected(self, app):
+        with pytest.raises(ValueError, match="unknown"):
+            distributed_cluster(app, 2, shapes={"rdisk": Shape.exponential()})
+
+    def test_rejects_bad_K(self, app):
+        with pytest.raises(ValueError):
+            distributed_cluster(app, 0)

@@ -1,0 +1,149 @@
+"""Model extensions: scheduler overhead, multitasking, heterogeneous disks."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import (
+    ApplicationModel,
+    central_cluster,
+    central_cluster_multitasking,
+    central_cluster_with_scheduler,
+    distributed_cluster,
+    heterogeneous_distributed_cluster,
+    load_balanced_weights,
+)
+from repro.core import TransientModel, solve_steady_state
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ApplicationModel()
+
+
+class TestScheduler:
+    def test_task_time_adds_dispatch_demand(self, app):
+        spec = central_cluster_with_scheduler(app, 0.05)
+        # One dispatch per cycle: demand = overhead · cycles.
+        assert spec.task_time() == pytest.approx(app.task_time + 0.05 * app.cycles)
+
+    def test_overhead_slows_makespan(self, app):
+        K, N = 4, 16
+        base = TransientModel(central_cluster(app), K).makespan(N)
+        withs = TransientModel(central_cluster_with_scheduler(app, 0.05), K).makespan(N)
+        assert withs > base
+
+    def test_scheduler_saturation(self, app):
+        """A slow dispatcher becomes the bottleneck of the whole cluster."""
+        K = 6
+        slow = central_cluster_with_scheduler(app, 0.5)
+        t_ss = solve_steady_state(TransientModel(slow, K)).interdeparture_time
+        # Scheduler demand per task = 0.5 × 10 cycles = 5 > any other demand:
+        # the steady state is pinned just above the dispatcher's demand.
+        assert 5.0 <= t_ss < 5.0 * 1.15
+
+    def test_visits_match_cycles(self, app):
+        spec = central_cluster_with_scheduler(app, 0.1)
+        v = spec.visit_ratios()
+        assert v[spec.station_index("sched")] == pytest.approx(app.cycles)
+
+    def test_rejects_bad_overhead(self, app):
+        with pytest.raises(ValueError):
+            central_cluster_with_scheduler(app, 0.0)
+
+    def test_rejects_unknown_shape(self, app):
+        from repro.distributions import Shape
+
+        with pytest.raises(ValueError, match="unknown"):
+            central_cluster_with_scheduler(app, 0.1, {"gpu": Shape.exponential()})
+
+
+class TestMultitasking:
+    def test_mpl_one_is_exactly_the_base_model(self, app):
+        """With population ≤ K the pooled station's min(n, K)·µ equals the
+        delay bank's n·µ, so the two models coincide state for state."""
+        K, N = 4, 16
+        base = TransientModel(central_cluster(app), K)
+        pooled = TransientModel(central_cluster_multitasking(app, K), K)
+        assert np.allclose(
+            base.interdeparture_times(N), pooled.interdeparture_times(N)
+        )
+
+    def test_multiprogramming_raises_throughput_until_saturation(self, app):
+        """Admitting more tasks than CPUs keeps helping while any resource
+        has headroom, with diminishing returns."""
+        K = 3
+        spec = central_cluster_multitasking(app, K)
+        t = [
+            solve_steady_state(TransientModel(spec, K * mpl)).interdeparture_time
+            for mpl in (1, 2, 3)
+        ]
+        assert t[1] < t[0]
+        assert t[2] <= t[1]
+        # Diminishing returns.
+        assert (t[0] - t[1]) > (t[1] - t[2]) - 1e-12
+
+    def test_cannot_beat_bottleneck(self, app):
+        """t_ss ≥ max_j demand_j / c_j (per-server bottleneck bound)."""
+        K = 3
+        spec = central_cluster_multitasking(app, K)
+        t_ss = solve_steady_state(TransientModel(spec, 4 * K)).interdeparture_time
+        bound = max(
+            d / (K if st.name in ("cpu", "disk") else 1)
+            for d, st in zip(spec.service_demands(), spec.stations)
+        )
+        assert t_ss >= bound - 1e-9
+        # ...and deep multiprogramming approaches it.
+        assert t_ss < bound * 1.05
+
+    def test_rejects_shapes_on_pools(self, app):
+        from repro.distributions import Shape
+
+        with pytest.raises(ValueError, match="exponential"):
+            central_cluster_multitasking(app, 3, {"cpu": Shape.erlang(2)})
+
+    def test_rejects_bad_K(self, app):
+        with pytest.raises(ValueError):
+            central_cluster_multitasking(app, 0)
+
+
+class TestHeterogeneousDisks:
+    def test_defaults_match_homogeneous(self, app):
+        a = distributed_cluster(app, 3)
+        b = heterogeneous_distributed_cluster(app, 3)
+        assert np.allclose(a.service_demands(), b.service_demands())
+
+    def test_speed_scales_per_visit_mean(self, app):
+        spec = heterogeneous_distributed_cluster(app, 2, speeds=[2.0, 1.0])
+        assert spec.station("disk0").mean_service == pytest.approx(
+            spec.station("disk1").mean_service / 2.0
+        )
+
+    def test_load_balanced_weights_equalize_demand(self, app):
+        speeds = [3.0, 1.0, 1.0]
+        w = load_balanced_weights(speeds)
+        spec = heterogeneous_distributed_cluster(app, 3, weights=w, speeds=speeds)
+        demands = spec.service_demands()[1:4]
+        assert np.allclose(demands, demands[0])
+
+    def test_balanced_beats_uniform_on_skewed_hardware(self, app):
+        """Placing data in proportion to disk speed improves throughput —
+        the design rule of the authors' allocation paper [15]."""
+        speeds = [4.0, 1.0, 1.0]
+        K = 3
+        uniform = heterogeneous_distributed_cluster(app, K, speeds=speeds)
+        balanced = heterogeneous_distributed_cluster(
+            app, K, weights=load_balanced_weights(speeds), speeds=speeds
+        )
+        t_u = solve_steady_state(TransientModel(uniform, K)).interdeparture_time
+        t_b = solve_steady_state(TransientModel(balanced, K)).interdeparture_time
+        assert t_b < t_u
+
+    def test_rejects_bad_speeds(self, app):
+        with pytest.raises(ValueError):
+            heterogeneous_distributed_cluster(app, 2, speeds=[1.0, -1.0])
+        with pytest.raises(ValueError):
+            heterogeneous_distributed_cluster(app, 2, speeds=[1.0])
+
+    def test_load_balanced_weights_validation(self):
+        with pytest.raises(ValueError):
+            load_balanced_weights([1.0, 0.0])

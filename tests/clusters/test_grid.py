@@ -1,0 +1,95 @@
+"""Grid-of-clusters model."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel
+from repro.clusters.grid import grid_cluster
+from repro.core import TransientModel, solve_steady_state
+from repro.jackson import convolution_analysis
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ApplicationModel()
+
+
+class TestStructure:
+    def test_station_count(self, app):
+        for G in (2, 3):
+            assert grid_cluster(app, G).n_stations == 4 * G + 2
+
+    def test_visit_accounting(self, app):
+        """Every remote access reaches storage exactly once; the WAN sees
+        the (1 − locality) share in each direction."""
+        loc = 0.8
+        spec = grid_cluster(app, 2, locality=loc)
+        v = spec.visit_ratios()
+        remote_visits = app.p2 * (1 - app.q) / app.q
+        rdisk_total = v[3] + v[7]
+        assert rdisk_total == pytest.approx(remote_visits)
+        assert v[spec.station_index("wan_up")] == pytest.approx(
+            (1 - loc) * remote_visits
+        )
+        assert v[spec.station_index("wan_dn")] == pytest.approx(
+            (1 - loc) * remote_visits
+        )
+
+    def test_site_symmetry(self, app):
+        spec = grid_cluster(app, 3)
+        v = spec.visit_ratios()
+        assert v[0] == pytest.approx(v[4]) == pytest.approx(v[8])  # cpus
+
+    def test_full_locality_removes_wan_demand(self, app):
+        spec = grid_cluster(app, 2, locality=1.0)
+        demands = spec.service_demands()
+        assert demands[spec.station_index("wan_up")] == pytest.approx(0.0)
+        assert spec.task_time() == pytest.approx(app.task_time)
+
+    def test_task_time_grows_with_wan_crossings(self, app):
+        t = [
+            grid_cluster(app, 2, locality=loc, wan_factor=3.0).task_time()
+            for loc in (0.9, 0.5, 0.1)
+        ]
+        assert t[0] < t[1] < t[2]
+
+    def test_validation(self, app):
+        with pytest.raises(ValueError):
+            grid_cluster(app, 1)
+        with pytest.raises(ValueError):
+            grid_cluster(app, 2, wan_factor=0.5)
+        with pytest.raises(ValueError):
+            grid_cluster(app, 2, shapes={"nope": None})
+
+
+class TestSolutions:
+    def test_transient_matches_product_form(self, app):
+        spec = grid_cluster(app, 2)
+        K = 4
+        t_tr = solve_steady_state(TransientModel(spec, K)).interdeparture_time
+        t_pf = convolution_analysis(spec, K).interdeparture_time
+        assert t_tr == pytest.approx(t_pf, rel=1e-8)
+
+    def test_locality_monotone(self, app):
+        """Less locality ⇒ more WAN work ⇒ slower steady state."""
+        K = 4
+        ts = [
+            solve_steady_state(
+                TransientModel(grid_cluster(app, 2, locality=loc), K)
+            ).interdeparture_time
+            for loc in (0.9, 0.6, 0.3)
+        ]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_wan_becomes_bottleneck_at_low_locality(self, app):
+        from repro.core import analyze_sojourn
+
+        model = TransientModel(grid_cluster(app, 2, locality=0.1, wan_factor=4.0), 4)
+        assert analyze_sojourn(model).bottleneck().name.startswith("wan")
+
+    def test_simulation_agreement(self, app):
+        from repro.validation import cross_validate
+
+        spec = grid_cluster(app, 2, locality=0.7)
+        report = cross_validate(spec, 3, 12, reps=1200, seed=21)
+        assert report.passed and report.makespan_agrees

@@ -1,0 +1,55 @@
+"""Three-region approximation of the makespan (ref [17])."""
+
+import pytest
+
+from repro.core import TransientModel, approximate_makespan, solve_steady_state
+
+
+class TestAccuracy:
+    def test_relative_error_shrinks_with_N(self, central_h2_model):
+        errs = []
+        for N in (10, 30, 100, 300):
+            exact = central_h2_model.makespan(N)
+            approx = approximate_makespan(central_h2_model, N).total
+            errs.append(abs(approx - exact) / exact)
+        assert errs[-1] < 1e-3
+        assert errs[-1] <= errs[0]
+
+    def test_more_head_epochs_never_hurt_much(self, central_h2_model):
+        N = 30
+        exact = central_h2_model.makespan(N)
+        e1 = abs(approximate_makespan(central_h2_model, N, head_epochs=1).total - exact)
+        e8 = abs(approximate_makespan(central_h2_model, N, head_epochs=8).total - exact)
+        assert e8 <= e1 + 1e-9
+
+    def test_exact_when_N_at_most_K(self, central_h2_model):
+        for N in (2, 5):
+            approx = approximate_makespan(central_h2_model, N)
+            assert approx.total == pytest.approx(central_h2_model.makespan(N))
+            assert approx.steady_epochs == 0
+
+    def test_all_head_epochs_exact_plus_drain_mismatch_only(self, central_h2_model):
+        """With every backlogged epoch in the head, only the drain start
+        state is approximate — and for N far past warm-up that is exact too."""
+        N = 60
+        approx = approximate_makespan(central_h2_model, N, head_epochs=N)
+        assert approx.steady_epochs == 0
+        assert approx.total == pytest.approx(central_h2_model.makespan(N), rel=1e-8)
+
+
+class TestStructure:
+    def test_decomposition_adds_up(self, central_model):
+        a = approximate_makespan(central_model, 50, head_epochs=3)
+        assert a.total == pytest.approx(
+            a.head_time + a.steady_epochs * a.t_ss + a.drain_time
+        )
+
+    def test_steady_reuse(self, central_model):
+        ss = solve_steady_state(central_model)
+        a = approximate_makespan(central_model, 40, steady=ss)
+        b = approximate_makespan(central_model, 40)
+        assert a.total == pytest.approx(b.total)
+
+    def test_invalid_N(self, central_model):
+        with pytest.raises(ValueError):
+            approximate_makespan(central_model, 0)

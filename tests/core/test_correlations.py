@@ -1,0 +1,117 @@
+"""Exact serial correlation of the stationary departure process."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TransientModel,
+    interdeparture_autocorrelation,
+    interdeparture_autocovariance,
+    solve_steady_state,
+)
+from repro.distributions import exponential
+from repro.markov import MakespanAnalyzer
+from repro.network import DELAY, NetworkSpec, Station
+from repro.simulation import simulate_once
+
+
+class TestIndependentCases:
+    """Single-station exponential systems produce iid epochs."""
+
+    @pytest.mark.parametrize("servers", [1, DELAY], ids=["queue", "delay"])
+    def test_zero_autocorrelation(self, servers):
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(2.0), servers),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        rho = interdeparture_autocorrelation(TransientModel(spec, 3), 5)
+        assert rho[0] == pytest.approx(1.0)
+        assert np.allclose(rho[1:], 0.0, atol=1e-10)
+
+    def test_variance_matches_epoch_law(self):
+        """γ₀ equals the variance of the stationary epoch distribution."""
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(2.0), 1),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        gamma = interdeparture_autocovariance(TransientModel(spec, 2), 1)
+        assert gamma[0] == pytest.approx(0.25)  # Var of Exp(2)
+
+
+class TestClusterCorrelations:
+    def test_h2_shared_induces_positive_correlation(self, central_h2_model):
+        rho = interdeparture_autocorrelation(central_h2_model, 6)
+        assert rho[1] > 0.005
+        # Correlogram decays.
+        assert np.all(np.diff(rho[1:]) <= 1e-12)
+
+    def test_matches_simulation(self, central_h2_spec):
+        model = TransientModel(central_h2_spec, 5)
+        rho = interdeparture_autocorrelation(model, 1)
+        rng = np.random.default_rng(13)
+        est = []
+        for _ in range(30):
+            res = simulate_once(central_h2_spec, 5, 2500, rng)
+            t = np.diff(res.departure_times)[400:2300]
+            t = t - t.mean()
+            est.append(float((t[:-1] * t[1:]).mean() / (t * t).mean()))
+        hw = 3 * np.std(est) / np.sqrt(len(est))
+        assert abs(np.mean(est) - rho[1]) < max(hw, 0.004)
+
+    def test_covariances_explain_makespan_variance(self, central_model):
+        """Deep in steady state, Var[T_j+T_{j+1}+...] accumulates 2Σγ_n —
+        check against the exact absorbing-chain variance increments."""
+        gamma = interdeparture_autocovariance(central_model, 30)
+        # Var of one additional steady epoch in a long run:
+        N = 60
+        v_n = MakespanAnalyzer(central_model, N, departures=40).variance()
+        v_m = MakespanAnalyzer(central_model, N, departures=41).variance()
+        increment = v_m - v_n
+        expect = gamma[0] + 2.0 * gamma[1:].sum()
+        assert increment == pytest.approx(expect, rel=1e-6)
+
+    def test_steady_reuse(self, central_h2_model):
+        ss = solve_steady_state(central_h2_model)
+        a = interdeparture_autocovariance(central_h2_model, 3, steady=ss)
+        b = interdeparture_autocovariance(central_h2_model, 3)
+        assert np.allclose(a, b)
+
+    def test_validation(self, central_model):
+        with pytest.raises(ValueError):
+            interdeparture_autocovariance(central_model, -1)
+
+
+class TestIndexOfDispersion:
+    def test_renewal_case_constant(self, single_queue_spec):
+        from repro.core.correlations import index_of_dispersion
+        from repro.core.transient import TransientModel
+
+        model = TransientModel(single_queue_spec, 2)
+        vals = [index_of_dispersion(model, n) for n in (1, 3, 10)]
+        # iid exponential epochs: I_n = 1 for all n.
+        assert all(v == pytest.approx(1.0, abs=1e-10) for v in vals)
+
+    def test_i1_is_epoch_scv(self, central_h2_model):
+        from repro.core.correlations import index_of_dispersion
+        from repro.core.epochs import epoch_distribution
+
+        i1 = index_of_dispersion(central_h2_model, 1)
+        # Stationary epoch SCV via the epoch law started from p_ss.
+        ss = solve_steady_state(central_h2_model)
+        gamma = interdeparture_autocovariance(central_h2_model, 0)
+        assert i1 == pytest.approx(gamma[0] / ss.interdeparture_time**2, rel=1e-10)
+
+    def test_positive_correlation_grows_idi(self, central_h2_model):
+        from repro.core.correlations import index_of_dispersion
+
+        i1 = index_of_dispersion(central_h2_model, 1)
+        i20 = index_of_dispersion(central_h2_model, 20)
+        assert i20 > i1
+
+    def test_validation(self, central_model):
+        from repro.core.correlations import index_of_dispersion
+
+        with pytest.raises(ValueError):
+            index_of_dispersion(central_model, 0)

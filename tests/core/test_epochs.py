@@ -1,0 +1,65 @@
+"""Per-epoch inter-departure distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core import epoch_distribution, epoch_distributions, epoch_scvs
+from repro.simulation import simulate_study
+
+
+class TestMeansMatchTransientModel:
+    def test_every_epoch_mean(self, central_h2_model):
+        N = 12
+        times = central_h2_model.interdeparture_times(N)
+        dists = epoch_distributions(central_h2_model, N)
+        assert len(dists) == N
+        for t, d in zip(times, dists):
+            assert d.mean == pytest.approx(t, rel=1e-9)
+
+    def test_single_epoch_access(self, central_h2_model):
+        N = 10
+        times = central_h2_model.interdeparture_times(N)
+        d = epoch_distribution(central_h2_model, N, 4)
+        assert d.mean == pytest.approx(times[3], rel=1e-9)
+
+    def test_bounds(self, central_model):
+        with pytest.raises(ValueError):
+            epoch_distribution(central_model, 5, 0)
+        with pytest.raises(ValueError):
+            epoch_distribution(central_model, 5, 6)
+
+
+class TestDistributionShape:
+    def test_last_epoch_has_largest_mean(self, central_model):
+        dists = epoch_distributions(central_model, 12)
+        means = [d.mean for d in dists]
+        assert np.argmax(means) == 11
+
+    def test_scvs_positive_and_finite(self, central_h2_model):
+        scvs = epoch_scvs(central_h2_model, 12)
+        assert scvs.shape == (12,)
+        assert np.all(scvs > 0)
+        assert np.all(np.isfinite(scvs))
+
+    def test_cdf_valid(self, central_h2_model):
+        d = epoch_distribution(central_h2_model, 10, 5)
+        t = np.linspace(0, 20 * d.mean, 12)
+        cdf = d.cdf(t)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] > 0.98  # the H2 tail is long; 20× the mean covers it
+
+
+class TestAgainstSimulation:
+    def test_first_epoch_distribution(self, central_spec):
+        """Epoch 1's full law vs the empirical first-departure times."""
+        from repro.core import TransientModel
+
+        K, N = 4, 8
+        model = TransientModel(central_spec, K)
+        d = epoch_distribution(model, N, 1)
+        study = simulate_study(central_spec, K, N, reps=3000, seed=77)
+        first = study.departures[:, 0]
+        assert first.mean() == pytest.approx(d.mean, rel=0.05)
+        for q in (0.25, 0.5, 0.9):
+            t = np.quantile(first, q)
+            assert float(d.cdf(t)) == pytest.approx(q, abs=0.03)

@@ -1,0 +1,52 @@
+"""Region decomposition: transient / steady-state / draining."""
+
+import pytest
+
+from repro.core import TransientModel, decompose_regions, solve_steady_state
+
+
+class TestDecomposition:
+    def test_partition_covers_all_epochs(self, central_h2_model):
+        N = 30
+        r = decompose_regions(central_h2_model, N)
+        assert r.transient[0] == 0
+        assert r.transient[1] == r.steady[0]
+        assert r.steady[1] == r.draining[0]
+        assert r.draining[1] == N
+
+    def test_draining_width_is_K(self, central_h2_model):
+        r = decompose_regions(central_h2_model, 30)
+        assert r.draining_width == central_h2_model.K
+
+    def test_draining_capped_by_N(self, central_h2_model):
+        r = decompose_regions(central_h2_model, 3)
+        assert r.draining_width == 3
+
+    def test_steady_region_exists_for_large_N(self, central_h2_model):
+        r = decompose_regions(central_h2_model, 60)
+        assert r.steady_width > 20
+
+    def test_small_N_never_reaches_steady_state(self, central_h2_model):
+        """The paper's point: short workloads live in the transient regions."""
+        r_small = decompose_regions(central_h2_model, 8, rtol=1e-4)
+        r_large = decompose_regions(central_h2_model, 100, rtol=1e-4)
+        assert r_small.steady_fraction < r_large.steady_fraction
+
+    def test_steady_fraction_grows_with_N(self, central_model):
+        fracs = [
+            decompose_regions(central_model, N).steady_fraction
+            for N in (10, 30, 100, 300)
+        ]
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] > 0.9
+
+    def test_t_ss_passthrough(self, central_model):
+        ss = solve_steady_state(central_model)
+        r = decompose_regions(central_model, 20, t_ss=ss.interdeparture_time)
+        assert r.t_ss == pytest.approx(ss.interdeparture_time)
+
+    def test_tolerance_widens_steady_region(self, central_h2_model):
+        tight = decompose_regions(central_h2_model, 30, rtol=1e-6)
+        loose = decompose_regions(central_h2_model, 30, rtol=0.05)
+        assert loose.steady_width >= tight.steady_width
+        assert loose.transient_width <= tight.transient_width

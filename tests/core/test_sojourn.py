@@ -1,0 +1,82 @@
+"""Steady-state residence metrics and Little's-law consistency."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel, analyze_sojourn, solve_steady_state
+from repro.distributions import Shape
+from repro.jackson import mva_analysis
+
+
+class TestAgainstMVA:
+    def test_residence_times_match_exact_mva(self, central_model):
+        soj = analyze_sojourn(central_model)
+        mva = mva_analysis(central_model.spec, central_model.K)
+        got = np.array([s.residence_time for s in soj.stations])
+        assert np.allclose(got, mva.residence_times, rtol=1e-8)
+
+    def test_queue_means_match_mva(self, central_model):
+        soj = analyze_sojourn(central_model)
+        mva = mva_analysis(central_model.spec, central_model.K)
+        got = np.array([s.mean_customers for s in soj.stations])
+        assert np.allclose(got, mva.queue_means, rtol=1e-8)
+
+
+class TestLittleLaw:
+    def test_customers_sum_to_K(self, central_h2_model):
+        soj = analyze_sojourn(central_h2_model)
+        total = sum(s.mean_customers for s in soj.stations)
+        assert total == pytest.approx(central_h2_model.K)
+
+    def test_task_sojourn_is_K_over_X(self, central_h2_model):
+        soj = analyze_sojourn(central_h2_model)
+        assert soj.task_sojourn_time == pytest.approx(
+            central_h2_model.K / soj.throughput
+        )
+
+    def test_per_station_little(self, central_h2_model):
+        for s in analyze_sojourn(central_h2_model).stations:
+            assert s.mean_customers == pytest.approx(
+                s.visit_rate * s.residence_time, rel=1e-10
+            )
+
+    def test_waiting_decomposition(self, central_h2_model):
+        spec = central_h2_model.spec
+        for s, st in zip(analyze_sojourn(central_h2_model).stations, spec.stations):
+            assert s.residence_time == pytest.approx(
+                s.waiting_time + st.mean_service, rel=1e-9
+            )
+            assert s.mean_waiting == pytest.approx(
+                s.mean_customers - s.mean_busy, rel=1e-9
+            )
+
+
+class TestStructure:
+    def test_delay_banks_never_wait(self, central_model):
+        soj = analyze_sojourn(central_model)
+        assert soj.station("cpu").mean_waiting == pytest.approx(0.0, abs=1e-10)
+        assert soj.station("cpu").waiting_time == pytest.approx(0.0, abs=1e-10)
+        assert soj.station("disk").mean_waiting == pytest.approx(0.0, abs=1e-10)
+
+    def test_bottleneck_is_remote_disk(self, central_model):
+        assert analyze_sojourn(central_model).bottleneck().name == "rdisk"
+
+    def test_station_lookup(self, central_model):
+        soj = analyze_sojourn(central_model)
+        assert soj.station("comm").name == "comm"
+        with pytest.raises(KeyError):
+            soj.station("nothere")
+
+    def test_h2_increases_waiting_beyond_mva(self):
+        """Non-exponential shared service raises waiting — the effect the
+        product-form/MVA baselines cannot see."""
+        app = ApplicationModel()
+        K = 5
+        exp_model = TransientModel(central_cluster(app), K)
+        h2_model = TransientModel(
+            central_cluster(app, {"rdisk": Shape.hyperexp(10.0)}), K
+        )
+        w_exp = analyze_sojourn(exp_model).station("rdisk").waiting_time
+        w_h2 = analyze_sojourn(h2_model).station("rdisk").waiting_time
+        assert w_h2 > w_exp * 1.05

@@ -1,0 +1,149 @@
+"""Steady state of the backlogged system vs the product-form baselines."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster, distributed_cluster
+from repro.core import TransientModel, solve_steady_state
+from repro.distributions import Shape
+from repro.jackson import convolution_analysis, mva_analysis
+
+
+class TestFixedPoint:
+    def test_pss_is_stationary(self, central_h2_model):
+        ss = solve_steady_state(central_h2_model)
+        top = central_h2_model.level(central_h2_model.K)
+        assert np.allclose(top.apply_YR(ss.p_ss), ss.p_ss, atol=1e-9)
+
+    def test_pss_is_distribution(self, central_h2_model):
+        ss = solve_steady_state(central_h2_model)
+        assert ss.p_ss.sum() == pytest.approx(1.0)
+        assert np.all(ss.p_ss >= 0)
+
+    def test_throughput_inverse(self, central_h2_model):
+        ss = solve_steady_state(central_h2_model)
+        assert ss.throughput == pytest.approx(1.0 / ss.interdeparture_time)
+
+
+class TestProductFormAgreement:
+    """For exponential networks the transient steady state IS the PF solution."""
+
+    @pytest.mark.parametrize("K", [1, 2, 5, 8])
+    def test_central_cluster(self, central_spec, K):
+        t_tr = solve_steady_state(
+            TransientModel(central_spec, K)
+        ).interdeparture_time
+        t_pf = convolution_analysis(central_spec, K).interdeparture_time
+        assert t_tr == pytest.approx(t_pf, rel=1e-9)
+
+    def test_distributed_cluster(self, distributed_spec):
+        K = 4
+        t_tr = solve_steady_state(
+            TransientModel(distributed_spec, K)
+        ).interdeparture_time
+        t_pf = convolution_analysis(distributed_spec, K).interdeparture_time
+        assert t_tr == pytest.approx(t_pf, rel=1e-9)
+
+    def test_mva_agreement(self, central_spec):
+        K = 6
+        t_tr = solve_steady_state(TransientModel(central_spec, K)).interdeparture_time
+        t_mva = mva_analysis(central_spec, K).interdeparture_time
+        assert t_tr == pytest.approx(t_mva, rel=1e-9)
+
+
+class TestInsensitivity:
+    """Delay stations are insensitive: their distribution cannot move t_ss
+    (paper §6.2.1: 'all three distributions approach the same steady state')."""
+
+    @pytest.mark.parametrize(
+        "shape", [Shape.erlang(3), Shape.hyperexp(10.0)], ids=["E3", "H2"]
+    )
+    def test_cpu_distribution_irrelevant(self, shape):
+        app = ApplicationModel()
+        K = 4
+        base = solve_steady_state(
+            TransientModel(central_cluster(app), K)
+        ).interdeparture_time
+        other = solve_steady_state(
+            TransientModel(central_cluster(app, {"cpu": shape}), K)
+        ).interdeparture_time
+        assert other == pytest.approx(base, rel=1e-8)
+
+    def test_shared_distribution_matters(self):
+        """...whereas a shared server's C² does move the steady state
+        (paper §6.1.2, the case Jackson networks cannot handle)."""
+        app = ApplicationModel()
+        K = 4
+        base = solve_steady_state(
+            TransientModel(central_cluster(app), K)
+        ).interdeparture_time
+        h2 = solve_steady_state(
+            TransientModel(central_cluster(app, {"rdisk": Shape.hyperexp(10.0)}), K)
+        ).interdeparture_time
+        assert h2 > base * 1.02
+
+    def test_no_contention_insensitive_even_when_shared(self):
+        """A lightly-loaded shared server barely queues, so even its C²
+        hardly matters — the paper's 'no contention' flat line in Fig. 5."""
+        app = ApplicationModel(
+            compute_fraction=0.5,
+            local_time=11.8,
+            remote_time=0.15,
+            comm_factor=1.0 / 3.0,
+            cycles=10.0,
+            remote_fraction=0.4,
+        )
+        K = 8
+        base = solve_steady_state(
+            TransientModel(central_cluster(app), K)
+        ).interdeparture_time
+        h2 = solve_steady_state(
+            TransientModel(central_cluster(app, {"rdisk": Shape.hyperexp(50.0)}), K)
+        ).interdeparture_time
+        assert h2 == pytest.approx(base, rel=0.03)
+
+
+class TestRandomNetworksAgainstProductForm:
+    """Property: for ANY exponential network the transient steady state
+    equals the Buzen convolution — the strongest structural invariant."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000), K=st.integers(1, 4))
+    def test_random_network_t_ss(self, seed, K):
+        import math
+
+        from repro.distributions import exponential
+        from repro.network import DELAY, NetworkSpec, Station
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        kinds = [1, 2, DELAY]
+        stations = tuple(
+            Station(
+                f"s{i}",
+                exponential(float(rng.uniform(0.3, 3.0))),
+                kinds[rng.integers(0, 3)],
+            )
+            for i in range(n)
+        )
+        raw = rng.uniform(0.0, 1.0, (n, n))
+        routing = raw / raw.sum(axis=1, keepdims=True) * float(rng.uniform(0.4, 0.9))
+        entry = rng.dirichlet(np.ones(n))
+        spec = NetworkSpec(stations=stations, routing=routing, entry=entry)
+        t_tr = solve_steady_state(TransientModel(spec, K)).interdeparture_time
+        t_pf = convolution_analysis(spec, K).interdeparture_time
+        assert t_tr == pytest.approx(t_pf, rel=1e-8)
+
+
+class TestConvergenceOfEpochs:
+    def test_epoch_sequence_converges_to_pss(self, central_h2_model):
+        """p_K (Y_K R_K)^i → p_ss: the paper's bridge to the product form."""
+        ss = solve_steady_state(central_h2_model)
+        top = central_h2_model.level(central_h2_model.K)
+        x = central_h2_model.entrance_vector()
+        for _ in range(200):
+            x = top.apply_YR(x)
+        assert np.allclose(x, ss.p_ss, atol=1e-8)

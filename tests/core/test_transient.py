@@ -1,0 +1,163 @@
+"""The transient finite-workload solver (paper §4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel, solve_steady_state
+from repro.distributions import Shape
+
+
+class TestKnownAnswers:
+    def test_single_queue_departs_every_service(self, single_queue_spec):
+        """One shared exp(2) server: every epoch takes exactly 1/µ."""
+        model = TransientModel(single_queue_spec, 2)
+        assert np.allclose(model.interdeparture_times(7), 0.5)
+        assert model.makespan(7) == pytest.approx(3.5)
+
+    def test_delay_bank_epochs(self, delay_spec):
+        """K=3 delay bank of exp(2): backlog epochs at 1/(3µ), draining at
+        1/(3µ), 1/(2µ), 1/µ."""
+        model = TransientModel(delay_spec, 3)
+        times = model.interdeparture_times(5)
+        expect = [1 / 6, 1 / 6, 1 / 6, 1 / 4, 1 / 2]
+        assert np.allclose(times, expect)
+
+    def test_single_task(self, central_spec):
+        """N = 1: the makespan is the contention-free task time."""
+        model = TransientModel(central_spec, 5)
+        assert model.makespan(1) == pytest.approx(central_spec.task_time())
+
+    def test_n_less_than_k_uses_smaller_system(self, delay_spec):
+        """N < K runs with N active tasks (paper's 'smaller cluster' rule)."""
+        model = TransientModel(delay_spec, 5)
+        times = model.interdeparture_times(2)
+        assert np.allclose(times, [1 / 4, 1 / 2])
+
+
+class TestStructure:
+    def test_epoch_count_is_N(self, central_h2_model):
+        for N in (5, 12, 30):
+            assert central_h2_model.interdeparture_times(N).shape == (N,)
+
+    def test_makespan_is_sum_of_epochs(self, central_h2_model):
+        N = 20
+        assert central_h2_model.makespan(N) == pytest.approx(
+            central_h2_model.interdeparture_times(N).sum()
+        )
+
+    def test_departure_times_cumulative(self, central_h2_model):
+        N = 10
+        d = central_h2_model.departure_times(N)
+        assert np.all(np.diff(d) > 0)
+        assert d[-1] == pytest.approx(central_h2_model.makespan(N))
+
+    def test_middle_epochs_approach_steady_state(self, central_h2_model):
+        times = central_h2_model.interdeparture_times(40)
+        t_ss = solve_steady_state(central_h2_model).interdeparture_time
+        # By epoch 20 (backlog still deep) the system is stationary.
+        assert times[20] == pytest.approx(t_ss, rel=1e-6)
+
+    def test_draining_epochs_increase(self, central_model):
+        """With fewer tasks than workstations, departures slow down."""
+        times = central_model.interdeparture_times(30)
+        drain = times[-central_model.K :]
+        assert np.all(np.diff(drain) > 0)
+
+    def test_last_epoch_is_lone_task_drain(self, central_model):
+        """The final epoch's time from stationarity ≥ the epoch at k=1."""
+        times = central_model.interdeparture_times(30)
+        # A lone task with no contention: mean residual ≈ task time region.
+        assert times[-1] > times[-2] > times[-3]
+
+    def test_epoch_vectors_are_distributions(self, central_h2_model):
+        vecs = central_h2_model.epoch_vectors(12)
+        assert len(vecs) == 12
+        for v in vecs:
+            assert v.sum() == pytest.approx(1.0)
+            assert np.all(v >= -1e-12)
+
+    def test_epoch_vectors_reproduce_times(self, central_h2_model):
+        """Epoch j's mean time = x_j · τ on the right level."""
+        N, K = 9, central_h2_model.K
+        vecs = central_h2_model.epoch_vectors(N)
+        times = central_h2_model.interdeparture_times(N)
+        for j in range(N - K + 1):
+            ops = central_h2_model.level(K)
+            assert times[j] == pytest.approx(ops.mean_epoch_time(vecs[j]))
+        for i, k in enumerate(range(K - 1, 0, -1)):
+            ops = central_h2_model.level(k)
+            assert times[N - K + 1 + i] == pytest.approx(
+                ops.mean_epoch_time(vecs[N - K + 1 + i])
+            )
+
+
+class TestEntranceVector:
+    def test_is_distribution(self, central_h2_model):
+        for k in (1, 3, 5):
+            p = central_h2_model.entrance_vector(k)
+            assert p.sum() == pytest.approx(1.0)
+            assert np.all(p >= -1e-12)
+
+    def test_incremental_consistency(self, central_model):
+        """p_k = p_{k-1} R_k."""
+        p2 = central_model.entrance_vector(2)
+        p3 = central_model.entrance_vector(3)
+        assert np.allclose(p2 @ central_model.level(3).R, p3)
+
+    def test_default_is_K(self, central_model):
+        assert np.allclose(
+            central_model.entrance_vector(), central_model.entrance_vector(5)
+        )
+
+
+class TestValidation:
+    def test_bad_K(self, central_spec):
+        with pytest.raises(ValueError):
+            TransientModel(central_spec, 0)
+        with pytest.raises(ValueError):
+            TransientModel(central_spec, 2.5)
+
+    def test_bad_N(self, central_model):
+        with pytest.raises(ValueError):
+            central_model.interdeparture_times(0)
+        with pytest.raises(ValueError):
+            central_model.makespan(-3)
+        with pytest.raises(ValueError):
+            central_model.epoch_vectors(0)
+
+    def test_level_dim_bounds(self, central_model):
+        with pytest.raises(ValueError):
+            central_model.level_dim(-1)
+        with pytest.raises(ValueError):
+            central_model.level_dim(6)
+
+
+class TestMonotonicityProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(scv=st.floats(1.0, 40.0))
+    def test_makespan_increases_with_shared_scv(self, scv):
+        """Holding means fixed, more shared-server variability never helps."""
+        app = ApplicationModel()
+        base = TransientModel(central_cluster(app), 4).makespan(16)
+        spec = central_cluster(app, {"rdisk": Shape.scv(max(scv, 1.0 + 1e-9))})
+        perturbed = TransientModel(spec, 4).makespan(16)
+        assert perturbed >= base - 1e-9
+
+    def test_makespan_decreases_with_K(self):
+        app = ApplicationModel()
+        spec = central_cluster(app)
+        spans = [TransientModel(spec, K).makespan(24) for K in (1, 2, 4, 8)]
+        assert all(b < a for a, b in zip(spans, spans[1:]))
+
+    def test_makespan_increases_with_N(self, central_model):
+        spans = [central_model.makespan(N) for N in (5, 10, 20, 40)]
+        assert all(b > a for a, b in zip(spans, spans[1:]))
+
+    def test_additivity_of_steady_epochs(self, central_model):
+        """Far from the boundary, one more task adds exactly t_ss."""
+        t_ss = solve_steady_state(central_model).interdeparture_time
+        delta = central_model.makespan(41) - central_model.makespan(40)
+        assert delta == pytest.approx(t_ss, rel=1e-9)

@@ -1,0 +1,72 @@
+"""Algebraic laws of the PH closure operations (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import convolve, fit_scv, maximum, minimum, mixture
+
+
+def _ph():
+    return st.builds(fit_scv, st.floats(0.2, 5.0), st.floats(0.3, 10.0))
+
+
+class TestCommutativity:
+    """The operations are symmetric in distribution (not representation)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(_ph(), _ph())
+    def test_convolution_commutes(self, a, b):
+        ab, ba = convolve(a, b), convolve(b, a)
+        t = np.array([0.5, 1.0, 2.0]) * ab.mean
+        assert np.allclose(ab.cdf(t), ba.cdf(t), atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(_ph(), _ph())
+    def test_minimum_commutes(self, a, b):
+        ab, ba = minimum(a, b), minimum(b, a)
+        assert ab.mean == pytest.approx(ba.mean, rel=1e-9)
+        assert ab.variance == pytest.approx(ba.variance, rel=1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(_ph(), _ph())
+    def test_maximum_commutes(self, a, b):
+        ab, ba = maximum(a, b), maximum(b, a)
+        assert ab.mean == pytest.approx(ba.mean, rel=1e-9)
+
+
+class TestAssociativityAndNesting:
+    @settings(max_examples=10, deadline=None)
+    @given(_ph(), _ph(), _ph())
+    def test_convolution_associates(self, a, b, c):
+        left = convolve(convolve(a, b), c)
+        right = convolve(a, convolve(b, c))
+        t = np.array([0.5, 1.0, 2.0]) * left.mean
+        assert np.allclose(left.cdf(t), right.cdf(t), atol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(_ph(), _ph(), _ph(), st.floats(0.1, 0.9), st.floats(0.1, 0.9))
+    def test_mixture_nesting(self, a, b, c, w1, w2):
+        """mix(w1·a, (1−w1)·mix(w2·b, (1−w2)·c)) = flat three-way mixture."""
+        nested = mixture([(w1, a), (1 - w1, mixture([(w2, b), (1 - w2, c)]))])
+        flat = mixture([(w1, a), ((1 - w1) * w2, b), ((1 - w1) * (1 - w2), c)])
+        t = np.array([0.5, 1.0, 2.0]) * flat.mean
+        assert np.allclose(nested.cdf(t), flat.cdf(t), atol=1e-9)
+
+
+class TestOrderRelations:
+    @settings(max_examples=15, deadline=None)
+    @given(_ph(), _ph())
+    def test_min_below_max(self, a, b):
+        lo, hi = minimum(a, b), maximum(a, b)
+        assert lo.mean <= hi.mean + 1e-12
+        # Stochastic ordering holds pointwise in survival.
+        t = np.array([0.3, 1.0, 3.0]) * max(a.mean, b.mean)
+        assert np.all(np.asarray(lo.sf(t)) <= np.asarray(hi.sf(t)) + 1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(_ph(), _ph())
+    def test_convolution_dominates_maximum(self, a, b):
+        """X + Y ≥ max(X, Y) almost surely, so means order too."""
+        assert convolve(a, b).mean >= maximum(a, b).mean - 1e-12

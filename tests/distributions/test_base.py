@@ -1,0 +1,168 @@
+"""MatrixExponential: the <p, B> analytic machinery of paper §3.2."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.distributions import MatrixExponential, erlang, exponential, hyperexponential
+
+
+class TestConstruction:
+    def test_entry_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            MatrixExponential([0.5, 0.4], np.eye(2))
+
+    def test_entry_length_must_match_B(self):
+        with pytest.raises(ValueError, match="entry has length"):
+            MatrixExponential([1.0], np.eye(2))
+
+    def test_B_must_be_square(self):
+        with pytest.raises(ValueError, match="square"):
+            MatrixExponential([1.0], np.ones((1, 2)))
+
+    def test_singular_B_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixExponential([0.5, 0.5], np.zeros((2, 2)))
+
+    def test_negative_mean_rejected(self):
+        # B = -1 gives mean -1: a formally invertible but non-distributional pair.
+        with pytest.raises(ValueError, match="mean"):
+            MatrixExponential([1.0], [[-1.0]])
+
+
+class TestExponentialFacts:
+    """Closed-form checks against the exponential distribution."""
+
+    def test_mean(self):
+        assert exponential(4.0).mean == pytest.approx(0.25)
+
+    def test_moments(self):
+        import math
+
+        d = exponential(2.0)
+        # E[T^n] = n! / rate^n
+        for n in range(5):
+            assert d.moment(n) == pytest.approx(math.factorial(n) / 2.0**n)
+
+    def test_scv_is_one(self):
+        assert exponential(0.7).scv == pytest.approx(1.0)
+
+    def test_cdf(self):
+        d = exponential(2.0)
+        t = np.array([0.0, 0.5, 1.0, 3.0])
+        assert np.allclose(d.cdf(t), 1.0 - np.exp(-2.0 * t))
+
+    def test_pdf(self):
+        d = exponential(2.0)
+        t = np.array([0.0, 0.5, 2.0])
+        assert np.allclose(d.pdf(t), 2.0 * np.exp(-2.0 * t))
+
+    def test_laplace(self):
+        d = exponential(3.0)
+        s = np.array([0.0, 1.0, 5.0])
+        assert np.allclose(d.laplace(s), 3.0 / (s + 3.0))
+
+
+class TestErlangFacts:
+    def test_mean_and_scv(self):
+        d = erlang(4, 2.0)
+        assert d.mean == pytest.approx(2.0)
+        assert d.scv == pytest.approx(0.25)
+
+    def test_pdf_matches_gamma(self):
+        from scipy.stats import gamma
+
+        d = erlang(3, 1.5)
+        t = np.linspace(0.01, 6.0, 7)
+        assert np.allclose(d.pdf(t), gamma(a=3, scale=1 / 1.5).pdf(t), atol=1e-10)
+
+    def test_cdf_matches_gamma(self):
+        from scipy.stats import gamma
+
+        d = erlang(3, 1.5)
+        t = np.linspace(0.0, 6.0, 7)
+        assert np.allclose(d.cdf(t), gamma(a=3, scale=1 / 1.5).cdf(t), atol=1e-10)
+
+
+class TestAnalyticConsistency:
+    """Internal consistency of the <p, B> calculus."""
+
+    @pytest.fixture(scope="class")
+    def dist(self):
+        return hyperexponential([0.3, 0.7], [0.5, 3.0])
+
+    def test_sf_plus_cdf(self, dist):
+        t = np.linspace(0, 10, 11)
+        assert np.allclose(dist.sf(t) + dist.cdf(t), 1.0)
+
+    def test_pdf_integrates_to_one(self, dist):
+        val, _ = quad(lambda t: float(dist.pdf(t)), 0, np.inf, limit=200)
+        assert val == pytest.approx(1.0, abs=1e-8)
+
+    def test_mean_via_survival_integral(self, dist):
+        # E[T] = ∫ R(t) dt
+        val, _ = quad(lambda t: float(dist.sf(t)), 0, np.inf, limit=200)
+        assert val == pytest.approx(dist.mean, rel=1e-8)
+
+    def test_moment_via_density_integral(self, dist):
+        val, _ = quad(lambda t: t * t * float(dist.pdf(t)), 0, np.inf, limit=300)
+        assert val == pytest.approx(dist.moment(2), rel=1e-7)
+
+    def test_variance_definition(self, dist):
+        assert dist.variance == pytest.approx(dist.moment(2) - dist.mean**2)
+
+    def test_std_scv(self, dist):
+        assert dist.std**2 == pytest.approx(dist.variance)
+        assert dist.scv == pytest.approx(dist.variance / dist.mean**2)
+
+    def test_ppf_inverts_cdf(self, dist):
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-8)
+
+    def test_ppf_rejects_bad_levels(self, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(0.0)
+        with pytest.raises(ValueError):
+            dist.ppf(1.2)
+
+    def test_laplace_at_zero_is_one(self, dist):
+        assert dist.laplace(0.0) == pytest.approx(1.0)
+
+    def test_laplace_derivative_gives_mean(self, dist):
+        h = 1e-6
+        numerical = -(dist.laplace(h) - dist.laplace(0.0)) / h
+        assert numerical == pytest.approx(dist.mean, rel=1e-4)
+
+    def test_psi_functional(self, dist):
+        # Ψ[V] is the mean by definition.
+        assert dist.psi(dist.V) == pytest.approx(dist.mean)
+
+    def test_moment_rejects_negative_order(self, dist):
+        with pytest.raises(ValueError):
+            dist.moment(-1)
+
+
+class TestEquilibrium:
+    def test_mean_is_inspection_paradox(self):
+        d = hyperexponential([0.3, 0.7], [0.5, 3.0])
+        assert d.equilibrium().mean == pytest.approx(d.moment(2) / (2 * d.mean))
+
+    def test_exponential_is_its_own_equilibrium(self):
+        d = exponential(2.0)
+        e = d.equilibrium()
+        t = np.linspace(0, 4, 9)
+        assert np.allclose(e.cdf(t), d.cdf(t))
+
+    def test_density_is_scaled_survival(self):
+        d = erlang(3, 1.0)
+        e = d.equilibrium()
+        t = np.linspace(0.1, 6, 7)
+        assert np.allclose(e.pdf(t), np.asarray(d.sf(t)) / d.mean)
+
+    def test_equilibrium_of_erlang_has_larger_mean(self):
+        # For C² < 1 the residual is *shorter* than the full service.
+        d = erlang(4, 1.0)
+        assert d.equilibrium().mean < d.mean
+        # For C² > 1 the inspection paradox makes it longer.
+        h = hyperexponential([0.1, 0.9], [0.05, 5.0])
+        assert h.equilibrium().mean > h.mean

@@ -1,0 +1,151 @@
+"""Constructors for the standard PH families."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    coxian,
+    erlang,
+    exponential,
+    hypoexponential,
+    hyperexponential,
+)
+
+
+class TestExponential:
+    def test_basic(self):
+        d = exponential(5.0)
+        assert d.order == 1
+        assert d.mean == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            exponential(0.0)
+        with pytest.raises(ValueError):
+            exponential(-1.0)
+
+
+class TestErlang:
+    def test_erlang_1_is_exponential(self):
+        d = erlang(1, 2.0)
+        e = exponential(2.0)
+        t = np.linspace(0, 3, 7)
+        assert np.allclose(d.cdf(t), e.cdf(t))
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 10])
+    def test_scv_is_one_over_m(self, m):
+        assert erlang(m, 1.0).scv == pytest.approx(1.0 / m)
+
+    def test_mean_is_m_over_rate(self):
+        assert erlang(4, 8.0).mean == pytest.approx(0.5)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            erlang(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang(2.5, 1.0)
+
+    def test_stage_structure(self):
+        d = erlang(3, 1.0)
+        assert d.n_stages == 3
+        # Serial chain: stage s routes to s+1 with probability 1.
+        assert d.routing[0, 1] == 1.0
+        assert d.routing[1, 2] == 1.0
+        assert d.exit_probs[2] == pytest.approx(1.0)
+        assert d.exit_probs[0] == pytest.approx(0.0)
+
+
+class TestHypoexponential:
+    def test_mean_is_sum_of_stage_means(self):
+        d = hypoexponential([1.0, 2.0, 4.0])
+        assert d.mean == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_variance_is_sum_of_stage_variances(self):
+        d = hypoexponential([1.0, 2.0, 4.0])
+        assert d.variance == pytest.approx(1.0 + 0.25 + 0.0625)
+
+    def test_scv_below_one(self):
+        assert hypoexponential([1.0, 3.0]).scv < 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hypoexponential([])
+
+
+class TestHyperexponential:
+    def test_mean(self):
+        d = hyperexponential([0.25, 0.75], [1.0, 3.0])
+        assert d.mean == pytest.approx(0.25 / 1.0 + 0.75 / 3.0)
+
+    def test_scv_above_one(self):
+        d = hyperexponential([0.5, 0.5], [0.2, 5.0])
+        assert d.scv > 1.0
+
+    def test_pdf_is_mixture(self):
+        p, r = np.array([0.3, 0.7]), np.array([0.5, 2.0])
+        d = hyperexponential(p, r)
+        t = np.linspace(0, 4, 9)
+        expect = sum(pi * ri * np.exp(-ri * t) for pi, ri in zip(p, r))
+        assert np.allclose(d.pdf(t), expect)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            hyperexponential([0.5, 0.5], [1.0])
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            hyperexponential([0.5, 0.6], [1.0, 2.0])
+
+
+class TestCoxian:
+    def test_degenerates_to_hypoexponential(self):
+        c = coxian([1.0, 2.0], [1.0])
+        h = hypoexponential([1.0, 2.0])
+        t = np.linspace(0, 5, 9)
+        assert np.allclose(c.cdf(t), h.cdf(t))
+
+    def test_degenerates_to_exponential(self):
+        c = coxian([3.0, 2.0], [0.0])
+        e = exponential(3.0)
+        t = np.linspace(0, 5, 9)
+        assert np.allclose(c.cdf(t), e.cdf(t))
+
+    def test_mean_formula(self):
+        # Mean = 1/µ1 + b1/µ2 for two stages.
+        c = coxian([2.0, 4.0], [0.5])
+        assert c.mean == pytest.approx(0.5 + 0.5 * 0.25)
+
+    def test_rejects_wrong_prob_count(self):
+        with pytest.raises(ValueError):
+            coxian([1.0, 2.0, 3.0], [0.5])
+
+    def test_rejects_bad_prob(self):
+        with pytest.raises(ValueError):
+            coxian([1.0, 2.0], [1.5])
+
+
+class TestScalingAndSampling:
+    def test_with_mean_preserves_shape(self):
+        d = hyperexponential([0.4, 0.6], [1.0, 5.0])
+        d2 = d.with_mean(10.0)
+        assert d2.mean == pytest.approx(10.0)
+        assert d2.scv == pytest.approx(d.scv)
+
+    def test_scaled(self):
+        d = erlang(3, 3.0)
+        assert d.scaled(2.0).mean == pytest.approx(2.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            erlang(2, 1.0).scaled(0.0)
+
+    def test_with_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            erlang(2, 1.0).with_mean(-1.0)
+
+    def test_sample_size_zero(self, rng):
+        assert exponential(1.0).sample(rng, 0).shape == (0,)
+
+    def test_sample_rejects_negative_size(self, rng):
+        with pytest.raises(ValueError):
+            exponential(1.0).sample(rng, -1)

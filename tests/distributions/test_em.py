@@ -1,0 +1,103 @@
+"""EM / maximum-likelihood fitting from samples."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    erlang,
+    exponential,
+    fit_erlang_ml,
+    fit_hyperexponential_em,
+    fit_samples,
+    hyperexponential,
+)
+
+
+class TestHyperexponentialEM:
+    def test_recovers_planted_mixture(self, rng):
+        truth = hyperexponential([0.3, 0.7], [0.2, 2.0])
+        x = truth.sample(rng, 60_000)
+        res = fit_hyperexponential_em(x, 2)
+        assert res.converged
+        d = res.dist
+        assert d.mean == pytest.approx(truth.mean, rel=0.05)
+        assert d.scv == pytest.approx(truth.scv, rel=0.15)
+        # Branch rates recovered (sorted slow-first).
+        assert d.rates[0] == pytest.approx(0.2, rel=0.15)
+        assert d.rates[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_loglik_beats_single_exponential(self, rng):
+        truth = hyperexponential([0.2, 0.8], [0.1, 3.0])
+        x = truth.sample(rng, 20_000)
+        h2 = fit_hyperexponential_em(x, 2)
+        h1 = fit_hyperexponential_em(x, 1)
+        assert h2.log_likelihood > h1.log_likelihood
+
+    def test_k_one_is_exponential_mle(self, rng):
+        x = exponential(2.0).sample(rng, 10_000)
+        res = fit_hyperexponential_em(x, 1)
+        assert res.dist.rates[0] == pytest.approx(1.0 / x.mean())
+
+    def test_mean_preserved_by_em_fixed_point(self, rng):
+        """EM for exponential mixtures preserves the sample mean exactly."""
+        x = hyperexponential([0.5, 0.5], [0.5, 5.0]).sample(rng, 5_000)
+        res = fit_hyperexponential_em(x, 2)
+        assert res.dist.mean == pytest.approx(x.mean(), rel=1e-6)
+
+    def test_deterministic(self, rng):
+        x = hyperexponential([0.4, 0.6], [0.3, 3.0]).sample(rng, 5_000)
+        a = fit_hyperexponential_em(x, 2)
+        b = fit_hyperexponential_em(x, 2)
+        assert np.allclose(a.dist.rates, b.dist.rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_hyperexponential_em([1.0], 2)
+        with pytest.raises(ValueError):
+            fit_hyperexponential_em([1.0, -1.0], 2)
+        with pytest.raises(ValueError):
+            fit_hyperexponential_em([1.0, 2.0], 0)
+
+
+class TestErlangML:
+    @pytest.mark.parametrize("m", [1, 3, 6])
+    def test_recovers_order(self, m, rng):
+        truth = erlang(m, float(m))
+        x = truth.sample(rng, 30_000)
+        res = fit_erlang_ml(x)
+        assert res.dist.n_stages == m
+        assert res.dist.mean == pytest.approx(truth.mean, rel=0.03)
+
+    def test_max_order_respected(self, rng):
+        x = erlang(10, 10.0).sample(rng, 5_000)
+        res = fit_erlang_ml(x, max_order=4)
+        assert res.dist.n_stages <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_erlang_ml([2.0, 1.0], max_order=0)
+
+
+class TestDispatcher:
+    def test_routes_low_scv_to_erlang(self, rng):
+        x = erlang(4, 4.0).sample(rng, 20_000)
+        res = fit_samples(x)
+        assert res.dist.scv < 1.0
+
+    def test_routes_high_scv_to_h2(self, rng):
+        x = hyperexponential([0.3, 0.7], [0.2, 2.0]).sample(rng, 20_000)
+        res = fit_samples(x)
+        assert res.dist.scv > 1.0
+
+    def test_end_to_end_into_cluster(self, rng):
+        """Measured service times → fitted law → cluster model."""
+        from repro.clusters import ApplicationModel, central_cluster
+        from repro.core import TransientModel
+        from repro.distributions import Shape
+
+        measured = hyperexponential([0.25, 0.75], [0.1, 1.5]).sample(rng, 30_000)
+        fitted = fit_samples(measured).dist
+        app = ApplicationModel()
+        spec = central_cluster(app, {"rdisk": Shape.fixed(fitted)})
+        span = TransientModel(spec, 4).makespan(12)
+        assert np.isfinite(span) and span > 0

@@ -1,0 +1,147 @@
+"""Moment fitting: every method must hit its targets exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    fit_erlang,
+    fit_h2,
+    fit_mixed_erlang,
+    fit_scv,
+)
+
+
+class TestFitErlang:
+    def test_exact_order(self):
+        d = fit_erlang(3.0, 0.25)
+        assert d.mean == pytest.approx(3.0)
+        assert d.scv == pytest.approx(0.25)
+
+    def test_rounds_order(self):
+        d = fit_erlang(1.0, 0.3)  # 1/0.3 = 3.33 → m = 3
+        assert d.n_stages == 3
+        assert d.mean == pytest.approx(1.0)
+
+    def test_rejects_scv_above_one(self):
+        with pytest.raises(ValueError):
+            fit_erlang(1.0, 2.0)
+
+
+class TestFitMixedErlang:
+    @pytest.mark.parametrize("scv", [0.9, 0.7, 0.45, 0.21, 0.12])
+    def test_exact_mean_and_scv(self, scv):
+        d = fit_mixed_erlang(2.5, scv)
+        assert d.mean == pytest.approx(2.5, rel=1e-10)
+        assert d.scv == pytest.approx(scv, rel=1e-8)
+
+    def test_boundary_is_plain_erlang(self):
+        d = fit_mixed_erlang(1.0, 0.25)
+        assert d.n_stages == 4
+
+    def test_scv_one_is_exponential(self):
+        d = fit_mixed_erlang(1.0, 1.0)
+        assert d.n_stages == 1
+
+    def test_rejects_scv_above_one(self):
+        with pytest.raises(ValueError):
+            fit_mixed_erlang(1.0, 1.5)
+
+
+class TestFitH2:
+    @pytest.mark.parametrize("scv", [1.5, 2.0, 10.0, 50.0, 90.0])
+    def test_balanced_hits_targets(self, scv):
+        d = fit_h2(4.0, scv)
+        assert d.mean == pytest.approx(4.0, rel=1e-10)
+        assert d.scv == pytest.approx(scv, rel=1e-8)
+
+    def test_balanced_means_property(self):
+        d = fit_h2(1.0, 10.0, "balanced")
+        contrib = d.entry / d.rates  # p_i / µ_i
+        assert contrib[0] == pytest.approx(contrib[1])
+
+    def test_fixed_p(self):
+        d = fit_h2(2.0, 10.0, "fixed_p", p=0.1)
+        assert d.mean == pytest.approx(2.0, rel=1e-10)
+        assert d.scv == pytest.approx(10.0, rel=1e-8)
+        assert d.entry[0] == pytest.approx(0.1)
+
+    def test_fixed_p_infeasible(self):
+        # C² < 2/p − 1 is required; p = 0.5 caps C² at 3.
+        with pytest.raises(ValueError):
+            fit_h2(1.0, 10.0, "fixed_p", p=0.5)
+
+    def test_pdf0(self):
+        d = fit_h2(2.0, 10.0, "pdf0", pdf0=2.0)
+        assert d.mean == pytest.approx(2.0, rel=1e-8)
+        assert d.scv == pytest.approx(10.0, rel=1e-6)
+        assert d.pdf(0.0) == pytest.approx(2.0, rel=1e-6)
+
+    def test_pdf0_unattainable(self):
+        with pytest.raises(ValueError, match="not attainable"):
+            fit_h2(2.0, 10.0, "pdf0", pdf0=1e-3)
+
+    def test_moment3_default_gamma(self):
+        d = fit_h2(2.0, 10.0, "moment3")
+        assert d.mean == pytest.approx(2.0, rel=1e-10)
+        assert d.scv == pytest.approx(10.0, rel=1e-8)
+        # default: gamma's third moment m³(1+C²)(1+2C²)
+        assert d.moment(3) == pytest.approx(8.0 * 11.0 * 21.0, rel=1e-8)
+
+    def test_moment3_explicit(self):
+        m3 = 2.0**3 * 11.0 * 25.0
+        d = fit_h2(2.0, 10.0, "moment3", moment3=m3)
+        assert d.moment(3) == pytest.approx(m3, rel=1e-8)
+
+    def test_moment3_infeasible(self):
+        with pytest.raises(ValueError):
+            fit_h2(2.0, 10.0, "moment3", moment3=1.0)  # far too small
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown"):
+            fit_h2(1.0, 5.0, "nope")
+
+    def test_requires_scv_above_one(self):
+        with pytest.raises(ValueError):
+            fit_h2(1.0, 0.5)
+
+    def test_fixed_p_requires_p(self):
+        with pytest.raises(ValueError, match="requires"):
+            fit_h2(1.0, 5.0, "fixed_p")
+
+    def test_pdf0_requires_pdf0(self):
+        with pytest.raises(ValueError, match="requires"):
+            fit_h2(1.0, 5.0, "pdf0")
+
+
+class TestFitScvDispatcher:
+    def test_below_one(self):
+        d = fit_scv(3.0, 0.4)
+        assert (d.mean, d.scv) == (pytest.approx(3.0), pytest.approx(0.4))
+
+    def test_at_one(self):
+        assert fit_scv(3.0, 1.0).n_stages == 1
+
+    def test_above_one(self):
+        d = fit_scv(3.0, 7.0)
+        assert (d.mean, d.scv) == (pytest.approx(3.0), pytest.approx(7.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        mean=st.floats(0.05, 50.0),
+        scv=st.floats(0.05, 80.0),
+    )
+    def test_property_exact_fit(self, mean, scv):
+        """fit_scv hits (mean, C²) exactly across the whole plane."""
+        d = fit_scv(mean, scv)
+        assert d.mean == pytest.approx(mean, rel=1e-8)
+        assert d.scv == pytest.approx(scv, rel=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(mean=st.floats(0.1, 10.0), scv=st.floats(1.01, 60.0))
+    def test_property_h2_entry_is_distribution(self, mean, scv):
+        d = fit_scv(mean, scv)
+        assert np.all(d.entry >= 0)
+        assert d.entry.sum() == pytest.approx(1.0)
+        assert np.all(d.rates > 0)

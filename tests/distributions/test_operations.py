@@ -1,0 +1,107 @@
+"""PH closure operations: convolution, mixture, minimum, maximum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    convolve,
+    erlang,
+    exponential,
+    fit_scv,
+    hyperexponential,
+    maximum,
+    minimum,
+    mixture,
+)
+
+
+def _ph_pair():
+    """Strategy producing a small random PH distribution."""
+    return st.builds(
+        fit_scv,
+        st.floats(0.1, 10.0),
+        st.floats(0.2, 20.0),
+    )
+
+
+class TestConvolve:
+    def test_two_exponentials_is_hypoexponential(self):
+        c = convolve(exponential(1.0), exponential(2.0))
+        assert c.mean == pytest.approx(1.5)
+        assert c.variance == pytest.approx(1.0 + 0.25)
+
+    def test_erlang_self_composition(self):
+        c = convolve(erlang(2, 3.0), erlang(3, 3.0))
+        e = erlang(5, 3.0)
+        t = np.linspace(0, 5, 9)
+        assert np.allclose(c.cdf(t), e.cdf(t), atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_ph_pair(), _ph_pair())
+    def test_property_moments_add(self, a, b):
+        c = convolve(a, b)
+        assert c.mean == pytest.approx(a.mean + b.mean, rel=1e-8)
+        assert c.variance == pytest.approx(a.variance + b.variance, rel=1e-6)
+
+
+class TestMixture:
+    def test_recovers_hyperexponential(self):
+        m = mixture([(0.3, exponential(1.0)), (0.7, exponential(4.0))])
+        h = hyperexponential([0.3, 0.7], [1.0, 4.0])
+        t = np.linspace(0, 4, 9)
+        assert np.allclose(m.cdf(t), h.cdf(t))
+
+    def test_mean_is_weighted(self):
+        m = mixture([(0.25, erlang(2, 1.0)), (0.75, exponential(0.5))])
+        assert m.mean == pytest.approx(0.25 * 2.0 + 0.75 * 2.0)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            mixture([(0.5, exponential(1.0)), (0.6, exponential(2.0))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mixture([])
+
+
+class TestMinimum:
+    def test_two_exponentials(self):
+        m = minimum(exponential(2.0), exponential(3.0))
+        # min of exponentials is exponential with summed rate
+        assert m.mean == pytest.approx(1.0 / 5.0)
+        t = np.linspace(0, 3, 7)
+        assert np.allclose(m.sf(t), np.exp(-5.0 * t))
+
+    @settings(max_examples=15, deadline=None)
+    @given(_ph_pair(), _ph_pair())
+    def test_property_survival_is_product(self, a, b):
+        m = minimum(a, b)
+        t = np.array([0.3 * a.mean, a.mean, 2.0 * a.mean])
+        assert np.allclose(m.sf(t), np.asarray(a.sf(t)) * np.asarray(b.sf(t)), atol=1e-9)
+
+
+class TestMaximum:
+    def test_two_iid_exponentials(self):
+        m = maximum(exponential(2.0), exponential(2.0))
+        # E[max] = (1 + 1/2) / 2
+        assert m.mean == pytest.approx(0.75)
+
+    def test_cdf_is_product(self):
+        a, b = erlang(2, 2.0), exponential(1.0)
+        m = maximum(a, b)
+        t = np.linspace(0.1, 6, 9)
+        assert np.allclose(m.cdf(t), np.asarray(a.cdf(t)) * np.asarray(b.cdf(t)), atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(_ph_pair(), _ph_pair())
+    def test_property_min_max_sum(self, a, b):
+        """E[min] + E[max] = E[X] + E[Y]."""
+        lo = minimum(a, b)
+        hi = maximum(a, b)
+        assert lo.mean + hi.mean == pytest.approx(a.mean + b.mean, rel=1e-7)
+
+    def test_max_at_least_each_mean(self):
+        a, b = exponential(1.0), erlang(3, 1.0)
+        assert maximum(a, b).mean >= max(a.mean, b.mean)

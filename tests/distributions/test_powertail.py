@@ -1,0 +1,57 @@
+"""Truncated power-tail distributions (the paper's §1 motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import exponential, truncated_power_tail
+
+
+class TestConstruction:
+    def test_mean_is_exact(self):
+        for mean in (0.5, 1.0, 7.0):
+            d = truncated_power_tail(mean, alpha=1.4, m=10)
+            assert d.mean == pytest.approx(mean, rel=1e-10)
+
+    def test_m_one_is_exponential(self):
+        d = truncated_power_tail(2.0, alpha=1.4, m=1)
+        e = exponential(0.5)
+        t = np.linspace(0, 5, 9)
+        assert np.allclose(d.cdf(t), e.cdf(t))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            truncated_power_tail(1.0, alpha=-1.0)
+        with pytest.raises(ValueError):
+            truncated_power_tail(1.0, alpha=1.4, m=0)
+        with pytest.raises(ValueError):
+            truncated_power_tail(1.0, alpha=1.4, gamma=1.0)
+
+
+class TestTailBehaviour:
+    def test_scv_grows_with_truncation_level(self):
+        """For α < 2 the variance diverges as the truncation is lifted."""
+        scvs = [truncated_power_tail(1.0, alpha=1.4, m=m).scv for m in (2, 6, 12, 20)]
+        assert all(b > a for a, b in zip(scvs, scvs[1:]))
+        assert scvs[-1] > 100.0
+
+    def test_heavier_than_exponential(self):
+        d = truncated_power_tail(1.0, alpha=1.4, m=12)
+        e = exponential(1.0)
+        t = 20.0
+        assert float(d.sf(t)) > 50 * float(e.sf(t))
+
+    def test_tail_index_scaling(self):
+        """Between the knees, R(γ·t) ≈ γ^(−α) R(t) — the power-law signature."""
+        alpha, gamma = 1.4, 2.0
+        d = truncated_power_tail(1.0, alpha=alpha, m=24, gamma=gamma)
+        # Pick t in the scaling region (well past the mean, well before the
+        # truncation knee at γ^m).
+        for t in (8.0, 16.0, 32.0):
+            ratio = float(d.sf(gamma * t)) / float(d.sf(t))
+            assert ratio == pytest.approx(gamma**-alpha, rel=0.15)
+
+    def test_smaller_alpha_is_heavier(self):
+        t = 30.0
+        heavy = truncated_power_tail(1.0, alpha=1.1, m=16)
+        light = truncated_power_tail(1.0, alpha=1.9, m=16)
+        assert float(heavy.sf(t)) > float(light.sf(t))

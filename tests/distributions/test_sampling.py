@@ -1,0 +1,41 @@
+"""Exact stage-chain sampling of PH distributions (statistical tests)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions import coxian, erlang, exponential, fit_h2
+
+
+class TestSampleStatistics:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            exponential(2.0),
+            erlang(3, 3.0),
+            fit_h2(2.0, 5.0),
+            coxian([2.0, 1.0], [0.6]),
+        ],
+        ids=["exp", "erlang3", "h2", "coxian"],
+    )
+    def test_mean_and_variance(self, dist, rng):
+        s = dist.sample(rng, 100_000)
+        se_mean = dist.std / np.sqrt(s.shape[0])
+        assert s.mean() == pytest.approx(dist.mean, abs=5 * se_mean)
+        assert s.var() == pytest.approx(dist.variance, rel=0.1)
+
+    def test_kolmogorov_smirnov(self, rng):
+        dist = erlang(2, 1.0)
+        s = dist.sample(rng, 5_000)
+        ks = stats.kstest(s, lambda t: np.asarray(dist.cdf(t)))
+        assert ks.pvalue > 0.01
+
+    def test_all_positive(self, rng):
+        s = fit_h2(1.0, 20.0).sample(rng, 10_000)
+        assert np.all(s > 0)
+
+    def test_reproducible_by_seed(self):
+        dist = erlang(3, 1.0)
+        a = dist.sample(np.random.default_rng(7), 100)
+        b = dist.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)

@@ -1,0 +1,48 @@
+"""Shape specs: mean-free families instantiated at a mean."""
+
+import pytest
+
+from repro.distributions import Shape, erlang
+
+
+class TestShapes:
+    def test_exponential(self):
+        d = Shape.exponential().with_mean(3.0)
+        assert d.mean == pytest.approx(3.0)
+        assert d.scv == pytest.approx(1.0)
+
+    def test_erlang(self):
+        d = Shape.erlang(4).with_mean(2.0)
+        assert d.mean == pytest.approx(2.0)
+        assert d.scv == pytest.approx(0.25)
+
+    def test_hyperexp(self):
+        d = Shape.hyperexp(10.0).with_mean(5.0)
+        assert d.mean == pytest.approx(5.0)
+        assert d.scv == pytest.approx(10.0)
+
+    def test_hyperexp_method_passthrough(self):
+        d = Shape.hyperexp(10.0, "fixed_p", p=0.05).with_mean(1.0)
+        assert d.entry[0] == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("scv", [0.3, 1.0, 4.0])
+    def test_scv_dispatcher(self, scv):
+        d = Shape.scv(scv).with_mean(2.0)
+        assert d.mean == pytest.approx(2.0)
+        assert d.scv == pytest.approx(scv, rel=1e-6)
+
+    def test_power_tail(self):
+        d = Shape.power_tail(1.4, m=8).with_mean(2.0)
+        assert d.mean == pytest.approx(2.0)
+        assert d.scv > 1.0
+
+    def test_fixed(self):
+        base = erlang(2, 1.0)
+        d = Shape.fixed(base).with_mean(9.0)
+        assert d.mean == pytest.approx(9.0)
+        assert d.scv == pytest.approx(base.scv)
+
+    def test_params_recorded(self):
+        s = Shape.hyperexp(10.0)
+        assert s.params["scv"] == 10.0
+        assert s.name == "hyperexp"

@@ -1,0 +1,104 @@
+"""Every figure runs (at reduced size) and shows the paper's qualitative shape.
+
+Full-size reproductions live in ``benchmarks/``; here each experiment is
+exercised with smaller sweeps so the whole suite stays fast, and the
+*shape* assertions — who wins, what is monotone, where the regions sit —
+are the ones the paper's conclusions rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIGURES,
+    fig03,
+    fig05,
+    fig06,
+    fig08,
+    fig10,
+    fig12,
+    fig14,
+    fig15,
+)
+
+
+class TestRegistry:
+    def test_all_thirteen_figures_registered(self):
+        assert sorted(FIGURES) == [f"fig{n:02d}" for n in range(3, 16)]
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+
+
+class TestInterdepartureShapes:
+    def test_fig03_regions_and_ordering(self):
+        r = fig03.run(K=4, N=16, scvs=(1.0, 10.0))
+        exp, h2 = r.series["exp"], r.series["H2(C2=10)"]
+        # Steady plateau: mid-epochs nearly constant.
+        assert np.isclose(exp[8], exp[9], rtol=1e-4)
+        # H2 shared server is slower at steady state (§6.1.2).
+        assert h2[9] > exp[9]
+        # Draining epochs rise at the end.
+        assert r.series["exp"][-1] > r.series["exp"][-4]
+
+    def test_fig10_dedicated_converges_to_same_steady_state(self):
+        r = fig10.run(K=3, N=14)
+        mid = {name: s[9] for name, s in r.series.items()}
+        vals = list(mid.values())
+        # Insensitivity: all distributions share the PF steady state (§6.2.1).
+        assert np.allclose(vals, vals[0], rtol=5e-3)
+
+
+class TestSteadyStateSweep:
+    def test_fig05_contention_vs_none(self):
+        r = fig05.run(K=4, scvs=(1.0, 10.0, 50.0))
+        cont, none = r.series["contention"], r.series["no_contention"]
+        # Contention curve moves with C²; no-contention stays nearly flat.
+        cont_span = (cont.max() - cont.min()) / cont.min()
+        none_span = (none.max() - none.min()) / none.min()
+        assert cont_span > 3 * none_span
+        assert np.all(cont > none)
+
+
+class TestPredictionErrorShapes:
+    def test_fig06_error_monotone_and_exceeds_20pct(self):
+        r = fig06.run(K=5, Ns=(30,), scvs=(1.0, 10.0, 50.0))
+        e = r.series["N=30"]
+        assert e[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(np.diff(e) > 0)
+        # The paper's headline: >20% already at C² = 10.
+        assert e[1] > 20.0
+
+    def test_fig12_sign_pattern(self):
+        r = fig12.run(K=4, Ns=(20,))
+        e = r.series["N=20"]
+        # Erlang side: small negative; H2 side: large positive (§6.2.2).
+        assert e[0] < 0 and e[1] < 0
+        assert e[2] == pytest.approx(0.0, abs=1e-9)
+        assert e[3] > 5.0 and e[4] > e[3]
+
+
+class TestSpeedupShapes:
+    def test_fig08_speedup_declines_with_scv(self):
+        r = fig08.run(K=4, Ns=(30, 100), scvs=(1.0, 10.0, 50.0))
+        for s in r.series.values():
+            assert np.all(np.diff(s) < 0)
+        # Steady-state-dominated workloads achieve more speedup.
+        assert np.all(r.series["N=100"] > r.series["N=30"])
+
+    def test_fig14_speedup_grows_with_K_and_N(self):
+        r = fig14.run(Ks=(1, 2, 4, 6), Ns=(20, 100))
+        for s in r.series.values():
+            assert np.all(np.diff(s) > 0)
+            assert s[0] == pytest.approx(1.0)
+        assert np.all(r.series["N=100"] >= r.series["N=20"] - 1e-9)
+
+    def test_fig15_exponential_overestimates_h2(self):
+        r = fig15.run(Ks=(2, 4, 6), N=60)
+        assert np.all(r.series["exp"] > r.series["H2(C2=2)"])
+        # ...but approximates Erlang well (§6.2.3).
+        assert np.allclose(r.series["exp"], r.series["E2"], rtol=0.02)

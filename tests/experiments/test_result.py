@@ -1,0 +1,36 @@
+"""ExperimentResult container."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult
+
+
+class TestResult:
+    def test_series_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            ExperimentResult(
+                experiment="x",
+                description="d",
+                x_label="t",
+                x=np.arange(3),
+                series={"a": np.arange(4)},
+            )
+
+    def test_format_table_contains_all_series(self):
+        r = ExperimentResult(
+            experiment="demo",
+            description="a table",
+            x_label="C2",
+            x=np.array([1.0, 2.0]),
+            series={"one": np.array([0.5, 0.6]), "two": np.array([1.5, 1.6])},
+        )
+        table = r.format_table()
+        assert "demo" in table
+        assert "one" in table and "two" in table
+        assert "0.5000" in table and "1.6000" in table
+        assert len(table.splitlines()) == 4  # title + header + 2 rows
+
+    def test_meta_defaults_empty(self):
+        r = ExperimentResult("e", "d", "x", np.array([1.0]), {"s": np.array([2.0])})
+        assert r.meta == {}

@@ -1,0 +1,81 @@
+"""Approximate MVA with residual correction."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel, solve_steady_state
+from repro.distributions import Shape
+from repro.jackson import amva_analysis, mva_analysis
+
+
+class TestReducesToExactMVA:
+    def test_exponential_network(self, central_spec):
+        for N in (1, 4, 10):
+            a = amva_analysis(central_spec, N)
+            b = mva_analysis(central_spec, N)
+            assert a.throughput == pytest.approx(b.throughput, rel=1e-10)
+            assert np.allclose(a.queue_means, b.queue_means, atol=1e-8)
+
+
+class TestAgainstExactSteadyState:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return ApplicationModel()
+
+    def test_direction_correct(self, app):
+        """AMVA sees the C² effect exact MVA cannot."""
+        K = 5
+        base = amva_analysis(central_cluster(app), K).interdeparture_time
+        h2 = amva_analysis(
+            central_cluster(app, {"rdisk": Shape.hyperexp(10.0)}), K
+        ).interdeparture_time
+        assert h2 > base
+
+    def test_accuracy_degrades_with_scv(self, app):
+        """Mild variability: the heuristic is serviceable (≲10 %).  High
+        variability: it overshoots wildly (+40 % at C²=10, >2× at C²=50),
+        because the open-queue residual charge ignores the closed
+        network's self-limiting feedback — exactly the gap the paper's
+        exact model closes."""
+        K = 5
+        errors = []
+        for scv in (2.0, 10.0, 50.0):
+            spec = central_cluster(app, {"rdisk": Shape.hyperexp(scv)})
+            exact = solve_steady_state(TransientModel(spec, K)).interdeparture_time
+            approx = amva_analysis(spec, K).interdeparture_time
+            errors.append((approx - exact) / exact)
+        assert 0.0 < errors[0] < 0.10
+        assert errors[1] > 0.30
+        assert errors[2] > 1.0
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_erlang_side(self, app):
+        K = 4
+        spec = central_cluster(app, {"rdisk": Shape.erlang(4)})
+        exact = solve_steady_state(TransientModel(spec, K)).interdeparture_time
+        approx = amva_analysis(spec, K).interdeparture_time
+        assert approx == pytest.approx(exact, rel=0.05)
+        # Lower variability ⇒ faster than exponential, and AMVA sees it.
+        base = amva_analysis(central_cluster(app), K).interdeparture_time
+        assert approx < base
+
+
+class TestValidation:
+    def test_rejects_multiserver(self):
+        import numpy as np
+
+        from repro.distributions import exponential
+        from repro.network import NetworkSpec, Station
+
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(1.0), 2),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="single-server"):
+            amva_analysis(spec, 3)
+
+    def test_rejects_bad_N(self, central_spec):
+        with pytest.raises(ValueError):
+            amva_analysis(central_spec, 0)

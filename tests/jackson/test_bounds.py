@@ -1,0 +1,102 @@
+"""Throughput bounds: must always bracket the exact solution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import exponential
+from repro.jackson import (
+    asymptotic_bounds,
+    balanced_job_bounds,
+    convolution_analysis,
+    saturation_point,
+)
+from repro.network import DELAY, NetworkSpec, Station
+
+
+def _random_spec(seed: int) -> NetworkSpec:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 5))
+    stations = tuple(
+        Station(
+            f"s{i}",
+            exponential(float(rng.uniform(0.3, 3.0))),
+            DELAY if (i == 0 and rng.random() < 0.6) else 1,
+        )
+        for i in range(n)
+    )
+    raw = rng.uniform(0.0, 1.0, (n, n))
+    routing = raw / raw.sum(axis=1, keepdims=True) * float(rng.uniform(0.4, 0.9))
+    entry = rng.dirichlet(np.ones(n))
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)
+
+
+class TestBracketing:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000), N=st.integers(1, 20))
+    def test_asymptotic_bounds_contain_exact(self, seed, N):
+        spec = _random_spec(seed)
+        exact = convolution_analysis(spec, N).throughput
+        b = asymptotic_bounds(spec, N)
+        assert b.contains(exact), (b.lower, exact, b.upper)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000), N=st.integers(1, 20))
+    def test_balanced_job_bounds_contain_exact(self, seed, N):
+        spec = _random_spec(seed)
+        exact = convolution_analysis(spec, N).throughput
+        b = balanced_job_bounds(spec, N)
+        assert b.contains(exact), (b.lower, exact, b.upper)
+
+    def test_bjb_tighter_than_aba(self, central_spec):
+        for N in (2, 5, 10):
+            aba = asymptotic_bounds(central_spec, N)
+            bjb = balanced_job_bounds(central_spec, N)
+            assert bjb.lower >= aba.lower - 1e-12
+            assert bjb.upper <= aba.upper + 1e-12
+
+    def test_exact_for_balanced_single_station(self):
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(2.0), 1),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        for N in (1, 4):
+            exact = convolution_analysis(spec, N).throughput
+            b = balanced_job_bounds(spec, N)
+            assert b.lower == pytest.approx(exact, rel=1e-9)
+            assert b.upper == pytest.approx(exact, rel=1e-9)
+
+
+class TestSaturation:
+    def test_central_cluster_value(self, central_spec):
+        """N* = (D+Z)/d_max = 12 / 3 for the canonical application."""
+        assert saturation_point(central_spec) == pytest.approx(4.0)
+
+    def test_throughput_flattens_past_saturation(self, central_spec):
+        nstar = saturation_point(central_spec)
+        below = convolution_analysis(central_spec, 2).throughput
+        above = convolution_analysis(central_spec, int(4 * nstar)).throughput
+        bottleneck_rate = 1.0 / 3.0
+        assert above == pytest.approx(bottleneck_rate, rel=0.02)
+        assert below < 0.8 * bottleneck_rate
+
+    def test_requires_queueing_station(self):
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(1.0), DELAY),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        with pytest.raises(ValueError):
+            saturation_point(spec)
+        with pytest.raises(ValueError):
+            asymptotic_bounds(spec, 3)
+
+
+class TestValidation:
+    def test_bad_population(self, central_spec):
+        with pytest.raises(ValueError):
+            asymptotic_bounds(central_spec, 0)
+        with pytest.raises(ValueError):
+            balanced_job_bounds(central_spec, 0)

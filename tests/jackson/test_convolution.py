@@ -1,0 +1,104 @@
+"""Buzen convolution: known answers and internal consistency."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import exponential
+from repro.jackson import convolution_analysis, station_rate_factors
+from repro.network import DELAY, NetworkSpec, Station
+
+
+def _machine_repair(K_srv_rate=1.0, think_rate=0.5):
+    """Classic closed model: delay 'think' station + single-server 'queue'."""
+    return NetworkSpec(
+        stations=(
+            Station("think", exponential(think_rate), DELAY),
+            Station("queue", exponential(K_srv_rate), 1),
+        ),
+        routing=np.array([[0.0, 1.0], [0.0, 0.0]]),
+        entry=np.array([1.0, 0.0]),
+    )
+
+
+class TestKnownAnswers:
+    def test_two_queue_cyclic_network(self):
+        """Two single-server stations in a cycle, N=1: throughput is
+        1/(s1+s2); N→∞: bottleneck rate."""
+        spec = NetworkSpec(
+            stations=(
+                Station("a", exponential(1.0), 1),
+                Station("b", exponential(2.0), 1),
+            ),
+            routing=np.array([[0.0, 1.0], [0.0, 0.0]]),
+            entry=np.array([1.0, 0.0]),
+        )
+        sol1 = convolution_analysis(spec, 1)
+        assert sol1.throughput == pytest.approx(1.0 / (1.0 + 0.5))
+        solN = convolution_analysis(spec, 40)
+        assert solN.throughput == pytest.approx(1.0, rel=1e-6)  # bottleneck a
+
+    def test_machine_repair_exact(self):
+        """M/M/1//N closed formulas via the binomial-like recursion."""
+        spec = _machine_repair()
+        N = 3
+        sol = convolution_analysis(spec, N)
+        # Exact: via state probabilities of the repair queue; brute force CTMC.
+        # States: n at queue (0..N), think rate (N−n)·0.5, service 1.0.
+        rates_up = [(N - n) * 0.5 for n in range(N)]
+        pi = [1.0]
+        for n in range(N):
+            pi.append(pi[-1] * rates_up[n] / 1.0)
+        pi = np.array(pi) / sum(pi)
+        thr = float((1 - pi[0]) * 1.0)
+        assert sol.throughput == pytest.approx(thr, rel=1e-10)
+
+    def test_single_station_closed(self):
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(2.0), 1),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        sol = convolution_analysis(spec, 5)
+        assert sol.throughput == pytest.approx(2.0)
+
+
+class TestConsistency:
+    def test_marginals_are_distributions(self, central_spec):
+        sol = convolution_analysis(central_spec, 6)
+        assert np.allclose(sol.marginals.sum(axis=1), 1.0)
+        assert np.all(sol.marginals >= -1e-12)
+
+    def test_queue_means_sum_to_N(self, central_spec):
+        N = 6
+        sol = convolution_analysis(central_spec, N)
+        assert sol.queue_means.sum() == pytest.approx(N)
+
+    def test_utilization_flow_balance(self, central_spec):
+        sol = convolution_analysis(central_spec, 6)
+        visits = central_spec.visit_ratios()
+        means = np.array([s.mean_service for s in central_spec.stations])
+        assert np.allclose(sol.utilizations / means, sol.throughput * visits)
+
+    def test_throughput_increases_with_N(self, central_spec):
+        thr = [convolution_analysis(central_spec, n).throughput for n in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(thr, thr[1:]))
+
+    def test_interdeparture_is_inverse(self, central_spec):
+        sol = convolution_analysis(central_spec, 4)
+        assert sol.interdeparture_time == pytest.approx(1.0 / sol.throughput)
+
+    def test_rate_factors(self, central_spec):
+        f = station_rate_factors(central_spec, 5)
+        # cpu/disk are delay banks: factor n; comm/rdisk single server: min(n,1).
+        assert np.allclose(f[0], [1, 2, 3, 4, 5])
+        assert np.allclose(f[2], [1, 1, 1, 1, 1])
+
+    def test_invalid_population(self, central_spec):
+        with pytest.raises(ValueError):
+            convolution_analysis(central_spec, 0)
+
+    def test_large_population_is_stable_numerically(self, central_spec):
+        sol = convolution_analysis(central_spec, 400)
+        assert np.isfinite(sol.throughput)
+        # Saturated by the remote disk (demand = 3).
+        assert sol.interdeparture_time == pytest.approx(3.0, rel=1e-6)

@@ -1,0 +1,59 @@
+"""Exact MVA vs the convolution algorithm (independent implementations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import exponential
+from repro.jackson import convolution_analysis, mva_analysis
+from repro.network import DELAY, NetworkSpec, Station
+
+
+class TestAgreementWithConvolution:
+    @pytest.mark.parametrize("N", [1, 3, 8, 20])
+    def test_central_cluster(self, central_spec, N):
+        a = convolution_analysis(central_spec, N)
+        b = mva_analysis(central_spec, N)
+        assert b.throughput == pytest.approx(a.throughput, rel=1e-10)
+        assert np.allclose(b.queue_means, a.queue_means, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000), N=st.integers(1, 10))
+    def test_random_networks(self, seed, N):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        stations = tuple(
+            Station(
+                f"s{i}",
+                exponential(float(rng.uniform(0.5, 4.0))),
+                DELAY if rng.random() < 0.4 else 1,
+            )
+            for i in range(n)
+        )
+        raw = rng.uniform(0.0, 1.0, (n, n))
+        routing = raw / raw.sum(axis=1, keepdims=True) * 0.8
+        entry = np.full(n, 1.0 / n)
+        spec = NetworkSpec(stations=stations, routing=routing, entry=entry)
+        a = convolution_analysis(spec, N)
+        b = mva_analysis(spec, N)
+        assert b.throughput == pytest.approx(a.throughput, rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_finite_multiserver(self):
+        spec = NetworkSpec(
+            stations=(Station("s", exponential(1.0), 2),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="single-server"):
+            mva_analysis(spec, 3)
+
+    def test_rejects_bad_population(self, central_spec):
+        with pytest.raises(ValueError):
+            mva_analysis(central_spec, 0)
+
+    def test_residence_times_positive(self, central_spec):
+        sol = mva_analysis(central_spec, 5)
+        assert np.all(sol.residence_times > 0)

@@ -1,0 +1,88 @@
+"""Open Jackson networks and the Erlang C machinery."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import erlang, exponential
+from repro.jackson import erlang_c, open_jackson_analysis
+from repro.network import DELAY, NetworkSpec, Station
+
+
+class TestErlangC:
+    def test_single_server_is_rho(self):
+        # M/M/1: P(wait) = ρ.
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_known_two_server_value(self):
+        # M/M/2 with a=1 (ρ=0.5): C = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_overload(self):
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.5)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.5)
+
+
+def _simple_open():
+    return NetworkSpec(
+        stations=(
+            Station("in", exponential(4.0), 1),
+            Station("out", exponential(5.0), 2),
+        ),
+        routing=np.array([[0.0, 0.75], [0.0, 0.0]]),
+        entry=np.array([1.0, 0.0]),
+    )
+
+
+class TestOpenJackson:
+    def test_traffic_equations(self):
+        sol = open_jackson_analysis(_simple_open(), 2.0)
+        assert sol.stations[0].arrival_rate == pytest.approx(2.0)
+        assert sol.stations[1].arrival_rate == pytest.approx(1.5)
+
+    def test_mm1_formulas(self):
+        sol = open_jackson_analysis(_simple_open(), 2.0)
+        s = sol.stations[0]
+        rho = 2.0 / 4.0
+        assert s.utilization == pytest.approx(rho)
+        assert s.mean_customers == pytest.approx(rho / (1 - rho))
+        assert s.mean_sojourn == pytest.approx(1.0 / (4.0 - 2.0))
+
+    def test_little_law_per_station(self):
+        sol = open_jackson_analysis(_simple_open(), 2.0)
+        for s in sol.stations:
+            assert s.mean_customers == pytest.approx(
+                s.arrival_rate * s.mean_sojourn, rel=1e-10
+            )
+
+    def test_delay_station_mginf(self):
+        spec = NetworkSpec(
+            stations=(Station("think", exponential(0.5), DELAY),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        sol = open_jackson_analysis(spec, 3.0)
+        assert sol.stations[0].mean_customers == pytest.approx(6.0)
+        assert sol.stations[0].mean_wait == 0.0
+
+    def test_instability_detected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            open_jackson_analysis(_simple_open(), 5.0)
+
+    def test_nonexponential_queueing_rejected(self):
+        spec = NetworkSpec(
+            stations=(Station("s", erlang(2, 1.0), 1),),
+            routing=np.array([[0.0]]),
+            entry=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="exponential"):
+            open_jackson_analysis(spec, 0.1)
+
+    def test_system_response_time(self):
+        sol = open_jackson_analysis(_simple_open(), 2.0)
+        assert sol.system_response_time(2.0) == pytest.approx(
+            sol.total_customers / 2.0
+        )

@@ -1,0 +1,196 @@
+"""Station automata: local CTMC transition structure."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import erlang, exponential, fit_h2
+from repro.laqt import (
+    DelayPHAutomaton,
+    ExponentialAutomaton,
+    QueuedPHAutomaton,
+    automaton_for,
+)
+from repro.laqt.automata import Completion, Internal
+from repro.network import DELAY, Station
+
+
+def _total_rate(events):
+    return sum(e.rate for e in events)
+
+
+class TestDispatch:
+    def test_exponential_any_servers(self):
+        assert isinstance(
+            automaton_for(Station("s", exponential(1.0), 3)), ExponentialAutomaton
+        )
+        assert isinstance(
+            automaton_for(Station("s", exponential(1.0), DELAY)), ExponentialAutomaton
+        )
+
+    def test_delay_ph(self):
+        assert isinstance(
+            automaton_for(Station("s", erlang(2, 1.0), DELAY)), DelayPHAutomaton
+        )
+
+    def test_queued_ph(self):
+        assert isinstance(
+            automaton_for(Station("s", erlang(2, 1.0), 1)), QueuedPHAutomaton
+        )
+
+    def test_wrong_constructor_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialAutomaton(Station("s", erlang(2, 1.0), 1))
+        with pytest.raises(ValueError):
+            DelayPHAutomaton(Station("s", erlang(2, 1.0), 1))
+        with pytest.raises(ValueError):
+            QueuedPHAutomaton(Station("s", erlang(2, 1.0), DELAY))
+
+
+class TestExponentialAutomaton:
+    def test_delay_rate_scales_with_n(self):
+        a = automaton_for(Station("s", exponential(2.0), DELAY))
+        (ev,) = a.events((3,))
+        assert isinstance(ev, Completion)
+        assert ev.rate == pytest.approx(6.0)
+
+    def test_multiserver_rate_caps_at_c(self):
+        a = automaton_for(Station("s", exponential(2.0), 2))
+        (ev,) = a.events((5,))
+        assert ev.rate == pytest.approx(4.0)
+
+    def test_empty_station_has_no_events(self):
+        a = automaton_for(Station("s", exponential(2.0), 1))
+        assert list(a.events((0,))) == []
+
+    def test_arrival(self):
+        a = automaton_for(Station("s", exponential(2.0), 1))
+        assert a.arrivals((2,)) == [(1.0, (3,))]
+
+    def test_count(self):
+        a = automaton_for(Station("s", exponential(2.0), 1))
+        assert a.count((4,)) == 4
+
+
+class TestDelayPHAutomaton:
+    @pytest.fixture(scope="class")
+    def auto(self):
+        return automaton_for(Station("s", erlang(2, 3.0), DELAY))
+
+    def test_arrivals_enter_first_stage(self, auto):
+        assert auto.arrivals((0, 0)) == [(1.0, (1, 0))]
+
+    def test_stage_one_routes_internally(self, auto):
+        events = list(auto.events((2, 0)))
+        # Two tasks in stage 1: aggregate rate 2·3 routing to stage 2.
+        assert len(events) == 1
+        (ev,) = events
+        assert isinstance(ev, Internal)
+        assert ev.rate == pytest.approx(6.0)
+        assert ev.target == (1, 1)
+
+    def test_stage_two_completes(self, auto):
+        events = list(auto.events((0, 2)))
+        (ev,) = events
+        assert isinstance(ev, Completion)
+        assert ev.rate == pytest.approx(6.0)
+        assert ev.outcomes == ((1.0, (0, 1)),)
+
+    def test_h2_arrivals_split_by_entry(self):
+        d = fit_h2(1.0, 5.0)
+        a = automaton_for(Station("s", d, DELAY))
+        arr = a.arrivals((0, 0))
+        probs = [p for p, _ in arr]
+        assert probs == pytest.approx(list(d.entry))
+
+    def test_count(self, auto):
+        assert auto.count((2, 3)) == 5
+
+
+class TestQueuedPHAutomaton:
+    @pytest.fixture(scope="class")
+    def h2(self):
+        return fit_h2(1.0, 5.0)
+
+    @pytest.fixture(scope="class")
+    def auto(self, h2):
+        return automaton_for(Station("s", h2, 1))
+
+    def test_idle_has_no_events(self, auto):
+        assert list(auto.events((0, 0))) == []
+
+    def test_arrival_to_idle_enters_service(self, auto, h2):
+        arr = auto.arrivals((0, 0))
+        assert [p for p, _ in arr] == pytest.approx(list(h2.entry))
+        assert [s for _, s in arr] == [(0, 1), (0, 2)]
+
+    def test_arrival_to_busy_queues(self, auto):
+        assert auto.arrivals((1, 2)) == [(1.0, (2, 2))]
+
+    def test_completion_with_queue_restarts(self, auto, h2):
+        events = list(auto.events((2, 1)))
+        (ev,) = events
+        assert isinstance(ev, Completion)
+        assert ev.rate == pytest.approx(h2.rates[0])
+        # Head-of-line customer enters stage s' with probability entry[s'].
+        probs = [p for p, _ in ev.outcomes]
+        states = [s for _, s in ev.outcomes]
+        assert probs == pytest.approx(list(h2.entry))
+        assert states == [(1, 1), (1, 2)]
+
+    def test_completion_without_queue_idles(self, auto):
+        (ev,) = list(auto.events((0, 2)))
+        assert ev.outcomes == ((1.0, (0, 0)),)
+
+    def test_erlang_service_has_internal_moves(self):
+        a = automaton_for(Station("s", erlang(2, 4.0), 1))
+        events = list(a.events((1, 1)))
+        kinds = {type(e) for e in events}
+        assert kinds == {Internal}
+        (ev,) = events
+        assert ev.target == (1, 2)
+
+    def test_count(self, auto):
+        assert auto.count((0, 0)) == 0
+        assert auto.count((0, 2)) == 1
+        assert auto.count((3, 1)) == 4
+
+
+class TestRateConservation:
+    """Total event rate equals the active service rate, for every automaton."""
+
+    @pytest.mark.parametrize(
+        "station, state, expected",
+        [
+            (Station("s", exponential(2.0), DELAY), (4,), 8.0),
+            (Station("s", erlang(2, 3.0), DELAY), (2, 1), 9.0),
+            (Station("s", fit_h2(1.0, 5.0), 1), (3, 1), None),
+        ],
+    )
+    def test_total_rate(self, station, state, expected):
+        a = automaton_for(station)
+        if expected is None:
+            expected = station.dist.rates[state[1] - 1]
+        assert _total_rate(list(a.events(state))) == pytest.approx(expected)
+
+    def test_completion_outcomes_sum_to_one(self):
+        for st in (
+            Station("s", fit_h2(1.0, 5.0), 1),
+            Station("s", erlang(3, 1.0), DELAY),
+        ):
+            a = automaton_for(st)
+            for n in (1, 2, 3):
+                for ls in a.local_states(n):
+                    for ev in a.events(ls):
+                        if isinstance(ev, Completion):
+                            assert sum(p for p, _ in ev.outcomes) == pytest.approx(1.0)
+
+    def test_arrival_probs_sum_to_one(self):
+        for st in (
+            Station("s", fit_h2(1.0, 5.0), 1),
+            Station("s", erlang(3, 1.0), DELAY),
+            Station("s", exponential(1.0), 2),
+        ):
+            a = automaton_for(st)
+            for n in (0, 1, 2):
+                for ls in a.local_states(n):
+                    assert sum(p for p, _ in a.arrivals(ls)) == pytest.approx(1.0)

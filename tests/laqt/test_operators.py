@@ -1,0 +1,131 @@
+"""Level operators M_k, P_k, Q_k, R_k: invariants and known answers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape, exponential
+from repro.network import DELAY, NetworkSpec, Station
+
+
+def _random_spec(draw_servers, n, seed):
+    """Small random exponential network with guaranteed exit."""
+    rng = np.random.default_rng(seed)
+    stations = tuple(
+        Station(f"s{i}", exponential(float(rng.uniform(0.5, 3.0))), draw_servers(i))
+        for i in range(n)
+    )
+    raw = rng.uniform(0.0, 1.0, size=(n, n))
+    scale = rng.uniform(0.5, 0.95, size=n)  # rows sum below 1 → exit everywhere
+    routing = raw / raw.sum(axis=1, keepdims=True) * scale[:, None]
+    entry = rng.uniform(0.1, 1.0, size=n)
+    entry /= entry.sum()
+    return NetworkSpec(stations=stations, routing=routing, entry=entry)
+
+
+class TestRowInvariants:
+    """P_k ε + Q_k ε = ε and R_k ε = ε, for varied networks and levels."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 4))
+    def test_random_exponential_networks(self, seed, k):
+        rng = np.random.default_rng(seed)
+        kinds = [1, 2, DELAY]
+        spec = _random_spec(
+            lambda i: kinds[rng.integers(0, 3)], int(rng.integers(2, 4)), seed
+        )
+        model = TransientModel(spec, k)
+        ops = model.level(k)
+        rows = np.asarray(ops.P.sum(axis=1)).ravel() + np.asarray(
+            ops.Q.sum(axis=1)
+        ).ravel()
+        assert np.allclose(rows, 1.0)
+        assert np.allclose(np.asarray(ops.R.sum(axis=1)).ravel(), 1.0)
+        assert np.all(ops.rates > 0)
+        assert np.all(ops.tau > 0)
+
+    def test_stage_expanded_cluster(self):
+        spec = central_cluster(
+            ApplicationModel(),
+            {"rdisk": Shape.hyperexp(10.0), "cpu": Shape.erlang(2)},
+        )
+        model = TransientModel(spec, 4)
+        for k in range(1, 5):
+            ops = model.level(k)
+            rows = np.asarray(ops.P.sum(axis=1)).ravel() + np.asarray(
+                ops.Q.sum(axis=1)
+            ).ravel()
+            assert np.allclose(rows, 1.0)
+            assert np.allclose(np.asarray(ops.R.sum(axis=1)).ravel(), 1.0)
+
+
+class TestYOperator:
+    def test_Y_is_stochastic(self, central_h2_model):
+        """Y_k = (I−P_k)⁻¹ Q_k must map distributions to distributions."""
+        for k in (1, 3, 5):
+            ops = central_h2_model.level(k)
+            x = np.zeros(ops.dim)
+            x[0] = 1.0
+            y = ops.apply_Y(x)
+            assert y.sum() == pytest.approx(1.0)
+            assert np.all(y >= -1e-12)
+
+    def test_dense_Y_matches_apply(self, central_model):
+        ops = central_model.level(3)
+        Y = ops.dense_Y()
+        assert np.allclose(Y.sum(axis=1), 1.0)
+        x = np.random.default_rng(0).dirichlet(np.ones(ops.dim))
+        assert np.allclose(x @ Y, ops.apply_Y(x))
+
+    def test_dense_V_gives_tau(self, central_model):
+        ops = central_model.level(2)
+        V = ops.dense_V()
+        assert np.allclose(V @ np.ones(ops.dim), ops.tau)
+
+    def test_apply_YR_composition(self, central_model):
+        ops = central_model.level(central_model.K)
+        x = central_model.entrance_vector()
+        direct = ops.apply_YR(x)
+        composed = ops.apply_Y(x) @ ops.R
+        assert np.allclose(direct, composed)
+
+
+class TestKnownAnswers:
+    def test_mm1_tau_is_constant(self, single_queue_spec):
+        """Single shared exp(µ) server: τ'_k = 1/µ from every state."""
+        model = TransientModel(single_queue_spec, 3)
+        for k in (1, 2, 3):
+            assert np.allclose(model.level(k).tau, 0.5)
+
+    def test_delay_tau_scales(self, delay_spec):
+        """Delay bank of exp(µ): τ'_k = 1/(kµ)."""
+        model = TransientModel(delay_spec, 4)
+        for k in (1, 2, 4):
+            assert np.allclose(model.level(k).tau, 1.0 / (k * 2.0))
+
+    def test_tandem_two_queues_tau(self):
+        """Tandem a→b, departure only from b: time to first departure from
+        state 'task at a' is 1/µa + 1/µb."""
+        spec = NetworkSpec(
+            stations=(
+                Station("a", exponential(1.0), 1),
+                Station("b", exponential(2.0), 1),
+            ),
+            routing=np.array([[0.0, 1.0], [0.0, 0.0]]),
+            entry=np.array([1.0, 0.0]),
+        )
+        model = TransientModel(spec, 1)
+        ops = model.level(1)
+        idx_a = ops.space.index[((1,), (0,))]
+        idx_b = ops.space.index[((0,), (1,))]
+        assert ops.tau[idx_a] == pytest.approx(1.0 + 0.5)
+        assert ops.tau[idx_b] == pytest.approx(0.5)
+
+    def test_level_bounds_enforced(self, central_model):
+        with pytest.raises(ValueError):
+            central_model.level(0)
+        with pytest.raises(ValueError):
+            central_model.level(6)

@@ -1,0 +1,112 @@
+"""Level operators verified against a fully hand-computed example.
+
+Two stations: ``a`` = exponential(1) delay bank (entry, exit w.p. 1/2,
+else to ``b``), ``b`` = exponential(2) single server routing back to
+``a``.  At level 2 the reduced space is {(2,0), (1,1), (0,2)} and every
+entry of ``M₂, P₂, Q₂, R₂`` follows §5.4's rules by hand — this test pins
+the construction literally, not just its invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TransientModel
+from repro.distributions import exponential
+from repro.network import DELAY, NetworkSpec, Station
+
+
+@pytest.fixture(scope="module")
+def model():
+    spec = NetworkSpec(
+        stations=(
+            Station("a", exponential(1.0), DELAY),
+            Station("b", exponential(2.0), 1),
+        ),
+        routing=np.array([[0.0, 0.5], [1.0, 0.0]]),
+        entry=np.array([1.0, 0.0]),
+    )
+    return TransientModel(spec, 2)
+
+
+@pytest.fixture(scope="module")
+def ops(model):
+    return model.level(2)
+
+
+def _idx(ops, na, nb):
+    return ops.space.index[((na,), (nb,))]
+
+
+class TestHandComputedLevel2:
+    def test_state_space(self, ops):
+        assert ops.dim == 3
+        states = {( (2,), (0,) ), ( (1,), (1,) ), ( (0,), (2,) )}
+        assert set(ops.space.states) == states
+
+    def test_M2_diagonal(self, ops):
+        # (2,0): two at the delay bank → 2·1; (1,1): 1 + 2; (0,2): one
+        # served at the single server → 2.
+        i20, i11, i02 = (_idx(ops, *s) for s in ((2, 0), (1, 1), (0, 2)))
+        assert ops.rates[i20] == pytest.approx(2.0)
+        assert ops.rates[i11] == pytest.approx(3.0)
+        assert ops.rates[i02] == pytest.approx(2.0)
+
+    def test_P2_entries(self, ops):
+        i20, i11, i02 = (_idx(ops, *s) for s in ((2, 0), (1, 1), (0, 2)))
+        P = ops.P.toarray()
+        # (2,0): a completes (w.p. 1), routes to b w.p. 1/2 → (1,1).
+        assert P[i20, i11] == pytest.approx(0.5)
+        # (1,1): a completes w.p. 1/3, to b w.p. 1/2 → (0,2);
+        #        b completes w.p. 2/3, to a → (2,0).
+        assert P[i11, i02] == pytest.approx(1.0 / 6.0)
+        assert P[i11, i20] == pytest.approx(2.0 / 3.0)
+        # (0,2): b completes (w.p. 1) and returns to a → (1,1).
+        assert P[i02, i11] == pytest.approx(1.0)
+        # No self-loops or other transitions.
+        assert P.sum() == pytest.approx(0.5 + 1.0 / 6.0 + 2.0 / 3.0 + 1.0)
+
+    def test_Q2_entries(self, model, ops):
+        low = model.level(1).space
+        i20, i11 = _idx(ops, 2, 0), _idx(ops, 1, 1)
+        j10 = low.index[((1,), (0,))]
+        j01 = low.index[((0,), (1,))]
+        Q = ops.Q.toarray()
+        # Exits happen only from station a, w.p. 1/2 of its completions.
+        assert Q[i20, j10] == pytest.approx(0.5)
+        assert Q[i11, j01] == pytest.approx(1.0 / 6.0)
+        assert Q.sum() == pytest.approx(0.5 + 1.0 / 6.0)
+
+    def test_R2_entries(self, model, ops):
+        low = model.level(1).space
+        R = ops.R.toarray()
+        j10 = low.index[((1,), (0,))]
+        j01 = low.index[((0,), (1,))]
+        # The new task always enters at a.
+        assert R[j10, _idx(ops, 2, 0)] == pytest.approx(1.0)
+        assert R[j01, _idx(ops, 1, 1)] == pytest.approx(1.0)
+
+    def test_tau_solves_the_paper_equation(self, ops):
+        """τ'₂ = M₂⁻¹ε + P₂ τ'₂ (paper §4, the defining fixed point)."""
+        rhs = 1.0 / ops.rates + ops.P.toarray() @ ops.tau
+        assert np.allclose(ops.tau, rhs)
+
+    def test_tau_by_hand(self, ops):
+        """Solve the 3×3 system symbolically-by-hand and compare.
+
+        t20 = 1/2 + 1/2·t11
+        t11 = 1/3 + 1/6·t02 + 2/3·t20
+        t02 = 1/2 + t11
+        """
+        i20, i11, i02 = (_idx(ops, *s) for s in ((2, 0), (1, 1), (0, 2)))
+        A = np.array(
+            [
+                [1.0, -0.5, 0.0],
+                [-2.0 / 3.0, 1.0, -1.0 / 6.0],
+                [0.0, -1.0, 1.0],
+            ]
+        )
+        b = np.array([0.5, 1.0 / 3.0, 0.5])
+        t = np.linalg.solve(A, b)
+        assert ops.tau[i20] == pytest.approx(t[0])
+        assert ops.tau[i11] == pytest.approx(t[1])
+        assert ops.tau[i02] == pytest.approx(t[2])

@@ -1,0 +1,84 @@
+"""Single-customer stage expansion (paper §5.4 worked examples)."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.distributions import Shape
+from repro.laqt import ServiceNetwork
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ApplicationModel()
+
+
+class TestCentralExpansion:
+    def test_exponential_cluster_pV(self, app):
+        """pV must reproduce the paper's time components [CX, (1−C)X, BY, Y]."""
+        net = ServiceNetwork(central_cluster(app))
+        assert np.allclose(
+            net.time_components(),
+            [app.cpu_time, app.local_disk_time, app.comm_time, app.remote_disk_time],
+        )
+
+    def test_mean_time_is_task_time(self, app):
+        net = ServiceNetwork(central_cluster(app))
+        assert net.mean_time == pytest.approx(app.task_time)
+
+    def test_erlang2_cpu_adds_one_stage(self, app):
+        """§5.4.1: E2 CPU turns the 4-stage example into 5 stages."""
+        net = ServiceNetwork(central_cluster(app, {"cpu": Shape.erlang(2)}))
+        assert net.n_stages == 5
+        # Time components are preserved under stage expansion.
+        assert np.allclose(
+            net.time_components(),
+            [app.cpu_time, app.local_disk_time, app.comm_time, app.remote_disk_time],
+        )
+
+    def test_h2_cpu_keeps_components(self, app):
+        net = ServiceNetwork(central_cluster(app, {"cpu": Shape.hyperexp(10.0)}))
+        assert np.allclose(
+            net.time_components(),
+            [app.cpu_time, app.local_disk_time, app.comm_time, app.remote_disk_time],
+        )
+
+    def test_stage_ownership(self, app):
+        net = ServiceNetwork(central_cluster(app, {"cpu": Shape.erlang(2)}))
+        assert net.stage_owner(0) == 0 and net.stage_owner(1) == 0
+        assert net.stage_owner(2) == 1
+        assert net.station_stages(0) == slice(0, 2)
+
+    def test_routing_rows_conserve_probability(self, app):
+        net = ServiceNetwork(central_cluster(app, {"rdisk": Shape.hyperexp(5.0)}))
+        assert np.allclose(net.P.sum(axis=1) + net.q, 1.0)
+
+    def test_entrance_is_distribution(self, app):
+        net = ServiceNetwork(central_cluster(app))
+        assert net.p.sum() == pytest.approx(1.0)
+        # Tasks start at the CPU (station 0).
+        assert net.p[0] == pytest.approx(1.0)
+
+
+class TestAsDistribution:
+    def test_task_time_distribution_moments(self, app):
+        """The sojourn law's mean equals Ψ[V]; variance is positive."""
+        net = ServiceNetwork(central_cluster(app))
+        d = net.as_distribution()
+        assert d.mean == pytest.approx(net.mean_time)
+        assert d.variance > 0
+
+    def test_geometric_cycles_raise_task_scv(self, app):
+        """Many geometric cycles make the task time nearly exponential-or-worse
+        even when each visit is exponential."""
+        net = ServiceNetwork(central_cluster(app))
+        assert net.as_distribution().scv > 0.5
+
+    def test_moment_helper(self, app):
+        net = ServiceNetwork(central_cluster(app))
+        assert net.moment(1) == pytest.approx(net.mean_time)
+        assert net.moment(2) > net.mean_time**2
+
+    def test_psi_of_identity(self, app):
+        net = ServiceNetwork(central_cluster(app))
+        assert net.psi(np.eye(net.n_stages)) == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Reduced-product state spaces: counts and enumeration invariants."""
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import erlang, exponential, fit_h2
+from repro.laqt import LevelSpace, automaton_for, build_spaces, reduced_product_count
+from repro.network import DELAY, Station
+
+
+def _exp_automata(n_stations):
+    return [
+        automaton_for(Station(f"s{i}", exponential(1.0), 1)) for i in range(n_stations)
+    ]
+
+
+class TestReducedProductCount:
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(1, 8), k=st.integers(0, 8))
+    def test_matches_formula(self, m, k):
+        assert reduced_product_count(m, k) == comb(m + k - 1, k)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            reduced_product_count(0, 1)
+        with pytest.raises(ValueError):
+            reduced_product_count(1, -1)
+
+
+class TestExponentialEnumeration:
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(1, 5), k=st.integers(0, 6))
+    def test_dimension_is_compositions(self, m, k):
+        """Pure exponential stations: D(k) = C(m+k−1, k), the paper's count."""
+        space = LevelSpace(_exp_automata(m), k)
+        assert space.dim == reduced_product_count(m, k)
+
+    def test_states_unique_and_indexed(self):
+        space = LevelSpace(_exp_automata(3), 4)
+        assert len(set(space.states)) == space.dim
+        for i, s in enumerate(space.states):
+            assert space.index[s] == i
+
+    def test_occupancies_sum_to_k(self):
+        space = LevelSpace(_exp_automata(4), 5)
+        assert np.all(space.occupancies().sum(axis=1) == 5)
+
+    def test_level_zero(self):
+        space = LevelSpace(_exp_automata(3), 0)
+        assert space.dim == 1
+
+
+class TestStageExpandedEnumeration:
+    def test_delay_ph_multiplies_states(self):
+        """A delay bank with m stages holds C(m+n−1, n) local states."""
+        a = automaton_for(Station("d", erlang(3, 1.0), DELAY))
+        assert len(a.local_states(0)) == 1
+        assert len(a.local_states(2)) == comb(3 + 2 - 1, 2)
+
+    def test_queued_ph_local_states(self):
+        """A shared PH server has m local states for each n ≥ 1 (one per
+        in-service stage), and a single idle state."""
+        a = automaton_for(Station("q", fit_h2(1.0, 5.0), 1))
+        assert a.local_states(0) == [(0, 0)]
+        assert a.local_states(1) == [(0, 1), (0, 2)]
+        assert a.local_states(3) == [(2, 1), (2, 2)]
+
+    def test_mixed_network_dimension(self):
+        """Dimension is the count-convolution of local multiplicities."""
+        autos = [
+            automaton_for(Station("cpu", exponential(1.0), DELAY)),
+            automaton_for(Station("q", fit_h2(1.0, 5.0), 1)),
+        ]
+        space = LevelSpace(autos, 2)
+        # (2,0):1, (1,1): 1*2, (0,2): 1*2 → 5 states
+        assert space.dim == 5
+
+    def test_build_spaces(self):
+        autos = _exp_automata(3)
+        spaces = build_spaces(autos, 4)
+        assert [s.k for s in spaces] == [0, 1, 2, 3, 4]
+        assert [s.dim for s in spaces] == [comb(2 + k, k) for k in range(5)]
+
+    def test_build_spaces_rejects_negative(self):
+        with pytest.raises(ValueError):
+            build_spaces(_exp_automata(2), -1)

@@ -1,0 +1,97 @@
+"""Generic CTMC utilities: uniformization vs dense matrix exponentials."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+from repro.markov import (
+    stationary_distribution,
+    transient_distribution,
+    uniformized_dtmc,
+    validate_generator,
+)
+
+
+def _birth_death(n=5, lam=1.0, mu=2.0):
+    Q = np.zeros((n, n))
+    for i in range(n - 1):
+        Q[i, i + 1] = lam
+        Q[i + 1, i] = mu
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+class TestValidation:
+    def test_accepts_generator(self):
+        validate_generator(sp.csr_matrix(_birth_death()))
+
+    def test_rejects_negative_offdiagonal(self):
+        Q = _birth_death()
+        Q[0, 1] = -1.0
+        with pytest.raises(ValueError, match="negative off-diagonal"):
+            validate_generator(sp.csr_matrix(Q))
+
+    def test_rejects_positive_rowsum(self):
+        Q = _birth_death()
+        Q[0, 0] = 0.0
+        with pytest.raises(ValueError, match="sum"):
+            validate_generator(sp.csr_matrix(Q))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            validate_generator(sp.csr_matrix(np.ones((2, 3)) * -1))
+
+    def test_substochastic_allowed(self):
+        Q = _birth_death()
+        Q[0, 0] -= 0.5  # leak to absorption
+        validate_generator(sp.csr_matrix(Q))
+
+
+class TestUniformization:
+    def test_dtmc_is_stochastic(self):
+        P, lam = uniformized_dtmc(sp.csr_matrix(_birth_death()))
+        assert lam == pytest.approx(3.0)
+        assert np.allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+
+    def test_transient_matches_expm(self):
+        Q = _birth_death()
+        x0 = np.zeros(5)
+        x0[0] = 1.0
+        times = [0.0, 0.3, 1.0, 4.0]
+        got = transient_distribution(sp.csr_matrix(Q), x0, times)
+        for row, t in zip(got, times):
+            expect = x0 @ sla.expm(Q * t)
+            assert np.allclose(row, expect, atol=1e-9)
+
+    def test_substochastic_mass_decays(self):
+        Q = _birth_death()
+        Q[0, 0] -= 1.0  # absorption from state 0
+        x0 = np.zeros(5)
+        x0[0] = 1.0
+        got = transient_distribution(sp.csr_matrix(Q), x0, [0.5, 2.0, 8.0])
+        masses = got.sum(axis=1)
+        assert np.all(np.diff(masses) < 0)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            transient_distribution(
+                sp.csr_matrix(_birth_death()), np.array([1, 0, 0, 0, 0.0]), [-1.0]
+            )
+
+
+class TestStationary:
+    def test_birth_death_detailed_balance(self):
+        lam, mu = 1.0, 2.0
+        Q = _birth_death(5, lam, mu)
+        pi = stationary_distribution(sp.csr_matrix(Q))
+        rho = lam / mu
+        expect = rho ** np.arange(5)
+        expect /= expect.sum()
+        assert np.allclose(pi, expect, atol=1e-9)
+
+    def test_rejects_substochastic(self):
+        Q = _birth_death()
+        Q[0, 0] -= 1.0
+        with pytest.raises(ValueError, match="conservative"):
+            stationary_distribution(sp.csr_matrix(Q))

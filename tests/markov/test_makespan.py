@@ -1,0 +1,130 @@
+"""Makespan distribution: the absorbing-chain view of a finite workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransientModel
+from repro.markov import MakespanAnalyzer
+from repro.simulation import simulate_study
+
+
+class TestMeanAgreement:
+    """E[T] from the absorbing chain must equal the epoch-sum of §4."""
+
+    @pytest.mark.parametrize("N", [1, 5, 12, 30])
+    def test_central_exponential(self, central_model, N):
+        mk = MakespanAnalyzer(central_model, N)
+        assert mk.mean() == pytest.approx(central_model.makespan(N), rel=1e-9)
+
+    @pytest.mark.parametrize("N", [4, 20])
+    def test_central_h2(self, central_h2_model, N):
+        mk = MakespanAnalyzer(central_h2_model, N)
+        assert mk.mean() == pytest.approx(central_h2_model.makespan(N), rel=1e-9)
+
+
+class TestDistribution:
+    @pytest.fixture(scope="class")
+    def mk(self, central_model):
+        return MakespanAnalyzer(central_model, 12)
+
+    def test_cdf_monotone_and_bounded(self, mk):
+        t = np.linspace(0, 4 * mk.mean(), 30)
+        cdf = mk.cdf(t)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all((cdf >= -1e-9) & (cdf <= 1.0 + 1e-9))
+        assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+        assert cdf[-1] > 0.99
+
+    def test_sf_complements_cdf(self, mk):
+        t = np.array([0.5, 1.0, 2.0]) * mk.mean()
+        assert np.allclose(mk.sf(t) + mk.cdf(t), 1.0)
+
+    def test_mean_via_survival_integral(self, mk):
+        """E[T] = ∫ S(t) dt cross-checks uniformization against the solves."""
+        t, dt = np.linspace(0, 8 * mk.mean(), 4000, retstep=True)
+        integral = np.trapezoid(mk.sf(t), dx=dt)
+        assert integral == pytest.approx(mk.mean(), rel=1e-3)
+
+    def test_variance_positive(self, mk):
+        assert mk.variance() > 0
+        assert mk.std() == pytest.approx(np.sqrt(mk.variance()))
+
+    def test_quantiles_bracket_mean(self, mk):
+        assert mk.quantile(0.05) < mk.mean() < mk.quantile(0.95)
+
+    def test_quantile_inverts_cdf(self, mk):
+        q90 = mk.quantile(0.9)
+        assert float(mk.cdf(q90)[0]) == pytest.approx(0.9, abs=1e-6)
+
+    def test_quantile_rejects_bad_levels(self, mk):
+        with pytest.raises(ValueError):
+            mk.quantile(1.5)
+
+
+class TestAgainstSimulation:
+    def test_std_matches_simulation(self, central_model):
+        N = 10
+        mk = MakespanAnalyzer(central_model, N)
+        study = simulate_study(central_model.spec, central_model.K, N, reps=2000, seed=3)
+        sim_std = study.departures[:, -1].std(ddof=1)
+        assert mk.std() == pytest.approx(sim_std, rel=0.1)
+
+    def test_cdf_matches_empirical(self, central_model):
+        N = 10
+        mk = MakespanAnalyzer(central_model, N)
+        study = simulate_study(central_model.spec, central_model.K, N, reps=2000, seed=4)
+        samples = study.departures[:, -1]
+        for q in (0.25, 0.5, 0.75):
+            t = np.quantile(samples, q)
+            assert float(mk.cdf(t)[0]) == pytest.approx(q, abs=0.04)
+
+
+class TestPerDeparture:
+    """Absorbing at the j-th departure gives that task's completion law."""
+
+    def test_mean_matches_departure_times(self, central_h2_model):
+        N = 15
+        expect = central_h2_model.departure_times(N)
+        for j in (1, 4, 9, 15):
+            mk = MakespanAnalyzer(central_h2_model, N, departures=j)
+            assert mk.mean() == pytest.approx(expect[j - 1], rel=1e-9)
+            assert mk.departures == j
+
+    def test_full_run_is_default(self, central_model):
+        a = MakespanAnalyzer(central_model, 8)
+        b = MakespanAnalyzer(central_model, 8, departures=8)
+        assert a.mean() == pytest.approx(b.mean())
+
+    def test_departure_quantiles_increase(self, central_model):
+        N = 10
+        q50 = [
+            MakespanAnalyzer(central_model, N, departures=j).quantile(0.5)
+            for j in (2, 5, 10)
+        ]
+        assert q50[0] < q50[1] < q50[2]
+
+    def test_variance_accumulates(self, central_model):
+        N = 12
+        v = [
+            MakespanAnalyzer(central_model, N, departures=j).variance()
+            for j in (3, 12)
+        ]
+        assert v[1] > v[0]
+
+    def test_rejects_bad_departures(self, central_model):
+        with pytest.raises(ValueError):
+            MakespanAnalyzer(central_model, 5, departures=0)
+        with pytest.raises(ValueError):
+            MakespanAnalyzer(central_model, 5, departures=6)
+
+
+class TestValidation:
+    def test_rejects_bad_N(self, central_model):
+        with pytest.raises(ValueError):
+            MakespanAnalyzer(central_model, 0)
+
+    def test_scv_reasonable(self, central_model):
+        """Makespan concentrates as N grows (CLT-like averaging)."""
+        small = MakespanAnalyzer(central_model, 5).scv()
+        large = MakespanAnalyzer(central_model, 40).scv()
+        assert large < small

@@ -1,0 +1,75 @@
+"""Spec / distribution serialization round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster, distributed_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape, fit_h2
+from repro.network import (
+    dist_from_dict,
+    dist_to_dict,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+
+
+class TestDistributionRoundTrip:
+    def test_h2(self):
+        d = fit_h2(2.0, 10.0)
+        d2 = dist_from_dict(dist_to_dict(d))
+        assert d2.mean == pytest.approx(d.mean)
+        assert d2.scv == pytest.approx(d.scv)
+        assert np.allclose(d2.routing, d.routing)
+
+    def test_missing_key(self):
+        with pytest.raises(ValueError, match="missing key"):
+            dist_from_dict({"entry": [1.0]})
+
+
+class TestSpecRoundTrip:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        app = ApplicationModel()
+        return central_cluster(
+            app, {"rdisk": Shape.hyperexp(10.0), "cpu": Shape.erlang(2)}
+        )
+
+    def test_json_is_valid(self, spec):
+        data = json.loads(spec_to_json(spec))
+        assert data["format_version"] == 1
+        assert len(data["stations"]) == 4
+
+    def test_round_trip_preserves_structure(self, spec):
+        spec2 = spec_from_json(spec_to_json(spec))
+        assert [s.name for s in spec2.stations] == [s.name for s in spec.stations]
+        assert np.allclose(spec2.routing, spec.routing)
+        assert np.allclose(spec2.entry, spec.entry)
+        assert spec2.station("cpu").is_delay
+        assert spec2.station("rdisk").servers == 1
+
+    def test_round_trip_preserves_results(self, spec):
+        """The replayed spec must solve to the same numbers."""
+        spec2 = spec_from_dict(spec_to_dict(spec))
+        a = TransientModel(spec, 4).interdeparture_times(12)
+        b = TransientModel(spec2, 4).interdeparture_times(12)
+        assert np.allclose(a, b, rtol=1e-12)
+
+    def test_distributed_round_trip(self):
+        spec = distributed_cluster(ApplicationModel(), 3, weights=[0.5, 0.3, 0.2])
+        spec2 = spec_from_json(spec_to_json(spec))
+        assert np.allclose(spec2.service_demands(), spec.service_demands())
+
+    def test_version_check(self, spec):
+        data = spec_to_dict(spec)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            spec_from_dict(data)
+
+    def test_missing_key(self):
+        with pytest.raises(ValueError, match="missing key"):
+            spec_from_dict({"format_version": 1, "stations": []})

@@ -1,0 +1,146 @@
+"""NetworkSpec and Station validation and derived quantities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import erlang, exponential, fit_h2
+from repro.network import DELAY, NetworkSpec, Station
+
+
+class TestStation:
+    def test_delay_flag(self):
+        assert Station("a", exponential(1.0), DELAY).is_delay
+        assert not Station("a", exponential(1.0), 2).is_delay
+
+    def test_mean_service(self):
+        assert Station("a", erlang(2, 4.0), 1).mean_service == pytest.approx(0.5)
+
+    def test_rejects_fractional_servers(self):
+        with pytest.raises(ValueError):
+            Station("a", exponential(1.0), 1.5)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            Station("a", exponential(1.0), 0)
+
+    def test_rejects_multistage_multiserver(self):
+        with pytest.raises(ValueError, match="multi-stage"):
+            Station("a", erlang(2, 1.0), 3)
+
+    def test_multistage_single_and_delay_ok(self):
+        Station("a", erlang(2, 1.0), 1)
+        Station("b", fit_h2(1.0, 5.0), DELAY)
+
+    def test_rejects_non_ph(self):
+        with pytest.raises(TypeError):
+            Station("a", "not a distribution", 1)
+
+
+def _two_station_spec():
+    return NetworkSpec(
+        stations=(
+            Station("a", exponential(1.0), DELAY),
+            Station("b", exponential(2.0), 1),
+        ),
+        routing=np.array([[0.0, 0.5], [1.0, 0.0]]),
+        entry=np.array([1.0, 0.0]),
+    )
+
+
+class TestNetworkSpec:
+    def test_exit_vector(self):
+        spec = _two_station_spec()
+        assert np.allclose(spec.exit, [0.5, 0.0])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            NetworkSpec(
+                stations=(
+                    Station("a", exponential(1.0), 1),
+                    Station("a", exponential(1.0), 1),
+                ),
+                routing=np.zeros((2, 2)),
+                entry=np.array([1.0, 0.0]),
+            )
+
+    def test_no_exit_rejected(self):
+        with pytest.raises(ValueError, match="no exit"):
+            NetworkSpec(
+                stations=(Station("a", exponential(1.0), 1),),
+                routing=np.array([[1.0]]),
+                entry=np.array([1.0]),
+            )
+
+    def test_routing_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(
+                stations=(Station("a", exponential(1.0), 1),),
+                routing=np.zeros((2, 2)),
+                entry=np.array([1.0]),
+            )
+
+    def test_super_stochastic_routing_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(
+                stations=(
+                    Station("a", exponential(1.0), 1),
+                    Station("b", exponential(1.0), 1),
+                ),
+                routing=np.array([[0.7, 0.7], [0.0, 0.0]]),
+                entry=np.array([1.0, 0.0]),
+            )
+
+    def test_trapped_station_rejected(self):
+        """A reachable station with no path to an exit traps tasks."""
+        with pytest.raises(ValueError, match="cannot reach an exit"):
+            NetworkSpec(
+                stations=(
+                    Station("a", exponential(1.0), 1),
+                    Station("trap", exponential(1.0), 1),
+                ),
+                # a exits w.p. 0.5, else sends to trap; trap self-loops.
+                routing=np.array([[0.0, 0.5], [0.0, 1.0]]),
+                entry=np.array([1.0, 0.0]),
+            )
+
+    def test_unreachable_trap_is_fine(self):
+        """A no-exit station no task can reach is harmless."""
+        spec = NetworkSpec(
+            stations=(
+                Station("a", exponential(1.0), 1),
+                Station("island", exponential(1.0), 1),
+            ),
+            routing=np.array([[0.0, 0.0], [0.0, 1.0]]),
+            entry=np.array([1.0, 0.0]),
+        )
+        assert spec.exit[0] == pytest.approx(1.0)
+
+    def test_station_lookup(self):
+        spec = _two_station_spec()
+        assert spec.station_index("b") == 1
+        assert spec.station("b").name == "b"
+        with pytest.raises(KeyError):
+            spec.station_index("zzz")
+
+    def test_visit_ratios_geometric(self):
+        """a → b with prob 0.5, b → a always: v_a = 2, v_b = 1."""
+        spec = _two_station_spec()
+        assert np.allclose(spec.visit_ratios(), [2.0, 1.0])
+
+    def test_service_demands(self):
+        spec = _two_station_spec()
+        assert np.allclose(spec.service_demands(), [2.0 * 1.0, 1.0 * 0.5])
+
+    def test_task_time(self):
+        spec = _two_station_spec()
+        assert spec.task_time() == pytest.approx(2.5)
+
+    def test_closed_routing_is_stochastic(self):
+        spec = _two_station_spec()
+        closed = spec.closed_routing()
+        assert np.allclose(closed.sum(axis=1), 1.0)
+
+    def test_n_stations(self):
+        assert _two_station_spec().n_stations == 2

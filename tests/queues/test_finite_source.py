@@ -1,0 +1,94 @@
+"""Finite-source M/ME/C//N queue (paper ref [19])."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import erlang, exponential, fit_h2
+from repro.queues import FiniteSourceQueue, finite_source_spec
+
+
+def _mm1n_exact(Z, mu, N):
+    """Brute-force birth–death solution of M/M/1//N."""
+    pi = [1.0]
+    for n in range(N):
+        pi.append(pi[-1] * ((N - n) / Z) / mu)
+    pi = np.array(pi)
+    pi /= pi.sum()
+    return {
+        "throughput": float((1 - pi[0]) * mu),
+        "queue": float(np.arange(N + 1) @ pi),
+        "util": float(1 - pi[0]),
+    }
+
+
+class TestExponentialService:
+    @pytest.mark.parametrize("N", [1, 3, 6])
+    def test_matches_birth_death(self, N):
+        Z, mu = 2.0, 1.0
+        q = FiniteSourceQueue(Z, exponential(mu), N)
+        exact = _mm1n_exact(Z, mu, N)
+        assert q.throughput == pytest.approx(exact["throughput"], rel=1e-9)
+        assert q.mean_queue_length == pytest.approx(exact["queue"], rel=1e-8)
+        assert q.utilization == pytest.approx(exact["util"], rel=1e-8)
+
+    def test_little_law(self):
+        q = FiniteSourceQueue(2.0, exponential(1.0), 5)
+        assert q.mean_response_time == pytest.approx(
+            q.mean_queue_length / q.throughput, rel=1e-9
+        )
+
+    def test_multiserver(self):
+        q1 = FiniteSourceQueue(2.0, exponential(1.0), 6, servers=1)
+        q2 = FiniteSourceQueue(2.0, exponential(1.0), 6, servers=2)
+        assert q2.throughput > q1.throughput
+        assert q2.mean_response_time < q1.mean_response_time
+
+
+class TestMEService:
+    def test_h2_service_slows_response(self):
+        """Same mean, higher C² ⇒ worse response — the effect M/M/1//N
+        cannot express and ref [19] generalizes."""
+        exp_q = FiniteSourceQueue(2.0, exponential(1.0), 5)
+        h2_q = FiniteSourceQueue(2.0, fit_h2(1.0, 10.0), 5)
+        assert h2_q.mean_response_time > exp_q.mean_response_time * 1.05
+        assert h2_q.throughput < exp_q.throughput
+
+    def test_erlang_service_helps(self):
+        exp_q = FiniteSourceQueue(2.0, exponential(1.0), 5)
+        e3_q = FiniteSourceQueue(2.0, erlang(3, 3.0), 5)
+        assert e3_q.mean_response_time < exp_q.mean_response_time
+
+    def test_response_degradation_grows_with_N(self):
+        degr = [
+            FiniteSourceQueue(2.0, fit_h2(1.0, 5.0), N).response_degradation()
+            for N in (1, 4, 8)
+        ]
+        assert degr[0] == pytest.approx(1.0, rel=1e-8)  # no competition
+        assert degr[0] < degr[1] < degr[2]
+
+    def test_saturation_population(self):
+        q = FiniteSourceQueue(2.0, exponential(1.0), 4)
+        assert q.saturation_population() == pytest.approx(3.0)
+        # Beyond N*, throughput is capacity-bound.
+        big = FiniteSourceQueue(2.0, exponential(1.0), 12)
+        assert big.throughput == pytest.approx(1.0, rel=0.01)
+
+
+class TestSpecBuilder:
+    def test_structure(self):
+        spec = finite_source_spec(2.0, exponential(1.0), 2)
+        assert [s.name for s in spec.stations] == ["think", "service"]
+        assert spec.station("think").is_delay
+        assert spec.station("service").servers == 2
+
+    def test_transient_access(self):
+        """The epoch-level view is available through .model."""
+        q = FiniteSourceQueue(2.0, fit_h2(1.0, 5.0), 4)
+        times = q.model.interdeparture_times(10)
+        assert times.shape == (10,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiniteSourceQueue(0.0, exponential(1.0), 3)
+        with pytest.raises(ValueError):
+            FiniteSourceQueue(1.0, exponential(1.0), 0)

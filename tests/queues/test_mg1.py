@@ -1,0 +1,120 @@
+"""Open M/ME/1 queue: P–K values and the exact waiting-time law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import erlang, exponential, fit_h2, fit_scv
+from repro.queues import MG1Queue
+
+
+class TestMM1:
+    """M/M/1 closed forms."""
+
+    @pytest.fixture(scope="class")
+    def q(self):
+        return MG1Queue(0.7, exponential(1.0))
+
+    def test_utilization(self, q):
+        assert q.utilization == pytest.approx(0.7)
+
+    def test_mean_customers(self, q):
+        assert q.mean_customers == pytest.approx(0.7 / 0.3)
+
+    def test_mean_wait(self, q):
+        assert q.mean_wait == pytest.approx(0.7 / 0.3)
+
+    def test_waiting_tail_is_exponential(self, q):
+        w = q.waiting_time()
+        t = np.linspace(0.1, 5, 9)
+        assert np.allclose(w.sf(t), 0.7 * np.exp(-0.3 * t))
+
+    def test_sojourn_is_exponential(self, q):
+        s = q.sojourn_time()
+        assert s.mean == pytest.approx(1.0 / 0.3)
+        assert s.scv == pytest.approx(1.0)
+        t = np.linspace(0.1, 8, 9)
+        assert np.allclose(s.sf(t), np.exp(-0.3 * t), atol=1e-10)
+
+    def test_busy_period(self, q):
+        assert q.mean_busy_period == pytest.approx(1.0 / 0.3)
+
+
+class TestPollaczekKhinchine:
+    @pytest.mark.parametrize(
+        "service",
+        [erlang(3, 3.0), fit_h2(1.0, 8.0), fit_scv(1.0, 0.4)],
+        ids=["E3", "H2", "mixed-erlang"],
+    )
+    def test_wq_formula(self, service):
+        lam = 0.6
+        q = MG1Queue(lam, service)
+        assert q.mean_wait == pytest.approx(
+            lam * service.moment(2) / (2 * (1 - lam * service.mean))
+        )
+
+    @pytest.mark.parametrize(
+        "service", [erlang(2, 2.0), fit_h2(1.0, 5.0)], ids=["E2", "H2"]
+    )
+    def test_waiting_distribution_mean_matches_wq(self, service):
+        q = MG1Queue(0.5, service)
+        assert q.waiting_time().mean == pytest.approx(q.mean_wait, rel=1e-10)
+
+    def test_sojourn_decomposition(self):
+        q = MG1Queue(0.5, fit_h2(1.0, 5.0))
+        assert q.sojourn_time().mean == pytest.approx(q.mean_sojourn, rel=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(lam=st.floats(0.05, 0.9), scv=st.floats(0.3, 20.0))
+    def test_property_distribution_moments(self, lam, scv):
+        """Second moment of W from the ME law must match the transform:
+        E[W²] = 2 Wq² + λ E[S³]/(3(1−ρ))."""
+        service = fit_scv(1.0, scv)
+        q = MG1Queue(lam, service)
+        w = q.waiting_time()
+        expected_m2 = 2 * q.mean_wait**2 + lam * service.moment(3) / (
+            3 * (1 - q.utilization)
+        )
+        assert w.moment(2) == pytest.approx(expected_m2, rel=1e-8)
+
+
+class TestAgainstLindleySimulation:
+    def test_mph1_waiting_cdf(self, rng):
+        """Lindley recursion W_{n+1} = max(W_n + S_n − A_n, 0)."""
+        service = fit_h2(1.0, 5.0)
+        lam = 0.5
+        q = MG1Queue(lam, service)
+        n = 200_000
+        s = service.sample(rng, n)
+        a = rng.exponential(1.0 / lam, n)
+        w = np.empty(n)
+        w[0] = 0.0
+        for i in range(1, n):
+            w[i] = max(w[i - 1] + s[i - 1] - a[i - 1], 0.0)
+        w = w[n // 10 :]  # warm-up
+        law = q.waiting_time()
+        assert np.mean(w == 0.0) == pytest.approx(law.atom, abs=0.02)
+        for t in (0.5, 2.0, 8.0):
+            assert np.mean(w > t) == pytest.approx(float(law.sf(t)), abs=0.02)
+
+
+class TestValidation:
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MG1Queue(2.0, exponential(1.0))
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            MG1Queue(0.0, exponential(1.0))
+
+    def test_bad_service(self):
+        with pytest.raises(TypeError):
+            MG1Queue(0.5, "exp")
+
+    def test_atom_mixture_moments(self):
+        q = MG1Queue(0.4, exponential(1.0))
+        w = q.waiting_time()
+        assert w.moment(0) == 1.0
+        assert w.variance == pytest.approx(w.moment(2) - w.mean**2)
+        assert float(w.cdf(0.0)) == pytest.approx(w.atom, abs=1e-9)

@@ -1,0 +1,82 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.reporting import ascii_plot, plot_result
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        x = np.linspace(0, 10, 11)
+        out = ascii_plot(x, {"lin": x, "sq": x**2 / 10 + 0.1}, width=40, height=10)
+        lines = out.splitlines()
+        # height rows + x-axis + tick line + legend
+        assert len(lines) == 10 + 3
+        assert "o=lin" in out and "x=sq" in out
+        assert "[x]" in out
+
+    def test_markers_land_monotonically(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        out = ascii_plot(x, {"s": y}, width=20, height=8)
+        rows = [i for i, line in enumerate(out.splitlines()) if "o" in line]
+        # Increasing series → markers move upward (smaller row index later).
+        assert rows == sorted(rows)
+
+    def test_logy(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = ascii_plot(x, {"s": np.array([1.0, 10.0, 100.0])}, logy=True)
+        assert "(log y)" in out
+
+    def test_logy_rejects_nonpositive(self):
+        x = np.array([1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot(x, {"s": np.array([0.0, 1.0])}, logy=True)
+
+    def test_constant_series_ok(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = ascii_plot(x, {"s": np.full(3, 5.0)})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot(np.array([1.0]), {"s": np.array([1.0])})
+        with pytest.raises(ValueError):
+            ascii_plot(np.array([1.0, 2.0]), {})
+        with pytest.raises(ValueError):
+            ascii_plot(np.array([1.0, 2.0]), {"s": np.array([1.0, 2.0, 3.0])})
+
+    def test_too_many_series(self):
+        x = np.array([1.0, 2.0])
+        series = {f"s{i}": x for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_plot(x, series)
+
+
+class TestPlotResult:
+    def _result(self, x_label="C2"):
+        return ExperimentResult(
+            experiment="demo",
+            description="demo plot",
+            x_label=x_label,
+            x=np.array([1.0, 2.0, 4.0]),
+            series={"a": np.array([1.0, 2.0, 3.0])},
+        )
+
+    def test_title_and_legend(self):
+        out = plot_result(self._result())
+        assert "demo" in out
+        assert "o=a" in out
+
+    def test_log_default_for_task_order(self):
+        assert "(log y)" in plot_result(self._result(x_label="task order"))
+        assert "(log y)" not in plot_result(self._result(x_label="C2"))
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig12", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "[C2]" in out

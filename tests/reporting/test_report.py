@@ -1,0 +1,53 @@
+"""The one-call performance report."""
+
+import pytest
+
+from repro.reporting import performance_report
+
+
+class TestPerformanceReport:
+    @pytest.fixture(scope="class")
+    def report(self, central_h2_spec):
+        return performance_report(central_h2_spec, 5, 30)
+
+    def test_sections_present(self, report):
+        for needle in (
+            "performance report: N=30 tasks on K=5",
+            "mean makespan",
+            "speedup vs 1 workstation",
+            "regions (epochs)",
+            "makespan distribution",
+            "station metrics",
+            "bottleneck: rdisk",
+            "baseline comparison",
+            "fork/join",
+        ):
+            assert needle in report, needle
+
+    def test_values_consistent_with_model(self, central_h2_spec, report):
+        from repro.core import TransientModel
+
+        span = TransientModel(central_h2_spec, 5).makespan(30)
+        assert f"{span:.4f}" in report
+
+    def test_distribution_optional(self, central_h2_spec):
+        fast = performance_report(central_h2_spec, 5, 30, include_distribution=False)
+        assert "makespan distribution" not in fast
+        assert "mean makespan" in fast
+
+    def test_quantiles_configurable(self, central_h2_spec):
+        rep = performance_report(
+            central_h2_spec, 4, 12, quantiles=(0.25,), include_distribution=True
+        )
+        assert "p25" in rep
+
+
+class TestDescribe:
+    def test_network_describe(self, central_h2_spec):
+        text = central_h2_spec.describe()
+        assert "4 stations" in text
+        assert "delay bank" in text
+        assert "1-server" in text
+        assert "rdisk" in text
+        assert "exit" in text
+        assert "task time" in text

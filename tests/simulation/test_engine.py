@@ -1,0 +1,108 @@
+"""Discrete-event simulator vs the exact analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster, distributed_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape
+from repro.simulation import simulate_once, simulate_study
+
+
+class TestMechanics:
+    def test_departure_count_and_order(self, central_spec, rng):
+        res = simulate_once(central_spec, 5, 30, rng)
+        assert res.departure_times.shape == (30,)
+        assert np.all(np.diff(res.departure_times) >= 0)
+        assert res.makespan == res.departure_times[-1]
+
+    def test_interdeparture_sums_to_makespan(self, central_spec, rng):
+        res = simulate_once(central_spec, 5, 20, rng)
+        assert res.interdeparture_times.sum() == pytest.approx(res.makespan)
+
+    def test_seed_reproducibility(self, central_spec):
+        a = simulate_once(central_spec, 4, 15, np.random.default_rng(9))
+        b = simulate_once(central_spec, 4, 15, np.random.default_rng(9))
+        assert np.array_equal(a.departure_times, b.departure_times)
+
+    def test_n_less_than_k(self, central_spec, rng):
+        res = simulate_once(central_spec, 8, 3, rng)
+        assert res.departure_times.shape == (3,)
+
+    def test_invalid_args(self, central_spec, rng):
+        with pytest.raises(ValueError):
+            simulate_once(central_spec, 0, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_once(central_spec, 2, 0, rng)
+
+
+class TestAgainstAnalyticModel:
+    """The simulator is the independent ground truth for the whole library."""
+
+    def test_exponential_central_epochs(self, central_spec):
+        model = TransientModel(central_spec, 5)
+        study = simulate_study(central_spec, 5, 30, reps=2500, seed=11)
+        exact = model.interdeparture_times(30)
+        hw = study.epoch_halfwidths
+        outside = np.abs(exact - study.epoch_means) > np.maximum(hw, 0.02 * exact)
+        # 99% CIs: allow a single excursion out of 30.
+        assert outside.sum() <= 1
+
+    def test_exponential_makespan_in_ci(self, central_spec):
+        model = TransientModel(central_spec, 5)
+        study = simulate_study(central_spec, 5, 30, reps=2500, seed=12)
+        lo, hi = study.makespan_ci()
+        assert lo <= model.makespan(30) <= hi
+
+    def test_h2_shared_makespan(self, central_h2_spec):
+        """Non-exponential shared server: the case Jackson cannot model."""
+        model = TransientModel(central_h2_spec, 5)
+        study = simulate_study(central_h2_spec, 5, 30, reps=3000, seed=13)
+        lo, hi = study.makespan_ci()
+        assert lo <= model.makespan(30) <= hi
+
+    def test_erlang_cpu_distributed(self):
+        app = ApplicationModel()
+        spec = distributed_cluster(app, 3, shapes={"cpu": Shape.erlang(3)})
+        model = TransientModel(spec, 3)
+        study = simulate_study(spec, 3, 15, reps=2000, seed=14)
+        lo, hi = study.makespan_ci()
+        assert lo <= model.makespan(15) <= hi
+
+    def test_multiserver_station(self):
+        """c=2 shared station (beyond the paper's clusters, still exact)."""
+        import math
+
+        from repro.distributions import exponential
+        from repro.network import DELAY, NetworkSpec, Station
+
+        spec = NetworkSpec(
+            stations=(
+                Station("think", exponential(1.0), DELAY),
+                Station("duo", exponential(1.5), 2),
+            ),
+            routing=np.array([[0.0, 0.6], [1.0, 0.0]]),
+            entry=np.array([1.0, 0.0]),
+        )
+        model = TransientModel(spec, 4)
+        study = simulate_study(spec, 4, 16, reps=2000, seed=15)
+        lo, hi = study.makespan_ci()
+        assert lo <= model.makespan(16) <= hi
+
+
+class TestStudyAggregation:
+    def test_shapes(self, central_spec):
+        study = simulate_study(central_spec, 4, 10, reps=50, seed=1)
+        assert study.departures.shape == (50, 10)
+        assert study.epoch_means.shape == (10,)
+        assert study.epoch_halfwidths.shape == (10,)
+        assert study.reps == 50
+
+    def test_needs_two_reps(self, central_spec):
+        with pytest.raises(ValueError):
+            simulate_study(central_spec, 4, 10, reps=1)
+
+    def test_halfwidth_shrinks_with_reps(self, central_spec):
+        small = simulate_study(central_spec, 4, 10, reps=100, seed=2)
+        large = simulate_study(central_spec, 4, 10, reps=900, seed=2)
+        assert large.makespan_halfwidth < small.makespan_halfwidth

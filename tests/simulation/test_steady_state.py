@@ -1,0 +1,35 @@
+"""Batch-means steady-state estimation from one long run."""
+
+import pytest
+
+from repro.core import TransientModel, solve_steady_state
+from repro.simulation import estimate_steady_state
+
+
+class TestEstimator:
+    def test_matches_analytic_exponential(self, central_spec):
+        exact = solve_steady_state(TransientModel(central_spec, 4)).interdeparture_time
+        est = estimate_steady_state(central_spec, 4, epochs=12_000, seed=5)
+        assert est.contains(exact), (est.ci(), exact)
+
+    def test_matches_analytic_h2(self, central_h2_spec):
+        exact = solve_steady_state(
+            TransientModel(central_h2_spec, 4)
+        ).interdeparture_time
+        est = estimate_steady_state(central_h2_spec, 4, epochs=20_000, seed=6)
+        assert est.contains(exact), (est.ci(), exact)
+
+    def test_halfwidth_positive_and_small(self, central_spec):
+        est = estimate_steady_state(central_spec, 4, epochs=12_000, seed=7)
+        assert 0 < est.halfwidth < 0.1 * est.mean
+
+    def test_batch_bookkeeping(self, central_spec):
+        est = estimate_steady_state(
+            central_spec, 3, epochs=4_000, n_batches=20, seed=1
+        )
+        assert est.n_batches == 20
+        assert est.batch_size == 200
+
+    def test_validation(self, central_spec):
+        with pytest.raises(ValueError, match="10 epochs per batch"):
+            estimate_steady_state(central_spec, 3, epochs=100, n_batches=40)

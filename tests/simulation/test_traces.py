@@ -1,0 +1,94 @@
+"""Trace generation and deterministic replay."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel
+from repro.simulation import TaskTrace, generate_traces, replay_traces
+
+
+class TestTaskTrace:
+    def test_demands(self):
+        t = TaskTrace(steps=((0, 1.0), (1, 2.0), (0, 0.5)))
+        assert t.total_demand == pytest.approx(3.5)
+        assert t.station_demand(0) == pytest.approx(1.5)
+        assert t.station_demand(2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskTrace(steps=())
+        with pytest.raises(ValueError):
+            TaskTrace(steps=((0, -1.0),))
+        with pytest.raises(ValueError):
+            TaskTrace(steps=((-1, 1.0),))
+
+
+class TestGeneration:
+    def test_traces_follow_the_recipe(self, central_spec, rng):
+        traces = generate_traces(central_spec, 400, rng)
+        assert len(traces) == 400
+        # Every task starts at the CPU (entry) and its last visit is a CPU
+        # burst (exit only happens from the CPU).
+        for t in traces:
+            assert t.steps[0][0] == 0
+            assert t.steps[-1][0] == 0
+
+    def test_mean_total_demand_matches_task_time(self, central_spec, rng):
+        traces = generate_traces(central_spec, 4000, rng)
+        totals = np.array([t.total_demand for t in traces])
+        assert totals.mean() == pytest.approx(central_spec.task_time(), rel=0.05)
+
+    def test_per_station_demand_matches_components(self, central_spec, rng):
+        traces = generate_traces(central_spec, 4000, rng)
+        demands = central_spec.service_demands()
+        for j in range(central_spec.n_stations):
+            got = np.mean([t.station_demand(j) for t in traces])
+            assert got == pytest.approx(demands[j], rel=0.08)
+
+    def test_validation(self, central_spec, rng):
+        with pytest.raises(ValueError):
+            generate_traces(central_spec, 0, rng)
+
+
+class TestReplay:
+    def test_deterministic(self, central_spec, rng):
+        traces = generate_traces(central_spec, 20, rng)
+        a = replay_traces(central_spec, 4, traces)
+        b = replay_traces(central_spec, 4, traces)
+        assert np.array_equal(a.departure_times, b.departure_times)
+
+    def test_statistically_matches_engine(self, central_spec):
+        """Freshly-generated traces replayed = the stochastic engine."""
+        K, N, reps = 4, 20, 600
+        rng = np.random.default_rng(5)
+        spans = np.array(
+            [
+                replay_traces(central_spec, K, generate_traces(central_spec, N, rng)).makespan
+                for _ in range(reps)
+            ]
+        )
+        exact = TransientModel(central_spec, K).makespan(N)
+        hw = 2.6 * spans.std(ddof=1) / np.sqrt(reps)
+        assert abs(spans.mean() - exact) < max(hw, 0.02 * exact)
+
+    def test_paired_comparison_is_monotone_in_K(self, central_spec, rng):
+        """Replaying the SAME workload: more workstations never hurt."""
+        traces = generate_traces(central_spec, 30, rng)
+        spans = [replay_traces(central_spec, K, traces).makespan for K in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))
+
+    def test_k1_is_serial_sum(self, central_spec, rng):
+        """On one workstation the makespan is exactly the demand sum."""
+        traces = generate_traces(central_spec, 10, rng)
+        span = replay_traces(central_spec, 1, traces).makespan
+        assert span == pytest.approx(sum(t.total_demand for t in traces), rel=1e-12)
+
+    def test_station_index_validation(self, central_spec):
+        bad = [TaskTrace(steps=((9, 1.0),))]
+        with pytest.raises(ValueError, match="station 9"):
+            replay_traces(central_spec, 2, bad)
+
+    def test_needs_traces(self, central_spec):
+        with pytest.raises(ValueError):
+            replay_traces(central_spec, 2, [])

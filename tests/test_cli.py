@@ -1,0 +1,72 @@
+"""The top-level command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "cluster.json"
+    assert main(["make-spec", "central", "--rdisk-scv", "10", "-o", str(path)]) == 0
+    return path
+
+
+class TestMakeSpec:
+    def test_writes_valid_json(self, spec_file):
+        data = json.loads(spec_file.read_text())
+        assert len(data["stations"]) == 4
+        names = [s["name"] for s in data["stations"]]
+        assert names == ["cpu", "disk", "comm", "rdisk"]
+
+    def test_stdout_mode(self, capsys):
+        assert main(["make-spec", "central"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["format_version"] == 1
+
+    def test_distributed(self, tmp_path, capsys):
+        assert main(["make-spec", "distributed", "-K", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["stations"]) == 5  # cpu + 3 disks + comm
+
+    def test_cpu_scv_flag(self, capsys):
+        assert main(["make-spec", "central", "--cpu-scv", "0.5"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        cpu = data["stations"][0]
+        assert len(cpu["dist"]["rates"]) == 2  # Erlang-2
+
+
+class TestDescribe:
+    def test_output(self, spec_file, capsys):
+        assert main(["describe", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "4 stations" in out
+        assert "rdisk" in out
+
+
+class TestReport:
+    def test_fast_report(self, spec_file, capsys):
+        assert main(
+            ["report", str(spec_file), "-K", "4", "-N", "12", "--no-distribution"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mean makespan" in out
+        assert "bottleneck" in out
+
+
+class TestValidate:
+    def test_pass_exit_code(self, spec_file, capsys):
+        rc = main(
+            ["validate", str(spec_file), "-K", "3", "-N", "8", "--reps", "400"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+
+class TestExperimentPassthrough:
+    def test_runs_figure(self, capsys):
+        assert main(["experiment", "fig12"]) == 0
+        assert "fig12" in capsys.readouterr().out

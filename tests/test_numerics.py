@@ -1,0 +1,82 @@
+"""Numerical robustness at the edges of the parameter space."""
+
+import numpy as np
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.core import TransientModel, solve_steady_state
+from repro.distributions import Shape, fit_h2, fit_scv
+from repro.jackson import convolution_analysis
+
+
+class TestExtremeVariability:
+    def test_h2_c2_one_thousand(self):
+        d = fit_h2(1.0, 1000.0)
+        assert d.mean == pytest.approx(1.0, rel=1e-9)
+        assert d.scv == pytest.approx(1000.0, rel=1e-6)
+
+    def test_cluster_with_c2_500(self):
+        spec = central_cluster(ApplicationModel(), {"rdisk": Shape.hyperexp(500.0)})
+        model = TransientModel(spec, 3)
+        times = model.interdeparture_times(12)
+        assert np.all(np.isfinite(times)) and np.all(times > 0)
+        ss = solve_steady_state(model)
+        assert np.isfinite(ss.interdeparture_time)
+
+    def test_tiny_scv(self):
+        d = fit_scv(1.0, 0.02)  # Erlang-50 territory
+        assert d.scv == pytest.approx(0.02, rel=1e-6)
+        assert d.n_stages == 50
+
+
+class TestExtremeScales:
+    def test_widely_separated_rates(self):
+        """Service means spanning 5 orders of magnitude stay solvable."""
+        app = ApplicationModel(
+            compute_fraction=0.999,
+            local_time=10.0,
+            remote_time=1e-3,
+            comm_factor=1e-2,
+            cycles=2.0,
+            remote_fraction=0.5,
+        )
+        spec = central_cluster(app)
+        model = TransientModel(spec, 3)
+        span = model.makespan(9)
+        assert np.isfinite(span) and span > 0
+        # Steady state still matches the product form.
+        t_tr = solve_steady_state(model).interdeparture_time
+        t_pf = convolution_analysis(spec, 3).interdeparture_time
+        assert t_tr == pytest.approx(t_pf, rel=1e-7)
+
+    def test_large_population_convolution_stability(self, central_spec):
+        sol = convolution_analysis(central_spec, 1000)
+        assert np.isfinite(sol.throughput)
+        assert np.all(np.isfinite(sol.queue_means))
+
+    def test_deep_backlog_epoch_iteration(self, central_model):
+        """10 000 epochs: the iteration must stay stable and converged."""
+        times = central_model.interdeparture_times(10_000)
+        t_ss = solve_steady_state(central_model).interdeparture_time
+        mid = times[5_000]
+        assert mid == pytest.approx(t_ss, rel=1e-10)
+        assert np.all(np.isfinite(times))
+
+
+class TestEdgePopulations:
+    def test_k_equals_one(self, central_h2_spec):
+        model = TransientModel(central_h2_spec, 1)
+        times = model.interdeparture_times(5)
+        # One task at a time: every epoch is one full task.
+        assert np.allclose(times, central_h2_spec.task_time(), rtol=1e-9)
+
+    def test_n_equals_one(self, central_h2_model):
+        assert central_h2_model.makespan(1) == pytest.approx(
+            central_h2_model.spec.task_time(), rel=1e-9
+        )
+
+    def test_large_K_small_N(self, central_spec):
+        model = TransientModel(central_spec, 10)
+        times = model.interdeparture_times(3)
+        assert times.shape == (3,)
+        assert np.all(np.diff(times) > 0)  # pure draining

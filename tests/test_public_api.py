@@ -1,0 +1,51 @@
+"""The public API surface: everything exported must be importable and usable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.distributions",
+            "repro.laqt",
+            "repro.markov",
+            "repro.core",
+            "repro.clusters",
+            "repro.jackson",
+            "repro.baselines",
+            "repro.simulation",
+            "repro.network",
+            "repro.experiments",
+            "repro.queues",
+            "repro.reporting",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestQuickstartPath:
+    def test_readme_example(self):
+        """The README quickstart must keep working verbatim."""
+        from repro import ApplicationModel, Shape, TransientModel, central_cluster
+
+        app = ApplicationModel()
+        spec = central_cluster(app, {"rdisk": Shape.hyperexp(10.0)})
+        model = TransientModel(spec, K=5)
+        times = model.interdeparture_times(30)
+        assert times.shape == (30,)
+        assert model.makespan(30) == pytest.approx(times.sum())

@@ -1,0 +1,97 @@
+"""Internal helpers: validation and linear algebra."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro._util import (
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_probability_vector,
+    check_square,
+    check_stochastic,
+    check_substochastic,
+    left_solve,
+    spectral_radius_bound,
+    stationary_left_vector,
+)
+
+
+class TestValidation:
+    def test_probability_clipping(self):
+        assert check_probability(1.0 + 1e-12) == 1.0
+        assert check_probability(-1e-12) == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+
+    def test_probability_vector(self):
+        v = check_probability_vector([0.25, 0.75])
+        assert v.sum() == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_probability_vector([[0.5, 0.5]])
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector([-0.2, 1.2])
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector([0.4, 0.4])
+
+    def test_positive_and_nonnegative(self):
+        assert check_positive(2.0) == 2.0
+        assert check_nonnegative(0.0) == 0.0
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad)
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1)
+
+    def test_square(self):
+        check_square(np.eye(3))
+        with pytest.raises(ValueError):
+            check_square(np.ones((2, 3)))
+
+    def test_substochastic(self):
+        check_substochastic(np.array([[0.5, 0.4], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="row sums"):
+            check_substochastic(np.array([[0.8, 0.4], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="strictly below"):
+            check_substochastic(
+                np.array([[0.5, 0.5], [1.0, 0.0]]), strict_somewhere=True
+            )
+
+    def test_stochastic(self):
+        check_stochastic(np.array([[0.3, 0.7], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            check_stochastic(np.array([[0.3, 0.6], [1.0, 0.0]]))
+
+
+class TestLinalg:
+    def test_left_solve(self):
+        A = sp.csc_matrix(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        lu = spla.splu(A)
+        x = np.array([1.0, 2.0])
+        y = left_solve(lu, x)
+        assert np.allclose(y @ A.toarray(), x)
+
+    def test_spectral_radius_bound(self):
+        m = sp.csr_matrix(np.array([[0.5, -0.25], [0.1, 0.2]]))
+        assert spectral_radius_bound(m) == pytest.approx(0.75)
+
+    def test_stationary_left_vector(self):
+        T = sp.csr_matrix(np.array([[0.9, 0.1], [0.5, 0.5]]))
+        pi = stationary_left_vector(lambda x: x @ T, 2)
+        # Detailed balance: pi = (5/6, 1/6).
+        assert np.allclose(pi, [5.0 / 6.0, 1.0 / 6.0], atol=1e-10)
+
+    def test_stationary_rejects_zero_x0(self):
+        T = sp.identity(2, format="csr")
+        with pytest.raises(ValueError, match="positive mass"):
+            stationary_left_vector(lambda x: x @ T, 2, x0=np.zeros(2))
+
+    def test_stationary_nonconvergence_raises(self):
+        # A pure swap is periodic: plain iteration never settles.
+        T = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(RuntimeError, match="did not converge"):
+            stationary_left_vector(
+                lambda x: x @ T, 2, x0=np.array([0.9, 0.1]), max_iter=100
+            )

@@ -1,0 +1,43 @@
+"""The cross_validate self-test driver."""
+
+import numpy as np
+import pytest
+
+from repro.validation import cross_validate
+
+
+class TestCrossValidate:
+    def test_passes_on_correct_model(self, central_h2_spec):
+        report = cross_validate(central_h2_spec, 4, 16, reps=1500, seed=9)
+        assert report.passed
+        assert report.makespan_agrees
+        assert "PASS" in report.summary()
+        assert report.n_epochs == 16
+
+    def test_detects_a_wrong_model(self, central_h2_spec):
+        """Feed the checker a deliberately mismatched analytic model by
+        comparing against a different spec's simulation."""
+        from repro.core import TransientModel
+        from repro.core.metrics import exponential_twin
+        from repro.simulation import simulate_study
+        from repro.validation import CrossValidationReport
+
+        wrong = TransientModel(
+            exponential_twin(central_h2_spec), 4
+        ).interdeparture_times(16)
+        study = simulate_study(central_h2_spec, 4, 16, reps=1500, seed=9)
+        hw = np.maximum(study.epoch_halfwidths, 0.02 * wrong)
+        z = np.abs(wrong - study.epoch_means) / hw
+        report = CrossValidationReport(
+            exact_epochs=wrong,
+            study=study,
+            z_scores=z,
+            outside=z > 1.0,
+            tolerance_fraction=0.05,
+        )
+        assert not (report.passed and report.makespan_agrees)
+
+    def test_zscores_shape(self, central_spec):
+        report = cross_validate(central_spec, 3, 9, reps=400, seed=2)
+        assert report.z_scores.shape == (9,)
+        assert np.all(report.z_scores >= 0)
