@@ -58,6 +58,20 @@ from repro.jackson import convolution_analysis, mva_analysis, open_jackson_analy
 from repro.markov import MakespanAnalyzer
 from repro.network import DELAY, NetworkSpec, Station
 from repro.queues import FiniteSourceQueue, MG1Queue
+from repro.resilience import (
+    Budget,
+    BudgetExceededError,
+    ConvergenceError,
+    FaultPlan,
+    GuardConfig,
+    NumericalHealthError,
+    ResilienceConfig,
+    ResilientResult,
+    SingularLevelError,
+    SolverError,
+    SolverReport,
+    solve_resilient,
+)
 from repro.simulation import (
     generate_traces,
     replay_traces,
@@ -111,5 +125,17 @@ __all__ = [
     "replay_traces",
     "FiniteSourceQueue",
     "MG1Queue",
+    "Budget",
+    "BudgetExceededError",
+    "ConvergenceError",
+    "FaultPlan",
+    "GuardConfig",
+    "NumericalHealthError",
+    "ResilienceConfig",
+    "ResilientResult",
+    "SingularLevelError",
+    "SolverError",
+    "SolverReport",
+    "solve_resilient",
     "__version__",
 ]

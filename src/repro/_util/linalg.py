@@ -8,9 +8,16 @@ instead, per-level sparse LU factors are reused for the right-solves
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+
+from repro.resilience.errors import ConvergenceError
+
+#: residual-history entries retained for post-mortem on failed iterations
+_RESIDUAL_TRACE_LEN = 32
 
 
 def left_solve(lu: spla.SuperLU, x: np.ndarray) -> np.ndarray:
@@ -46,8 +53,12 @@ def stationary_left_vector(
 
     Raises
     ------
-    RuntimeError
-        If the iteration does not reach ``tol`` within ``max_iter`` steps.
+    ConvergenceError
+        If the iteration does not reach ``tol`` within ``max_iter`` steps,
+        or the iterate degenerates (non-finite entries, or all probability
+        mass lost so renormalization would divide by zero).  The exception
+        carries the trailing residual trace; it subclasses ``RuntimeError``
+        so legacy handlers keep working.
     """
     if x0 is None:
         x = np.full(dim, 1.0 / dim)
@@ -57,13 +68,38 @@ def stationary_left_vector(
         if total <= 0:
             raise ValueError("x0 must have positive mass")
         x = x / total
-    for _ in range(max_iter):
+    trace: deque[float] = deque(maxlen=_RESIDUAL_TRACE_LEN)
+    for i in range(max_iter):
         y = apply_left(x)
+        if not np.all(np.isfinite(y)):
+            raise ConvergenceError(
+                f"power iteration produced a non-finite iterate at step {i + 1}",
+                iterations=i + 1,
+                tol=tol,
+                dim=dim,
+                residuals=trace,
+            )
         y = np.clip(y, 0.0, None)
-        y /= y.sum()
-        if np.abs(y - x).max() < tol:
+        total = y.sum()
+        if total <= 0.0:
+            raise ConvergenceError(
+                f"power iteration lost all probability mass at step {i + 1} "
+                "(operator is not stochastic on the reachable states)",
+                iterations=i + 1,
+                tol=tol,
+                dim=dim,
+                residuals=trace,
+            )
+        y /= total
+        resid = float(np.abs(y - x).max())
+        trace.append(resid)
+        if resid < tol:
             return y
         x = y
-    raise RuntimeError(
-        f"power iteration did not converge within {max_iter} iterations (tol={tol})"
+    raise ConvergenceError(
+        f"power iteration did not converge within {max_iter} iterations (tol={tol})",
+        iterations=max_iter,
+        tol=tol,
+        dim=dim,
+        residuals=trace,
     )

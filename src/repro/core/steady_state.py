@@ -23,6 +23,7 @@ import numpy as np
 
 from repro._util.linalg import stationary_left_vector
 from repro.core.transient import TransientModel
+from repro.resilience.errors import ConvergenceError
 
 __all__ = ["SteadyState", "solve_steady_state", "time_stationary_distribution"]
 
@@ -53,12 +54,29 @@ def solve_steady_state(
     The iteration starts from the filling vector ``p_K``, which is already
     close to stationarity in lightly-loaded systems, and each step costs
     one sparse triangular solve plus two sparse products.
+
+    Raises
+    ------
+    ConvergenceError
+        When the power iteration stalls or degenerates; re-raised with the
+        level index ``K`` attached so callers (and the degradation ladder's
+        report) can localize the failure.
     """
     top = model.level(model.K)
     x0 = model.entrance_vector(model.K)
-    p_ss = stationary_left_vector(
-        top.apply_YR, top.dim, x0=x0, tol=tol, max_iter=max_iter
-    )
+    try:
+        p_ss = stationary_left_vector(
+            top.apply_YR, top.dim, x0=x0, tol=tol, max_iter=max_iter
+        )
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"steady-state power iteration at level K={model.K}: {exc}",
+            iterations=exc.iterations,
+            tol=exc.tol,
+            level=model.K,
+            dim=top.dim,
+            residuals=exc.residuals,
+        ) from exc
     t_ss = top.mean_epoch_time(p_ss)
     return SteadyState(p_ss=p_ss, interdeparture_time=float(t_ss))
 

@@ -19,12 +19,18 @@ draining) of the paper's Figures 3–4 and 10–11.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 import numpy as np
 
 from repro.laqt.automata import automaton_for
 from repro.laqt.operators import LevelOperators, build_level
 from repro.laqt.states import build_spaces
 from repro.network.spec import NetworkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.budget import Budget
+    from repro.resilience.guards import GuardConfig
 
 __all__ = ["TransientModel"]
 
@@ -39,19 +45,47 @@ class TransientModel:
     K:
         Maximum number of simultaneously active tasks (the population
         constraint Jackson networks cannot express).
+    guards:
+        Optional :class:`~repro.resilience.guards.GuardConfig`; when given,
+        every level's solve surface is wrapped in hot-path health checks
+        (NaN/inf detection, ``τ'_k ≥ 0``, epoch-vector stochasticity,
+        rcond at factorization).  ``None`` (the default) leaves the solver
+        byte-identical to the unguarded original.
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`; enforced by
+        prediction *before* the state spaces are enumerated, so an
+        over-large spec is rejected cheaply instead of discovered by OOM.
 
     Notes
     -----
     Construction cost is dominated by assembling the ``K`` sparse operator
     levels; each is cached, and the per-epoch work afterwards is two sparse
     solves regardless of ``N``.
+
+    The attribute :attr:`epoch_hook`, when set to a callable
+    ``hook(epoch_index, level_k, x)``, is invoked before each epoch of
+    :meth:`interdeparture_times` — the resilience layer uses it for
+    wall-clock budget checks; it is ``None`` (and free) by default.
     """
 
-    def __init__(self, spec: NetworkSpec, K: int):
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        K: int,
+        *,
+        guards: "GuardConfig | None" = None,
+        budget: "Budget | None" = None,
+    ):
         if K < 1 or int(K) != K:
             raise ValueError(f"K must be a positive integer, got {K!r}")
+        if budget is not None:
+            from repro.resilience.budget import enforce_budget
+
+            enforce_budget(spec, int(K), budget)
         self._spec = spec
         self._K = int(K)
+        self._guards = guards
+        self.epoch_hook: Callable[[int, int, np.ndarray], None] | None = None
         self._automata = tuple(automaton_for(st) for st in spec.stations)
         self._spaces = build_spaces(self._automata, self._K)
         self._levels: dict[int, LevelOperators] = {}
@@ -78,7 +112,7 @@ class TransientModel:
 
     def _build_level(self, k: int) -> LevelOperators:
         """Operator assembly hook (overridden by alternative backends)."""
-        return build_level(
+        ops = build_level(
             self._automata,
             self._spec.routing,
             self._spec.exit,
@@ -86,6 +120,11 @@ class TransientModel:
             self._spaces[k],
             self._spaces[k - 1],
         )
+        if self._guards is not None:
+            from repro.resilience.guards import GuardedLevel
+
+            return GuardedLevel(ops, self._guards)
+        return ops
 
     def level_dim(self, k: int) -> int:
         """State-space size ``D(k)``."""
@@ -128,12 +167,18 @@ class TransientModel:
         k_active = min(self._K, N)
         top = self.level(k_active)
         x = self.entrance_vector(k_active)
+        # getattr: alternative backends construct without our __init__
+        hook = getattr(self, "epoch_hook", None)
         times = np.empty(N)
         for j in range(N - k_active):
+            if hook is not None:
+                hook(j, k_active, x)
             times[j] = top.mean_epoch_time(x)
             x = top.apply_YR(x)
         at = N - k_active
         for k in range(k_active, 0, -1):
+            if hook is not None:
+                hook(at, k, x)
             ops = self.level(k)
             times[at] = ops.mean_epoch_time(x)
             at += 1

@@ -37,6 +37,7 @@ import scipy.sparse.linalg as spla
 from repro._util.linalg import left_solve
 from repro.laqt.automata import Completion, Internal, StationAutomaton
 from repro.laqt.states import LevelSpace
+from repro.resilience.errors import SingularLevelError
 
 __all__ = ["LevelOperators", "build_level", "build_entrance"]
 
@@ -68,11 +69,50 @@ class LevelOperators:
 
     @property
     def lu(self) -> spla.SuperLU:
-        """Sparse LU of ``(I − P_k)``, built lazily and cached."""
+        """Sparse LU of ``(I − P_k)``, built lazily and cached.
+
+        Raises
+        ------
+        SingularLevelError
+            When SuperLU reports the factor singular.  The structured
+            error names the level, its dimension, and — when identifiable
+            from vanishing rows — the station specs trapping the
+            probability mass, instead of scipy's bare ``RuntimeError``.
+        """
         if self._lu is None:
             A = sp.identity(self.dim, format="csc") - self.P.tocsc()
-            self._lu = spla.splu(A)
+            try:
+                self._lu = spla.splu(A)
+            except RuntimeError as exc:
+                if "singular" not in str(exc).lower():
+                    raise
+                raise self._singular_error(A, exc) from exc
         return self._lu
+
+    def _singular_error(self, A: sp.csc_matrix, exc: Exception) -> SingularLevelError:
+        """Build a :class:`SingularLevelError` naming the offending stations."""
+        automata = self.space.automata
+        # Rows of (I − P_k) that vanished identify absorbing states; the
+        # stations holding customers there are the specs to look at.
+        zero_rows = np.flatnonzero(np.asarray(np.abs(A).sum(axis=1)).ravel() == 0.0)
+        offenders = sorted(
+            {
+                automata[c].station.name
+                for i in zero_rows
+                for c, local in enumerate(self.space.states[i])
+                if automata[c].count(local) > 0
+            }
+        )
+        if not offenders:
+            offenders = [a.station.name for a in automata]
+        return SingularLevelError(
+            f"sparse LU of (I − P_{self.k}) failed at level {self.k} "
+            f"({self.dim} states): {exc}; suspect station spec(s): "
+            + ", ".join(repr(n) for n in offenders),
+            level=self.k,
+            dim=self.dim,
+            stations=offenders,
+        )
 
     @property
     def tau(self) -> np.ndarray:

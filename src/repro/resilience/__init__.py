@@ -1,0 +1,73 @@
+"""Numerical resilience layer: guards, budgets, structured errors, fallbacks.
+
+Public surface (all lazily loaded, so importing any one submodule — e.g.
+:mod:`repro.resilience.errors` from the low-level linear-algebra helpers —
+never drags the solver stack in behind it):
+
+* :mod:`~repro.resilience.errors` — ``SolverError`` hierarchy;
+* :mod:`~repro.resilience.guards` — hot-path invariant checks,
+  ``GuardedLevel``/``DenseLevel`` solve surfaces;
+* :mod:`~repro.resilience.budget` — ``D_RP(k)`` prediction and
+  memory/time/work caps;
+* :mod:`~repro.resilience.fallback` — the degradation ladder,
+  ``solve_resilient`` and ``SolverReport``;
+* :mod:`~repro.resilience.faults` — deterministic fault injection for
+  testing every guard and every rung.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # errors
+    "SolverError": "repro.resilience.errors",
+    "SingularLevelError": "repro.resilience.errors",
+    "ConvergenceError": "repro.resilience.errors",
+    "NumericalHealthError": "repro.resilience.errors",
+    "BudgetExceededError": "repro.resilience.errors",
+    # guards
+    "GuardConfig": "repro.resilience.guards",
+    "GuardedLevel": "repro.resilience.guards",
+    "DenseLevel": "repro.resilience.guards",
+    "check_finite": "repro.resilience.guards",
+    "check_nonnegative": "repro.resilience.guards",
+    "check_stochastic": "repro.resilience.guards",
+    "lu_rcond": "repro.resilience.guards",
+    # budget
+    "Budget": "repro.resilience.budget",
+    "BudgetClock": "repro.resilience.budget",
+    "predict_level_dims": "repro.resilience.budget",
+    "predict_peak_bytes": "repro.resilience.budget",
+    "enforce_budget": "repro.resilience.budget",
+    # fallback ladder
+    "ResilienceConfig": "repro.resilience.fallback",
+    "RungAttempt": "repro.resilience.fallback",
+    "SolverReport": "repro.resilience.fallback",
+    "ResilientResult": "repro.resilience.fallback",
+    "ResilientSolver": "repro.resilience.fallback",
+    "solve_resilient": "repro.resilience.fallback",
+    "LADDER": "repro.resilience.fallback",
+    # faults
+    "FaultPlan": "repro.resilience.faults",
+    "FaultyLevel": "repro.resilience.faults",
+    "apply_faults": "repro.resilience.faults",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,200 @@
+"""Structured solver exceptions.
+
+The exact transient solver can fail in four qualitatively different ways,
+and a production caller needs to tell them apart without parsing message
+strings:
+
+* a level matrix ``I − P_k`` that cannot be factorized
+  (:class:`SingularLevelError`),
+* an iteration that will not settle (:class:`ConvergenceError`),
+* a numerical invariant broken on the hot path — NaN/inf after a solve,
+  an epoch vector losing probability mass, a negative mean time
+  (:class:`NumericalHealthError`),
+* a solve that would exceed a configured memory/time/work budget
+  (:class:`BudgetExceededError`).
+
+All of them derive from :class:`SolverError`, which itself derives from
+``RuntimeError`` so existing ``except RuntimeError`` call sites keep
+working.  Every exception carries machine-readable context (level index,
+state-space dimension, residual history) and a stable :attr:`reason
+<SolverError.reason>` code used by the degradation ladder's
+``SolverReport``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "SolverError",
+    "SingularLevelError",
+    "ConvergenceError",
+    "NumericalHealthError",
+    "BudgetExceededError",
+]
+
+
+class SolverError(RuntimeError):
+    """Base class for structured transient-solver failures.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    level:
+        Population level ``k`` the failure occurred at, when applicable.
+    dim:
+        State-space dimension ``D(k)`` at that level, when known.
+    residuals:
+        Trailing residual/defect history of the failing computation
+        (power-iteration residuals, mass drifts, …), most recent last.
+    """
+
+    #: stable machine-readable failure code (overridden by subclasses)
+    reason: str = "solver-error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        level: int | None = None,
+        dim: int | None = None,
+        residuals: Sequence[float] | None = None,
+    ):
+        super().__init__(message)
+        self.level = level
+        self.dim = dim
+        self.residuals = [float(r) for r in residuals] if residuals is not None else []
+
+    def context(self) -> dict:
+        """Machine-readable failure context (for logs and reports)."""
+        return {
+            "reason": self.reason,
+            "level": self.level,
+            "dim": self.dim,
+            "residuals": list(self.residuals),
+            "message": str(self),
+        }
+
+
+class SingularLevelError(SolverError):
+    """``I − P_k`` could not be factorized (exactly or numerically singular).
+
+    Carries the offending level, its dimension and — when the operator
+    assembly can identify them — the names of the station specs involved,
+    so a bad spec can be pointed at directly.
+    """
+
+    reason = "singular-level"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        level: int | None = None,
+        dim: int | None = None,
+        stations: Sequence[str] | None = None,
+        residuals: Sequence[float] | None = None,
+    ):
+        super().__init__(message, level=level, dim=dim, residuals=residuals)
+        self.stations = list(stations) if stations is not None else []
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["stations"] = list(self.stations)
+        return ctx
+
+
+class ConvergenceError(SolverError):
+    """An iterative computation failed to reach tolerance.
+
+    ``iterations`` is the number of steps actually taken, ``tol`` the
+    target; :attr:`SolverError.residuals` holds the trailing residual
+    trace so the divergence/stall pattern is inspectable post mortem.
+    """
+
+    reason = "no-convergence"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int | None = None,
+        tol: float | None = None,
+        level: int | None = None,
+        dim: int | None = None,
+        residuals: Sequence[float] | None = None,
+    ):
+        super().__init__(message, level=level, dim=dim, residuals=residuals)
+        self.iterations = iterations
+        self.tol = tol
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["iterations"] = self.iterations
+        ctx["tol"] = self.tol
+        return ctx
+
+
+class NumericalHealthError(SolverError):
+    """A hot-path numerical invariant was violated.
+
+    ``where`` names the check site (e.g. ``"apply_YR"``, ``"tau"``,
+    ``"epoch-vector"``); ``value`` is the offending scalar when a single
+    number summarizes the violation (mass drift, most negative entry, …).
+    """
+
+    reason = "numerical-health"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        where: str | None = None,
+        value: float | None = None,
+        level: int | None = None,
+        dim: int | None = None,
+        residuals: Sequence[float] | None = None,
+    ):
+        super().__init__(message, level=level, dim=dim, residuals=residuals)
+        self.where = where
+        self.value = None if value is None else float(value)
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["where"] = self.where
+        ctx["value"] = self.value
+        return ctx
+
+
+class BudgetExceededError(SolverError):
+    """A configured resource budget would be (or was) exceeded.
+
+    ``budget_kind`` is one of ``"states"``, ``"bytes"``, ``"seconds"``,
+    ``"epochs"``; ``needed`` the predicted/observed requirement and
+    ``limit`` the configured cap.
+    """
+
+    reason = "budget-exceeded"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_kind: str,
+        needed: float | None = None,
+        limit: float | None = None,
+        level: int | None = None,
+        dim: int | None = None,
+    ):
+        super().__init__(message, level=level, dim=dim)
+        self.budget_kind = budget_kind
+        self.needed = None if needed is None else float(needed)
+        self.limit = None if limit is None else float(limit)
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["budget_kind"] = self.budget_kind
+        ctx["needed"] = self.needed
+        ctx["limit"] = self.limit
+        return ctx

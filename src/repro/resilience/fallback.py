@@ -1,0 +1,375 @@
+"""The graceful-degradation ladder.
+
+A production caller of the exact transient solver wants an answer and an
+honest label, not a stack trace.  :func:`solve_resilient` climbs down a
+ladder of methods, each cheaper and/or more robust but less exact than
+the one above, recording every attempt with a structured reason code:
+
+1. ``exact`` — the sparse-LU epoch iteration with health guards armed;
+2. ``refine`` — the same iteration, but every unhealthy solve is retried
+   with one step of iterative refinement (recovers transient corruption
+   and mild ill-conditioning);
+3. ``dense`` — dense partial-pivoted LU per level (small state spaces
+   only), which survives near-singular matrices that break sparse LU;
+4. ``approximation`` — the paper's O(K) three-region decomposition
+   (exact head + steady-state middle + exact drain from ``p_ss``),
+   for workloads whose exact per-epoch iteration busts the work budget;
+5. ``amva`` — the Reiser-style approximate-MVA bound, which needs no
+   level operators at all and therefore survives even state-space
+   budget rejections.
+
+The ladder is **off by default** in the core API: plain
+:class:`~repro.core.transient.TransientModel` never imports this module,
+and ``solve_resilient`` with an all-default config reproduces its results
+bit for bit (rung 1 with no faults applies no correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.steady_state import solve_steady_state
+from repro.core.transient import TransientModel
+from repro.jackson.amva import amva_analysis
+from repro.network.spec import NetworkSpec
+from repro.resilience.budget import Budget, BudgetClock, enforce_budget
+from repro.resilience.errors import (
+    BudgetExceededError,
+    SolverError,
+)
+from repro.resilience.faults import FaultPlan, apply_faults
+from repro.resilience.guards import DenseLevel, GuardConfig, GuardedLevel
+
+__all__ = [
+    "ResilienceConfig",
+    "RungAttempt",
+    "SolverReport",
+    "ResilientResult",
+    "ResilientSolver",
+    "solve_resilient",
+    "LADDER",
+]
+
+#: Canonical rung order, most exact first.
+LADDER: tuple[str, ...] = ("exact", "refine", "dense", "approximation", "amva")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the resilience layer is allowed to do.
+
+    Parameters
+    ----------
+    guards:
+        Hot-path invariant tolerances (see :class:`GuardConfig`).
+    budget:
+        Resource caps enforced before and during the solve.
+    faults:
+        Deterministic fault plan (tests/drills only; ``None`` in service).
+    ladder:
+        Rung subset/order to attempt, from :data:`LADDER`.
+    dense_dim_cap:
+        Largest level dimension the dense rung will densify (quadratic
+        memory beyond this is worse than the disease).
+    head_epochs:
+        Exact warm-up epochs used by the approximation rung.
+    """
+
+    guards: GuardConfig = field(default_factory=GuardConfig)
+    budget: Budget = field(default_factory=Budget)
+    faults: FaultPlan | None = None
+    ladder: tuple[str, ...] = LADDER
+    dense_dim_cap: int = 2048
+    head_epochs: int = 8
+
+    def __post_init__(self):
+        bad = [r for r in self.ladder if r not in LADDER]
+        if bad:
+            raise ValueError(f"unknown ladder rungs {bad!r}; valid: {LADDER}")
+
+
+@dataclass
+class RungAttempt:
+    """One rung's outcome, reason-coded."""
+
+    rung: str
+    ok: bool
+    #: stable code: "ok", or the failing SolverError's reason
+    reason: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "✓" if self.ok else "✗"
+        return f"{mark} {self.rung}: {self.reason}" + (
+            f" — {self.detail}" if self.detail else ""
+        )
+
+
+@dataclass
+class SolverReport:
+    """Structured account of how (and how honestly) the answer was produced."""
+
+    #: winning rung name ("exact", "refine", "dense", "approximation", "amva")
+    method: str
+    #: True whenever the winning rung is not "exact"
+    degraded: bool
+    #: "ok" for a clean exact solve, else the reason code of the *first*
+    #: failure — the root cause that pushed the solver down the ladder
+    reason: str
+    attempts: list[RungAttempt] = field(default_factory=list)
+    #: predicted level dimensions [D(0), …, D(K)], when prediction ran
+    predicted_dims: list[int] | None = None
+    #: wall-clock seconds spent in the ladder
+    elapsed: float = 0.0
+
+    def summary(self) -> str:
+        """One line for logs: method, degradation cause, attempt trail."""
+        if not self.degraded:
+            return f"exact solve ok ({self.elapsed:.3g}s)"
+        trail = " -> ".join(
+            f"{a.rung}[{'ok' if a.ok else a.reason}]" for a in self.attempts
+        )
+        return (
+            f"degraded to '{self.method}' (root cause: {self.reason}) "
+            f"via {trail} ({self.elapsed:.3g}s)"
+        )
+
+
+@dataclass
+class ResilientResult:
+    """The answer plus its provenance."""
+
+    #: per-epoch mean inter-departure times (synthesized, not exact, for
+    #: the approximation/amva rungs)
+    interdeparture_times: np.ndarray
+    #: mean makespan under the winning method
+    makespan: float
+    report: SolverReport
+
+
+class _RungModel(TransientModel):
+    """A TransientModel view that shares the base model's assembled levels.
+
+    Sparse operator assembly (and the Ξ_k enumeration behind it) is the
+    expensive part of a solve; every rung reuses the base model's caches
+    and only re-wraps the per-level solve surface for its own mode.
+    """
+
+    def __init__(self, base: TransientModel, cfg: ResilienceConfig, mode: str):
+        # Deliberately not calling super().__init__: state spaces and raw
+        # operators are shared with (and cached by) the base model.
+        self._spec = base.spec
+        self._K = base.K
+        self._automata = base._automata
+        self._spaces = base._spaces
+        self._levels = {}
+        self._entrance = {}
+        self.epoch_hook = None
+        self._rbase = base
+        self._rcfg = cfg
+        self._rmode = mode
+
+    def _build_level(self, k: int):
+        ops = apply_faults(self._rbase.level(k), self._rcfg.faults)
+        if self._rmode == "dense":
+            return DenseLevel(ops, self._rcfg.guards)
+        return GuardedLevel(
+            ops, self._rcfg.guards, refine=(self._rmode == "refine")
+        )
+
+
+class ResilientSolver:
+    """Climbs the degradation ladder for one ``(spec, K)`` system."""
+
+    def __init__(self, spec: NetworkSpec, K: int, config: ResilienceConfig | None = None):
+        self._spec = spec
+        self._K = int(K)
+        self._cfg = config if config is not None else ResilienceConfig()
+        self._base: TransientModel | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ResilienceConfig:
+        return self._cfg
+
+    def _effective_budget(self) -> Budget:
+        budget = self._cfg.budget
+        faults = self._cfg.faults
+        if faults is not None and faults.starve_budget:
+            budget = replace(budget, max_bytes=1)
+        return budget
+
+    def _base_model(self) -> TransientModel:
+        if self._base is None:
+            self._base = TransientModel(self._spec, self._K)
+        return self._base
+
+    def _rung_model(self, mode: str) -> _RungModel:
+        return _RungModel(self._base_model(), self._cfg, mode)
+
+    # -- individual rungs ----------------------------------------------
+    def _require_epoch_budget(self, needed: int, budget: Budget, rung: str) -> None:
+        if budget.max_epochs is not None and needed > budget.max_epochs:
+            raise BudgetExceededError(
+                f"{rung}: needs {needed} exactly-iterated epochs, over the "
+                f"work cap {budget.max_epochs}",
+                budget_kind="epochs",
+                needed=needed,
+                limit=budget.max_epochs,
+            )
+
+    def _run_exactish(
+        self, N: int, mode: str, budget: Budget, clock: BudgetClock
+    ) -> np.ndarray:
+        self._require_epoch_budget(N, budget, mode)
+        model = self._rung_model(mode)
+        if mode == "dense":
+            peak = max(model.level_dim(k) for k in range(1, min(self._K, N) + 1))
+            if peak > self._cfg.dense_dim_cap:
+                raise BudgetExceededError(
+                    f"dense: peak level dimension {peak} exceeds the dense "
+                    f"cap {self._cfg.dense_dim_cap}",
+                    budget_kind="states",
+                    needed=peak,
+                    limit=self._cfg.dense_dim_cap,
+                )
+        model.epoch_hook = lambda j, k, x: clock.check(f"{mode} epoch {j}")
+        return model.interdeparture_times(N)
+
+    def _run_approximation(
+        self, N: int, budget: Budget, clock: BudgetClock
+    ) -> np.ndarray:
+        K = self._K
+        k_active = min(K, N)
+        model = self._rung_model("refine")
+        if N <= K:
+            # The exact drain is already O(N); nothing cheaper to swap in.
+            self._require_epoch_budget(N, budget, "approximation")
+            model.epoch_hook = lambda j, k, x: clock.check(f"approx epoch {j}")
+            return model.interdeparture_times(N)
+
+        head = int(min(self._cfg.head_epochs, N - K))
+        self._require_epoch_budget(head + K, budget, "approximation")
+
+        faults = self._cfg.faults
+        ss_kwargs = {}
+        if faults is not None and faults.stall_power_iteration:
+            ss_kwargs["max_iter"] = faults.stall_max_iter
+        steady = solve_steady_state(model, **ss_kwargs)
+        clock.check("approximation steady state")
+
+        top = model.level(K)
+        x = model.entrance_vector(K)
+        times = np.empty(N)
+        for j in range(head):
+            times[j] = top.mean_epoch_time(x)
+            x = top.apply_YR(x)
+            clock.check(f"approximation head epoch {j}")
+        times[head : N - K] = steady.interdeparture_time
+
+        # Draining cascade started from the stationary mix (paper ref [17]).
+        x = np.asarray(steady.p_ss, dtype=float)
+        at = N - K
+        for k in range(K, 0, -1):
+            ops = model.level(k)
+            times[at] = ops.mean_epoch_time(x)
+            at += 1
+            if k > 1:
+                x = ops.apply_Y(x)
+        clock.check("approximation drain")
+        return times
+
+    def _run_amva(self, N: int, clock: BudgetClock) -> np.ndarray:
+        try:
+            sol = amva_analysis(self._spec, min(self._K, N))
+        except ValueError as exc:
+            raise SolverError(f"amva bound unavailable: {exc}") from exc
+        clock.check("amva")
+        return np.full(N, sol.interdeparture_time)
+
+    # ------------------------------------------------------------------
+    def solve(self, N: int) -> ResilientResult:
+        """Produce epoch times + makespan by the highest rung that works."""
+        if N < 1 or int(N) != N:
+            raise ValueError(f"N must be a positive integer, got {N!r}")
+        N = int(N)
+        budget = self._effective_budget()
+        clock = budget.start_clock()
+        attempts: list[RungAttempt] = []
+        predicted: list[int] | None = None
+
+        # State-space budget gate: every level-building rung needs it.
+        budget_error: BudgetExceededError | None = None
+        try:
+            predicted = enforce_budget(self._spec, self._K, budget)
+        except BudgetExceededError as exc:
+            budget_error = exc
+
+        times: np.ndarray | None = None
+        method: str | None = None
+        for rung in self._cfg.ladder:
+            needs_levels = rung != "amva"
+            if needs_levels and budget_error is not None:
+                attempts.append(
+                    RungAttempt(rung, False, budget_error.reason, str(budget_error))
+                )
+                continue
+            try:
+                if rung in ("exact", "refine", "dense"):
+                    times = self._run_exactish(N, rung, budget, clock)
+                elif rung == "approximation":
+                    times = self._run_approximation(N, budget, clock)
+                else:
+                    times = self._run_amva(N, clock)
+            except SolverError as exc:
+                attempts.append(RungAttempt(rung, False, exc.reason, str(exc)))
+                continue
+            attempts.append(RungAttempt(rung, True, "ok"))
+            method = rung
+            break
+
+        if times is None or method is None:
+            root = attempts[0] if attempts else None
+            err = SolverError(
+                "all degradation-ladder rungs failed: "
+                + "; ".join(f"{a.rung}: {a.detail or a.reason}" for a in attempts)
+            )
+            err.report = SolverReport(
+                method="none",
+                degraded=True,
+                reason=root.reason if root else "solver-error",
+                attempts=attempts,
+                predicted_dims=predicted,
+                elapsed=clock.elapsed,
+            )
+            raise err
+
+        degraded = method != "exact"
+        first_fail = next((a for a in attempts if not a.ok), None)
+        report = SolverReport(
+            method=method,
+            degraded=degraded,
+            reason="ok" if not degraded else (
+                first_fail.reason if first_fail is not None else "ladder-config"
+            ),
+            attempts=attempts,
+            predicted_dims=predicted,
+            elapsed=clock.elapsed,
+        )
+        return ResilientResult(
+            interdeparture_times=times,
+            makespan=float(times.sum()),
+            report=report,
+        )
+
+
+def solve_resilient(
+    spec: NetworkSpec,
+    K: int,
+    N: int,
+    config: ResilienceConfig | None = None,
+) -> ResilientResult:
+    """One-call resilient solve: ladder + report (see module docstring)."""
+    return ResilientSolver(spec, K, config).solve(N)

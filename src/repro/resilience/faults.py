@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the resilience layer.
+
+Guards and fallbacks that only fire on real numerical accidents are
+untestable; this module manufactures the accidents on demand, so every
+check in :mod:`repro.resilience.guards` and every rung of the degradation
+ladder in :mod:`repro.resilience.fallback` has a reproducible trigger:
+
+* ``nan_level`` — poison the output of a level's LU-backed solves with
+  NaN, either once (a transient bit-flip the refinement retry recovers
+  from) or persistently (forces the dense rung);
+* ``singular_level`` — make ``I − P_k`` fail to factorize, either by
+  simulating a pivoting breakdown (``"near"`` — the dense pivoted solve
+  still works) or by actually zeroing a row (``"exact"`` — no direct
+  solve can work);
+* ``starve_budget`` — collapse the memory budget to one byte, so even
+  level prediction refuses to build (forces the AMVA rung);
+* ``stall_power_iteration`` — cap the steady-state power iteration at a
+  handful of steps so it cannot converge.
+
+Faults wrap :class:`~repro.laqt.operators.LevelOperators` behind the same
+duck-typed surface, so the solver code under test is byte-for-byte the
+production code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.laqt.operators import LevelOperators
+from repro.resilience.errors import SingularLevelError
+
+__all__ = ["FaultPlan", "FaultyLevel", "apply_faults"]
+
+
+class _PoisonedLU:
+    """A SuperLU stand-in whose every solve comes back NaN-poisoned."""
+
+    def __init__(self, lu):
+        self._lu = lu
+
+    def solve(self, b, trans: str = "N") -> np.ndarray:
+        y = np.array(self._lu.solve(b, trans=trans), dtype=float, copy=True)
+        y[0] = np.nan
+        return y
+
+
+@dataclass
+class FaultPlan:
+    """Declarative description of the faults to inject.
+
+    Parameters
+    ----------
+    nan_level:
+        Level ``k`` whose sparse-LU solve outputs get poisoned with NaN.
+    nan_mode:
+        ``"once"`` — only the first poisoned call fires (models a
+        transient corruption; the refinement retry recovers).
+        ``"always"`` — every sparse solve at that level is poisoned
+        (models a broken factorization; only the dense rung recovers).
+    singular_level:
+        Level ``k`` whose factorization is made to fail.
+    singular_mode:
+        ``"near"`` — the sparse LU *reports* singularity (as SuperLU does
+        on pivoting breakdown of a nearly singular matrix) but the matrix
+        itself is untouched, so dense partial pivoting succeeds.
+        ``"exact"`` — row 0 of ``I − P_k`` is actually zeroed; every
+        direct solve fails.
+    starve_budget:
+        Replace the configured memory budget with a 1-byte cap.
+    stall_power_iteration:
+        Cap steady-state power iteration at ``stall_max_iter`` steps.
+    """
+
+    nan_level: int | None = None
+    nan_mode: str = "once"
+    singular_level: int | None = None
+    singular_mode: str = "near"
+    starve_budget: bool = False
+    stall_power_iteration: bool = False
+    stall_max_iter: int = 3
+
+    def __post_init__(self):
+        if self.nan_mode not in ("once", "always"):
+            raise ValueError(f"nan_mode must be 'once' or 'always', got {self.nan_mode!r}")
+        if self.singular_mode not in ("near", "exact"):
+            raise ValueError(
+                f"singular_mode must be 'near' or 'exact', got {self.singular_mode!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when any fault is armed."""
+        return (
+            self.nan_level is not None
+            or self.singular_level is not None
+            or self.starve_budget
+            or self.stall_power_iteration
+        )
+
+
+class FaultyLevel:
+    """A :class:`LevelOperators` lookalike with injected failures.
+
+    Presents the full operator surface (``k``, ``dim``, ``space``,
+    ``rates``, ``P``, ``Q``, ``R``, ``lu``, ``tau``, ``apply_Y``,
+    ``apply_YR``, ``mean_epoch_time``) so it can be dropped anywhere the
+    real operators go.
+    """
+
+    def __init__(self, ops: LevelOperators, plan: FaultPlan):
+        self._ops = ops
+        self._plan = plan
+        self._nan_armed = plan.nan_level == ops.k
+        if plan.singular_level == ops.k and plan.singular_mode == "exact":
+            # Actually break the matrix: make state 0 absorbing so row 0
+            # of (I − P_k) is exactly zero and splu must fail.
+            P = ops.P.tolil(copy=True)
+            P[0, :] = 0.0
+            P[0, 0] = 1.0
+            self._ops = LevelOperators(
+                k=ops.k, space=ops.space, rates=ops.rates,
+                P=sp.csr_matrix(P), Q=ops.Q, R=ops.R,
+            )
+
+    # -- pass-through surface -------------------------------------------
+    @property
+    def k(self) -> int:
+        return self._ops.k
+
+    @property
+    def dim(self) -> int:
+        return self._ops.dim
+
+    @property
+    def space(self):
+        return self._ops.space
+
+    @property
+    def rates(self) -> np.ndarray:
+        return self._ops.rates
+
+    @property
+    def P(self) -> sp.csr_matrix:
+        return self._ops.P
+
+    @property
+    def Q(self) -> sp.csr_matrix:
+        return self._ops.Q
+
+    @property
+    def R(self) -> sp.csr_matrix:
+        return self._ops.R
+
+    @property
+    def lu(self):
+        if (
+            self._plan.singular_level == self.k
+            and self._plan.singular_mode == "near"
+        ):
+            raise SingularLevelError(
+                f"injected fault: sparse LU of (I − P_{self.k}) reported "
+                "singular (simulated pivoting breakdown)",
+                level=self.k,
+                dim=self.dim,
+                stations=[a.station.name for a in self.space.automata],
+            )
+        lu = self._ops.lu
+        if self._plan.nan_level == self.k and self._plan.nan_mode == "always":
+            return _PoisonedLU(lu)
+        return lu
+
+    # -- poisoned solves ------------------------------------------------
+    def _poison(self, y: np.ndarray) -> np.ndarray:
+        if self._nan_armed:
+            if self._plan.nan_mode == "once":
+                self._nan_armed = False
+            y = np.array(y, dtype=float, copy=True)
+            y[0] = np.nan
+        return y
+
+    @property
+    def tau(self) -> np.ndarray:
+        self.lu  # near-singular fault also blocks tau
+        return self._poison(self._ops.tau)
+
+    def apply_Y(self, x: np.ndarray) -> np.ndarray:
+        self.lu
+        return self._poison(self._ops.apply_Y(x))
+
+    def apply_YR(self, x: np.ndarray) -> np.ndarray:
+        return self.apply_Y(x) @ self.R
+
+    def mean_epoch_time(self, x: np.ndarray) -> float:
+        return float(np.asarray(x, dtype=float) @ self.tau)
+
+    def dense_Y(self) -> np.ndarray:  # pragma: no cover - debug surface
+        return self._ops.dense_Y()
+
+    def dense_V(self) -> np.ndarray:  # pragma: no cover - debug surface
+        return self._ops.dense_V()
+
+
+def apply_faults(ops: LevelOperators, plan: "FaultPlan | None"):
+    """Wrap level operators per the plan (or return them untouched)."""
+    if plan is None or not plan.active:
+        return ops
+    if plan.nan_level != ops.k and plan.singular_level != ops.k:
+        return ops
+    return FaultyLevel(ops, plan)

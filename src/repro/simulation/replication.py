@@ -9,11 +9,15 @@ exact transient model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.network.spec import NetworkSpec
 from repro.simulation.engine import simulate_once
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.budget import Budget
 
 __all__ = ["SimulationStudy", "simulate_study"]
 
@@ -69,12 +73,39 @@ def simulate_study(
     *,
     seed: int = 0,
     z: float = 2.576,
+    budget: "Budget | None" = None,
 ) -> SimulationStudy:
-    """Run ``reps`` independent replications (default CI level ≈ 99%)."""
+    """Run ``reps`` independent replications (default CI level ≈ 99%).
+
+    Parameters
+    ----------
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`; its wall-clock
+        cap is checked between replications (raising
+        :class:`~repro.resilience.errors.BudgetExceededError`), and every
+        replication's departure times are screened for non-finite values
+        so a broken sampler surfaces as a structured
+        :class:`~repro.resilience.errors.NumericalHealthError` instead of
+        NaN confidence intervals.
+    """
     if reps < 2:
         raise ValueError(f"need at least 2 replications for a CI, got {reps!r}")
+    clock = None
+    if budget is not None:
+        clock = budget.start_clock()
     rng = np.random.default_rng(seed)
     departures = np.empty((reps, int(N)))
     for r in range(reps):
+        if clock is not None:
+            clock.check(f"simulation replication {r}")
         departures[r] = simulate_once(spec, K, N, rng).departure_times
+        if budget is not None and not np.all(np.isfinite(departures[r])):
+            from repro.resilience.errors import NumericalHealthError
+
+            raise NumericalHealthError(
+                f"simulation replication {r} produced non-finite departure "
+                "times",
+                where="simulate_study",
+                value=float(r),
+            )
     return SimulationStudy(departures=departures, z=float(z))

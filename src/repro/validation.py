@@ -10,12 +10,16 @@ against its confidence interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.transient import TransientModel
 from repro.network.spec import NetworkSpec
 from repro.simulation.replication import SimulationStudy, simulate_study
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.fallback import ResilienceConfig, SolverReport
 
 __all__ = ["CrossValidationReport", "cross_validate"]
 
@@ -32,6 +36,8 @@ class CrossValidationReport:
     outside: np.ndarray
     #: fraction of epochs allowed outside before failing
     tolerance_fraction: float
+    #: degradation-ladder report when the analytic side ran resiliently
+    solver_report: "SolverReport | None" = None
 
     @property
     def n_epochs(self) -> int:
@@ -51,16 +57,49 @@ class CrossValidationReport:
         lo, hi = self.study.makespan_ci()
         return lo <= float(self.exact_epochs.sum()) <= hi
 
+    @property
+    def degraded(self) -> bool:
+        """True when the analytic side fell off the exact rung."""
+        return self.solver_report is not None and self.solver_report.degraded
+
+    @property
+    def healthy(self) -> bool:
+        """Comparison passed *and* the solver did not degrade."""
+        return self.passed and self.makespan_agrees and not self.degraded
+
+    def failure_reason(self) -> str:
+        """One-line, scriptable explanation ("ok" when healthy)."""
+        if self.degraded:
+            rep = self.solver_report
+            return (
+                f"solver degraded to '{rep.method}' (root cause: {rep.reason})"
+            )
+        if not self.passed:
+            return (
+                f"{self.n_outside}/{self.n_epochs} epoch means outside their "
+                f"simulation CI (worst z = {self.z_scores.max():.2f})"
+            )
+        if not self.makespan_agrees:
+            lo, hi = self.study.makespan_ci()
+            return (
+                f"exact makespan {self.exact_epochs.sum():.4f} outside the "
+                f"simulation CI [{lo:.4f}, {hi:.4f}]"
+            )
+        return "ok"
+
     def summary(self) -> str:
         """One-paragraph verdict."""
-        verdict = "PASS" if self.passed and self.makespan_agrees else "FAIL"
-        return (
+        verdict = "PASS" if self.healthy else "FAIL"
+        text = (
             f"[{verdict}] {self.n_epochs} epochs, {self.n_outside} outside their "
             f"{self.study.z:.3g}-sigma interval "
             f"(worst z = {self.z_scores.max():.2f}); makespan exact "
             f"{self.exact_epochs.sum():.4f} vs simulated "
             f"{self.study.makespan_mean:.4f} ± {self.study.makespan_halfwidth:.4f}"
         )
+        if self.solver_report is not None:
+            text += f"; solver: {self.solver_report.summary()}"
+        return text
 
 
 def cross_validate(
@@ -72,6 +111,7 @@ def cross_validate(
     seed: int = 0,
     min_halfwidth_rel: float = 0.02,
     tolerance_fraction: float = 0.05,
+    resilience: "ResilienceConfig | None" = None,
 ) -> CrossValidationReport:
     """Compare the transient model with simulation, epoch by epoch.
 
@@ -84,9 +124,26 @@ def cross_validate(
         Allowed fraction of epochs outside their interval (99 % CIs leave
         ~1 % legitimate misses; the default 5 % adds slack for correlated
         epochs).
+    resilience:
+        Optional :class:`~repro.resilience.fallback.ResilienceConfig`;
+        when given, the analytic side runs through the degradation ladder
+        (guards + budgets + fallbacks) and the resulting ``SolverReport``
+        is attached to the returned report — a degraded solve makes
+        :attr:`CrossValidationReport.healthy` false even if the numbers
+        happen to agree.
     """
-    exact = TransientModel(spec, K).interdeparture_times(N)
-    study = simulate_study(spec, K, N, reps=reps, seed=seed)
+    solver_report = None
+    if resilience is not None:
+        from repro.resilience.fallback import solve_resilient
+
+        result = solve_resilient(spec, K, N, resilience)
+        exact = result.interdeparture_times
+        solver_report = result.report
+        sim_budget = resilience.budget
+    else:
+        exact = TransientModel(spec, K).interdeparture_times(N)
+        sim_budget = None
+    study = simulate_study(spec, K, N, reps=reps, seed=seed, budget=sim_budget)
     hw = np.maximum(study.epoch_halfwidths, min_halfwidth_rel * exact)
     z = np.abs(exact - study.epoch_means) / hw
     return CrossValidationReport(
@@ -95,4 +152,5 @@ def cross_validate(
         z_scores=z,
         outside=z > 1.0,
         tolerance_fraction=float(tolerance_fraction),
+        solver_report=solver_report,
     )

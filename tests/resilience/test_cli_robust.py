@@ -1,0 +1,65 @@
+"""Satellite (f): ``repro validate`` exits nonzero with a one-line reason."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "central.json"
+    assert main(["make-spec", "central", "-o", str(path)]) == 0
+    return str(path)
+
+
+def test_validate_healthy_exits_zero(spec_path, capsys):
+    rc = main(
+        ["validate", spec_path, "-K", "3", "-N", "6", "--reps", "200", "--robust"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "REASON" not in out
+
+
+def test_validate_degraded_exits_two_with_reason(spec_path, capsys):
+    rc = main(
+        [
+            "validate", spec_path, "-K", "3", "-N", "6",
+            "--reps", "200", "--robust", "--max-bytes", "1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 2
+    reason_lines = [l for l in out.splitlines() if l.startswith("REASON:")]
+    assert len(reason_lines) == 1
+    assert "amva" in reason_lines[0]
+    assert "budget-exceeded" in reason_lines[0]
+
+
+def test_report_robust_exact_prints_solver_line(spec_path, capsys):
+    rc = main(["report", spec_path, "-K", "3", "-N", "6", "--robust",
+               "--no-distribution"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "solver:" in out
+
+
+def test_report_robust_degraded_prints_labeled_makespan(spec_path, capsys):
+    rc = main(
+        [
+            "report", spec_path, "-K", "3", "-N", "6",
+            "--robust", "--max-bytes", "1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[amva]" in out
+
+
+def test_report_without_robust_flag_unchanged(spec_path, capsys):
+    rc = main(["report", spec_path, "-K", "3", "-N", "6", "--no-distribution"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "solver:" not in out

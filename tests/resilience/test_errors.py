@@ -1,0 +1,81 @@
+"""The structured exception hierarchy: shape, context, compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.errors import (
+    BudgetExceededError,
+    ConvergenceError,
+    NumericalHealthError,
+    SingularLevelError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_solver_error_and_runtime_error(self):
+        for cls in (
+            SingularLevelError,
+            ConvergenceError,
+            NumericalHealthError,
+        ):
+            exc = cls("boom", level=3, dim=10)
+            assert isinstance(exc, SolverError)
+            assert isinstance(exc, RuntimeError)
+        exc = BudgetExceededError("boom", budget_kind="states")
+        assert isinstance(exc, SolverError)
+        assert isinstance(exc, RuntimeError)
+
+    def test_legacy_runtime_error_handler_catches(self):
+        with pytest.raises(RuntimeError):
+            raise ConvergenceError("no luck", iterations=7, tol=1e-12)
+
+    def test_reason_codes_are_stable(self):
+        assert SolverError.reason == "solver-error"
+        assert SingularLevelError.reason == "singular-level"
+        assert ConvergenceError.reason == "no-convergence"
+        assert NumericalHealthError.reason == "numerical-health"
+        assert BudgetExceededError.reason == "budget-exceeded"
+
+
+class TestContext:
+    def test_base_context(self):
+        exc = SolverError("msg", level=2, dim=44, residuals=[0.5, 0.1])
+        ctx = exc.context()
+        assert ctx["reason"] == "solver-error"
+        assert ctx["level"] == 2
+        assert ctx["dim"] == 44
+        assert ctx["residuals"] == [0.5, 0.1]
+        assert "msg" in ctx["message"]
+
+    def test_singular_carries_stations(self):
+        exc = SingularLevelError("msg", level=1, dim=3, stations=["rdisk"])
+        assert exc.stations == ["rdisk"]
+        assert exc.context()["stations"] == ["rdisk"]
+
+    def test_convergence_carries_iteration_state(self):
+        exc = ConvergenceError(
+            "msg", iterations=42, tol=1e-9, residuals=[1.0, 0.9]
+        )
+        assert exc.iterations == 42
+        assert exc.tol == 1e-9
+        assert exc.residuals == [1.0, 0.9]
+        assert exc.context()["iterations"] == 42
+
+    def test_health_carries_site_and_value(self):
+        exc = NumericalHealthError("msg", where="apply_YR", value=2.5, level=4)
+        assert exc.where == "apply_YR"
+        assert exc.value == 2.5
+        assert exc.context()["where"] == "apply_YR"
+
+    def test_budget_carries_kind_needed_limit(self):
+        exc = BudgetExceededError(
+            "msg", budget_kind="bytes", needed=1e9, limit=1e6
+        )
+        assert exc.budget_kind == "bytes"
+        assert exc.needed == 1e9
+        assert exc.limit == 1e6
+
+    def test_residuals_default_to_empty_list(self):
+        assert SolverError("x").residuals == []

@@ -1,0 +1,175 @@
+"""Every degradation-ladder rung is reachable and correctly reason-coded."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TransientModel
+from repro.resilience.budget import Budget
+from repro.resilience.errors import SolverError
+from repro.resilience.fallback import (
+    LADDER,
+    ResilienceConfig,
+    ResilientSolver,
+    solve_resilient,
+)
+from repro.resilience.faults import FaultPlan
+
+K, N = 5, 12
+
+
+@pytest.fixture(scope="module")
+def plain_times(central_h2_spec):
+    return TransientModel(central_h2_spec, K).interdeparture_times(N)
+
+
+class TestExactRung:
+    def test_happy_path_is_bit_identical(self, central_h2_spec, plain_times):
+        res = solve_resilient(central_h2_spec, K, N)
+        assert res.report.method == "exact"
+        assert not res.report.degraded
+        assert res.report.reason == "ok"
+        assert np.array_equal(res.interdeparture_times, plain_times)
+        assert res.makespan == float(plain_times.sum())
+
+    def test_report_records_single_ok_attempt(self, central_h2_spec):
+        res = solve_resilient(central_h2_spec, K, 6)
+        assert [(a.rung, a.ok) for a in res.report.attempts] == [("exact", True)]
+        assert res.report.predicted_dims is not None
+        assert len(res.report.predicted_dims) == K + 1
+
+
+class TestRefineRung:
+    def test_transient_nan_recovers_via_refinement(
+        self, central_h2_spec, plain_times
+    ):
+        cfg = ResilienceConfig(faults=FaultPlan(nan_level=K, nan_mode="once"))
+        res = solve_resilient(central_h2_spec, K, N, cfg)
+        assert res.report.method == "refine"
+        assert res.report.degraded
+        assert res.report.reason == "numerical-health"
+        assert res.report.attempts[0].rung == "exact"
+        assert res.report.attempts[0].reason == "numerical-health"
+        # refinement recomputes the poisoned solve exactly
+        assert np.allclose(res.interdeparture_times, plain_times, rtol=1e-9)
+
+
+class TestDenseRung:
+    def test_persistent_nan_forces_dense(self, central_h2_spec, plain_times):
+        cfg = ResilienceConfig(faults=FaultPlan(nan_level=K, nan_mode="always"))
+        res = solve_resilient(central_h2_spec, K, N, cfg)
+        assert res.report.method == "dense"
+        assert res.report.degraded
+        assert [a.ok for a in res.report.attempts] == [False, False, True]
+        assert np.allclose(res.interdeparture_times, plain_times, rtol=1e-9)
+
+    def test_near_singular_forces_dense(self, central_h2_spec, plain_times):
+        cfg = ResilienceConfig(faults=FaultPlan(singular_level=4))
+        res = solve_resilient(central_h2_spec, K, N, cfg)
+        assert res.report.method == "dense"
+        assert res.report.reason == "singular-level"
+        assert np.allclose(res.interdeparture_times, plain_times, rtol=1e-9)
+
+    def test_dense_cap_rejects_densification(self, central_h2_spec):
+        cfg = ResilienceConfig(
+            faults=FaultPlan(singular_level=4), dense_dim_cap=1
+        )
+        res = solve_resilient(central_h2_spec, K, N, cfg)
+        dense_attempt = next(a for a in res.report.attempts if a.rung == "dense")
+        assert dense_attempt.reason == "budget-exceeded"
+        assert "cap" in dense_attempt.detail
+        # the broken level also sits on the approximation's drain cascade,
+        # so the ladder bottoms out at the AMVA bound
+        assert res.report.method == "amva"
+
+
+class TestApproximationRung:
+    def test_epoch_budget_degrades_to_three_region(self, central_h2_spec):
+        cfg = ResilienceConfig(budget=Budget(max_epochs=10), head_epochs=2)
+        res = solve_resilient(central_h2_spec, K, 30, cfg)
+        assert res.report.method == "approximation"
+        assert res.report.reason == "budget-exceeded"
+        exact = TransientModel(central_h2_spec, K).makespan(30)
+        assert res.makespan == pytest.approx(exact, rel=0.02)
+        assert res.interdeparture_times.shape == (30,)
+        assert np.all(res.interdeparture_times > 0)
+
+    def test_small_workload_within_budget_stays_exact(self, central_h2_spec):
+        cfg = ResilienceConfig(budget=Budget(max_epochs=10))
+        res = solve_resilient(central_h2_spec, K, 8, cfg)
+        assert res.report.method == "exact"
+
+
+class TestAmvaRung:
+    def test_starved_byte_budget_reaches_amva(self, central_h2_spec):
+        cfg = ResilienceConfig(faults=FaultPlan(starve_budget=True))
+        res = solve_resilient(central_h2_spec, K, 30, cfg)
+        assert res.report.method == "amva"
+        assert res.report.reason == "budget-exceeded"
+        # every level-building rung was rejected by the same budget gate
+        for attempt in res.report.attempts[:-1]:
+            assert attempt.reason == "budget-exceeded"
+        assert res.makespan > 0
+        # AMVA bound is a steady-state rate: within a factor-2 sanity band
+        exact = TransientModel(central_h2_spec, K).makespan(30)
+        assert 0.5 * exact < res.makespan < 2.0 * exact
+
+    def test_stalled_power_iteration_fails_approximation(self, central_h2_spec):
+        cfg = ResilienceConfig(
+            budget=Budget(max_epochs=10),
+            head_epochs=2,
+            faults=FaultPlan(stall_power_iteration=True),
+        )
+        res = solve_resilient(central_h2_spec, K, 30, cfg)
+        assert res.report.method == "amva"
+        approx = next(
+            a for a in res.report.attempts if a.rung == "approximation"
+        )
+        assert approx.reason == "no-convergence"
+
+
+class TestLadderMechanics:
+    def test_exhausted_ladder_raises_with_report(self, central_h2_spec):
+        cfg = ResilienceConfig(
+            ladder=("exact",), faults=FaultPlan(nan_level=K, nan_mode="always")
+        )
+        with pytest.raises(SolverError) as ei:
+            solve_resilient(central_h2_spec, K, N, cfg)
+        report = ei.value.report
+        assert report.method == "none"
+        assert report.degraded
+        assert [a.rung for a in report.attempts] == ["exact"]
+
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(ladder=("exact", "prayer"))
+
+    def test_custom_ladder_order_is_respected(self, central_h2_spec):
+        cfg = ResilienceConfig(ladder=("amva",))
+        res = solve_resilient(central_h2_spec, K, 10, cfg)
+        assert res.report.method == "amva"
+        assert res.report.degraded
+
+    def test_full_ladder_constant(self):
+        assert LADDER == ("exact", "refine", "dense", "approximation", "amva")
+
+    def test_solver_reusable_across_workloads(self, central_h2_spec):
+        solver = ResilientSolver(central_h2_spec, K)
+        a = solver.solve(4)
+        b = solver.solve(9)
+        assert a.interdeparture_times.shape == (4,)
+        assert b.interdeparture_times.shape == (9,)
+
+    def test_time_budget_exhaustion_is_structured(self, central_h2_spec):
+        cfg = ResilienceConfig(budget=Budget(max_seconds=-1.0))
+        # even the AMVA rung checks the clock: the whole ladder fails fast
+        with pytest.raises(SolverError):
+            solve_resilient(central_h2_spec, K, 6, cfg)
+
+    def test_summary_mentions_method_and_cause(self, central_h2_spec):
+        cfg = ResilienceConfig(faults=FaultPlan(singular_level=4))
+        res = solve_resilient(central_h2_spec, K, 6, cfg)
+        text = res.report.summary()
+        assert "dense" in text
+        assert "singular-level" in text

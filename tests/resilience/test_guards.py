@@ -1,0 +1,126 @@
+"""Hot-path guards: vector checks, rcond estimation, guarded levels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.resilience.errors import NumericalHealthError, SingularLevelError
+from repro.resilience.guards import (
+    DenseLevel,
+    GuardConfig,
+    GuardedLevel,
+    check_finite,
+    check_nonnegative,
+    check_stochastic,
+    lu_rcond,
+)
+
+CFG = GuardConfig()
+
+
+class TestVectorChecks:
+    def test_finite_passes_clean(self):
+        check_finite(np.array([0.1, 0.9]), where="t")
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_finite_raises(self, bad):
+        with pytest.raises(NumericalHealthError) as ei:
+            check_finite(np.array([0.1, bad]), where="site-x", level=3)
+        assert ei.value.where == "site-x"
+        assert ei.value.level == 3
+
+    def test_nonnegative_clips_roundoff(self):
+        x = np.array([1.0, -1e-15])
+        out = check_nonnegative(x, where="tau", tol=1e-12)
+        assert out[1] == 0.0
+
+    def test_nonnegative_raises_on_real_violation(self):
+        with pytest.raises(NumericalHealthError) as ei:
+            check_nonnegative(np.array([1.0, -1e-3]), where="tau", level=2)
+        assert ei.value.value == pytest.approx(-1e-3)
+
+    def test_stochastic_accepts_clean_untouched(self):
+        x = np.array([0.25, 0.75])
+        out = check_stochastic(x, CFG, where="v")
+        assert out is x  # byte-identical: no correction applied
+
+    def test_stochastic_renormalizes_small_drift(self):
+        drift = 1e-8  # between mass_tol and mass_hard_tol
+        x = np.array([0.25, 0.75]) * (1.0 + drift)
+        out = check_stochastic(x, CFG, where="v")
+        assert out.sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_stochastic_raises_on_large_drift(self):
+        x = np.array([0.25, 0.75]) * 1.5
+        with pytest.raises(NumericalHealthError) as ei:
+            check_stochastic(x, CFG, where="v", level=1)
+        assert ei.value.reason == "numerical-health"
+
+    def test_stochastic_raises_on_zero_mass(self):
+        with pytest.raises(NumericalHealthError):
+            check_stochastic(np.zeros(3), CFG, where="v")
+
+
+class TestRcond:
+    def test_well_conditioned(self):
+        A = sp.identity(50, format="csc") * 2.0
+        rc = lu_rcond(A, spla.splu(A))
+        assert rc == pytest.approx(1.0, rel=1e-6)
+
+    def test_ill_conditioned_is_small(self):
+        d = np.ones(40)
+        d[-1] = 1e-14
+        A = sp.diags(d).tocsc()
+        rc = lu_rcond(A, spla.splu(A))
+        assert rc < 1e-12
+
+    def test_one_by_one(self):
+        A = sp.csc_matrix(np.array([[3.0]]))
+        assert lu_rcond(A, spla.splu(A)) == 1.0
+
+
+class TestGuardedLevel:
+    def test_results_identical_on_healthy_level(self, central_h2_model):
+        raw = central_h2_model.level(5)
+        guarded = GuardedLevel(raw, CFG)
+        x = central_h2_model.entrance_vector(5)
+        assert np.array_equal(guarded.apply_YR(x), raw.apply_YR(x))
+        assert np.array_equal(guarded.tau, raw.tau)
+        assert guarded.mean_epoch_time(x) == raw.mean_epoch_time(x)
+
+    def test_rcond_estimated_at_factorization(self, central_model):
+        guarded = GuardedLevel(central_model.level(3), CFG)
+        guarded.lu  # touch the factorization
+        assert guarded.rcond is not None and guarded.rcond > 1e-12
+
+    def test_rcond_threshold_flags_singular(self, central_model):
+        # An impossible threshold makes any real level "numerically singular":
+        # deterministic coverage of the rejection path.
+        cfg = GuardConfig(rcond_min=1.1)
+        guarded = GuardedLevel(central_model.level(2), cfg)
+        with pytest.raises(SingularLevelError) as ei:
+            guarded.lu
+        assert ei.value.level == 2
+        assert ei.value.stations  # names attached
+
+    def test_exposes_operator_surface(self, central_model):
+        raw = central_model.level(2)
+        guarded = GuardedLevel(raw, CFG)
+        assert guarded.k == 2
+        assert guarded.dim == raw.dim
+        assert guarded.R is raw.R
+
+
+class TestDenseLevel:
+    def test_matches_sparse_solves(self, central_h2_model):
+        raw = central_h2_model.level(4)
+        dense = DenseLevel(raw, CFG)
+        x = central_h2_model.entrance_vector(4)
+        assert np.allclose(dense.apply_YR(x), raw.apply_YR(x), atol=1e-12)
+        assert np.allclose(dense.tau, raw.tau, atol=1e-12)
+        assert dense.mean_epoch_time(x) == pytest.approx(
+            raw.mean_epoch_time(x), rel=1e-12
+        )
