@@ -1,0 +1,68 @@
+"""BENCH_transient.json emitter: median-of-5 transient-solver timings.
+
+Profiles the two headline workload classes through the observability
+layer (:func:`repro.obs.profile.profile_spec`) and merges the records
+into ``benchmarks/results/BENCH_transient.json`` — the repo's
+perf-trajectory file, schema ``repro-bench-transient/1``.  The CLI
+(``repro profile``) writes the same format, so trends can be compared
+across machines and commits.
+
+Workloads:
+
+* ``fig03_central_k5``  — central cluster, shared disk C² = 10, K=5, N=30
+  (the paper's Figure 3 configuration, D(5) = 91);
+* ``fig04_central_k8``  — the same application at K=8, N=60
+  (Figure 4's scale, D(8) = 285).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.distributions import Shape
+from repro.obs.profile import profile_spec, validate_bench, write_bench
+
+REPEATS = 5
+
+
+def _spec():
+    return central_cluster(ApplicationModel(), {"rdisk": Shape.scv(10.0)})
+
+
+@pytest.mark.parametrize(
+    "name, K, N",
+    [("fig03_central_k5", 5, 30), ("fig04_central_k8", 8, 60)],
+    ids=["fig03_k5", "fig04_k8"],
+)
+def test_bench_transient(results_dir, record_text, name, K, N):
+    result = profile_spec(_spec(), K, N, repeats=REPEATS, name=name)
+
+    # Sanity: the spans must account for (nearly) all of the wall time,
+    # and the solve must reproduce the known makespan regime.
+    assert result.coverage > 0.90, f"span coverage {result.coverage:.1%}"
+    assert result.level_dims[-1] == (91 if K == 5 else 285)
+    assert result.makespan > 0.0
+
+    path = write_bench(
+        results_dir / "BENCH_transient.json",
+        [result.bench_record()],
+        source="benchmarks/test_bench_transient.py",
+    )
+    doc = validate_bench(path)
+    assert any(w["name"] == name for w in doc["workloads"])
+    record_text(f"bench_transient_{name}", result.format_table())
+
+
+def test_bench_file_is_wellformed(results_dir):
+    """After the emitters ran, the merged file must pass the CI gate."""
+    path = results_dir / "BENCH_transient.json"
+    if not path.exists():
+        pytest.skip("emitters did not run in this session")
+    doc = validate_bench(path)
+    names = {w["name"] for w in doc["workloads"]}
+    assert {"fig03_central_k5", "fig04_central_k8"} <= names
+    # Round-trip: the file is plain JSON, stable under re-serialization.
+    assert json.loads(path.read_text())["schema"] == "repro-bench-transient/1"

@@ -72,6 +72,12 @@ from repro.resilience import (
     SolverReport,
     solve_resilient,
 )
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    profiled,
+)
 from repro.simulation import (
     generate_traces,
     replay_traces,
@@ -137,5 +143,9 @@ __all__ = [
     "SolverError",
     "SolverReport",
     "solve_resilient",
+    "Instrumentation",
+    "MetricsRegistry",
+    "Tracer",
+    "profiled",
     "__version__",
 ]

@@ -3,19 +3,24 @@
 ::
 
     python -m repro make-spec central --rdisk-scv 10 -o cluster.json
-    python -m repro describe cluster.json
+    python -m repro describe cluster.json -K 5
     python -m repro report cluster.json --workstations 5 --tasks 30
     python -m repro validate cluster.json --workstations 5 --tasks 20
     python -m repro experiment fig03 --plot
+    python -m repro profile cluster.json -K 5 -N 30
 
 Specs travel as JSON (see :mod:`repro.network.serialize`), so an analysis
-is fully reproducible from the file plus the command line.
+is fully reproducible from the file plus the command line.  ``report``,
+``validate``, ``experiment`` and ``profile`` accept ``--trace`` /
+``--metrics-out`` to archive the run's span tree (JSONL) and metrics
+(Prometheus text) — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 
@@ -23,6 +28,40 @@ def _load_spec(path: str):
     from repro.network import spec_from_json
 
     return spec_from_json(Path(path).read_text())
+
+
+def _add_obs_args(sub) -> None:
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="write the run's span tree as JSONL")
+    sub.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the run's metrics in Prometheus text format")
+
+
+@contextmanager
+def _maybe_instrument(args):
+    """Activate instrumentation when --trace/--metrics-out was given.
+
+    Artifacts are flushed on exit even when the command fails, so a
+    crashed run still leaves its partial trace behind.
+    """
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        yield None
+        return
+    from repro.obs import Instrumentation
+
+    ins = Instrumentation.enabled()
+    try:
+        with ins.activate():
+            yield ins
+    finally:
+        if trace:
+            Path(trace).write_text(ins.tracer.to_jsonl() + "\n")
+            print(f"wrote {trace}", file=sys.stderr)
+        if metrics_out:
+            Path(metrics_out).write_text(ins.metrics.to_prometheus())
+            print(f"wrote {metrics_out}", file=sys.stderr)
 
 
 def _cmd_make_spec(args) -> int:
@@ -58,7 +97,19 @@ def _cmd_make_spec(args) -> int:
 
 
 def _cmd_describe(args) -> int:
-    print(_load_spec(args.spec).describe())
+    spec = _load_spec(args.spec)
+    print(spec.describe())
+    if args.workstations is not None:
+        from repro.core.transient import TransientModel
+
+        model = TransientModel(spec, args.workstations)
+        print()
+        print(f"state-space size per level (K={args.workstations}):")
+        print(f"{'k':>4}  {'D(k)':>12}")
+        dims = [model.level_dim(k) for k in range(args.workstations + 1)]
+        for k, d in enumerate(dims):
+            print(f"{k:>4}  {d:>12}")
+        print(f"{'sum':>4}  {sum(dims):>12}")
     return 0
 
 
@@ -94,6 +145,11 @@ def _add_robust_args(sub) -> None:
 
 
 def _cmd_report(args) -> int:
+    with _maybe_instrument(args):
+        return _run_report(args)
+
+
+def _run_report(args) -> int:
     from repro.reporting import performance_report
 
     spec = _load_spec(args.spec)
@@ -129,6 +185,11 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    with _maybe_instrument(args):
+        return _run_validate(args)
+
+
+def _run_validate(args) -> int:
     from repro.validation import cross_validate
 
     kwargs = {}
@@ -163,14 +224,53 @@ def _cmd_experiment(args) -> int:
     argv = [args.name]
     if args.plot:
         argv.append("--plot")
+    if args.trace:
+        argv += ["--trace", args.trace]
+    if args.metrics_out:
+        argv += ["--metrics-out", args.metrics_out]
     return exp_main(argv)
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import profile_spec, write_bench
+
+    spec = _load_spec(args.spec)
+    resilience = _resilience_config(args) if args.robust else None
+    name = args.name or Path(args.spec).stem
+    result = profile_spec(
+        spec,
+        args.workstations,
+        args.tasks,
+        repeats=args.repeats,
+        name=name,
+        resilience=resilience,
+    )
+    print(result.format_table())
+    for path in result.write_artifacts(
+        trace_path=args.trace,
+        metrics_path=args.metrics_out,
+        metrics_json_path=args.metrics_json,
+    ):
+        print(f"wrote {path}")
+    bench = write_bench(args.bench_out, [result.bench_record()],
+                        source="repro profile")
+    print(f"wrote {bench}")
+    if result.coverage < 0.95:
+        print(f"WARNING: span coverage {result.coverage:.1%} below 95% "
+              "of end-to-end wall", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Transient finite-workload analysis of cluster systems.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     mk = sub.add_parser("make-spec", help="build a cluster spec JSON")
@@ -191,6 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     de = sub.add_parser("describe", help="summarize a spec JSON")
     de.add_argument("spec")
+    de.add_argument("--workstations", "-K", type=int, default=None,
+                    help="also print the per-level state-space table D(k)")
     de.set_defaults(func=_cmd_describe)
 
     rp = sub.add_parser("report", help="full performance report")
@@ -200,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--no-distribution", action="store_true",
                     help="skip makespan variance/quantiles (faster)")
     _add_robust_args(rp)
+    _add_obs_args(rp)
     rp.set_defaults(func=_cmd_report)
 
     va = sub.add_parser("validate", help="cross-check model vs simulation")
@@ -209,12 +312,37 @@ def build_parser() -> argparse.ArgumentParser:
     va.add_argument("--reps", type=int, default=2000)
     va.add_argument("--seed", type=int, default=0)
     _add_robust_args(va)
+    _add_obs_args(va)
     va.set_defaults(func=_cmd_validate)
 
     ex = sub.add_parser("experiment", help="regenerate a paper figure")
     ex.add_argument("name")
     ex.add_argument("--plot", action="store_true")
+    _add_obs_args(ex)
     ex.set_defaults(func=_cmd_experiment)
+
+    pf = sub.add_parser(
+        "profile",
+        help="instrumented solve: per-stage cost table + trace/metrics/"
+             "BENCH artifacts",
+    )
+    pf.add_argument("spec")
+    pf.add_argument("--workstations", "-K", type=int, required=True)
+    pf.add_argument("--tasks", "-N", type=int, required=True)
+    pf.add_argument("--repeats", type=int, default=5,
+                    help="cold solves to time (median is reported)")
+    pf.add_argument("--name", default=None,
+                    help="workload name in BENCH_transient.json "
+                         "(default: spec file stem)")
+    pf.add_argument("--trace", metavar="PATH", default="profile.trace.jsonl")
+    pf.add_argument("--metrics-out", metavar="PATH",
+                    default="profile.metrics.prom")
+    pf.add_argument("--metrics-json", metavar="PATH", default=None,
+                    help="also write the metrics as JSON")
+    pf.add_argument("--bench-out", metavar="PATH",
+                    default="BENCH_transient.json")
+    _add_robust_args(pf)
+    pf.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro._util.linalg import stationary_left_vector
 from repro.core.transient import TransientModel
+from repro.obs.instrument import profiled
 from repro.resilience.errors import ConvergenceError
 
 __all__ = ["SteadyState", "solve_steady_state", "time_stationary_distribution"]
@@ -43,6 +44,7 @@ class SteadyState:
         return 1.0 / self.interdeparture_time
 
 
+@profiled(name="steady_state")
 def solve_steady_state(
     model: TransientModel,
     *,
@@ -81,6 +83,7 @@ def solve_steady_state(
     return SteadyState(p_ss=p_ss, interdeparture_time=float(t_ss))
 
 
+@profiled(name="time_stationary_distribution")
 def time_stationary_distribution(
     model: TransientModel,
     *,

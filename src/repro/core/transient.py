@@ -19,6 +19,7 @@ draining) of the paper's Figures 3–4 and 10–11.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -27,6 +28,8 @@ from repro.laqt.automata import automaton_for
 from repro.laqt.operators import LevelOperators, build_level
 from repro.laqt.states import build_spaces
 from repro.network.spec import NetworkSpec
+from repro.obs import runtime as _rt
+from repro.obs.instrument import Instrumentation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.budget import Budget
@@ -55,6 +58,14 @@ class TransientModel:
         Optional :class:`~repro.resilience.budget.Budget`; enforced by
         prediction *before* the state spaces are enumerated, so an
         over-large spec is rejected cheaply instead of discovered by OOM.
+    instrument:
+        Optional :class:`~repro.obs.Instrumentation` (or a bare
+        :data:`~repro.obs.EpochCallback`): per-epoch callback invoked
+        before each epoch of :meth:`interdeparture_times` — the
+        resilience layer uses it for wall-clock budget checks — plus
+        optional tracer/metrics.  Missing parts fall through to the
+        ambient instrumentation (:mod:`repro.obs.runtime`); ``None``
+        (the default) costs nothing and leaves results bit-identical.
 
     Notes
     -----
@@ -62,11 +73,15 @@ class TransientModel:
     levels; each is cached, and the per-epoch work afterwards is two sparse
     solves regardless of ``N``.
 
-    The attribute :attr:`epoch_hook`, when set to a callable
-    ``hook(epoch_index, level_k, x)``, is invoked before each epoch of
-    :meth:`interdeparture_times` — the resilience layer uses it for
-    wall-clock budget checks; it is ``None`` (and free) by default.
+    The attribute :attr:`epoch_hook` is a **deprecated** alias for the
+    per-epoch callback — assigning it still works (the resilience layer
+    of earlier releases did), but new code should pass ``instrument=``.
     """
+
+    # Alternative backends construct without this __init__; class-level
+    # defaults keep the instrumentation surface well-defined for them.
+    _instrument: Instrumentation | None = None
+    _epoch_hook: Callable[[int, int, np.ndarray], None] | None = None
 
     def __init__(
         self,
@@ -75,6 +90,7 @@ class TransientModel:
         *,
         guards: "GuardConfig | None" = None,
         budget: "Budget | None" = None,
+        instrument: Instrumentation | Callable[[int, int, np.ndarray], None] | None = None,
     ):
         if K < 1 or int(K) != K:
             raise ValueError(f"K must be a positive integer, got {K!r}")
@@ -85,7 +101,7 @@ class TransientModel:
         self._spec = spec
         self._K = int(K)
         self._guards = guards
-        self.epoch_hook: Callable[[int, int, np.ndarray], None] | None = None
+        self.instrument = instrument
         self._automata = tuple(automaton_for(st) for st in spec.stations)
         self._spaces = build_spaces(self._automata, self._K)
         self._levels: dict[int, LevelOperators] = {}
@@ -102,12 +118,68 @@ class TransientModel:
         """Population bound (number of workstations)."""
         return self._K
 
+    # -- instrumentation surface ---------------------------------------
+    @property
+    def instrument(self) -> Instrumentation | None:
+        """This model's explicit instrumentation bundle (``None`` = off)."""
+        return self._instrument
+
+    @instrument.setter
+    def instrument(
+        self,
+        value: Instrumentation | Callable[[int, int, np.ndarray], None] | None,
+    ) -> None:
+        if value is not None and not isinstance(value, Instrumentation):
+            value = Instrumentation(on_epoch=value)
+        self._instrument = value
+
+    @property
+    def epoch_hook(self) -> Callable[[int, int, np.ndarray], None] | None:
+        """Deprecated alias for the per-epoch callback (use ``instrument=``)."""
+        return self._epoch_hook
+
+    @epoch_hook.setter
+    def epoch_hook(self, hook: Callable[[int, int, np.ndarray], None] | None) -> None:
+        if hook is not None:
+            warnings.warn(
+                "TransientModel.epoch_hook is deprecated; pass "
+                "instrument=Instrumentation(on_epoch=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._epoch_hook = hook
+
+    def _effective_instrument(self) -> Instrumentation | None:
+        """Explicit bundle merged over the ambient one (either may be None)."""
+        local = self._instrument
+        if local is None:
+            return _rt.ACTIVE
+        return local.merged_over(_rt.ACTIVE)
+
+    # ------------------------------------------------------------------
     def level(self, k: int) -> LevelOperators:
         """Operators for population level ``k`` (built lazily, cached)."""
         if not 1 <= k <= self._K:
             raise ValueError(f"level must be in 1..{self._K}, got {k!r}")
         if k not in self._levels:
-            self._levels[k] = self._build_level(k)
+            ins = self._effective_instrument()
+            if ins is None:
+                self._levels[k] = self._build_level(k)
+            else:
+                dim = self._spaces[k].dim
+                with ins.span("build_level", k=k, dim=dim) as sp:
+                    ops = self._build_level(k)
+                self._levels[k] = ops
+                ins.count("repro_levels_built_total")
+                ins.gauge("repro_level_dim", dim, k=k)
+                try:
+                    nnz = int(ops.P.nnz + ops.Q.nnz + ops.R.nnz)
+                except AttributeError:  # wrapped/faulted backends may hide P
+                    nnz = None
+                if nnz is not None:
+                    ins.gauge("repro_level_nnz", nnz, k=k)
+                    if sp is not None:
+                        sp.attrs["nnz"] = nnz
         return self._levels[k]
 
     def _build_level(self, k: int) -> LevelOperators:
@@ -139,18 +211,26 @@ class TransientModel:
         if not 1 <= k <= self._K:
             raise ValueError(f"k must be in 1..{self._K}, got {k!r}")
         if k not in self._entrance:
-            x = np.ones(1)
-            top = 0
-            # Reuse the longest already-computed prefix.
-            for kk in sorted(self._entrance):
-                if kk <= k:
-                    top = kk
-            if top:
-                x = self._entrance[top]
-            for kk in range(top + 1, k + 1):
-                x = x @ self.level(kk).R
-                self._entrance[kk] = x
+            ins = self._effective_instrument()
+            if ins is None:
+                self._compute_entrance(k)
+            else:
+                with ins.span("entrance_vector", k=k):
+                    self._compute_entrance(k)
         return self._entrance[k].copy()
+
+    def _compute_entrance(self, k: int) -> None:
+        x = np.ones(1)
+        top = 0
+        # Reuse the longest already-computed prefix.
+        for kk in sorted(self._entrance):
+            if kk <= k:
+                top = kk
+        if top:
+            x = self._entrance[top]
+        for kk in range(top + 1, k + 1):
+            x = x @ self.level(kk).R
+            self._entrance[kk] = x
 
     # ------------------------------------------------------------------
     def interdeparture_times(self, N: int) -> np.ndarray:
@@ -167,24 +247,62 @@ class TransientModel:
         k_active = min(self._K, N)
         top = self.level(k_active)
         x = self.entrance_vector(k_active)
-        # getattr: alternative backends construct without our __init__
-        hook = getattr(self, "epoch_hook", None)
+        hook = self._epoch_hook
+        ins = self._effective_instrument()
+        if ins is not None:
+            if ins.on_epoch is not None:
+                hook = self._chain_hooks(hook, ins.on_epoch)
+            if ins.tracer is None and ins.metrics is None:
+                # Callback-only bundle: folded into the hook path above,
+                # keeping the loop free of dead span/metric branches.
+                ins = None
         times = np.empty(N)
         for j in range(N - k_active):
             if hook is not None:
                 hook(j, k_active, x)
-            times[j] = top.mean_epoch_time(x)
-            x = top.apply_YR(x)
+            if ins is None:
+                times[j] = top.mean_epoch_time(x)
+                x = top.apply_YR(x)
+            else:
+                with ins.span("epoch", epoch=j, level=k_active,
+                              phase="refill") as sp:
+                    times[j] = top.mean_epoch_time(x)
+                    x = top.apply_YR(x)
+                self._epoch_metrics(ins, sp)
         at = N - k_active
         for k in range(k_active, 0, -1):
             if hook is not None:
                 hook(at, k, x)
             ops = self.level(k)
-            times[at] = ops.mean_epoch_time(x)
+            if ins is None:
+                times[at] = ops.mean_epoch_time(x)
+                if k > 1:
+                    x = ops.apply_Y(x)
+            else:
+                with ins.span("epoch", epoch=at, level=k, phase="drain") as sp:
+                    times[at] = ops.mean_epoch_time(x)
+                    if k > 1:
+                        x = ops.apply_Y(x)
+                self._epoch_metrics(ins, sp)
             at += 1
-            if k > 1:
-                x = ops.apply_Y(x)
         return times
+
+    @staticmethod
+    def _chain_hooks(first, second):
+        if first is None:
+            return second
+
+        def chained(j: int, k: int, x: np.ndarray, _a=first, _b=second) -> None:
+            _a(j, k, x)
+            _b(j, k, x)
+
+        return chained
+
+    @staticmethod
+    def _epoch_metrics(ins: Instrumentation, sp) -> None:
+        ins.count("repro_epochs_solved_total")
+        if sp is not None and sp.wall is not None:
+            ins.observe("repro_epoch_seconds", sp.wall)
 
     def departure_times(self, N: int) -> np.ndarray:
         """Mean cumulative completion time of each departure (cumsum of epochs)."""

@@ -3,16 +3,45 @@
 Usage::
 
     python -m repro.experiments fig03
-    python -m repro.experiments all
+    python -m repro.experiments all --trace all.trace.jsonl
+
+Per-figure timing runs through the observability tracer
+(:mod:`repro.obs`), so a figure that crashes mid-run still reports the
+per-stage times it accumulated — and, when ``--trace`` /
+``--metrics-out`` is given, still leaves its partial artifacts behind.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+import traceback
+from pathlib import Path
 
 from repro.experiments import ALL_EXPERIMENTS as FIGURES
+from repro.obs import Instrumentation
+
+
+def _flush_artifacts(ins: Instrumentation, trace, metrics_out) -> None:
+    if trace:
+        Path(trace).write_text(ins.tracer.to_jsonl() + "\n")
+        print(f"wrote {trace}", file=sys.stderr)
+    if metrics_out:
+        Path(metrics_out).write_text(ins.metrics.to_prometheus())
+        print(f"wrote {metrics_out}", file=sys.stderr)
+
+
+def _stage_report(ins: Instrumentation) -> str:
+    """Compact per-stage summary (used for the crash report)."""
+    lines = [f"{'stage':<24}{'count':>8}{'self s':>12}"]
+    totals = sorted(
+        ins.tracer.stage_totals().items(),
+        key=lambda kv: kv[1]["self"],
+        reverse=True,
+    )
+    for name, agg in totals:
+        lines.append(f"{name:<24}{int(agg['count']):>8}{agg['self']:>12.4f}")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -30,20 +59,37 @@ def main(argv=None) -> int:
         action="store_true",
         help="draw an ASCII chart of the series as well as the table",
     )
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the run's span tree as JSONL")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write metrics in Prometheus text format")
     args = parser.parse_args(argv)
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
-    for name in names:
-        t0 = time.perf_counter()
-        result = FIGURES[name]()
-        dt = time.perf_counter() - t0
-        print(result.format_table())
-        if args.plot:
-            from repro.reporting import plot_result
+    ins = Instrumentation.enabled()
+    current = None
+    try:
+        with ins.activate():
+            for name in names:
+                current = name
+                with ins.tracer.span("experiment", figure=name) as span:
+                    result = FIGURES[name]()
+                print(result.format_table())
+                if args.plot:
+                    from repro.reporting import plot_result
 
-            print()
-            print(plot_result(result))
-        print(f"# computed in {dt:.2f}s\n")
+                    print()
+                    print(plot_result(result))
+                print(f"# computed in {span.wall:.2f}s\n")
+    except Exception:
+        # A crashed figure still reports the per-stage times it reached.
+        traceback.print_exc()
+        print(f"\n# experiment {current!r} FAILED; partial stage times:",
+              file=sys.stderr)
+        print(_stage_report(ins), file=sys.stderr)
+        _flush_artifacts(ins, args.trace, args.metrics_out)
+        return 1
+    _flush_artifacts(ins, args.trace, args.metrics_out)
     return 0
 
 

@@ -37,6 +37,7 @@ import scipy.sparse.linalg as spla
 from repro._util.linalg import left_solve
 from repro.laqt.automata import Completion, Internal, StationAutomaton
 from repro.laqt.states import LevelSpace
+from repro.obs import runtime as _rt
 from repro.resilience.errors import SingularLevelError
 
 __all__ = ["LevelOperators", "build_level", "build_entrance"]
@@ -80,14 +81,26 @@ class LevelOperators:
             probability mass, instead of scipy's bare ``RuntimeError``.
         """
         if self._lu is None:
-            A = sp.identity(self.dim, format="csc") - self.P.tocsc()
-            try:
-                self._lu = spla.splu(A)
-            except RuntimeError as exc:
-                if "singular" not in str(exc).lower():
-                    raise
-                raise self._singular_error(A, exc) from exc
+            ins = _rt.ACTIVE
+            if ins is None:
+                self._lu = self._factorize()
+            else:
+                with ins.span("factorize", level=self.k, dim=self.dim,
+                              nnz=int(self.P.nnz)) as span:
+                    self._lu = self._factorize()
+                ins.count("repro_factorizations_total")
+                if span is not None and span.wall is not None:
+                    ins.observe("repro_factorization_seconds", span.wall)
         return self._lu
+
+    def _factorize(self) -> spla.SuperLU:
+        A = sp.identity(self.dim, format="csc") - self.P.tocsc()
+        try:
+            return spla.splu(A)
+        except RuntimeError as exc:
+            if "singular" not in str(exc).lower():
+                raise
+            raise self._singular_error(A, exc) from exc
 
     def _singular_error(self, A: sp.csc_matrix, exc: Exception) -> SingularLevelError:
         """Build a :class:`SingularLevelError` naming the offending stations."""
@@ -119,11 +132,17 @@ class LevelOperators:
         """``τ'_k = (I − P_k)⁻¹ M_k⁻¹ ε``: mean time to the next departure."""
         if self._tau is None:
             self._tau = self.lu.solve(1.0 / self.rates)
+            ins = _rt.ACTIVE
+            if ins is not None:
+                ins.count("repro_sparse_solves_total", kind="tau")
         return self._tau
 
     # ------------------------------------------------------------------
     def apply_Y(self, x: np.ndarray) -> np.ndarray:
         """``x ↦ x Y_k`` with ``Y_k = (I − P_k)⁻¹ Q_k`` (state after a departure)."""
+        ins = _rt.ACTIVE
+        if ins is not None:
+            ins.count("repro_sparse_solves_total", kind="apply_Y")
         return left_solve(self.lu, np.asarray(x, dtype=float)) @ self.Q
 
     def apply_YR(self, x: np.ndarray) -> np.ndarray:

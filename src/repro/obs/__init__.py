@@ -1,0 +1,49 @@
+"""repro.obs — solver telemetry: tracing spans, metrics, profiling.
+
+Zero-overhead-when-disabled instrumentation for the transient pipeline:
+
+* :class:`~repro.obs.tracer.Tracer` — nested spans (``build_level``,
+  ``entrance_vector``, ``epoch``, ``fallback_rung``,
+  ``simulate_replication``, …) with wall time, level ``k``, ``D(k)``,
+  nonzeros and RSS deltas; JSONL export and a rendered tree;
+* :class:`~repro.obs.metrics.MetricsRegistry` — process-local counters,
+  gauges and histograms with JSON and Prometheus-text exporters;
+* :class:`~repro.obs.instrument.Instrumentation` — the bundle the solver
+  layers consult, armed explicitly (``TransientModel(...,
+  instrument=...)``) or ambiently (``with ins.activate(): ...``);
+* :func:`~repro.obs.instrument.profiled` — hot-path span decorator;
+* :mod:`repro.obs.profile` (imported lazily) — the ``repro profile``
+  driver, per-stage cost tables, and the ``BENCH_transient.json``
+  perf-trajectory emitter.
+
+See docs/OBSERVABILITY.md for the span/metric catalog and exporter
+schemas.
+"""
+
+from repro.obs import runtime
+from repro.obs.instrument import EpochCallback, Instrumentation, profiled
+from repro.obs.metrics import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracer import Span, SpanEvent, Tracer
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "EpochCallback",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "default_registry",
+    "profiled",
+    "runtime",
+]

@@ -1,0 +1,284 @@
+"""Process-local metrics: counters, gauges, histograms, two exporters.
+
+A :class:`MetricsRegistry` is a plain in-process object — no sockets, no
+background threads — holding named metric families with optional labels.
+The solver increments families like ``repro_epochs_solved_total`` and
+``repro_guard_trips_total{where=...}`` through the instrumentation layer
+(:mod:`repro.obs.instrument`); exporters serialize the whole registry as
+
+* JSON (:meth:`MetricsRegistry.to_json`) — nested, machine-loadable, the
+  format the profiling CLI archives next to traces;
+* Prometheus text exposition format (:meth:`MetricsRegistry.to_prometheus`)
+  — ``# HELP`` / ``# TYPE`` blocks ready for a node-exporter textfile
+  collector or a pushgateway.
+
+Label values are kept stable by construction: the solver only ever uses
+the reason codes of :mod:`repro.resilience.errors` and the fixed span
+names of :mod:`repro.obs.tracer`, so dashboards keyed on them survive
+refactors (tested in ``tests/obs/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_right
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "default_registry"]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+class _Metric:
+    """Shared bookkeeping of one metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: dict[_LabelKey, Any] = {}
+
+    @property
+    def series(self) -> dict[_LabelKey, Any]:
+        return self._series
+
+    def labels_seen(self) -> list[dict[str, str]]:
+        return [dict(key) for key in sorted(self._series)]
+
+
+class Counter(_Metric):
+    """Monotone counter; ``inc`` with optional labels."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """Last-write-wins instantaneous value."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+
+#: Default histogram buckets: sub-millisecond sparse solves up to
+#: multi-minute whole-figure sweeps (seconds).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+        self.buckets = tuple(bounds)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = {"count": 0, "sum": 0.0,
+                     "bucket_counts": [0] * len(self.buckets)}
+            self._series[key] = state
+        state["count"] += 1
+        state["sum"] += float(value)
+        i = bisect_right(self.buckets, float(value))
+        if i < len(self.buckets):
+            state["bucket_counts"][i] += 1
+
+    def snapshot(self, **labels: Any) -> dict[str, Any]:
+        """Count/sum/cumulative-bucket view for one label set."""
+        state = self._series.get(_label_key(labels))
+        if state is None:
+            return {"count": 0, "sum": 0.0, "buckets": {}}
+        cum, out = 0, {}
+        for bound, n in zip(self.buckets, state["bucket_counts"]):
+            cum += n
+            out[bound] = cum
+        return {"count": state["count"], "sum": state["sum"], "buckets": out}
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families with idempotent registration."""
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- registration --------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- introspection -------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    # -- exporters -----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot: ``{name: {kind, help, series: [...]}}``."""
+        out: dict[str, Any] = {}
+        for m in self._metrics.values():
+            series = []
+            for key in sorted(m.series):
+                labels = dict(key)
+                if isinstance(m, Histogram):
+                    snap = m.snapshot(**labels)
+                    snap["buckets"] = {
+                        _format_value(b): c for b, c in snap["buckets"].items()
+                    }
+                    series.append({"labels": labels, **snap})
+                else:
+                    series.append({"labels": labels, "value": m.series[key]})
+            out[m.name] = {"kind": m.kind, "help": m.help, "series": series}
+        return out
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for m in self._metrics.values():
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+            if isinstance(m, Histogram):
+                for key in sorted(m.series):
+                    labels = dict(key)
+                    snap = m.snapshot(**labels)
+                    cum = 0
+                    for bound in m.buckets:
+                        cum = snap["buckets"].get(bound, cum)
+                        bkey = _label_key({**labels, "le": _format_value(bound)})
+                        lines.append(
+                            f"{m.name}_bucket{_format_labels(bkey)} {cum}"
+                        )
+                    inf_key = _label_key({**labels, "le": "+Inf"})
+                    lines.append(
+                        f"{m.name}_bucket{_format_labels(inf_key)} {snap['count']}"
+                    )
+                    lines.append(
+                        f"{m.name}_sum{_format_labels(key)} "
+                        f"{_format_value(snap['sum'])}"
+                    )
+                    lines.append(
+                        f"{m.name}_count{_format_labels(key)} {snap['count']}"
+                    )
+                continue
+            if not m.series:
+                lines.append(f"{m.name} 0")
+                continue
+            for key in sorted(m.series):
+                lines.append(
+                    f"{m.name}{_format_labels(key)} "
+                    f"{_format_value(m.series[key])}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+#: The solver's metric catalog (documented in docs/OBSERVABILITY.md).
+CATALOG: tuple[tuple[str, str, str], ...] = (
+    ("counter", "repro_epochs_solved_total",
+     "Departure epochs iterated by the transient solver"),
+    ("counter", "repro_sparse_solves_total",
+     "Sparse triangular solves through a level LU"),
+    ("counter", "repro_factorizations_total",
+     "Sparse LU factorizations of (I - P_k)"),
+    ("counter", "repro_levels_built_total",
+     "Level operator sets assembled"),
+    ("counter", "repro_guard_trips_total",
+     "Health-guard interventions, by site and kind"),
+    ("counter", "repro_ladder_rung_total",
+     "Degradation-ladder rung attempts, by rung/outcome/reason"),
+    ("counter", "repro_replications_total",
+     "Discrete-event simulation replications completed"),
+    ("gauge", "repro_level_dim",
+     "State-space dimension D(k) of each assembled level"),
+    ("gauge", "repro_level_nnz",
+     "Stored nonzeros (P+Q+R) of each assembled level"),
+    ("histogram", "repro_epoch_seconds",
+     "Wall seconds per departure epoch"),
+    ("histogram", "repro_factorization_seconds",
+     "Wall seconds per sparse LU factorization"),
+    ("histogram", "repro_replication_seconds",
+     "Wall seconds per simulation replication"),
+)
+
+
+def default_registry() -> MetricsRegistry:
+    """A registry pre-declaring the solver catalog (stable help strings)."""
+    reg = MetricsRegistry()
+    for kind, name, help in CATALOG:
+        getattr(reg, kind)(name, help)
+    return reg

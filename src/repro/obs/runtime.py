@@ -1,0 +1,56 @@
+"""Process-local active instrumentation.
+
+The solver's hot paths (operator assembly, LU factorization, guard
+checks, ladder rungs, simulation replications) cannot thread an
+instrumentation object through every signature without polluting the
+public API, so this module holds exactly one piece of state: the
+currently *active* :class:`~repro.obs.instrument.Instrumentation`, or
+``None`` (the default — and then every wired call site is a single
+module-attribute read followed by an untaken branch, keeping the
+disabled solver bit-identical to the uninstrumented build).
+
+Usage::
+
+    from repro.obs import Instrumentation
+
+    ins = Instrumentation.enabled()
+    with ins.activate():
+        model.makespan(30)
+    print(ins.tracer.render_tree())
+
+Activation nests: re-activating inside an active region shadows the
+outer bundle and restores it on exit.  The state is deliberately
+process-local, not thread-local — the transient pipeline is
+single-threaded per process, and a plain module global keeps the
+disabled-path cost to one pointer load.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrumentation
+
+__all__ = ["ACTIVE", "active", "activate"]
+
+#: The active bundle; read directly by hot paths (``_rt.ACTIVE``).
+ACTIVE: "Instrumentation | None" = None
+
+
+def active() -> "Instrumentation | None":
+    """The currently active instrumentation bundle, if any."""
+    return ACTIVE
+
+
+@contextmanager
+def activate(ins: "Instrumentation") -> Iterator["Instrumentation"]:
+    """Install ``ins`` as the active bundle for the ``with`` body."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = ins
+    try:
+        yield ins
+    finally:
+        ACTIVE = previous

@@ -26,6 +26,7 @@ bit for bit (rung 1 with no faults applies no correction).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -34,6 +35,8 @@ from repro.core.steady_state import solve_steady_state
 from repro.core.transient import TransientModel
 from repro.jackson.amva import amva_analysis
 from repro.network.spec import NetworkSpec
+from repro.obs import runtime as _rt
+from repro.obs.instrument import Instrumentation
 from repro.resilience.budget import Budget, BudgetClock, enforce_budget
 from repro.resilience.errors import (
     BudgetExceededError,
@@ -166,7 +169,8 @@ class _RungModel(TransientModel):
         self._spaces = base._spaces
         self._levels = {}
         self._entrance = {}
-        self.epoch_hook = None
+        self._instrument = None
+        self._epoch_hook = None
         self._rbase = base
         self._rcfg = cfg
         self._rmode = mode
@@ -209,6 +213,31 @@ class ResilientSolver:
     def _rung_model(self, mode: str) -> _RungModel:
         return _RungModel(self._base_model(), self._cfg, mode)
 
+    @staticmethod
+    def _note_rung(attempt: RungAttempt, *, outcome: str) -> None:
+        """Record a ladder-rung verdict (counter + span event) when observed.
+
+        The label values are stable by construction: ``rung`` comes from
+        :data:`LADDER`, ``outcome`` from {ok, failed, skipped}, ``reason``
+        is ``"ok"`` or a :class:`~repro.resilience.errors.SolverError`
+        reason code.
+        """
+        ins = _rt.ACTIVE
+        if ins is None:
+            return
+        ins.count(
+            "repro_ladder_rung_total",
+            rung=attempt.rung,
+            outcome=outcome,
+            reason=attempt.reason,
+        )
+        ins.event(
+            "rung_attempt",
+            rung=attempt.rung,
+            outcome=outcome,
+            reason=attempt.reason,
+        )
+
     # -- individual rungs ----------------------------------------------
     def _require_epoch_budget(self, needed: int, budget: Budget, rung: str) -> None:
         if budget.max_epochs is not None and needed > budget.max_epochs:
@@ -235,7 +264,9 @@ class ResilientSolver:
                     needed=peak,
                     limit=self._cfg.dense_dim_cap,
                 )
-        model.epoch_hook = lambda j, k, x: clock.check(f"{mode} epoch {j}")
+        model.instrument = Instrumentation(
+            on_epoch=lambda j, k, x: clock.check(f"{mode} epoch {j}")
+        )
         return model.interdeparture_times(N)
 
     def _run_approximation(
@@ -247,7 +278,9 @@ class ResilientSolver:
         if N <= K:
             # The exact drain is already O(N); nothing cheaper to swap in.
             self._require_epoch_budget(N, budget, "approximation")
-            model.epoch_hook = lambda j, k, x: clock.check(f"approx epoch {j}")
+            model.instrument = Instrumentation(
+                on_epoch=lambda j, k, x: clock.check(f"approx epoch {j}")
+            )
             return model.interdeparture_times(N)
 
         head = int(min(self._cfg.head_epochs, N - K))
@@ -312,21 +345,33 @@ class ResilientSolver:
         for rung in self._cfg.ladder:
             needs_levels = rung != "amva"
             if needs_levels and budget_error is not None:
-                attempts.append(
-                    RungAttempt(rung, False, budget_error.reason, str(budget_error))
+                attempt = RungAttempt(
+                    rung, False, budget_error.reason, str(budget_error)
                 )
+                attempts.append(attempt)
+                self._note_rung(attempt, outcome="skipped")
                 continue
+            ins = _rt.ACTIVE
+            ctx = (
+                ins.span("fallback_rung", rung=rung, N=N)
+                if ins is not None else nullcontext()
+            )
             try:
-                if rung in ("exact", "refine", "dense"):
-                    times = self._run_exactish(N, rung, budget, clock)
-                elif rung == "approximation":
-                    times = self._run_approximation(N, budget, clock)
-                else:
-                    times = self._run_amva(N, clock)
+                with ctx:
+                    if rung in ("exact", "refine", "dense"):
+                        times = self._run_exactish(N, rung, budget, clock)
+                    elif rung == "approximation":
+                        times = self._run_approximation(N, budget, clock)
+                    else:
+                        times = self._run_amva(N, clock)
             except SolverError as exc:
-                attempts.append(RungAttempt(rung, False, exc.reason, str(exc)))
+                attempt = RungAttempt(rung, False, exc.reason, str(exc))
+                attempts.append(attempt)
+                self._note_rung(attempt, outcome="failed")
                 continue
-            attempts.append(RungAttempt(rung, True, "ok"))
+            attempt = RungAttempt(rung, True, "ok")
+            attempts.append(attempt)
+            self._note_rung(attempt, outcome="ok")
             method = rung
             break
 

@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import runtime as _rt
 from repro.resilience.errors import NumericalHealthError
 
 __all__ = [
@@ -33,6 +34,26 @@ __all__ = [
     "check_stochastic",
     "lu_rcond",
 ]
+
+
+def _note_trip(where: str, kind: str, level: int | None = None,
+               value: float | None = None) -> None:
+    """Record a guard intervention with the active instrumentation.
+
+    ``kind`` is one of a small fixed vocabulary — ``nonfinite``,
+    ``negative``, ``clip``, ``mass``, ``renorm``, ``rcond``, ``refine`` —
+    so the ``repro_guard_trips_total`` label set stays dashboard-stable.
+    """
+    ins = _rt.ACTIVE
+    if ins is None:
+        return
+    ins.count("repro_guard_trips_total", where=where, kind=kind)
+    attrs = {"where": where, "kind": kind}
+    if level is not None:
+        attrs["level"] = level
+    if value is not None:
+        attrs["value"] = value
+    ins.event("guard_trip", **attrs)
 
 
 @dataclass(frozen=True)
@@ -76,6 +97,7 @@ def check_finite(
     arr = np.asarray(x, dtype=float)
     if not np.all(np.isfinite(arr)):
         n_bad = int(np.size(arr) - np.isfinite(arr).sum())
+        _note_trip(where, "nonfinite", level, float(n_bad))
         raise NumericalHealthError(
             f"{where}: {n_bad} non-finite entr{'y' if n_bad == 1 else 'ies'} "
             f"detected" + (f" at level {level}" if level is not None else ""),
@@ -104,6 +126,7 @@ def check_nonnegative(
     if lo >= 0.0:
         return x
     if lo < -tol:
+        _note_trip(where, "negative", level, lo)
         raise NumericalHealthError(
             f"{where}: negative entry {lo:.3e} exceeds tolerance {tol:.1e}"
             + (f" at level {level}" if level is not None else ""),
@@ -112,6 +135,7 @@ def check_nonnegative(
             dim=int(x.shape[0]),
             value=lo,
         )
+    _note_trip(where, "clip", level, lo)
     return np.clip(x, 0.0, None)
 
 
@@ -134,6 +158,7 @@ def check_stochastic(
     total = float(x.sum())
     drift = abs(total - 1.0)
     if drift > cfg.mass_hard_tol or total <= 0.0:
+        _note_trip(where, "mass", level, drift)
         raise NumericalHealthError(
             f"{where}: probability mass {total:.12g} drifted "
             f"{drift:.3e} from 1 (hard tolerance {cfg.mass_hard_tol:.1e})"
@@ -145,6 +170,7 @@ def check_stochastic(
             residuals=[drift],
         )
     if drift > cfg.mass_tol:
+        _note_trip(where, "renorm", level, drift)
         return x / total
     return x
 
@@ -249,6 +275,7 @@ class GuardedLevel:
         if self._cfg.check_rcond and self._rcond is None:
             self._rcond = lu_rcond(self.A.tocsc(), lu)
             if self._rcond < self._cfg.rcond_min:
+                _note_trip("lu", "rcond", self.k, self._rcond)
                 from repro.resilience.errors import SingularLevelError
 
                 raise SingularLevelError(
@@ -283,6 +310,7 @@ class GuardedLevel:
         if self._tau_checked is None:
             y = self._ops.tau
             if not self._healthy(y) and self._refine:
+                _note_trip("tau", "refine", self.k)
                 lu = self.lu
                 b = 1.0 / self.rates
                 y = lu.solve(b)
@@ -296,6 +324,7 @@ class GuardedLevel:
     def apply_Y(self, x: np.ndarray) -> np.ndarray:
         y = self._ops.apply_Y(x)
         if not self._healthy(y) and self._refine:
+            _note_trip("apply_Y", "refine", self.k)
             y = self._refined_left(x) @ self.Q
         return check_stochastic(y, self._cfg, where="apply_Y", level=self.k)
 

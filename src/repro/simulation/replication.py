@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.network.spec import NetworkSpec
+from repro.obs import runtime as _rt
 from repro.simulation.engine import simulate_once
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,10 +96,19 @@ def simulate_study(
         clock = budget.start_clock()
     rng = np.random.default_rng(seed)
     departures = np.empty((reps, int(N)))
+    ins = _rt.ACTIVE
     for r in range(reps):
         if clock is not None:
             clock.check(f"simulation replication {r}")
-        departures[r] = simulate_once(spec, K, N, rng).departure_times
+        if ins is None:
+            departures[r] = simulate_once(spec, K, N, rng).departure_times
+        else:
+            with ins.span("simulate_replication", rep=r, K=int(K),
+                          N=int(N)) as span:
+                departures[r] = simulate_once(spec, K, N, rng).departure_times
+            ins.count("repro_replications_total")
+            if span is not None and span.wall is not None:
+                ins.observe("repro_replication_seconds", span.wall)
         if budget is not None and not np.all(np.isfinite(departures[r])):
             from repro.resilience.errors import NumericalHealthError
 

@@ -1,0 +1,145 @@
+"""Observability surface of the CLIs: profile, describe -K, --version,
+--trace/--metrics-out, and crash-resilient experiment timing."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "cluster.json"
+    assert main(["make-spec", "central", "--rdisk-scv", "10",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        from repro import __version__
+
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestDescribeLevels:
+    def test_dk_table(self, spec_file, capsys):
+        assert main(["describe", str(spec_file), "-K", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "state-space size per level (K=5):" in out
+        assert "D(k)" in out
+        lines = {
+            tuple(ln.split()) for ln in out.splitlines() if len(ln.split()) == 2
+        }
+        assert ("5", "91") in lines
+        assert ("sum", "196") in lines
+
+    def test_without_k_unchanged(self, spec_file, capsys):
+        assert main(["describe", str(spec_file)]) == 0
+        assert "state-space" not in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_writes_all_artifacts(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        prom = tmp_path / "m.prom"
+        bench = tmp_path / "BENCH_transient.json"
+        rc = main([
+            "profile", str(spec_file), "-K", "3", "-N", "8",
+            "--repeats", "2",
+            "--trace", str(trace),
+            "--metrics-out", str(prom),
+            "--bench-out", str(bench),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# profile: cluster" in out
+        assert "span total" in out
+        # JSONL trace parses, roots are the profile runs
+        spans = [json.loads(ln) for ln in trace.read_text().splitlines()]
+        assert sum(1 for s in spans if s["parent"] is None) == 2
+        # Prometheus file has the solver families
+        assert "repro_epochs_solved_total" in prom.read_text()
+        # BENCH passes the CI validation gate
+        from repro.obs.profile import validate_bench
+
+        doc = validate_bench(bench)
+        assert doc["workloads"][0]["name"] == "cluster"
+
+    def test_metrics_json_flag(self, spec_file, tmp_path):
+        rc = main([
+            "profile", str(spec_file), "-K", "2", "-N", "4",
+            "--repeats", "1",
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--metrics-out", str(tmp_path / "m.prom"),
+            "--metrics-json", str(tmp_path / "m.json"),
+            "--bench-out", str(tmp_path / "b.json"),
+        ])
+        assert rc == 0
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert doc["repro_epochs_solved_total"]["kind"] == "counter"
+
+
+class TestTraceFlags:
+    def test_report_trace_and_metrics(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "r.jsonl"
+        prom = tmp_path / "r.prom"
+        rc = main([
+            "report", str(spec_file), "-K", "3", "-N", "6",
+            "--no-distribution",
+            "--trace", str(trace), "--metrics-out", str(prom),
+        ])
+        assert rc == 0
+        assert "mean makespan" in capsys.readouterr().out
+        names = {
+            json.loads(ln)["name"] for ln in trace.read_text().splitlines()
+        }
+        assert "build_level" in names and "epoch" in names
+        assert "repro_factorizations_total" in prom.read_text()
+
+    def test_report_without_flags_writes_nothing(self, spec_file, tmp_path,
+                                                 capsys):
+        rc = main(["report", str(spec_file), "-K", "2", "-N", "4",
+                   "--no-distribution"])
+        assert rc == 0
+        assert [p.name for p in tmp_path.iterdir()] == ["cluster.json"]
+
+
+class TestExperimentTracing:
+    def test_experiment_trace_flag(self, tmp_path, capsys):
+        trace = tmp_path / "e.jsonl"
+        rc = main(["experiment", "fig03", "--trace", str(trace)])
+        assert rc == 0
+        roots = [
+            json.loads(ln) for ln in trace.read_text().splitlines()
+            if json.loads(ln)["parent"] is None
+        ]
+        assert [r["name"] for r in roots] == ["experiment"]
+        assert roots[0]["attrs"] == {"figure": "fig03"}
+
+    def test_crashed_experiment_still_reports_stages(self, tmp_path, capsys,
+                                                     monkeypatch):
+        from repro.experiments import __main__ as exp_main
+
+        def boom():
+            from repro.obs import runtime as _rt
+
+            with _rt.ACTIVE.tracer.span("doomed_stage"):
+                pass
+            raise RuntimeError("mid-experiment crash")
+
+        monkeypatch.setitem(exp_main.FIGURES, "fig03", boom)
+        trace = tmp_path / "crash.jsonl"
+        rc = exp_main.main(["fig03", "--trace", str(trace)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "doomed_stage" in err  # per-stage times survived the crash
+        names = {
+            json.loads(ln)["name"] for ln in trace.read_text().splitlines()
+        }
+        assert {"experiment", "doomed_stage"} <= names

@@ -1,0 +1,125 @@
+"""Instrumentation bundle, ambient activation, @profiled decorator."""
+
+import pytest
+
+from repro.obs import Instrumentation, Tracer, profiled
+from repro.obs import runtime as _rt
+
+
+class TestBundle:
+    def test_enabled_is_fully_armed(self):
+        ins = Instrumentation.enabled()
+        assert ins.tracer is not None
+        assert ins.metrics is not None
+        assert "repro_epochs_solved_total" in ins.metrics
+
+    def test_null_safe_surface(self):
+        ins = Instrumentation()  # nothing armed
+        with ins.span("s"):
+            pass
+        ins.event("e")
+        ins.count("c")
+        ins.gauge("g", 1.0)
+        ins.observe("h", 0.1)  # all no-ops, no raise
+
+    def test_count_and_observe_route_to_registry(self):
+        ins = Instrumentation.enabled()
+        ins.count("repro_epochs_solved_total", 2)
+        ins.observe("repro_epoch_seconds", 0.01)
+        assert ins.metrics.counter("repro_epochs_solved_total").value() == 2.0
+        snap = ins.metrics.histogram("repro_epoch_seconds").snapshot()
+        assert snap["count"] == 1
+
+
+class TestMergedOver:
+    def test_ambient_fills_missing_parts(self):
+        local = Instrumentation(on_epoch=lambda j, k, x: None)
+        ambient = Instrumentation.enabled()
+        merged = local.merged_over(ambient)
+        assert merged.tracer is ambient.tracer
+        assert merged.metrics is ambient.metrics
+
+    def test_explicit_parts_win(self):
+        mine = Tracer(measure_rss=False)
+        local = Instrumentation(tracer=mine)
+        merged = local.merged_over(Instrumentation.enabled())
+        assert merged.tracer is mine
+
+    def test_epoch_callbacks_chain_explicit_first(self):
+        calls = []
+        local = Instrumentation(on_epoch=lambda j, k, x: calls.append("local"))
+        ambient = Instrumentation(
+            on_epoch=lambda j, k, x: calls.append("ambient")
+        )
+        local.merged_over(ambient).on_epoch(0, 5, None)
+        assert calls == ["local", "ambient"]
+
+    def test_merge_with_none_is_identity(self):
+        ins = Instrumentation.enabled()
+        assert ins.merged_over(None) is ins
+
+
+class TestRuntime:
+    def test_activate_restores_on_exit(self):
+        assert _rt.ACTIVE is None
+        ins = Instrumentation.enabled()
+        with ins.activate():
+            assert _rt.ACTIVE is ins
+        assert _rt.ACTIVE is None
+
+    def test_activate_nests(self):
+        a, b = Instrumentation.enabled(), Instrumentation.enabled()
+        with a.activate():
+            with b.activate():
+                assert _rt.ACTIVE is b
+            assert _rt.ACTIVE is a
+        assert _rt.ACTIVE is None
+
+    def test_restored_on_exception(self):
+        ins = Instrumentation.enabled()
+        with pytest.raises(RuntimeError):
+            with ins.activate():
+                raise RuntimeError("boom")
+        assert _rt.ACTIVE is None
+
+
+class TestProfiled:
+    def test_bare_form_uses_qualname(self):
+        @profiled
+        def work():
+            return 7
+
+        assert work() == 7
+        assert "work" in work.__profiled_span__
+
+    def test_named_form_records_span_when_active(self):
+        @profiled(name="stage_x")
+        def work():
+            return 7
+
+        ins = Instrumentation.enabled()
+        with ins.activate():
+            assert work() == 7
+        assert [sp.name for sp in ins.tracer.spans] == ["stage_x"]
+
+    def test_no_span_when_inactive(self):
+        ins = Instrumentation.enabled()
+
+        @profiled
+        def work():
+            return 7
+
+        assert work() == 7  # no active bundle: nothing recorded anywhere
+        assert ins.tracer.spans == []
+
+    def test_exception_propagates_and_span_closes(self):
+        @profiled(name="doomed")
+        def work():
+            raise ValueError("boom")
+
+        ins = Instrumentation.enabled()
+        with ins.activate():
+            with pytest.raises(ValueError):
+                work()
+        (sp,) = ins.tracer.spans
+        assert sp.closed and sp.attrs.get("error") is True

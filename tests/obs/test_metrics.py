@@ -1,0 +1,149 @@
+"""Metrics registry: families, exporters, label-vocabulary stability."""
+
+import json
+
+import pytest
+
+from repro.obs import CATALOG, MetricsRegistry, default_registry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        c.inc()
+        c.inc(2.0, kind="tau")
+        assert c.value() == 1.0
+        assert c.value(kind="tau") == 2.0
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_label_order_irrelevant(self):
+        c = MetricsRegistry().counter("c")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 2.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("dim")
+        g.set(5.0, k="3")
+        g.set(7.0, k="3")
+        assert g.value(k="3") == 7.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = MetricsRegistry().histogram("h", buckets=[0.1, 1.0, 10.0])
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(55.55)
+        assert snap["buckets"] == {0.1: 1, 1.0: 2, 10.0: 3}
+
+    def test_default_buckets_monotone(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestJsonExporter:
+    def test_schema(self):
+        reg = default_registry()
+        reg.counter("repro_epochs_solved_total").inc(3)
+        reg.histogram("repro_epoch_seconds").observe(0.002)
+        doc = json.loads(reg.to_json())
+        fam = doc["repro_epochs_solved_total"]
+        assert fam["kind"] == "counter"
+        assert fam["series"] == [{"labels": {}, "value": 3.0}]
+        hist = doc["repro_epoch_seconds"]
+        assert hist["kind"] == "histogram"
+        (series,) = hist["series"]
+        assert series["count"] == 1
+        assert series["buckets"]["0.0025"] == 1
+
+    def test_every_catalog_family_present(self):
+        doc = json.loads(default_registry().to_json())
+        for _, name, _ in CATALOG:
+            assert name in doc
+
+
+class TestPrometheusExporter:
+    def test_help_and_type_lines(self):
+        text = default_registry().to_prometheus()
+        assert "# TYPE repro_epochs_solved_total counter" in text
+        assert "# TYPE repro_level_dim gauge" in text
+        assert "# TYPE repro_epoch_seconds histogram" in text
+        assert ("# HELP repro_guard_trips_total "
+                "Health-guard interventions, by site and kind") in text
+
+    def test_counter_series_with_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_sparse_solves_total").inc(4, kind="tau")
+        text = reg.to_prometheus()
+        assert 'repro_sparse_solves_total{kind="tau"} 4' in text
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(5.0)
+        lines = reg.to_prometheus().splitlines()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 1' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 2' in lines
+        assert "h_seconds_sum 5.05" in lines
+        assert "h_seconds_count 2" in lines
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(reason='say "hi"\nnow')
+        text = reg.to_prometheus()
+        assert 'c{reason="say \\"hi\\"\\nnow"} 1' in text
+
+
+class TestLabelVocabularyStability:
+    """Dashboards key on these values; they must track the source enums."""
+
+    def test_reason_codes_match_resilience_errors(self):
+        from repro.resilience import errors
+
+        expected = {
+            errors.SolverError.reason,
+            errors.SingularLevelError.reason,
+            errors.ConvergenceError.reason,
+            errors.NumericalHealthError.reason,
+            errors.BudgetExceededError.reason,
+        }
+        assert expected == {
+            "solver-error", "singular-level", "no-convergence",
+            "numerical-health", "budget-exceeded",
+        }
+
+    def test_rung_names_match_ladder(self):
+        from repro.resilience.fallback import LADDER
+
+        assert LADDER == ("exact", "refine", "dense", "approximation", "amva")
+
+    def test_catalog_names_are_prometheus_safe(self):
+        for kind, name, help_text in CATALOG:
+            assert name.startswith("repro_")
+            assert name.replace("_", "").isalnum()
+            assert kind in {"counter", "gauge", "histogram"}
+            assert help_text

@@ -1,0 +1,79 @@
+"""The disabled path must be free: bit-identical results, no obs work."""
+
+import hashlib
+import tracemalloc
+
+import numpy as np
+
+from repro.clusters import central_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape
+from repro.experiments.params import BASE_APP
+from repro.obs import Instrumentation
+
+#: sha256 over fig03's series (names + float64 bytes), recorded before the
+#: observability layer existed.  Any change here means the instrumentation
+#: perturbed the numerics of the disabled path.
+FIG03_BASELINE_SHA256 = (
+    "eb2507a0b5e911acac09fd5f563791d80c7751a816d2f52dd0d5843f7bf848c6"
+)
+
+
+def _h2_model() -> TransientModel:
+    return TransientModel(
+        central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)}), 5
+    )
+
+
+class TestBitIdentical:
+    def test_fig03_hash_unchanged(self):
+        from repro.experiments import fig03
+
+        r = fig03.run()
+        h = hashlib.sha256()
+        for name in sorted(r.series):
+            h.update(name.encode())
+            h.update(r.series[name].tobytes())
+        assert h.hexdigest() == FIG03_BASELINE_SHA256
+
+    def test_instrumented_equals_plain(self):
+        plain = _h2_model().interdeparture_times(30)
+        ins = Instrumentation.enabled()
+        with ins.activate():
+            traced = _h2_model().interdeparture_times(30)
+        assert np.array_equal(plain, traced)
+        assert ins.tracer.open_spans == 0
+
+    def test_explicit_instrument_equals_plain(self):
+        plain = _h2_model().interdeparture_times(30)
+        model = _h2_model()
+        model.instrument = Instrumentation.enabled()
+        assert np.array_equal(plain, model.interdeparture_times(30))
+
+
+class TestNoDisabledOverhead:
+    def test_no_obs_allocation_per_epoch(self):
+        """With instrumentation off, the epoch loop must not touch obs code."""
+        model = _h2_model()
+        model.interdeparture_times(5)  # warm caches (levels, LU)
+        tracemalloc.start()
+        try:
+            model2 = _h2_model()
+            model2.interdeparture_times(30)
+            snap = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_allocs = [
+            stat
+            for stat in snap.statistics("filename")
+            if "/repro/obs/" in (stat.traceback[0].filename or "")
+        ]
+        assert obs_allocs == []
+
+    def test_no_spans_recorded_when_inactive(self):
+        from repro.obs import runtime as _rt
+
+        assert _rt.ACTIVE is None
+        model = _h2_model()
+        model.interdeparture_times(10)
+        assert model.instrument is None

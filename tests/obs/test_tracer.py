@@ -1,0 +1,134 @@
+"""Tracer: span nesting, timing, events, exports."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_depth(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("outer", k=2):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner"):
+                pass
+        outer, in1, in2 = tr.spans
+        assert outer.parent is None and outer.depth == 0
+        assert in1.parent == 0 and in1.depth == 1
+        assert in2.parent == 0 and in2.depth == 1
+        assert outer.attrs == {"k": 2}
+
+    def test_wall_covers_children(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, inner = tr.spans
+        assert outer.closed and inner.closed
+        assert outer.wall >= inner.wall >= 0.0
+
+    def test_no_open_spans_after_exit(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("a"):
+            with tr.span("b"):
+                assert tr.open_spans == 2
+        assert tr.open_spans == 0
+
+    def test_span_closed_on_exception(self):
+        tr = Tracer(measure_rss=False)
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        assert tr.open_spans == 0
+        assert tr.spans[0].closed
+
+    def test_post_hoc_attrs_via_handle(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("s") as sp:
+            sp.attrs["nnz"] = 42
+        assert tr.spans[0].attrs["nnz"] == 42
+
+
+class TestEvents:
+    def test_event_attaches_to_innermost_open_span(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                tr.event("guard_trip", kind="clip")
+        inner = tr.spans[1]
+        assert [e.name for e in inner.events] == ["guard_trip"]
+        assert inner.events[0].attrs == {"kind": "clip"}
+        assert not tr.spans[0].events
+
+    def test_event_without_open_span_is_dropped(self):
+        tr = Tracer(measure_rss=False)
+        tr.event("orphan")  # must not raise
+        assert tr.spans == []
+
+
+class TestAggregation:
+    def _populated(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("run"):
+            for _ in range(3):
+                with tr.span("epoch"):
+                    pass
+        return tr
+
+    def test_stage_totals(self):
+        tr = self._populated()
+        totals = tr.stage_totals()
+        assert totals["epoch"]["count"] == 3
+        assert totals["run"]["count"] == 1
+        # Self time excludes child wall.
+        child_wall = sum(s.wall for s in tr.spans if s.name == "epoch")
+        assert totals["run"]["self"] == pytest.approx(
+            totals["run"]["wall"] - child_wall
+        )
+
+    def test_total_wall_is_roots_only(self):
+        tr = self._populated()
+        assert tr.total_wall() == pytest.approx(tr.spans[0].wall)
+
+
+class TestExports:
+    def test_jsonl_schema(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("run", k=5):
+            with tr.span("epoch", epoch=0):
+                tr.event("mark", x=1)
+        lines = tr.to_jsonl().splitlines()
+        assert len(lines) == 2
+        recs = [json.loads(ln) for ln in lines]
+        for rec in recs:
+            assert {"name", "parent", "depth", "start", "wall",
+                    "attrs"} <= set(rec)
+        assert recs[0]["parent"] is None
+        assert recs[1]["parent"] == 0
+        assert recs[1]["events"][0]["name"] == "mark"
+
+    def test_render_tree(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("run"):
+            with tr.span("epoch"):
+                pass
+        text = tr.render_tree()
+        lines = text.splitlines()
+        assert "run" in lines[0]
+        assert lines[1].startswith("  ") and "epoch" in lines[1]
+
+    def test_rss_measured_when_enabled(self):
+        tr = Tracer(measure_rss=True)
+        with tr.span("s"):
+            pass
+        assert isinstance(tr.spans[0].rss_delta, int)
+
+
+class TestSpanDataclass:
+    def test_defaults(self):
+        sp = Span(name="x", parent=None, depth=0, start=0.0)
+        assert not sp.closed
+        assert sp.wall is None

@@ -27,6 +27,7 @@ class TestExports:
             "repro.baselines",
             "repro.simulation",
             "repro.network",
+            "repro.obs",
             "repro.experiments",
             "repro.queues",
             "repro.reporting",
