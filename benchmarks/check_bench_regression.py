@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI gate: compare a fresh BENCH_transient.json against the seeded baseline.
+
+For every workload present in both files, the chosen stage's
+``median_self_seconds`` must not exceed ``--max-ratio`` times the baseline
+value.  Exits nonzero (failing the CI job) on regression or when the two
+files share no comparable workload.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py FRESH BASELINE \
+        [--stage build_level] [--max-ratio 1.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(
+    fresh: dict, baseline: dict, stage: str, max_ratio: float
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines) for the shared workloads."""
+    base_by_name = {w["name"]: w for w in baseline.get("workloads", [])}
+    lines: list[str] = []
+    failures: list[str] = []
+    for w in fresh.get("workloads", []):
+        ref = base_by_name.get(w["name"])
+        if ref is None:
+            continue
+        st = w.get("stages", {}).get(stage)
+        st_ref = ref.get("stages", {}).get(stage)
+        if not st or not st_ref:
+            continue
+        cur = float(st["median_self_seconds"])
+        old = float(st_ref["median_self_seconds"])
+        ratio = cur / old if old > 0 else float("inf")
+        line = (
+            f"{w['name']}: {stage} {cur * 1e3:.3f} ms vs baseline "
+            f"{old * 1e3:.3f} ms ({ratio:.2f}x)"
+        )
+        lines.append(line)
+        if ratio > max_ratio:
+            failures.append(line)
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", type=Path, help="freshly produced BENCH_transient.json")
+    ap.add_argument("baseline", type=Path, help="seeded baseline BENCH_transient.json")
+    ap.add_argument("--stage", default="build_level", help="stage to gate on")
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.2,
+        help="fail when fresh/baseline exceeds this (default 1.2)",
+    )
+    args = ap.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    lines, failures = compare(fresh, baseline, args.stage, args.max_ratio)
+    for line in lines:
+        print(line)
+    if not lines:
+        print(
+            f"no workload in {args.fresh} has stage {args.stage!r} in common "
+            f"with {args.baseline}",
+            file=sys.stderr,
+        )
+        return 2
+    if failures:
+        print(
+            f"REGRESSION: {len(failures)} workload(s) over {args.max_ratio:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: all {len(lines)} workload(s) within {args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,17 @@ def _level_B(model: TransientModel, k: int) -> np.ndarray:
     return (sp.diags(ops.rates) @ (eye - ops.P)).toarray()
 
 
+def _entrance_mix(x: np.ndarray) -> np.ndarray:
+    """Clip away tiny negative components and renormalize to a proper mix.
+
+    The division must use the *clipped* sum: dividing by the raw sum would
+    leave the entrance vector summing to slightly more than 1 whenever
+    round-off produced negative entries.
+    """
+    clipped = np.clip(x, 0.0, None)
+    return clipped / clipped.sum()
+
+
 def _epoch_levels(model: TransientModel, N: int) -> list[int]:
     k_active = min(model.K, int(N))
     return [k_active] * (N - k_active) + list(range(k_active, 0, -1))
@@ -47,7 +58,7 @@ def epoch_distribution(model: TransientModel, N: int, epoch: int) -> MatrixExpon
     levels = _epoch_levels(model, N)
     x = model.epoch_vectors(N)[epoch - 1]
     k = levels[epoch - 1]
-    return MatrixExponential(np.clip(x, 0.0, None) / x.sum(), _level_B(model, k))
+    return MatrixExponential(_entrance_mix(x), _level_B(model, k))
 
 
 def epoch_distributions(model: TransientModel, N: int) -> list[MatrixExponential]:
@@ -59,7 +70,7 @@ def epoch_distributions(model: TransientModel, N: int) -> list[MatrixExponential
     for x, k in zip(vecs, levels):
         if k not in B_cache:
             B_cache[k] = _level_B(model, k)
-        out.append(MatrixExponential(np.clip(x, 0.0, None) / x.sum(), B_cache[k]))
+        out.append(MatrixExponential(_entrance_mix(x), B_cache[k]))
     return out
 
 

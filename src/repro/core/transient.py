@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.laqt.automata import automaton_for
-from repro.laqt.operators import LevelOperators, build_level
+from repro.laqt.operators import LevelOperators, build_level, build_level_reference
 from repro.laqt.states import build_spaces
 from repro.network.spec import NetworkSpec
 from repro.obs import runtime as _rt
@@ -66,6 +66,12 @@ class TransientModel:
         optional tracer/metrics.  Missing parts fall through to the
         ambient instrumentation (:mod:`repro.obs.runtime`); ``None``
         (the default) costs nothing and leaves results bit-identical.
+    assembly:
+        Operator-assembly backend: ``"vectorized"`` (the default; table-
+        driven numpy batches) or ``"reference"`` (the historical
+        per-state Python loops, kept for equivalence tests and
+        ablations).  Both produce the same operators — bit-identical
+        whenever every local state has at most one event.
 
     Notes
     -----
@@ -82,6 +88,12 @@ class TransientModel:
     # defaults keep the instrumentation surface well-defined for them.
     _instrument: Instrumentation | None = None
     _epoch_hook: Callable[[int, int, np.ndarray], None] | None = None
+    _assembly: str = "vectorized"
+
+    _ASSEMBLY_BACKENDS = {
+        "vectorized": build_level,
+        "reference": build_level_reference,
+    }
 
     def __init__(
         self,
@@ -91,9 +103,15 @@ class TransientModel:
         guards: "GuardConfig | None" = None,
         budget: "Budget | None" = None,
         instrument: Instrumentation | Callable[[int, int, np.ndarray], None] | None = None,
+        assembly: str = "vectorized",
     ):
         if K < 1 or int(K) != K:
             raise ValueError(f"K must be a positive integer, got {K!r}")
+        if assembly not in self._ASSEMBLY_BACKENDS:
+            raise ValueError(
+                f"assembly must be one of {sorted(self._ASSEMBLY_BACKENDS)}, "
+                f"got {assembly!r}"
+            )
         if budget is not None:
             from repro.resilience.budget import enforce_budget
 
@@ -101,6 +119,7 @@ class TransientModel:
         self._spec = spec
         self._K = int(K)
         self._guards = guards
+        self._assembly = assembly
         self.instrument = instrument
         self._automata = tuple(automaton_for(st) for st in spec.stations)
         self._spaces = build_spaces(self._automata, self._K)
@@ -184,7 +203,7 @@ class TransientModel:
 
     def _build_level(self, k: int) -> LevelOperators:
         """Operator assembly hook (overridden by alternative backends)."""
-        ops = build_level(
+        ops = self._ASSEMBLY_BACKENDS[self._assembly](
             self._automata,
             self._spec.routing,
             self._spec.exit,

@@ -6,20 +6,34 @@ state spaces, station automata and the multi-customer level operators
 """
 
 from repro.laqt.service import ServiceNetwork
-from repro.laqt.states import LevelSpace, build_spaces, reduced_product_count
+from repro.laqt.states import (
+    LevelRegistry,
+    LevelSpace,
+    build_spaces,
+    reduced_product_count,
+)
 from repro.laqt.automata import (
+    AutomatonTables,
     ExponentialAutomaton,
     DelayPHAutomaton,
     QueuedPHAutomaton,
     automaton_for,
 )
-from repro.laqt.operators import LevelOperators, build_level, build_entrance
+from repro.laqt.operators import (
+    LevelOperators,
+    build_entrance,
+    build_entrance_reference,
+    build_level,
+    build_level_reference,
+)
 
 __all__ = [
     "ServiceNetwork",
+    "LevelRegistry",
     "LevelSpace",
     "build_spaces",
     "reduced_product_count",
+    "AutomatonTables",
     "ExponentialAutomaton",
     "DelayPHAutomaton",
     "QueuedPHAutomaton",
@@ -27,4 +41,6 @@ __all__ = [
     "LevelOperators",
     "build_level",
     "build_entrance",
+    "build_level_reference",
+    "build_entrance_reference",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "LocalState",
     "Internal",
     "Completion",
+    "AutomatonTables",
     "StationAutomaton",
     "ExponentialAutomaton",
     "DelayPHAutomaton",
@@ -71,6 +72,123 @@ class Completion:
     outcomes: tuple[tuple[float, LocalState], ...]
 
 
+@dataclass(frozen=True)
+class AutomatonTables:
+    """Flattened, numpy-ready event/arrival tables for one automaton.
+
+    Local states of loads ``0..max_count`` are assigned consecutive
+    *global-local ids* (gids) in ``(load, enumeration-position)`` order;
+    every transition the automaton can make is recorded as flat arrays
+    indexed CSR-style per gid.  The vectorized level assembler
+    (:func:`repro.laqt.operators.build_level`) consumes these tables
+    instead of calling :meth:`StationAutomaton.events` per global state —
+    the automaton is asked about each *local* state exactly once, however
+    many global states share it.
+
+    Target local states are stored as *positions* within their load class
+    (``tpos``), which is what the mixed-radix ranking of
+    :class:`repro.laqt.states.LevelSpace` needs to turn a local move into
+    a global column index arithmetically.
+    """
+
+    max_count: int
+    #: local-state count per load ``n`` (``L[n] = len(local_states(n))``)
+    L: np.ndarray
+    #: gid of the first local state of each load (``gid = offset[n] + pos``)
+    offset: np.ndarray
+    #: load ``n`` of each gid
+    count_of: np.ndarray
+    #: position within the load class of each gid
+    pos_of: np.ndarray
+    #: total outgoing event rate per gid (diagonal of the local ``M``)
+    total_rate: np.ndarray
+    #: internal moves per gid: CSR pointer, rate, target position (same load)
+    int_ptr: np.ndarray
+    int_rate: np.ndarray
+    int_tpos: np.ndarray
+    #: completion (event × outcome) slots per gid: rate, outcome probability,
+    #: post-departure position (load ``n − 1``)
+    comp_ptr: np.ndarray
+    comp_rate: np.ndarray
+    comp_pr: np.ndarray
+    comp_tpos: np.ndarray
+    #: arrival slots per gid (loads ``< max_count``): probability, target
+    #: position (load ``n + 1``)
+    arr_ptr: np.ndarray
+    arr_p: np.ndarray
+    arr_tpos: np.ndarray
+    #: gid → local state tuple (diagnostics and lazy state reconstruction)
+    locals_flat: tuple
+
+
+def _build_tables(auto: "StationAutomaton", max_count: int) -> AutomatonTables:
+    locals_by_n = [list(auto.local_states(n)) for n in range(max_count + 1)]
+    pos = [{s: i for i, s in enumerate(ls)} for ls in locals_by_n]
+    L = np.array([len(ls) for ls in locals_by_n], dtype=np.int64)
+    offset = np.zeros(max_count + 2, dtype=np.int64)
+    np.cumsum(L, out=offset[1:])
+    n_gids = int(offset[-1])
+    count_of = np.repeat(np.arange(max_count + 1, dtype=np.int64), L)
+    pos_of = np.concatenate(
+        [np.arange(n, dtype=np.int64) for n in L]
+    ) if n_gids else np.zeros(0, dtype=np.int64)
+    total = np.zeros(n_gids)
+
+    int_cnt = np.zeros(n_gids + 1, dtype=np.int64)
+    int_rate: list[float] = []
+    int_tpos: list[int] = []
+    comp_cnt = np.zeros(n_gids + 1, dtype=np.int64)
+    comp_rate: list[float] = []
+    comp_pr: list[float] = []
+    comp_tpos: list[int] = []
+    arr_cnt = np.zeros(n_gids + 1, dtype=np.int64)
+    arr_p: list[float] = []
+    arr_tpos: list[int] = []
+    locals_flat: list[LocalState] = []
+
+    for n, states in enumerate(locals_by_n):
+        for state in states:
+            g = int(offset[n]) + pos[n][state]
+            locals_flat.append(state)
+            for ev in auto.events(state):
+                total[g] += ev.rate
+                if isinstance(ev, Internal):
+                    int_cnt[g + 1] += 1
+                    int_rate.append(ev.rate)
+                    int_tpos.append(pos[n][ev.target])
+                else:
+                    for pr, after in ev.outcomes:
+                        comp_cnt[g + 1] += 1
+                        comp_rate.append(ev.rate)
+                        comp_pr.append(pr)
+                        comp_tpos.append(pos[n - 1][after])
+            if n < max_count:
+                for pa, target in auto.arrivals(state):
+                    arr_cnt[g + 1] += 1
+                    arr_p.append(pa)
+                    arr_tpos.append(pos[n + 1][target])
+
+    return AutomatonTables(
+        max_count=max_count,
+        L=L,
+        offset=offset,
+        count_of=count_of,
+        pos_of=pos_of,
+        total_rate=total,
+        int_ptr=np.cumsum(int_cnt),
+        int_rate=np.asarray(int_rate, dtype=float),
+        int_tpos=np.asarray(int_tpos, dtype=np.int64),
+        comp_ptr=np.cumsum(comp_cnt),
+        comp_rate=np.asarray(comp_rate, dtype=float),
+        comp_pr=np.asarray(comp_pr, dtype=float),
+        comp_tpos=np.asarray(comp_tpos, dtype=np.int64),
+        arr_ptr=np.cumsum(arr_cnt),
+        arr_p=np.asarray(arr_p, dtype=float),
+        arr_tpos=np.asarray(arr_tpos, dtype=np.int64),
+        locals_flat=tuple(locals_flat),
+    )
+
+
 class StationAutomaton:
     """Interface shared by all station automata."""
 
@@ -92,6 +210,21 @@ class StationAutomaton:
     def arrivals(self, state: LocalState) -> Sequence[tuple[float, LocalState]]:
         """Local states after one customer arrives, with probabilities."""
         raise NotImplementedError
+
+    def tables(self, max_count: int) -> AutomatonTables:
+        """Precomputed event/arrival tables for loads ``0..max_count``.
+
+        Built once from the per-local-state API above and cached on the
+        automaton; a cached table covering a larger ``max_count`` is
+        reused as-is (gids of the smaller range are a stable prefix).
+        Works for any subclass — only the standard interface is used.
+        """
+        cached: AutomatonTables | None = getattr(self, "_tables", None)
+        if cached is not None and cached.max_count >= max_count:
+            return cached
+        built = _build_tables(self, int(max_count))
+        self._tables = built
+        return built
 
 
 class ExponentialAutomaton(StationAutomaton):

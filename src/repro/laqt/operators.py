@@ -40,7 +40,13 @@ from repro.laqt.states import LevelSpace
 from repro.obs import runtime as _rt
 from repro.resilience.errors import SingularLevelError
 
-__all__ = ["LevelOperators", "build_level", "build_entrance"]
+__all__ = [
+    "LevelOperators",
+    "build_level",
+    "build_entrance",
+    "build_level_reference",
+    "build_entrance_reference",
+]
 
 
 @dataclass
@@ -154,16 +160,68 @@ class LevelOperators:
         return float(np.asarray(x, dtype=float) @ self.tau)
 
     def dense_Y(self) -> np.ndarray:
-        """Dense ``Y_k`` (tests/ablations only — cubic memory in ``dim``)."""
-        eye = np.eye(self.dim)
-        inv = np.column_stack([self.lu.solve(eye[:, j]) for j in range(self.dim)])
+        """Dense ``Y_k`` (tests/ablations only — quadratic memory in ``dim``)."""
+        inv = self.lu.solve(np.eye(self.dim))
         return inv @ self.Q.toarray()
 
     def dense_V(self) -> np.ndarray:
-        """Dense ``V_k = (I − P_k)⁻¹ M_k⁻¹`` (tests/ablations only)."""
-        eye = np.eye(self.dim)
-        inv = np.column_stack([self.lu.solve(eye[:, j]) for j in range(self.dim)])
+        """Dense ``V_k = (I − P_k)⁻¹ M_k⁻¹`` (tests/ablations only — quadratic
+        memory in ``dim``)."""
+        inv = self.lu.solve(np.eye(self.dim))
         return inv @ np.diag(1.0 / self.rates)
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]) ++ [0..counts[1]) ++ …`` as one flat array."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+def _expand(ptr: np.ndarray, gids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-expand a per-row gid array over a per-gid slot table.
+
+    Returns ``(rows, slots)``: ``rows[e]`` is the position in ``gids`` the
+    ``e``-th expanded entry came from, ``slots[e]`` the flat table slot —
+    each row is repeated once per table entry of its gid, in table order.
+    """
+    counts = ptr[gids + 1] - ptr[gids]
+    rows = np.repeat(np.arange(gids.shape[0], dtype=np.int64), counts)
+    if rows.size == 0:
+        return rows, rows
+    slots = ptr[gids][rows] + _ragged_arange(counts)
+    return rows, slots
+
+
+def _coo_to_csr(
+    rows: list[np.ndarray],
+    cols: list[np.ndarray],
+    vals: list[np.ndarray],
+    shape: tuple[int, int],
+) -> sp.csr_matrix:
+    """COO batches → canonical CSR, bypassing scipy's slow COO path.
+
+    When no ``(row, col)`` pair repeats — the common case for the §5.4
+    operators — the canonical CSR is built directly from a lexsort, which
+    yields bit-identical data to ``csr_matrix((vals, (rows, cols)))`` at a
+    fraction of the constructor overhead.  Duplicates fall back to scipy
+    so the summation semantics stay exactly the historical ones.
+    """
+    if not rows:
+        return sp.csr_matrix(shape)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    v = np.concatenate(vals)
+    order = np.lexsort((c, r))
+    r, c, v = r[order], c[order], v[order]
+    if r.size and bool(((r[1:] == r[:-1]) & (c[1:] == c[:-1])).any()):
+        return sp.csr_matrix((v, (r, c)), shape=shape)
+    indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+    np.cumsum(np.bincount(r, minlength=shape[0]), out=indptr[1:])
+    out = sp.csr_matrix((v, c, indptr), shape=shape)
+    return out
 
 
 def build_level(
@@ -174,13 +232,221 @@ def build_level(
     space_k: LevelSpace,
     space_km1: LevelSpace,
 ) -> LevelOperators:
-    """Assemble the operators for level ``k = space_k.k``.
+    """Assemble the operators for level ``k = space_k.k`` (vectorized).
 
-    Implements the construction rules of §5.4: only one customer moves per
-    event; a completion at station ``c`` either routes into station ``c'``
-    (probability ``routing[c, c']``, applying the receiving automaton's
-    arrival split) and stays in Ξ_k, or exits the network (probability
-    ``exit_vec[c]``) and lands in Ξ_{k−1}.
+    Implements the construction rules of §5.4 — only one customer moves
+    per event; a completion at station ``c`` either routes into station
+    ``c2`` (probability ``routing[c, c2]``, applying the receiving
+    automaton's arrival split) and stays in Ξ_k, or exits the network
+    (probability ``exit_vec[c]``) and lands in Ξ_{k−1} — but over whole
+    batches of states at once: per-automaton tables supply every local
+    transition, and the ranking arrays of :class:`LevelSpace` turn "one
+    local move" into global column indices arithmetically.  Produces the
+    same operators as :func:`build_level_reference` (bit-identical for
+    single-event-per-local-state stations; up to summation-order rounding
+    otherwise).
+    """
+    k = space_k.k
+    if k < 1:
+        raise ValueError(f"levels start at k=1, got {k}")
+    dim = space_k.dim
+    dim_dn = space_km1.dim
+    n_stations = len(automata)
+    reg = space_k.registry
+    tbs = reg.tables
+    G, CNT, REM, CUM = space_k.gids, space_k.counts, space_k.rem, space_k.cumterm
+
+    # M_k diagonal: accumulate per-station local totals in station order so
+    # the floating-point sums match the historical event-order accumulation.
+    rates = np.zeros(dim)
+    for c in range(n_stations):
+        rates += tbs[c].total_rate[G[:, c]]
+    if not np.all(rates > 0.0):  # pragma: no cover - impossible for k >= 1
+        i = int(np.flatnonzero(rates <= 0.0)[0])
+        raise RuntimeError(f"state {space_k.states[i]!r} at level {k} has no events")
+
+    P_r: list[np.ndarray] = []
+    P_c: list[np.ndarray] = []
+    P_v: list[np.ndarray] = []
+    Q_r: list[np.ndarray] = []
+    Q_c: list[np.ndarray] = []
+    Q_v: list[np.ndarray] = []
+
+    for c in range(n_stations):
+        tb = tbs[c]
+        g = G[:, c]
+        # -- internal stage moves: same load, one digit changes ----------
+        if tb.int_rate.size:
+            rexp, slots = _expand(tb.int_ptr, g)
+            if rexp.size:
+                w = tb.int_rate[slots] / rates[rexp]
+                stride = reg.T[c + 1][REM[rexp, c + 1]]
+                P_r.append(rexp)
+                P_c.append(rexp + (tb.int_tpos[slots] - tb.pos_of[g[rexp]]) * stride)
+                P_v.append(w)
+        # -- completions: one customer ready to leave station c ----------
+        if not tb.comp_rate.size:
+            continue
+        rexp, slots = _expand(tb.comp_ptr, g)
+        if not rexp.size:
+            continue
+        wpr = (tb.comp_rate[slots] / rates[rexp]) * tb.comp_pr[slots]
+        tpos = tb.comp_tpos[slots]
+        r_c = REM[rexp, c]
+        n_c = CNT[rexp, c]
+        for c2 in range(n_stations):
+            pmove = float(routing[c, c2])
+            if pmove <= 0.0:
+                continue
+            tb2 = tbs[c2]
+            # Arrival source: the post-departure state when the customer
+            # re-enters c, the untouched local state of c2 otherwise.
+            g2 = tb2.offset[n_c - 1] + tpos if c2 == c else G[rexp, c2]
+            sub, aslots = _expand(tb2.arr_ptr, g2)
+            if not sub.size:
+                continue
+            rexp2 = rexp[sub]
+            vals = (wpr[sub] * pmove) * tb2.arr_p[aslots]
+            apos = tb2.arr_tpos[aslots]
+            if c2 == c:
+                stride = reg.T[c + 1][REM[rexp2, c + 1]]
+                cols = rexp2 + (apos - tb.pos_of[g[rexp2]]) * stride
+            elif c2 > c:
+                # Suffix after c2 keeps its rank terms; stations c..c2
+                # re-rank with the customer in transit (r' = r + 1).
+                cols = CUM[rexp2, c] + (
+                    reg.head[c][r_c[sub], n_c[sub] - 1]
+                    + tpos[sub] * reg.T[c + 1][r_c[sub] - n_c[sub] + 1]
+                )
+                for cm in range(c + 1, c2):
+                    r_m = REM[rexp2, cm] + 1
+                    n_m = CNT[rexp2, cm]
+                    cols += (
+                        reg.head[cm][r_m, n_m]
+                        + tbs[cm].pos_of[G[rexp2, cm]] * reg.T[cm + 1][r_m - n_m]
+                    )
+                r_2 = REM[rexp2, c2]
+                n_2 = CNT[rexp2, c2]
+                cols += (
+                    reg.head[c2][r_2 + 1, n_2 + 1]
+                    + apos * reg.T[c2 + 1][r_2 - n_2]
+                )
+                cols += rexp2 - CUM[rexp2, c2 + 1]
+            else:
+                # c2 < c: the arrival upstream shifts loads between c2 and c.
+                r_2 = REM[rexp2, c2]
+                n_2 = CNT[rexp2, c2]
+                cols = CUM[rexp2, c2] + (
+                    reg.head[c2][r_2, n_2 + 1]
+                    + apos * reg.T[c2 + 1][r_2 - n_2 - 1]
+                )
+                for cm in range(c2 + 1, c):
+                    r_m = REM[rexp2, cm] - 1
+                    n_m = CNT[rexp2, cm]
+                    cols += (
+                        reg.head[cm][r_m, n_m]
+                        + tbs[cm].pos_of[G[rexp2, cm]] * reg.T[cm + 1][r_m - n_m]
+                    )
+                cols += (
+                    reg.head[c][r_c[sub] - 1, n_c[sub] - 1]
+                    + tpos[sub] * reg.T[c + 1][r_c[sub] - n_c[sub]]
+                )
+                cols += rexp2 - CUM[rexp2, c + 1]
+            P_r.append(rexp2)
+            P_c.append(cols)
+            P_v.append(vals)
+        # -- departures from the network: land in Ξ_{k−1} ----------------
+        if float(exit_vec[c]) > 0.0:
+            qcols = rexp - CUM[rexp, c + 1] + (
+                reg.head[c][r_c - 1, n_c - 1] + tpos * reg.T[c + 1][r_c - n_c]
+            )
+            for cm in range(c):
+                r_m = REM[rexp, cm] - 1
+                n_m = CNT[rexp, cm]
+                qcols += (
+                    reg.head[cm][r_m, n_m]
+                    + tbs[cm].pos_of[G[rexp, cm]] * reg.T[cm + 1][r_m - n_m]
+                )
+            Q_r.append(rexp)
+            Q_c.append(qcols)
+            Q_v.append(wpr * float(exit_vec[c]))
+
+    P = _coo_to_csr(P_r, P_c, P_v, (dim, dim))
+    Q = _coo_to_csr(Q_r, Q_c, Q_v, (dim, dim_dn))
+    R = build_entrance(automata, entry_vec, space_km1, space_k)
+    return LevelOperators(k=k, space=space_k, rates=rates, P=P, Q=Q, R=R)
+
+
+def build_entrance(
+    automata: Sequence[StationAutomaton],
+    entry_vec: np.ndarray,
+    space_from: LevelSpace,
+    space_to: LevelSpace,
+) -> sp.csr_matrix:
+    """The entrance operator ``R_k : Ξ_{k−1} → Ξ_k`` (one task joins).
+
+    Vectorized: Ξ_{k−1}'s ranking arrays plus one arrival-table expansion
+    produce the Ξ_k column indices directly — the level-``k`` states are
+    never enumerated here.
+    """
+    if space_to.k != space_from.k + 1:
+        raise ValueError(
+            f"entrance must raise the level by one, got {space_from.k} → {space_to.k}"
+        )
+    n_stations = len(automata)
+    # The destination registry is guaranteed to cover loads up to k.
+    reg = space_to.registry
+    tbs = reg.tables
+    G, CNT, REM, CUM = (
+        space_from.gids,
+        space_from.counts,
+        space_from.rem,
+        space_from.cumterm,
+    )
+    R_r: list[np.ndarray] = []
+    R_c: list[np.ndarray] = []
+    R_v: list[np.ndarray] = []
+    for c in range(n_stations):
+        pc = float(entry_vec[c])
+        if pc <= 0.0:
+            continue
+        tb = tbs[c]
+        rexp, aslots = _expand(tb.arr_ptr, G[:, c])
+        if not rexp.size:
+            continue
+        apos = tb.arr_tpos[aslots]
+        r_c = REM[rexp, c]
+        n_c = CNT[rexp, c]
+        # Suffix after c is untouched; prefix re-ranks one level up.
+        cols = rexp - CUM[rexp, c + 1] + (
+            reg.head[c][r_c + 1, n_c + 1] + apos * reg.T[c + 1][r_c - n_c]
+        )
+        for cm in range(c):
+            r_m = REM[rexp, cm] + 1
+            n_m = CNT[rexp, cm]
+            cols += (
+                reg.head[cm][r_m, n_m]
+                + tbs[cm].pos_of[G[rexp, cm]] * reg.T[cm + 1][r_m - n_m]
+            )
+        R_r.append(rexp)
+        R_c.append(cols)
+        R_v.append(pc * tb.arr_p[aslots])
+    return _coo_to_csr(R_r, R_c, R_v, (space_from.dim, space_to.dim))
+
+
+def build_level_reference(
+    automata: Sequence[StationAutomaton],
+    routing: np.ndarray,
+    exit_vec: np.ndarray,
+    entry_vec: np.ndarray,
+    space_k: LevelSpace,
+    space_km1: LevelSpace,
+) -> LevelOperators:
+    """Pure-Python reference assembly (the historical per-state loops).
+
+    Kept as the semantic baseline for :func:`build_level`: equivalence
+    tests pin the vectorized path against it, and
+    ``TransientModel(assembly="reference")`` selects it for ablations.
     """
     k = space_k.k
     if k < 1:
@@ -236,17 +502,17 @@ def build_level(
 
     P = sp.csr_matrix((P_vals, (P_rows, P_cols)), shape=(dim, dim))
     Q = sp.csr_matrix((Q_vals, (Q_rows, Q_cols)), shape=(dim, dim_dn))
-    R = build_entrance(automata, entry_vec, space_km1, space_k)
+    R = build_entrance_reference(automata, entry_vec, space_km1, space_k)
     return LevelOperators(k=k, space=space_k, rates=rates, P=P, Q=Q, R=R)
 
 
-def build_entrance(
+def build_entrance_reference(
     automata: Sequence[StationAutomaton],
     entry_vec: np.ndarray,
     space_from: LevelSpace,
     space_to: LevelSpace,
 ) -> sp.csr_matrix:
-    """The entrance operator ``R_k : Ξ_{k−1} → Ξ_k`` (one task joins)."""
+    """Pure-Python reference for :func:`build_entrance` (per-state loops)."""
     if space_to.k != space_from.k + 1:
         raise ValueError(
             f"entrance must raise the level by one, got {space_from.k} → {space_to.k}"

@@ -13,44 +13,88 @@ insensitive to queueing order, so a shared station with ``n`` tasks
 completes *some* task at rate ``min(n, c)·µ``, chosen uniformly — giving
 the same aggregated dynamics as FCFS.  Multi-stage stations are rejected:
 the reduction is exactly what makes them tractable.
+
+The enumeration order is lexicographic in the task tuple, so a state's
+index is its base-``M`` reading, ``rank = Σ_t s_t · M^{k−1−t}`` — the
+assembly below exploits this to compute every transition target
+arithmetically over whole levels at once, mirroring the vectorized
+reduced-space assembly in :mod:`repro.laqt.operators`.
 """
 
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
-import scipy.sparse as sp
 from itertools import product
 
 from repro.core.transient import TransientModel
-from repro.laqt.operators import LevelOperators
+from repro.laqt.operators import LevelOperators, _coo_to_csr
 from repro.network.spec import NetworkSpec
+from repro.obs.instrument import Instrumentation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.budget import Budget
+    from repro.resilience.guards import GuardConfig
 
 __all__ = ["FullProductModel"]
 
 
 class _FullSpace:
-    """All ordered assignments of ``k`` tasks to stations."""
+    """All ordered assignments of ``k`` tasks to stations.
+
+    Index arithmetic replaces enumeration: state ``i`` *is* the base-``M``
+    expansion of ``i`` over ``k`` digits.  The tuple views ``states`` /
+    ``index`` are materialized lazily for diagnostics only.
+    """
 
     def __init__(self, n_stations: int, k: int):
         self.k = k
-        self.states = tuple(product(range(n_stations), repeat=k)) if k else ((),)
-        self.index = {s: i for i, s in enumerate(self.states)}
+        self.n_stations = n_stations
+        self._states: tuple[tuple, ...] | None = None
+        self._index: dict[tuple, int] | None = None
 
     @property
     def dim(self) -> int:
-        return len(self.states)
+        return self.n_stations**self.k
+
+    @property
+    def states(self) -> tuple[tuple, ...]:
+        if self._states is None:
+            self._states = (
+                tuple(product(range(self.n_stations), repeat=self.k))
+                if self.k
+                else ((),)
+            )
+        return self._states
+
+    @property
+    def index(self) -> dict[tuple, int]:
+        if self._index is None:
+            self._index = {s: i for i, s in enumerate(self.states)}
+        return self._index
 
 
 class FullProductModel(TransientModel):
     """Transient solver on the full Kronecker space (exponential networks).
 
-    Same public interface as :class:`TransientModel`; exponentially more
-    states (``M^k`` per level instead of ``C(M+k−1, k)``).
+    Same public interface as :class:`TransientModel` — including the
+    ``budget=`` and ``instrument=`` keywords — with exponentially more
+    states (``M^k`` per level instead of ``C(M+k−1, k)``).  The solve
+    guards (``guards=``) are not supported: they diagnose failures through
+    the reduced-space automata, which this backend does not build.
     """
 
-    def __init__(self, spec: NetworkSpec, K: int):
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        K: int,
+        *,
+        guards: "GuardConfig | None" = None,
+        budget: "Budget | None" = None,
+        instrument: Instrumentation | Callable[[int, int, np.ndarray], None] | None = None,
+    ):
         for st in spec.stations:
             if st.dist.n_stages != 1:
                 raise ValueError(
@@ -59,8 +103,25 @@ class FullProductModel(TransientModel):
                 )
         if K < 1 or int(K) != K:
             raise ValueError(f"K must be a positive integer, got {K!r}")
+        if guards is not None:
+            raise ValueError(
+                "FullProductModel does not support guards=; solve guards "
+                "diagnose through the reduced-space automata (use "
+                "TransientModel for a guarded solve)"
+            )
+        if budget is not None:
+            from repro.resilience.budget import enforce_budget
+
+            enforce_budget(
+                spec,
+                int(K),
+                budget,
+                dims=[spec.n_stations**k for k in range(int(K) + 1)],
+            )
         self._spec = spec
         self._K = int(K)
+        self._guards = None
+        self.instrument = instrument
         self._automata = ()  # unused by this backend
         self._spaces = [_FullSpace(spec.n_stations, k) for k in range(self._K + 1)]
         self._levels: dict[int, LevelOperators] = {}
@@ -81,42 +142,64 @@ class FullProductModel(TransientModel):
         space_dn: _FullSpace = self._spaces[k - 1]
         dim = space_k.dim
 
+        # digits[i, t] = station of task t in state i (base-M expansion).
+        powers = M ** np.arange(k - 1, -1, -1, dtype=np.int64)
+        idx = np.arange(dim, dtype=np.int64)
+        digits = (idx[:, None] // powers[None, :]) % M
+        counts = np.zeros((dim, M), dtype=np.int64)
+        for j in range(M):
+            counts[:, j] = (digits == j).sum(axis=1)
+        # rate_table[j, n] = min(n, c_j)·µ_j — the aggregate rate of station
+        # j holding n tasks.
+        loads = np.arange(k + 1, dtype=float)
+        rate_table = np.minimum(loads[None, :], self._cap[:, None]) * self._mu[:, None]
         rates = np.zeros(dim)
-        Pr, Pc, Pv = [], [], []
-        Qr, Qc, Qv = [], [], []
-        for i, state in enumerate(space_k.states):
-            counts = np.bincount(state, minlength=M)
-            total = sum(self._station_rate(j, counts[j]) for j in range(M) if counts[j])
-            rates[i] = total
-            for t, j in enumerate(state):
-                # Task t finishes at rate (station rate) / (tasks present):
-                # uniform pick among the n_j tasks, valid for exponential service.
-                r_t = self._station_rate(j, counts[j]) / counts[j]
-                w = r_t / total
-                for j2 in range(M):
-                    pmove = spec.routing[j, j2]
-                    if pmove > 0:
-                        tgt = state[:t] + (j2,) + state[t + 1 :]
-                        Pr.append(i)
-                        Pc.append(space_k.index[tgt])
-                        Pv.append(w * pmove)
-                if spec.exit[j] > 0:
-                    tgt = state[:t] + state[t + 1 :]
-                    Qr.append(i)
-                    Qc.append(space_dn.index[tgt])
-                    Qv.append(w * spec.exit[j])
-        P = sp.csr_matrix((Pv, (Pr, Pc)), shape=(dim, dim))
-        Q = sp.csr_matrix((Qv, (Qr, Qc)), shape=(dim, space_dn.dim))
+        for j in range(M):
+            rates += rate_table[j][counts[:, j]]
 
-        Rr, Rc, Rv = [], [], []
-        for i, state in enumerate(space_dn.states):
-            for j in range(M):
-                pj = spec.entry[j]
-                if pj > 0:
-                    Rr.append(i)
-                    Rc.append(space_k.index[state + (j,)])
-                    Rv.append(pj)
-        R = sp.csr_matrix((Rv, (Rr, Rc)), shape=(space_dn.dim, dim))
+        Pr: list[np.ndarray] = []
+        Pc: list[np.ndarray] = []
+        Pv: list[np.ndarray] = []
+        Qr: list[np.ndarray] = []
+        Qc: list[np.ndarray] = []
+        Qv: list[np.ndarray] = []
+        for t in range(k):
+            j = digits[:, t]
+            n_j = counts[idx, j]
+            # Task t finishes at rate (station rate) / (tasks present):
+            # uniform pick among the n_j tasks, valid for exponential service.
+            w = (rate_table[j, n_j] / n_j) / rates
+            for j2 in range(M):
+                pmove = spec.routing[j, j2]
+                live = np.flatnonzero(pmove > 0.0)
+                if live.size:
+                    Pr.append(idx[live])
+                    Pc.append(idx[live] + (j2 - j[live]) * powers[t])
+                    Pv.append(w[live] * pmove[live])
+            pexit = spec.exit[j]
+            live = np.flatnonzero(pexit > 0.0)
+            if live.size:
+                # Deleting digit t splices the prefix and suffix readings.
+                hi = idx[live] // (powers[t] * M)
+                lo = idx[live] % powers[t]
+                Qr.append(idx[live])
+                Qc.append(hi * powers[t] + lo)
+                Qv.append(w[live] * pexit[live])
+        P = _coo_to_csr(Pr, Pc, Pv, (dim, dim))
+        Q = _coo_to_csr(Qr, Qc, Qv, (dim, space_dn.dim))
+
+        # R: append the new task's digit — rank shifts by one base-M place.
+        Rr: list[np.ndarray] = []
+        Rc: list[np.ndarray] = []
+        Rv: list[np.ndarray] = []
+        idx_dn = np.arange(space_dn.dim, dtype=np.int64)
+        for j in range(M):
+            pj = float(spec.entry[j])
+            if pj > 0.0:
+                Rr.append(idx_dn)
+                Rc.append(idx_dn * M + j)
+                Rv.append(np.full(space_dn.dim, pj))
+        R = _coo_to_csr(Rr, Rc, Rv, (space_dn.dim, dim))
         return LevelOperators(k=k, space=space_k, rates=rates, P=P, Q=Q, R=R)
 
     # ------------------------------------------------------------------

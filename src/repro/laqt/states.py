@@ -12,6 +12,29 @@ purely exponential stations this reduces to the compositions of ``k`` over
 stage-expanded stations enlarge each composition cell by their local state
 multiplicity (stage occupancies for delay banks, in-service stage for
 shared stations).
+
+Ranking
+-------
+States are ordered by the historical depth-first enumeration — station 0's
+load ascending, then its local states, then station 1, … — and that order
+is what every operator row/column index means.  Instead of materializing
+the tuples and a dict, :class:`LevelSpace` now carries the order as a
+mixed-radix *ranking*: with ``T_c(r)`` the number of suffix states of
+stations ``c..M−1`` holding ``r`` customers, the index of a state is
+
+.. math::
+
+    \\mathrm{rank} = \\sum_c \\Big(\\mathrm{head}_c(r_c, n_c)
+        + i_c \\, T_{c+1}(r_c - n_c)\\Big),
+
+where ``r_c`` is the load remaining at station ``c``, ``n_c`` its local
+count and ``i_c`` its local-state position.  All three are stored as flat
+per-level arrays, so the vectorized operator assembly can turn "one local
+move at station ``c``" into global column indices with pure array
+arithmetic — no per-state tuples, no dict lookups.  The ``T``/``head``
+tables live in a :class:`LevelRegistry` shared by all levels ``0..K``,
+and each Ξ_k is expanded station-by-station from them; the tuple-based
+``states``/``index`` views are reconstructed lazily for diagnostics.
 """
 
 from __future__ import annotations
@@ -21,9 +44,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.laqt.automata import StationAutomaton
+from repro.laqt.automata import AutomatonTables, StationAutomaton
 
-__all__ = ["LevelSpace", "build_spaces", "reduced_product_count"]
+__all__ = ["LevelRegistry", "LevelSpace", "build_spaces", "reduced_product_count"]
 
 
 def reduced_product_count(n_servers: int, k: int) -> int:
@@ -33,20 +56,148 @@ def reduced_product_count(n_servers: int, k: int) -> int:
     return comb(n_servers + k - 1, k)
 
 
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]) ++ [0..counts[1]) ++ …`` as one flat array."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+class LevelRegistry:
+    """Ranking tables shared by all levels ``0..max_count`` of one network.
+
+    Holds the per-automaton :class:`~repro.laqt.automata.AutomatonTables`
+    plus the suffix-count table ``T_c(r)`` and the rank-offset table
+    ``head_c(r, n)`` described in the module docstring.  Built once per
+    model (see :func:`build_spaces`) and reused by every
+    :class:`LevelSpace` and by the vectorized operator assembly — this is
+    the level-to-level reuse that keeps per-level cost proportional to the
+    level's own size.
+    """
+
+    def __init__(self, automata: Sequence[StationAutomaton], max_count: int):
+        self.automata = tuple(automata)
+        self.max_count = int(max_count)
+        self.tables: tuple[AutomatonTables, ...] = tuple(
+            a.tables(self.max_count) for a in self.automata
+        )
+        M = len(self.automata)
+        K = self.max_count
+        # T[c, r]: states of the station suffix c..M−1 with total load r;
+        # T[M] is the empty suffix (one state iff nothing remains).
+        T = np.zeros((M + 1, K + 1), dtype=np.int64)
+        T[M, 0] = 1
+        for c in range(M - 1, -1, -1):
+            L = self.tables[c].L
+            for r in range(K + 1):
+                T[c, r] = sum(int(L[n]) * int(T[c + 1, r - n]) for n in range(r + 1))
+        self.T = T
+        # head[c, r, n]: rank offset of the load-n block among the
+        # station-c choices of a prefix with remaining load r.
+        head = np.zeros((M, K + 1, K + 1), dtype=np.int64)
+        for c in range(M):
+            L = self.tables[c].L
+            for r in range(K + 1):
+                acc = 0
+                for n in range(r + 1):
+                    head[c, r, n] = acc
+                    acc += int(L[n]) * int(T[c + 1, r - n])
+        self.head = head
+
+
 class LevelSpace:
     """All global states with exactly ``k`` active customers.
 
-    States are tuples of per-station local states, enumerated in a fixed
-    deterministic order; :attr:`index` maps a state back to its position.
+    The enumeration order matches the historical recursive construction;
+    it is stored as flat ranking arrays (see the module docstring):
+
+    * :attr:`gids`    — ``(dim, M)`` per-station local-state gid,
+    * :attr:`counts`  — ``(dim, M)`` per-station customer count,
+    * :attr:`rem`     — ``(dim, M+1)`` load remaining before each station,
+    * :attr:`cumterm` — ``(dim, M+1)`` cumulative rank terms
+      (``cumterm[:, M]`` is the state index itself).
+
+    The tuple views :attr:`states` / :attr:`index` are built lazily on
+    first access; the solver hot path never touches them.
     """
 
-    def __init__(self, automata: Sequence[StationAutomaton], k: int):
+    def __init__(
+        self,
+        automata: Sequence[StationAutomaton],
+        k: int,
+        *,
+        registry: LevelRegistry | None = None,
+    ):
         self.k = int(k)
         self.automata = tuple(automata)
-        states: list[tuple] = []
-        self._enumerate(0, self.k, [], states)
-        self.states: tuple[tuple, ...] = tuple(states)
-        self.index: dict[tuple, int] = {s: i for i, s in enumerate(self.states)}
+        if registry is None:
+            registry = LevelRegistry(self.automata, self.k)
+        self.registry = registry
+        self._states: tuple[tuple, ...] | None = None
+        self._index: dict[tuple, int] | None = None
+        self._build_arrays()
+
+    def _build_arrays(self) -> None:
+        reg = self.registry
+        M = len(self.automata)
+        rem = np.array([self.k], dtype=np.int64)
+        cols: list[np.ndarray] = []
+        for c in range(M):
+            tb = reg.tables[c]
+            if c < M - 1:
+                # Children of a prefix with remaining r: every local state
+                # of load 0..r — exactly the gids below offset[r + 1].
+                cnts = tb.offset[rem + 1]
+                pos = _ragged_arange(cnts)
+                g = pos
+            else:
+                # The last station takes all remaining customers.
+                cnts = tb.L[rem]
+                pos = _ragged_arange(cnts)
+                g = np.repeat(tb.offset[rem], cnts) + pos
+            rep = np.repeat(np.arange(rem.shape[0], dtype=np.int64), cnts)
+            cols = [col[rep] for col in cols]
+            cols.append(g)
+            rem = rem[rep] - tb.count_of[g]
+        dim = cols[0].shape[0] if cols else 1
+        self.gids = (
+            np.column_stack(cols) if cols else np.zeros((1, 0), dtype=np.int64)
+        )
+        self.counts = np.column_stack(
+            [reg.tables[c].count_of[self.gids[:, c]] for c in range(M)]
+        ) if M else np.zeros((dim, 0), dtype=np.int64)
+        rem_at = np.empty((dim, M + 1), dtype=np.int64)
+        rem_at[:, 0] = self.k
+        np.subtract(self.k, np.cumsum(self.counts, axis=1), out=rem_at[:, 1:])
+        self.rem = rem_at
+        cum = np.zeros((dim, M + 1), dtype=np.int64)
+        for c in range(M):
+            tb = reg.tables[c]
+            term = (
+                reg.head[c][rem_at[:, c], self.counts[:, c]]
+                + tb.pos_of[self.gids[:, c]] * reg.T[c + 1][rem_at[:, c + 1]]
+            )
+            cum[:, c + 1] = cum[:, c] + term
+        self.cumterm = cum
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> tuple[tuple, ...]:
+        """State tuples in enumeration order (lazy; diagnostics/tests)."""
+        if self._states is None:
+            out: list[tuple] = []
+            self._enumerate(0, self.k, [], out)
+            self._states = tuple(out)
+        return self._states
+
+    @property
+    def index(self) -> dict[tuple, int]:
+        """State tuple → position (lazy; the solver uses the rank arrays)."""
+        if self._index is None:
+            self._index = {s: i for i, s in enumerate(self.states)}
+        return self._index
 
     def _enumerate(self, station: int, remaining: int, prefix: list, out: list):
         if station == len(self.automata) - 1:
@@ -63,15 +214,11 @@ class LevelSpace:
     @property
     def dim(self) -> int:
         """Number of states ``D(k)``."""
-        return len(self.states)
+        return self.gids.shape[0]
 
     def occupancies(self) -> np.ndarray:
         """Per-state customer count at each station, shape ``(dim, n_stations)``."""
-        out = np.empty((self.dim, len(self.automata)), dtype=int)
-        for i, s in enumerate(self.states):
-            for c, a in enumerate(self.automata):
-                out[i, c] = a.count(s[c])
-        return out
+        return self.counts.astype(int)
 
     def __len__(self) -> int:
         return self.dim
@@ -81,7 +228,12 @@ class LevelSpace:
 
 
 def build_spaces(automata: Sequence[StationAutomaton], K: int) -> list[LevelSpace]:
-    """Level spaces ``Ξ_0 … Ξ_K`` for a population bound ``K``."""
+    """Level spaces ``Ξ_0 … Ξ_K`` for a population bound ``K``.
+
+    All levels share one :class:`LevelRegistry`, so the automaton tables
+    and ranking tables are computed once, not once per level.
+    """
     if K < 0:
         raise ValueError(f"K must be nonnegative, got {K!r}")
-    return [LevelSpace(automata, k) for k in range(K + 1)]
+    registry = LevelRegistry(automata, K)
+    return [LevelSpace(automata, k, registry=registry) for k in range(K + 1)]

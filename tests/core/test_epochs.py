@@ -49,6 +49,25 @@ class TestDistributionShape:
         assert cdf[-1] > 0.98  # the H2 tail is long; 20× the mean covers it
 
 
+class TestEntranceNormalization:
+    def test_clipped_sum_normalizes_exactly(self):
+        """Regression: dividing by the *unclipped* sum left p summing > 1."""
+        from repro.core.epochs import _entrance_mix
+
+        x = np.array([0.7, 0.4, -0.1])
+        p = _entrance_mix(x)
+        assert np.all(p >= 0.0)
+        assert p.sum() == pytest.approx(1.0, abs=1e-15)
+        # The historical formula overshoots whenever clipping removed mass.
+        assert (np.clip(x, 0.0, None) / x.sum()).sum() > 1.0 + 1e-6
+
+    def test_nonnegative_vector_unchanged(self):
+        from repro.core.epochs import _entrance_mix
+
+        x = np.array([0.25, 0.75])
+        np.testing.assert_array_equal(_entrance_mix(x), x)
+
+
 class TestAgainstSimulation:
     def test_first_epoch_distribution(self, central_spec):
         """Epoch 1's full law vs the empirical first-departure times."""

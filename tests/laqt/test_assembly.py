@@ -1,0 +1,137 @@
+"""Vectorized operator assembly vs the pure-Python reference.
+
+The vectorized path must be *bit-identical* to the historical per-state
+loops wherever every local state carries at most one event (all of the
+paper's figure specs), and equal up to summation-order rounding for
+multi-event stations (Erlang delay banks).  Row invariants
+``P_k ε + Q_k ε = ε`` and ``R_k ε = ε`` must hold for every mix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clusters import central_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape, exponential
+from repro.laqt.automata import automaton_for
+from repro.laqt.operators import build_level, build_level_reference
+from repro.laqt.states import build_spaces
+from repro.network import DELAY, NetworkSpec, Station
+
+
+def _levels(spec, K, builder):
+    autos = tuple(automaton_for(st) for st in spec.stations)
+    spaces = build_spaces(autos, K)
+    return [
+        builder(autos, spec.routing, spec.exit, spec.entry, spaces[k], spaces[k - 1])
+        for k in range(1, K + 1)
+    ]
+
+
+def _assert_equal(spec, K, *, exact=True):
+    for fast, ref in zip(
+        _levels(spec, K, build_level), _levels(spec, K, build_level_reference)
+    ):
+        pairs = [("rates", fast.rates, ref.rates)]
+        for name in ("P", "Q", "R"):
+            a, b = getattr(fast, name), getattr(ref, name)
+            assert a.shape == b.shape, name
+            assert a.nnz == b.nnz, name
+            pairs.append((name, a.toarray(), b.toarray()))
+        for name, a, b in pairs:
+            if exact:
+                assert np.array_equal(a, b), f"{name} differs at k={fast.k}"
+            else:
+                np.testing.assert_allclose(
+                    a, b, rtol=1e-13, atol=0, err_msg=f"{name} at k={fast.k}"
+                )
+
+
+def _assert_row_invariants(spec, K):
+    for ops in _levels(spec, K, build_level):
+        eps = np.ones(ops.dim)
+        rowsum = ops.P @ eps + ops.Q @ np.ones(ops.Q.shape[1])
+        np.testing.assert_allclose(rowsum, eps, rtol=1e-12)
+        np.testing.assert_allclose(
+            ops.R @ np.ones(ops.R.shape[1]), np.ones(ops.R.shape[0]), rtol=1e-12
+        )
+
+
+class TestBitIdenticalToReference:
+    def test_fig03_spec(self, central_spec):
+        _assert_equal(central_spec, 5)
+
+    def test_fig04_spec(self, central_spec):
+        _assert_equal(central_spec, 8)
+
+    def test_h2_remote_disk(self, central_h2_spec):
+        _assert_equal(central_h2_spec, 5)
+
+    def test_single_shared_queue(self, single_queue_spec):
+        _assert_equal(single_queue_spec, 4)
+
+    def test_single_delay_bank(self, delay_spec):
+        _assert_equal(delay_spec, 4)
+
+
+class TestMultiEventStations:
+    """Erlang banks fire one event per occupied stage: equality up to rounding."""
+
+    def test_erlang_cpu_mix(self, app):
+        spec = central_cluster(
+            app, {"cpu": Shape.erlang(3), "rdisk": Shape.hyperexp(10.0)}
+        )
+        _assert_equal(spec, 4, exact=False)
+
+    def test_erlang_disk_mix(self, app):
+        spec = central_cluster(app, {"disk": Shape.erlang(2)})
+        _assert_equal(spec, 4, exact=False)
+
+
+class TestRowInvariants:
+    @pytest.mark.parametrize(
+        "shapes",
+        [
+            {},
+            {"rdisk": Shape.hyperexp(10.0)},
+            {"cpu": Shape.erlang(3)},
+            {"cpu": Shape.erlang(2), "rdisk": Shape.hyperexp(5.0)},
+        ],
+        ids=["exponential", "hyperexp", "erlang", "erlang+hyperexp"],
+    )
+    def test_central_mixes(self, app, shapes):
+        _assert_row_invariants(central_cluster(app, shapes), 4)
+
+    def test_random_exponential_networks(self, rng):
+        for _ in range(4):
+            M = int(rng.integers(2, 5))
+            stations = tuple(
+                Station(
+                    f"s{i}",
+                    exponential(float(rng.uniform(0.5, 3.0))),
+                    DELAY if rng.random() < 0.3 else int(rng.integers(1, 3)),
+                )
+                for i in range(M)
+            )
+            routing = rng.uniform(0.0, 1.0, (M, M))
+            routing *= rng.uniform(0.4, 0.9, (M, 1)) / routing.sum(
+                axis=1, keepdims=True
+            )
+            entry = rng.uniform(0.1, 1.0, M)
+            entry /= entry.sum()
+            spec = NetworkSpec(stations=stations, routing=routing, entry=entry)
+            _assert_row_invariants(spec, 4)
+            _assert_equal(spec, 4)
+
+
+class TestAssemblyBackendKwarg:
+    def test_invalid_backend_rejected(self, central_spec):
+        with pytest.raises(ValueError, match="assembly"):
+            TransientModel(central_spec, 3, assembly="fortran")
+
+    def test_reference_backend_matches_default(self, central_spec):
+        fast = TransientModel(central_spec, 4)
+        ref = TransientModel(central_spec, 4, assembly="reference")
+        assert np.array_equal(
+            fast.interdeparture_times(10), ref.interdeparture_times(10)
+        )
