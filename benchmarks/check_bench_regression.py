@@ -1,15 +1,22 @@
 #!/usr/bin/env python
 """CI gate: compare a fresh BENCH_transient.json against the seeded baseline.
 
-For every workload present in both files, the chosen stage's
+For every workload present in both files, each gated stage's
 ``median_self_seconds`` must not exceed ``--max-ratio`` times the baseline
-value.  Exits nonzero (failing the CI job) on regression or when the two
-files share no comparable workload.
+value.  By default the gate covers the three load-bearing stages of the
+transient solve — ``build_level``, ``epoch`` and ``factorize`` — pass
+``--stage`` (repeatable) to gate a different set.  Readings below
+``--floor-seconds`` never fail: at sub-millisecond medians the ratio is
+dominated by timer and scheduler noise, not by code.
+
+Exits nonzero (failing the CI job) on regression or when the two files
+share no comparable workload/stage pair.
 
 Usage::
 
     python benchmarks/check_bench_regression.py FRESH BASELINE \
-        [--stage build_level] [--max-ratio 1.2]
+        [--stage epoch --stage factorize] [--max-ratio 1.2] \
+        [--floor-seconds 0.001]
 """
 
 from __future__ import annotations
@@ -19,9 +26,15 @@ import json
 import sys
 from pathlib import Path
 
+DEFAULT_STAGES = ("build_level", "epoch", "factorize")
+
 
 def compare(
-    fresh: dict, baseline: dict, stage: str, max_ratio: float
+    fresh: dict,
+    baseline: dict,
+    stages: list[str],
+    max_ratio: float,
+    floor_seconds: float = 0.0,
 ) -> tuple[list[str], list[str]]:
     """Return (report lines, failure lines) for the shared workloads."""
     base_by_name = {w["name"]: w for w in baseline.get("workloads", [])}
@@ -31,20 +44,23 @@ def compare(
         ref = base_by_name.get(w["name"])
         if ref is None:
             continue
-        st = w.get("stages", {}).get(stage)
-        st_ref = ref.get("stages", {}).get(stage)
-        if not st or not st_ref:
-            continue
-        cur = float(st["median_self_seconds"])
-        old = float(st_ref["median_self_seconds"])
-        ratio = cur / old if old > 0 else float("inf")
-        line = (
-            f"{w['name']}: {stage} {cur * 1e3:.3f} ms vs baseline "
-            f"{old * 1e3:.3f} ms ({ratio:.2f}x)"
-        )
-        lines.append(line)
-        if ratio > max_ratio:
-            failures.append(line)
+        for stage in stages:
+            st = w.get("stages", {}).get(stage)
+            st_ref = ref.get("stages", {}).get(stage)
+            if not st or not st_ref:
+                continue
+            cur = float(st["median_self_seconds"])
+            old = float(st_ref["median_self_seconds"])
+            ratio = cur / old if old > 0 else float("inf")
+            line = (
+                f"{w['name']}: {stage} {cur * 1e3:.3f} ms vs baseline "
+                f"{old * 1e3:.3f} ms ({ratio:.2f}x)"
+            )
+            if ratio > max_ratio and cur <= floor_seconds:
+                line += "  [below floor, not gated]"
+            lines.append(line)
+            if ratio > max_ratio and cur > floor_seconds:
+                failures.append(line)
     return lines, failures
 
 
@@ -52,34 +68,55 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", type=Path, help="freshly produced BENCH_transient.json")
     ap.add_argument("baseline", type=Path, help="seeded baseline BENCH_transient.json")
-    ap.add_argument("--stage", default="build_level", help="stage to gate on")
+    ap.add_argument(
+        "--stage",
+        action="append",
+        dest="stages",
+        default=None,
+        help="stage to gate on (repeatable; default: "
+        + ", ".join(DEFAULT_STAGES) + ")",
+    )
     ap.add_argument(
         "--max-ratio",
         type=float,
         default=1.2,
         help="fail when fresh/baseline exceeds this (default 1.2)",
     )
+    ap.add_argument(
+        "--floor-seconds",
+        type=float,
+        default=1e-3,
+        help="stage medians at or below this never fail the gate "
+        "(default 1e-3: sub-ms readings are timer noise)",
+    )
     args = ap.parse_args(argv)
 
     fresh = json.loads(args.fresh.read_text())
     baseline = json.loads(args.baseline.read_text())
-    lines, failures = compare(fresh, baseline, args.stage, args.max_ratio)
+    stages = list(args.stages) if args.stages else list(DEFAULT_STAGES)
+    lines, failures = compare(
+        fresh, baseline, stages, args.max_ratio, args.floor_seconds
+    )
     for line in lines:
         print(line)
     if not lines:
         print(
-            f"no workload in {args.fresh} has stage {args.stage!r} in common "
-            f"with {args.baseline}",
+            f"no workload in {args.fresh} has any of stages {stages!r} in "
+            f"common with {args.baseline}",
             file=sys.stderr,
         )
         return 2
     if failures:
         print(
-            f"REGRESSION: {len(failures)} workload(s) over {args.max_ratio:.2f}x",
+            f"REGRESSION: {len(failures)} stage reading(s) over "
+            f"{args.max_ratio:.2f}x",
             file=sys.stderr,
         )
         return 1
-    print(f"OK: all {len(lines)} workload(s) within {args.max_ratio:.2f}x of baseline")
+    print(
+        f"OK: all {len(lines)} stage reading(s) within "
+        f"{args.max_ratio:.2f}x of baseline"
+    )
     return 0
 
 

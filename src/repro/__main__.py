@@ -224,6 +224,8 @@ def _cmd_experiment(args) -> int:
     argv = [args.name]
     if args.plot:
         argv.append("--plot")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     if args.trace:
         argv += ["--trace", args.trace]
     if args.metrics_out:
@@ -318,6 +320,8 @@ def build_parser() -> argparse.ArgumentParser:
     ex = sub.add_parser("experiment", help="regenerate a paper figure")
     ex.add_argument("name")
     ex.add_argument("--plot", action="store_true")
+    ex.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for sweep points (default 1)")
     _add_obs_args(ex)
     ex.set_defaults(func=_cmd_experiment)
 

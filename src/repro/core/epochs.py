@@ -17,7 +17,6 @@ exactly what this module returns.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.transient import TransientModel
 from repro.distributions.base import MatrixExponential
@@ -26,9 +25,9 @@ __all__ = ["epoch_distribution", "epoch_distributions", "epoch_scvs"]
 
 
 def _level_B(model: TransientModel, k: int) -> np.ndarray:
-    ops = model.level(k)
-    eye = sp.identity(ops.dim, format="csr")
-    return (sp.diags(ops.rates) @ (eye - ops.P)).toarray()
+    # Supported accessor: unwraps guarded/faulted level backends instead of
+    # assuming the top wrapper exposes raw ``rates``/``P``.
+    return model.level_B(k)
 
 
 def _entrance_mix(x: np.ndarray) -> np.ndarray:

@@ -54,8 +54,10 @@ def solve_steady_state(
     """Stationary mix of ``Y_K R_K`` by matrix-free power iteration.
 
     The iteration starts from the filling vector ``p_K``, which is already
-    close to stationarity in lightly-loaded systems, and each step costs
-    one sparse triangular solve plus two sparse products.
+    close to stationarity in lightly-loaded systems.  Under the model's
+    default ``propagation="propagator"`` each step is one gemv against
+    the cached ``Y_K R_K`` matrix; under ``"solve"`` it is one sparse
+    triangular solve plus two sparse products.
 
     Raises
     ------
@@ -66,9 +68,10 @@ def solve_steady_state(
     """
     top = model.level(model.K)
     x0 = model.entrance_vector(model.K)
+    step = top.step_YR if model.propagation == "propagator" else top.apply_YR
     try:
         p_ss = stationary_left_vector(
-            top.apply_YR, top.dim, x0=x0, tol=tol, max_iter=max_iter
+            step, top.dim, x0=x0, tol=tol, max_iter=max_iter
         )
     except ConvergenceError as exc:
         raise ConvergenceError(

@@ -72,12 +72,21 @@ class TransientModel:
         per-state Python loops, kept for equivalence tests and
         ablations).  Both produce the same operators — bit-identical
         whenever every local state has at most one event.
+    propagation:
+        Epoch-propagation backend: ``"propagator"`` (the default) caches
+        the explicit ``Y_k R_k`` / ``Y_k`` matrices once per level
+        (blocked multi-column solve) so every epoch is one gemv;
+        ``"solve"`` is the bit-exact historical path that re-runs the
+        transposed triangular solve each epoch.  The two agree to LU
+        round-off (≤1e-12 on the paper workloads); equivalence is pinned
+        in ``benchmarks/test_ablation_propagation.py``.
 
     Notes
     -----
     Construction cost is dominated by assembling the ``K`` sparse operator
-    levels; each is cached, and the per-epoch work afterwards is two sparse
-    solves regardless of ``N``.
+    levels; each is cached, and the per-epoch work afterwards is one gemv
+    against the cached propagator (or two sparse solves under
+    ``propagation="solve"``) regardless of ``N``.
 
     The attribute :attr:`epoch_hook` is a **deprecated** alias for the
     per-epoch callback — assigning it still works (the resilience layer
@@ -89,11 +98,13 @@ class TransientModel:
     _instrument: Instrumentation | None = None
     _epoch_hook: Callable[[int, int, np.ndarray], None] | None = None
     _assembly: str = "vectorized"
+    _propagation: str = "propagator"
 
     _ASSEMBLY_BACKENDS = {
         "vectorized": build_level,
         "reference": build_level_reference,
     }
+    _PROPAGATION_MODES = ("propagator", "solve")
 
     def __init__(
         self,
@@ -104,6 +115,7 @@ class TransientModel:
         budget: "Budget | None" = None,
         instrument: Instrumentation | Callable[[int, int, np.ndarray], None] | None = None,
         assembly: str = "vectorized",
+        propagation: str = "propagator",
     ):
         if K < 1 or int(K) != K:
             raise ValueError(f"K must be a positive integer, got {K!r}")
@@ -111,6 +123,11 @@ class TransientModel:
             raise ValueError(
                 f"assembly must be one of {sorted(self._ASSEMBLY_BACKENDS)}, "
                 f"got {assembly!r}"
+            )
+        if propagation not in self._PROPAGATION_MODES:
+            raise ValueError(
+                f"propagation must be one of {sorted(self._PROPAGATION_MODES)}, "
+                f"got {propagation!r}"
             )
         if budget is not None:
             from repro.resilience.budget import enforce_budget
@@ -120,6 +137,7 @@ class TransientModel:
         self._K = int(K)
         self._guards = guards
         self._assembly = assembly
+        self._propagation = propagation
         self.instrument = instrument
         self._automata = tuple(automaton_for(st) for st in spec.stations)
         self._spaces = build_spaces(self._automata, self._K)
@@ -136,6 +154,11 @@ class TransientModel:
     def K(self) -> int:
         """Population bound (number of workstations)."""
         return self._K
+
+    @property
+    def propagation(self) -> str:
+        """Active epoch-propagation backend (``"propagator"`` or ``"solve"``)."""
+        return self._propagation
 
     # -- instrumentation surface ---------------------------------------
     @property
@@ -260,14 +283,55 @@ class TransientModel:
         epochs drain the system.  If ``N < K`` the model runs with only
         ``N`` active tasks — the paper's "use a smaller cluster" case.
         """
+        n = self._validate_N(N)
+        times = np.empty(n)
+
+        def visit(j: int, k: int, ops, x: np.ndarray) -> None:
+            times[j] = ops.mean_epoch_time(x)
+
+        self._epoch_recurrence(n, visit, observe=True)
+        return times
+
+    @staticmethod
+    def _validate_N(N: int) -> int:
         if N < 1 or int(N) != N:
             raise ValueError(f"N must be a positive integer, got {N!r}")
-        N = int(N)
+        return int(N)
+
+    @staticmethod
+    def _frozen_view(x: np.ndarray) -> np.ndarray:
+        """Read-only view of the live recurrence vector for user hooks.
+
+        A mutating ``on_epoch`` callback would otherwise silently corrupt
+        every later epoch.
+        """
+        v = x.view()
+        v.flags.writeable = False
+        return v
+
+    def _epoch_recurrence(
+        self,
+        N: int,
+        visit: Callable[[int, int, object, np.ndarray], None],
+        *,
+        observe: bool,
+    ) -> None:
+        """Single driver for the epoch recurrence of §4.1/§4.2.
+
+        Calls ``visit(j, k, ops, x)`` once per epoch, in departure order,
+        with the state vector the epoch *starts* from, then advances
+        ``x`` through the level's refill/drain operator.  Both
+        :meth:`interdeparture_times` (``observe=True``: hooks, spans,
+        metrics) and :meth:`epoch_vectors` (``observe=False``: silent)
+        run through here, so the propagator fast path cannot drift
+        between them.
+        """
         k_active = min(self._K, N)
         top = self.level(k_active)
         x = self.entrance_vector(k_active)
-        hook = self._epoch_hook
-        ins = self._effective_instrument()
+        fast = self._propagation == "propagator"
+        hook = self._epoch_hook if observe else None
+        ins = self._effective_instrument() if observe else None
         if ins is not None:
             if ins.on_epoch is not None:
                 hook = self._chain_hooks(hook, ins.on_epoch)
@@ -275,36 +339,35 @@ class TransientModel:
                 # Callback-only bundle: folded into the hook path above,
                 # keeping the loop free of dead span/metric branches.
                 ins = None
-        times = np.empty(N)
+        step_refill = top.step_YR if fast else top.apply_YR
         for j in range(N - k_active):
             if hook is not None:
-                hook(j, k_active, x)
+                hook(j, k_active, self._frozen_view(x))
             if ins is None:
-                times[j] = top.mean_epoch_time(x)
-                x = top.apply_YR(x)
+                visit(j, k_active, top, x)
+                x = step_refill(x)
             else:
                 with ins.span("epoch", epoch=j, level=k_active,
                               phase="refill") as sp:
-                    times[j] = top.mean_epoch_time(x)
-                    x = top.apply_YR(x)
+                    visit(j, k_active, top, x)
+                    x = step_refill(x)
                 self._epoch_metrics(ins, sp)
         at = N - k_active
         for k in range(k_active, 0, -1):
             if hook is not None:
-                hook(at, k, x)
+                hook(at, k, self._frozen_view(x))
             ops = self.level(k)
             if ins is None:
-                times[at] = ops.mean_epoch_time(x)
+                visit(at, k, ops, x)
                 if k > 1:
-                    x = ops.apply_Y(x)
+                    x = ops.step_Y(x) if fast else ops.apply_Y(x)
             else:
                 with ins.span("epoch", epoch=at, level=k, phase="drain") as sp:
-                    times[at] = ops.mean_epoch_time(x)
+                    visit(at, k, ops, x)
                     if k > 1:
-                        x = ops.apply_Y(x)
+                        x = ops.step_Y(x) if fast else ops.apply_Y(x)
                 self._epoch_metrics(ins, sp)
             at += 1
-        return times
 
     @staticmethod
     def _chain_hooks(first, second):
@@ -335,18 +398,42 @@ class TransientModel:
         """State mix at the start of every epoch (diagnostics/tests).
 
         Element ``j`` lives on the level the ``j``-th epoch runs at.
+        Runs the same shared recurrence as :meth:`interdeparture_times`
+        (without hooks or spans), so the vectors returned here are
+        exactly the ones epoch hooks observe.
         """
-        if N < 1 or int(N) != N:
-            raise ValueError(f"N must be a positive integer, got {N!r}")
-        N = int(N)
-        k_active = min(self._K, N)
-        top = self.level(k_active)
-        x = self.entrance_vector(k_active)
-        out = [x.copy()]
-        for _ in range(N - k_active):
-            x = top.apply_YR(x)
-            out.append(x.copy())
-        for k in range(k_active, 1, -1):
-            x = self.level(k).apply_Y(x)
-            out.append(x.copy())
-        return out[:N]
+        out: list[np.ndarray] = []
+        self._epoch_recurrence(
+            self._validate_N(N),
+            lambda j, k, ops, x: out.append(x.copy()),
+            observe=False,
+        )
+        return out
+
+    def level_B(self, k: int) -> np.ndarray:
+        """Dense epoch-phase generator ``B_k = M_k (I − P_k)``.
+
+        The supported accessor for :mod:`repro.core.epochs`: unwraps
+        guarded/faulted level backends down to the first layer exposing
+        raw ``rates``/``P`` instead of assuming the top wrapper does.
+        """
+        import scipy.sparse as sparse
+
+        ops = self.level(k)
+        while True:
+            rates = getattr(ops, "rates", None)
+            P = getattr(ops, "P", None)
+            if rates is not None and P is not None:
+                break
+            inner = getattr(ops, "_ops", None)
+            if inner is None:
+                raise AttributeError(
+                    f"level-{k} backend {type(ops).__name__} exposes neither "
+                    "rates/P nor a wrapped backend to unwrap"
+                )
+            ops = inner
+        dim = P.shape[0]
+        return np.asarray(
+            (sparse.diags(np.asarray(rates, dtype=float))
+             @ (sparse.identity(dim, format="csr") - P)).toarray()
+        )

@@ -36,6 +36,11 @@ class Shape:
         """Instantiate the shape at the given mean."""
         return self._factory(float(mean))
 
+    def __reduce__(self):
+        # The factory closure is not picklable; rebuild from (name, params)
+        # instead so shapes can cross process-pool boundaries.
+        return (_rebuild_shape, (self.name, dict(self.params)))
+
     # ------------------------------------------------------------------
     @classmethod
     def exponential(cls) -> "Shape":
@@ -81,3 +86,21 @@ class Shape:
     def fixed(cls, dist: PHDistribution) -> "Shape":
         """Rescale an explicit distribution to each requested mean."""
         return cls("fixed", dist.with_mean, {"dist": dist})
+
+
+def _rebuild_shape(name: str, params: dict[str, Any]) -> Shape:
+    """Unpickle helper: reconstruct a :class:`Shape` from its factory name."""
+    params = dict(params)
+    if name == "exponential":
+        return Shape.exponential()
+    if name == "erlang":
+        return Shape.erlang(params.pop("m"))
+    if name == "hyperexp":
+        return Shape.hyperexp(params.pop("scv"), params.pop("method"), **params)
+    if name == "scv":
+        return Shape.scv(params.pop("scv"), params.pop("h2_method"), **params)
+    if name == "power_tail":
+        return Shape.power_tail(**params)
+    if name == "fixed":
+        return Shape.fixed(params.pop("dist"))
+    raise ValueError(f"cannot rebuild Shape of unknown family {name!r}")

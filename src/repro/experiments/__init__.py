@@ -34,6 +34,7 @@ from repro.experiments.params import (
     TASK_TIME,
     paper_app,
 )
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.result import ExperimentResult
 
 #: Registry of every reproduced figure, in paper order.
@@ -66,6 +67,7 @@ ALL_EXPERIMENTS = {**FIGURES, **EXTENSIONS}
 
 __all__ = [
     "ExperimentResult",
+    "SweepExecutor",
     "FIGURES",
     "EXTENSIONS",
     "ALL_EXPERIMENTS",

@@ -14,6 +14,7 @@ per-stage times it accumulated — and, when ``--trace`` /
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import traceback
 from pathlib import Path
@@ -63,7 +64,13 @@ def main(argv=None) -> int:
                         help="write the run's span tree as JSONL")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write metrics in Prometheus text format")
+    parser.add_argument("--jobs", type=int, default=1, metavar="J",
+                        help="fan independent sweep points across J worker "
+                             "processes (default 1: serial, deterministic "
+                             "reference; results are identical at any J)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     ins = Instrumentation.enabled()
@@ -72,8 +79,14 @@ def main(argv=None) -> int:
         with ins.activate():
             for name in names:
                 current = name
+                fig = FIGURES[name]
+                kwargs = (
+                    {"jobs": args.jobs}
+                    if "jobs" in inspect.signature(fig).parameters
+                    else {}
+                )
                 with ins.tracer.span("experiment", figure=name) as span:
-                    result = FIGURES[name]()
+                    result = fig(**kwargs)
                 print(result.format_table())
                 if args.plot:
                     from repro.reporting import plot_result

@@ -4,6 +4,15 @@ Each helper returns an :class:`~repro.experiments.result.ExperimentResult`
 whose series mirror the curves of the corresponding paper figure.  Figure
 modules only bind parameters; all computation lives here (and is therefore
 what the benchmark harness times).
+
+Every helper decomposes its figure into independent *sweep points* (one
+per swept C²/K value) and runs them through
+:class:`~repro.experiments.executor.SweepExecutor`: one
+:class:`~repro.core.transient.TransientModel` per point, shared across
+every workload size N and every curve differing only in N, and optional
+process-pool fan-out via the ``jobs=`` keyword (default 1, strictly
+serial and deterministic; ``jobs>1`` produces identical numbers).  The
+point functions are module-level so they pickle across pool boundaries.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from repro.core.metrics import exponential_twin, prediction_error, speedup
 from repro.core.steady_state import solve_steady_state
 from repro.core.transient import TransientModel
 from repro.distributions.shapes import Shape
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.result import ExperimentResult
 
 __all__ = [
@@ -72,6 +82,68 @@ def _series_label(scv: float) -> str:
     return f"H2(C2={scv:g})"
 
 
+def _swept_model(kind: str, role: str, K: int, scv: float,
+                 app: ApplicationModel) -> TransientModel:
+    """The one model a sweep point owns (levels/propagators built once)."""
+    station = _SWEEP_STATION[(kind, role)]
+    spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
+    return TransientModel(spec, K)
+
+
+# -- module-level point functions (picklable across the process pool) ---
+def _point_interdeparture(
+    kind: str, role: str, K: int, N: int, scv: float, app: ApplicationModel
+) -> np.ndarray:
+    return _swept_model(kind, role, K, scv, app).interdeparture_times(N)
+
+
+def _point_steady_scv(
+    K: int, scv: float, heavy_app: ApplicationModel, light_app: ApplicationModel
+) -> tuple[float, float]:
+    shapes = {"rdisk": shape_for_scv(scv)}
+    heavy = TransientModel(central_cluster(heavy_app, shapes), K)
+    light = TransientModel(central_cluster(light_app, shapes), K)
+    return (
+        solve_steady_state(heavy).interdeparture_time,
+        solve_steady_state(light).interdeparture_time,
+    )
+
+
+def _point_prediction_error(
+    kind: str, role: str, K: int, Ns: tuple, scv: float, app: ApplicationModel
+) -> np.ndarray:
+    station = _SWEEP_STATION[(kind, role)]
+    spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
+    actual = TransientModel(spec, K)
+    expo = TransientModel(exponential_twin(spec), K)
+    return np.array(
+        [prediction_error(actual.makespan(N), expo.makespan(N)) for N in Ns]
+    )
+
+
+def _point_speedup_scv(
+    kind: str, role: str, K: int, Ns: tuple, scv: float, app: ApplicationModel
+) -> np.ndarray:
+    model = _swept_model(kind, role, K, scv, app)
+    return np.array([speedup(model, N) for N in Ns])
+
+
+def _point_speedup_k(
+    K: int, curve_items: tuple, app: ApplicationModel
+) -> np.ndarray:
+    # One model per distinct CPU shape, shared by every curve (different N)
+    # that uses it.
+    models: dict[str, TransientModel] = {}
+    vals = np.empty(len(curve_items))
+    for i, (shape, N) in enumerate(curve_items):
+        key = shape.name + repr(sorted(shape.params.items()))
+        if key not in models:
+            spec = central_cluster(app, {"cpu": shape})
+            models[key] = TransientModel(spec, int(K))
+        vals[i] = speedup(models[key], N)
+    return vals
+
+
 # ----------------------------------------------------------------------
 def interdeparture_experiment(
     *,
@@ -82,14 +154,14 @@ def interdeparture_experiment(
     N: int,
     scvs: Sequence[float],
     app: ApplicationModel,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Inter-departure time vs task order for several C² (Figs. 3, 4, 10, 11)."""
     station = _SWEEP_STATION[(kind, role)]
-    series: dict[str, np.ndarray] = {}
-    for scv in scvs:
-        spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
-        model = TransientModel(spec, K)
-        series[_series_label(scv)] = model.interdeparture_times(N)
+    rows = SweepExecutor(jobs).map(
+        _point_interdeparture, [(kind, role, K, N, scv, app) for scv in scvs]
+    )
+    series = {_series_label(scv): row for scv, row in zip(scvs, rows)}
     return ExperimentResult(
         experiment=experiment,
         description=(
@@ -110,17 +182,15 @@ def steady_state_scv_experiment(
     scvs: Sequence[float],
     heavy_app: ApplicationModel,
     light_app: ApplicationModel,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Steady-state inter-departure time vs C² under heavy/light shared load (Fig. 5)."""
     scvs = np.asarray(scvs, dtype=float)
-    contention = np.empty_like(scvs)
-    no_contention = np.empty_like(scvs)
-    for i, scv in enumerate(scvs):
-        shapes = {"rdisk": shape_for_scv(scv)}
-        heavy = TransientModel(central_cluster(heavy_app, shapes), K)
-        light = TransientModel(central_cluster(light_app, shapes), K)
-        contention[i] = solve_steady_state(heavy).interdeparture_time
-        no_contention[i] = solve_steady_state(light).interdeparture_time
+    pairs = SweepExecutor(jobs).map(
+        _point_steady_scv, [(K, float(scv), heavy_app, light_app) for scv in scvs]
+    )
+    contention = np.array([p[0] for p in pairs])
+    no_contention = np.array([p[1] for p in pairs])
     return ExperimentResult(
         experiment=experiment,
         description=(
@@ -143,6 +213,7 @@ def prediction_error_experiment(
     Ns: Sequence[int],
     scvs: Sequence[float],
     app: ApplicationModel,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Error of the exponential approximation vs C² (Figs. 6, 7, 12, 13).
 
@@ -150,17 +221,15 @@ def prediction_error_experiment(
     model replaces the swept station's distribution by an exponential of
     the same mean.
     """
-    station = _SWEEP_STATION[(kind, role)]
     scvs = np.asarray(scvs, dtype=float)
-    series: dict[str, np.ndarray] = {f"N={N}": np.empty_like(scvs) for N in Ns}
-    for i, scv in enumerate(scvs):
-        spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
-        actual = TransientModel(spec, K)
-        expo = TransientModel(exponential_twin(spec), K)
-        for N in Ns:
-            series[f"N={N}"][i] = prediction_error(
-                actual.makespan(N), expo.makespan(N)
-            )
+    Ns = tuple(int(N) for N in Ns)
+    cols = SweepExecutor(jobs).map(
+        _point_prediction_error,
+        [(kind, role, K, Ns, float(scv), app) for scv in scvs],
+    )
+    series = {
+        f"N={N}": np.array([col[j] for col in cols]) for j, N in enumerate(Ns)
+    }
     return ExperimentResult(
         experiment=experiment,
         description=(
@@ -183,16 +252,18 @@ def speedup_scv_experiment(
     Ns: Sequence[int],
     scvs: Sequence[float],
     app: ApplicationModel,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Speedup vs C² of the swept station (Figs. 8, 9)."""
-    station = _SWEEP_STATION[(kind, role)]
     scvs = np.asarray(scvs, dtype=float)
-    series: dict[str, np.ndarray] = {f"N={N}": np.empty_like(scvs) for N in Ns}
-    for i, scv in enumerate(scvs):
-        spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
-        model = TransientModel(spec, K)
-        for N in Ns:
-            series[f"N={N}"][i] = speedup(model, N)
+    Ns = tuple(int(N) for N in Ns)
+    cols = SweepExecutor(jobs).map(
+        _point_speedup_scv,
+        [(kind, role, K, Ns, float(scv), app) for scv in scvs],
+    )
+    series = {
+        f"N={N}": np.array([col[j] for col in cols]) for j, N in enumerate(Ns)
+    }
     return ExperimentResult(
         experiment=experiment,
         description=(
@@ -212,6 +283,7 @@ def speedup_vs_k_experiment(
     Ks: Sequence[int],
     curves: dict[str, tuple[Shape, int]],
     app: ApplicationModel,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Speedup vs cluster size (Figs. 14, 15).
 
@@ -219,17 +291,14 @@ def speedup_vs_k_experiment(
     exponential service, Fig. 15 varies the CPU distribution at fixed N.
     """
     Ks = np.asarray(Ks, dtype=int)
-    series: dict[str, np.ndarray] = {
-        label: np.empty(Ks.shape[0]) for label in curves
+    labels = list(curves)
+    curve_items = tuple(curves[label] for label in labels)
+    rows = SweepExecutor(jobs).map(
+        _point_speedup_k, [(int(K), curve_items, app) for K in Ks]
+    )
+    series = {
+        label: np.array([row[j] for row in rows]) for j, label in enumerate(labels)
     }
-    for i, K in enumerate(Ks):
-        models: dict[str, TransientModel] = {}
-        for label, (shape, N) in curves.items():
-            key = shape.name + repr(sorted(shape.params.items()))
-            if key not in models:
-                spec = central_cluster(app, {"cpu": shape})
-                models[key] = TransientModel(spec, int(K))
-            series[label][i] = speedup(models[key], N)
     return ExperimentResult(
         experiment=experiment,
         description="system speedup vs cluster size K, central cluster",

@@ -1,0 +1,97 @@
+"""Sweep execution engine: shared models, optional process-pool fan-out.
+
+A figure sweep is a list of *independent points* (one per swept C², K, …).
+Each point owns the :class:`~repro.core.transient.TransientModel` it
+builds — every workload size N (and every curve differing only in N) of
+that point is evaluated against the same model, so level operators and
+cached propagators are assembled exactly once per point.
+
+:class:`SweepExecutor` runs the points:
+
+* ``jobs=1`` (default) — strictly serial, in submission order; this is
+  the deterministic reference mode and costs nothing over a plain loop.
+* ``jobs>1`` — the points fan out across a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are collected
+  in submission order, so the assembled output is *identical* to
+  ``jobs=1``: each point's arithmetic is untouched, only the wall-clock
+  interleaving changes.
+
+Observability survives the fan-out: each worker records its own
+``sweep_point`` span tree and metrics registry and ships them back with
+the result; the parent grafts the spans (:meth:`repro.obs.Tracer.graft`)
+and merges the counters (:meth:`repro.obs.MetricsRegistry.merge`), so
+``repro profile`` keeps accounting ≥95 % of wall time at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.obs import runtime as _rt
+from repro.obs.instrument import Instrumentation
+
+__all__ = ["SweepExecutor", "pool_worker"]
+
+
+def pool_worker(
+    fn: Callable[..., Any], args: tuple, observe: bool
+) -> tuple[Any, list | None, Any]:
+    """Run one sweep point inside a worker process.
+
+    When ``observe`` is set (the parent had instrumentation active) the
+    worker arms a fresh bundle, wraps the point in a ``sweep_point`` root
+    span, and returns ``(value, spans, metrics)`` for the parent to
+    graft/merge; otherwise it returns ``(value, None, None)``.
+    """
+    if not observe:
+        return fn(*args), None, None
+    ins = Instrumentation.enabled()
+    with ins.activate():
+        with ins.tracer.span("sweep_point", fn=fn.__name__, mode="pool"):
+            value = fn(*args)
+    return value, ins.tracer.spans, ins.metrics
+
+
+class SweepExecutor:
+    """Runs independent sweep points, inline or across a process pool."""
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1 or int(jobs) != jobs:
+            raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+        self.jobs = int(jobs)
+
+    def map(self, fn: Callable[..., Any], calls: Sequence[tuple]) -> list[Any]:
+        """``[fn(*args) for args in calls]`` with submission-order results."""
+        calls = list(calls)
+        if self.jobs == 1 or len(calls) <= 1:
+            return [self._run_inline(fn, args) for args in calls]
+        return self._run_pool(fn, calls)
+
+    def _run_inline(self, fn: Callable[..., Any], args: tuple) -> Any:
+        ins = _rt.ACTIVE
+        if ins is None:
+            return fn(*args)
+        with ins.span("sweep_point", fn=fn.__name__, mode="inline"):
+            value = fn(*args)
+        ins.count("repro_sweep_points_total", mode="inline")
+        return value
+
+    def _run_pool(self, fn: Callable[..., Any], calls: list[tuple]) -> list[Any]:
+        ins = _rt.ACTIVE
+        observe = ins is not None
+        workers = min(self.jobs, len(calls), os.cpu_count() or 1)
+        out: list[Any] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(pool_worker, fn, args, observe) for args in calls]
+            for fut in futures:  # submission order ⇒ deterministic assembly
+                value, spans, metrics = fut.result()
+                out.append(value)
+                if ins is not None:
+                    if spans and ins.tracer is not None:
+                        ins.tracer.graft(spans)
+                    if metrics is not None and ins.metrics is not None:
+                        ins.metrics.merge(metrics)
+                    ins.count("repro_sweep_points_total", mode="pool")
+        return out

@@ -15,7 +15,8 @@ from repro.experiments.result import ExperimentResult
 __all__ = ["run"]
 
 
-def run(*, K: int = 5, N: int = 30, scvs=(1.0, 10.0, 50.0), app=BASE_APP) -> ExperimentResult:
+def run(*, K: int = 5, N: int = 30, scvs=(1.0, 10.0, 50.0), app=BASE_APP,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce Figure 3 (overridable parameters for exploration)."""
     return interdeparture_experiment(
         experiment="fig03",
@@ -25,4 +26,5 @@ def run(*, K: int = 5, N: int = 30, scvs=(1.0, 10.0, 50.0), app=BASE_APP) -> Exp
         N=N,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

@@ -13,7 +13,8 @@ from repro.experiments.result import ExperimentResult
 __all__ = ["run"]
 
 
-def run(*, K: int = 8, N: int = 30, scvs=(1.0, 10.0, 50.0), app=BASE_APP) -> ExperimentResult:
+def run(*, K: int = 8, N: int = 30, scvs=(1.0, 10.0, 50.0), app=BASE_APP,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce Figure 4."""
     return interdeparture_experiment(
         experiment="fig04",
@@ -23,4 +24,5 @@ def run(*, K: int = 8, N: int = 30, scvs=(1.0, 10.0, 50.0), app=BASE_APP) -> Exp
         N=N,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

@@ -14,7 +14,8 @@ from repro.experiments.result import ExperimentResult
 __all__ = ["run"]
 
 
-def run(*, K: int = 5, Ns=(30, 100), scvs=SCV_SWEEP, app=BASE_APP) -> ExperimentResult:
+def run(*, K: int = 5, Ns=(30, 100), scvs=SCV_SWEEP, app=BASE_APP,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce Figure 6."""
     return prediction_error_experiment(
         experiment="fig06",
@@ -24,4 +25,5 @@ def run(*, K: int = 5, Ns=(30, 100), scvs=SCV_SWEEP, app=BASE_APP) -> Experiment
         Ns=Ns,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

@@ -12,7 +12,8 @@ from repro.experiments.result import ExperimentResult
 __all__ = ["run"]
 
 
-def run(*, K: int = 8, Ns=(30, 100), scvs=SCV_SWEEP, app=BASE_APP) -> ExperimentResult:
+def run(*, K: int = 8, Ns=(30, 100), scvs=SCV_SWEEP, app=BASE_APP,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce Figure 7."""
     return prediction_error_experiment(
         experiment="fig07",
@@ -22,4 +23,5 @@ def run(*, K: int = 8, Ns=(30, 100), scvs=SCV_SWEEP, app=BASE_APP) -> Experiment
         Ns=Ns,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

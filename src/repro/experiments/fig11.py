@@ -14,7 +14,8 @@ __all__ = ["run"]
 
 
 def run(
-    *, K: int = 8, N: int = 30, scvs=(1.0, 1.0 / 3.0, 2.0), app=DEDICATED_APP
+    *, K: int = 8, N: int = 30, scvs=(1.0, 1.0 / 3.0, 2.0), app=DEDICATED_APP,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 11."""
     return interdeparture_experiment(
@@ -25,4 +26,5 @@ def run(
         N=N,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

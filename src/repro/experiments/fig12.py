@@ -14,7 +14,8 @@ __all__ = ["run"]
 
 
 def run(
-    *, K: int = 5, Ns=(30,), scvs=SCV_SWEEP_DEDICATED, app=DEDICATED_APP
+    *, K: int = 5, Ns=(30,), scvs=SCV_SWEEP_DEDICATED, app=DEDICATED_APP,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 12."""
     return prediction_error_experiment(
@@ -25,4 +26,5 @@ def run(
         Ns=Ns,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

@@ -13,7 +13,8 @@ __all__ = ["run"]
 
 
 def run(
-    *, K: int = 8, Ns=(30,), scvs=SCV_SWEEP_DEDICATED, app=DEDICATED_APP
+    *, K: int = 8, Ns=(30,), scvs=SCV_SWEEP_DEDICATED, app=DEDICATED_APP,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 13."""
     return prediction_error_experiment(
@@ -24,4 +25,5 @@ def run(
         Ns=Ns,
         scvs=scvs,
         app=app,
+        jobs=jobs,
     )

@@ -15,7 +15,8 @@ from repro.experiments.result import ExperimentResult
 __all__ = ["run"]
 
 
-def run(*, Ks=range(1, 11), Ns=(20, 100, 200), app=DEDICATED_APP) -> ExperimentResult:
+def run(*, Ks=range(1, 11), Ns=(20, 100, 200), app=DEDICATED_APP,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce Figure 14."""
     exp = Shape.exponential()
     return speedup_vs_k_experiment(
@@ -23,4 +24,5 @@ def run(*, Ks=range(1, 11), Ns=(20, 100, 200), app=DEDICATED_APP) -> ExperimentR
         Ks=list(Ks),
         curves={f"N={N}": (exp, int(N)) for N in Ns},
         app=app,
+        jobs=jobs,
     )

@@ -14,7 +14,8 @@ from repro.experiments.result import ExperimentResult
 __all__ = ["run"]
 
 
-def run(*, Ks=range(1, 11), N: int = 100, h2_scv: float = 2.0, app=DEDICATED_APP) -> ExperimentResult:
+def run(*, Ks=range(1, 11), N: int = 100, h2_scv: float = 2.0, app=DEDICATED_APP,
+        jobs: int = 1) -> ExperimentResult:
     """Reproduce Figure 15."""
     curves = {
         "exp": (Shape.exponential(), int(N)),
@@ -26,4 +27,5 @@ def run(*, Ks=range(1, 11), N: int = 100, h2_scv: float = 2.0, app=DEDICATED_APP
         Ks=list(Ks),
         curves=curves,
         app=app,
+        jobs=jobs,
     )

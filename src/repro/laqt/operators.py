@@ -48,6 +48,12 @@ __all__ = [
     "build_entrance_reference",
 ]
 
+#: memory cap for one dense cached propagator (bytes of float64 entries);
+#: dims above the derived threshold fall back to CSR storage.
+PROPAGATOR_DENSE_BYTES = 32 << 20
+#: column-block width of the multi-RHS solve that builds a propagator
+PROPAGATOR_BLOCK_COLS = 128
+
 
 @dataclass
 class LevelOperators:
@@ -67,6 +73,8 @@ class LevelOperators:
     def __post_init__(self):
         self._lu: spla.SuperLU | None = None
         self._tau: np.ndarray | None = None
+        self._prop_Y: "np.ndarray | sp.csr_matrix | None" = None
+        self._prop_YR: "np.ndarray | sp.csr_matrix | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +166,89 @@ class LevelOperators:
     def mean_epoch_time(self, x: np.ndarray) -> float:
         """Mean time to the next departure from state mix ``x``: ``x τ'_k``."""
         return float(np.asarray(x, dtype=float) @ self.tau)
+
+    # -- cached propagators (paper §4.2, Case 2) -----------------------
+    def dense_threshold(self) -> int:
+        """Largest ``dim`` whose cached propagator is stored dense.
+
+        The base cap keeps one dense ``dim × dim`` propagator under
+        :data:`PROPAGATOR_DENSE_BYTES`.  Levels whose ``P_k`` is already
+        dense-ish double the cap: the fill of ``(I − P_k)^{-1}`` then
+        leaves CSR with no size advantage while its matvec is slower
+        than the BLAS gemv.
+        """
+        cap = int(np.sqrt(PROPAGATOR_DENSE_BYTES / 8.0))
+        density = self.P.nnz / max(self.dim * self.dim, 1)
+        return 2 * cap if density > 0.02 else cap
+
+    def _solve_columns(self, B: sp.spmatrix) -> np.ndarray:
+        """``(I − P_k)^{-1} B`` through the cached LU, in column blocks.
+
+        Blocking bounds the dense right-hand-side scratch to
+        ``dim × PROPAGATOR_BLOCK_COLS`` regardless of how wide ``B`` is.
+        """
+        lu = self.lu
+        ncols = B.shape[1]
+        out = np.empty((self.dim, ncols))
+        Bc = B.tocsc()
+        for j0 in range(0, ncols, PROPAGATOR_BLOCK_COLS):
+            j1 = min(j0 + PROPAGATOR_BLOCK_COLS, ncols)
+            out[:, j0:j1] = lu.solve(Bc[:, j0:j1].toarray())
+        return out
+
+    def propagator_Y(self) -> "np.ndarray | sp.csr_matrix":
+        """Cached ``Y_k = (I − P_k)^{-1} Q_k`` as an explicit matrix.
+
+        Built once per level by a blocked multi-column solve over ``Q_k``;
+        stored dense when ``dim ≤`` :meth:`dense_threshold`, CSR above it.
+        Amortizes the drain cascade: every later ``x Y_k`` is one gemv.
+        """
+        if self._prop_Y is None:
+            self._prop_Y = self._build_propagator("Y")
+        return self._prop_Y
+
+    def propagator_YR(self) -> "np.ndarray | sp.csr_matrix":
+        """Cached refill operator ``Y_k R_k`` (one matrix per level).
+
+        This is the fixed operator every refill epoch applies (paper
+        §4.2, Case 2): with it cached, the whole refill phase is a tight
+        gemv recurrence ``x_{j+1} = x_j · (Y_K R_K)``.
+        """
+        if self._prop_YR is None:
+            self._prop_YR = self._build_propagator("YR")
+        return self._prop_YR
+
+    def _build_propagator(self, kind: str) -> "np.ndarray | sp.csr_matrix":
+        ins = _rt.ACTIVE
+        if ins is None:
+            return self._propagator(kind)
+        with ins.span(
+            "propagator", level=self.k, kind=kind, dim=self.dim
+        ) as span:
+            mat = self._propagator(kind)
+        storage = "dense" if isinstance(mat, np.ndarray) else "csr"
+        if span is not None:
+            span.attrs["storage"] = storage
+        ins.count("repro_propagators_built_total", kind=kind, storage=storage)
+        return mat
+
+    def _propagator(self, kind: str) -> "np.ndarray | sp.csr_matrix":
+        if kind == "Y":
+            Y = self._solve_columns(self.Q)
+            if self.dim <= self.dense_threshold():
+                return Y
+            return sp.csr_matrix(Y)
+        YR = self.propagator_Y() @ self.R
+        # dense @ csr yields ndarray; csr @ csr stays sparse — keep each.
+        return YR if isinstance(YR, np.ndarray) else sp.csr_matrix(YR)
+
+    def step_Y(self, x: np.ndarray) -> np.ndarray:
+        """``x ↦ x Y_k`` through the cached propagator (one gemv)."""
+        return np.asarray(x, dtype=float) @ self.propagator_Y()
+
+    def step_YR(self, x: np.ndarray) -> np.ndarray:
+        """``x ↦ x Y_k R_k`` through the cached propagator (one gemv)."""
+        return np.asarray(x, dtype=float) @ self.propagator_YR()
 
     def dense_Y(self) -> np.ndarray:
         """Dense ``Y_k`` (tests/ablations only — quadratic memory in ``dim``)."""

@@ -94,6 +94,7 @@ class FullProductModel(TransientModel):
         guards: "GuardConfig | None" = None,
         budget: "Budget | None" = None,
         instrument: Instrumentation | Callable[[int, int, np.ndarray], None] | None = None,
+        propagation: str = "propagator",
     ):
         for st in spec.stations:
             if st.dist.n_stages != 1:
@@ -118,9 +119,15 @@ class FullProductModel(TransientModel):
                 budget,
                 dims=[spec.n_stations**k for k in range(int(K) + 1)],
             )
+        if propagation not in self._PROPAGATION_MODES:
+            raise ValueError(
+                f"propagation must be one of {sorted(self._PROPAGATION_MODES)}, "
+                f"got {propagation!r}"
+            )
         self._spec = spec
         self._K = int(K)
         self._guards = None
+        self._propagation = propagation
         self.instrument = instrument
         self._automata = ()  # unused by this backend
         self._spaces = [_FullSpace(spec.n_stations, k) for k in range(self._K + 1)]

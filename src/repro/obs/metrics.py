@@ -183,6 +183,40 @@ class MetricsRegistry:
     def get(self, name: str) -> _Metric | None:
         return self._metrics.get(name)
 
+    # -- cross-process aggregation -------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (worker → parent flush).
+
+        Counters and histograms accumulate; gauges are last-write-wins
+        (the incoming value overwrites, matching single-process
+        semantics where the later ``set`` would have won).
+        """
+        for theirs in other:
+            if isinstance(theirs, Histogram):
+                mine = self.histogram(theirs.name, theirs.help,
+                                      buckets=theirs.buckets)
+                for key, state in theirs.series.items():
+                    dst = mine.series.get(key)
+                    if dst is None:
+                        mine.series[key] = {
+                            "count": state["count"],
+                            "sum": state["sum"],
+                            "bucket_counts": list(state["bucket_counts"]),
+                        }
+                        continue
+                    dst["count"] += state["count"]
+                    dst["sum"] += state["sum"]
+                    for i, n in enumerate(state["bucket_counts"]):
+                        dst["bucket_counts"][i] += n
+            elif isinstance(theirs, Gauge):
+                mine = self.gauge(theirs.name, theirs.help)
+                for key, value in theirs.series.items():
+                    mine.series[key] = value
+            else:
+                mine = self.counter(theirs.name, theirs.help)
+                for key, value in theirs.series.items():
+                    mine.series[key] = mine.series.get(key, 0.0) + value
+
     # -- exporters -----------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot: ``{name: {kind, help, series: [...]}}``."""
@@ -257,6 +291,10 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Sparse LU factorizations of (I - P_k)"),
     ("counter", "repro_levels_built_total",
      "Level operator sets assembled"),
+    ("counter", "repro_propagators_built_total",
+     "Cached Y/YR propagator matrices built, by kind and storage"),
+    ("counter", "repro_sweep_points_total",
+     "Experiment sweep points solved, by execution mode"),
     ("counter", "repro_guard_trips_total",
      "Health-guard interventions, by site and kind"),
     ("counter", "repro_ladder_rung_total",

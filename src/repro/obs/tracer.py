@@ -196,6 +196,49 @@ class Tracer:
         """Number of spans not yet closed (0 after a clean run)."""
         return len(self._stack)
 
+    def graft(self, spans: list[Span]) -> None:
+        """Adopt spans recorded by another tracer (process-pool workers).
+
+        Foreign spans keep their relative structure: parent links are
+        re-indexed into this tracer's flat list, their roots are attached
+        under the innermost open span (if any), and start offsets are
+        re-based to this tracer's clock at graft time so the merged
+        timeline stays monotone.  Only closed spans are adopted.
+        """
+        closed = [sp for sp in spans if sp.closed]
+        if not closed:
+            return
+        index_of = {id(sp): i for i, sp in enumerate(spans)}
+        base = len(self.spans)
+        parent = self._stack[-1] if self._stack else None
+        depth0 = len(self._stack)
+        now = time.perf_counter() - self._epoch
+        t0 = min(sp.start for sp in closed)
+        remap: dict[int, int] = {}
+        for j, sp in enumerate(closed):
+            remap[index_of[id(sp)]] = base + j
+        for sp in spans:
+            if not sp.closed:
+                continue
+            if sp.parent is None or sp.parent not in remap:
+                new_parent = parent
+                extra_depth = 0
+            else:
+                new_parent = remap[sp.parent]
+                extra_depth = sp.depth
+            self.spans.append(
+                Span(
+                    name=sp.name,
+                    parent=new_parent,
+                    depth=depth0 + extra_depth,
+                    start=now + (sp.start - t0),
+                    attrs=dict(sp.attrs),
+                    events=list(sp.events),
+                    wall=sp.wall,
+                    rss_delta=sp.rss_delta,
+                )
+            )
+
     # -- aggregation ---------------------------------------------------
     def iter_closed(self) -> Iterator[Span]:
         for sp in self.spans:

@@ -171,6 +171,7 @@ class _RungModel(TransientModel):
         self._entrance = {}
         self._instrument = None
         self._epoch_hook = None
+        self._propagation = base.propagation
         self._rbase = base
         self._rcfg = cfg
         self._rmode = mode

@@ -193,6 +193,21 @@ class FaultyLevel:
     def apply_YR(self, x: np.ndarray) -> np.ndarray:
         return self.apply_Y(x) @ self.R
 
+    # -- cached-propagator surface --------------------------------------
+    def propagator_Y(self):
+        return self._ops.propagator_Y()
+
+    def propagator_YR(self):
+        return self._ops.propagator_YR()
+
+    def step_Y(self, x: np.ndarray) -> np.ndarray:
+        self.lu  # near-singular fault also blocks the propagator path
+        return self._poison(self._ops.step_Y(x))
+
+    def step_YR(self, x: np.ndarray) -> np.ndarray:
+        self.lu
+        return self._poison(self._ops.step_YR(x))
+
     def mean_epoch_time(self, x: np.ndarray) -> float:
         return float(np.asarray(x, dtype=float) @ self.tau)
 

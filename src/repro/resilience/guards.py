@@ -332,6 +332,29 @@ class GuardedLevel:
         y = self.apply_Y(x) @ self.R
         return check_stochastic(y, self._cfg, where="apply_YR", level=self.k)
 
+    # -- guarded cached-propagator surface --------------------------------
+    def propagator_Y(self):
+        return self._ops.propagator_Y()
+
+    def propagator_YR(self):
+        return self._ops.propagator_YR()
+
+    def step_Y(self, x: np.ndarray) -> np.ndarray:
+        y = self._ops.step_Y(x)
+        if not self._healthy(y) and self._refine:
+            # Corrupted propagator product: fall back to the exact solve
+            # path with one refinement step (same retry as apply_Y).
+            _note_trip("apply_Y", "refine", self.k)
+            y = self._refined_left(x) @ self.Q
+        return check_stochastic(y, self._cfg, where="apply_Y", level=self.k)
+
+    def step_YR(self, x: np.ndarray) -> np.ndarray:
+        y = self._ops.step_YR(x)
+        if not self._healthy(y) and self._refine:
+            _note_trip("apply_YR", "refine", self.k)
+            y = (self._refined_left(x) @ self.Q) @ self.R
+        return check_stochastic(y, self._cfg, where="apply_YR", level=self.k)
+
     def mean_epoch_time(self, x: np.ndarray) -> float:
         t = float(np.asarray(x, dtype=float) @ self.tau)
         if not np.isfinite(t) or t < 0.0:
@@ -430,6 +453,14 @@ class DenseLevel:
     def apply_YR(self, x: np.ndarray) -> np.ndarray:
         y = self.apply_Y(x) @ self.R
         return check_stochastic(y, self._cfg, where="apply_YR(dense)", level=self.k)
+
+    # The dense rescue backend solves per step: its per-epoch cost is
+    # already O(dim²), so caching a propagator here buys nothing.
+    def step_Y(self, x: np.ndarray) -> np.ndarray:
+        return self.apply_Y(x)
+
+    def step_YR(self, x: np.ndarray) -> np.ndarray:
+        return self.apply_YR(x)
 
     def mean_epoch_time(self, x: np.ndarray) -> float:
         t = float(np.asarray(x, dtype=float) @ self.tau)

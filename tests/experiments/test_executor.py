@@ -1,0 +1,116 @@
+"""SweepExecutor: determinism across jobs, telemetry round-trip, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.distributions import Shape
+from repro.experiments.executor import SweepExecutor, pool_worker
+from repro.obs import Instrumentation
+
+
+def _square(x):
+    return x * x
+
+
+def _tagged(tag, n):
+    return np.full(n, tag, dtype=float)
+
+
+class TestExecutorBasics:
+    def test_jobs_must_be_positive_int(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(0)
+        with pytest.raises(ValueError):
+            SweepExecutor(-2)
+
+    def test_inline_map_order(self):
+        out = SweepExecutor(1).map(_square, [(i,) for i in range(6)])
+        assert out == [i * i for i in range(6)]
+
+    def test_single_call_stays_inline_even_with_jobs(self):
+        assert SweepExecutor(4).map(_square, [(7,)]) == [49]
+
+    def test_pool_matches_inline(self):
+        calls = [(i, 4) for i in range(5)]
+        inline = SweepExecutor(1).map(_tagged, calls)
+        pooled = SweepExecutor(2).map(_tagged, calls)
+        assert len(inline) == len(pooled)
+        for a, b in zip(inline, pooled):
+            assert np.array_equal(a, b)
+
+
+class TestFigureDeterminism:
+    def test_fig03_identical_at_any_jobs(self):
+        from repro.experiments import fig03
+
+        serial = fig03.run(jobs=1)
+        pooled = fig03.run(jobs=2)
+        assert sorted(serial.series) == sorted(pooled.series)
+        for name in serial.series:
+            assert np.array_equal(serial.series[name], pooled.series[name])
+
+    def test_fig14_identical_at_any_jobs(self):
+        from repro.experiments import fig14
+
+        serial = fig14.run(jobs=1)
+        pooled = fig14.run(jobs=3)
+        for name in serial.series:
+            assert np.array_equal(serial.series[name], pooled.series[name])
+
+
+class TestTelemetryRoundTrip:
+    def test_inline_sweep_spans_and_counter(self):
+        ins = Instrumentation.enabled(measure_rss=False)
+        with ins.activate():
+            SweepExecutor(1).map(_square, [(1,), (2,), (3,)])
+        spans = [sp for sp in ins.tracer.spans if sp.name == "sweep_point"]
+        assert len(spans) == 3
+        assert all(sp.attrs["mode"] == "inline" for sp in spans)
+        counter = ins.metrics.counter("repro_sweep_points_total")
+        assert counter.value(mode="inline") == 3
+
+    def test_pool_grafts_spans_and_merges_metrics(self):
+        ins = Instrumentation.enabled(measure_rss=False)
+        with ins.activate():
+            SweepExecutor(2).map(_square, [(1,), (2,), (3,), (4,)])
+        spans = [sp for sp in ins.tracer.spans if sp.name == "sweep_point"]
+        assert len(spans) == 4
+        assert all(sp.attrs["mode"] == "pool" for sp in spans)
+        assert ins.tracer.open_spans == 0
+        counter = ins.metrics.counter("repro_sweep_points_total")
+        assert counter.value(mode="pool") == 4
+
+    def test_pool_worker_unobserved_ships_no_telemetry(self):
+        value, spans, metrics = pool_worker(_square, (3,), False)
+        assert value == 9
+        assert spans is None and metrics is None
+
+    def test_pool_worker_observed_ships_telemetry(self):
+        value, spans, metrics = pool_worker(_square, (3,), True)
+        assert value == 9
+        assert [sp.name for sp in spans] == ["sweep_point"]
+        assert metrics.counter("repro_sweep_points_total") is not None
+
+
+class TestShapePickling:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            Shape.exponential(),
+            Shape.erlang(3),
+            Shape.hyperexp(10.0),
+            Shape.scv(0.25),
+            Shape.scv(50.0),
+            Shape.power_tail(1.4),
+        ],
+        ids=["exp", "erlang", "h2", "scv-low", "scv-high", "power-tail"],
+    )
+    def test_round_trip_preserves_distribution(self, shape):
+        clone = pickle.loads(pickle.dumps(shape))
+        assert clone.name == shape.name
+        assert clone.params == shape.params
+        a, b = shape.with_mean(3.0), clone.with_mean(3.0)
+        np.testing.assert_allclose(a.entry, b.entry)
+        np.testing.assert_allclose(a.rates, b.rates)

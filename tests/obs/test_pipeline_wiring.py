@@ -12,9 +12,9 @@ from repro.experiments.params import BASE_APP
 from repro.obs import Instrumentation
 
 
-def _model(K=5):
+def _model(K=5, **kwargs):
     return TransientModel(
-        central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)}), K
+        central_cluster(BASE_APP, {"rdisk": Shape.hyperexp(10.0)}), K, **kwargs
     )
 
 
@@ -65,9 +65,26 @@ class TestTransientMetrics:
         assert m.counter("repro_epochs_solved_total").value() == 30
         assert m.counter("repro_levels_built_total").value() == 5
         assert m.counter("repro_factorizations_total").value() == 5
+        # tau per level; the default propagator path replaces the per-epoch
+        # apply_Y/apply_YR sparse solves with cached gemv steps
+        assert m.counter("repro_sparse_solves_total").value(kind="tau") == 5
+        assert m.counter("repro_sparse_solves_total").value(kind="apply_Y") == 0
+        props = m.counter("repro_propagators_built_total")
+        # Y built for every level the recurrence steps through (k=5..2);
+        # YR only at the top level, where refill happens
+        assert props.value(kind="Y", storage="dense") == 4
+        assert props.value(kind="YR", storage="dense") == 1
+
+    def test_counters_solve_ablation(self):
+        """propagation='solve' keeps the historical per-epoch solve counts."""
+        ins = Instrumentation.enabled(measure_rss=False)
+        with ins.activate():
+            _model(propagation="solve").interdeparture_times(30)
+        m = ins.metrics
         # tau per level + apply_YR/apply_Y per epoch with k>1
         assert m.counter("repro_sparse_solves_total").value(kind="tau") == 5
         assert m.counter("repro_sparse_solves_total").value(kind="apply_Y") == 29
+        assert m.counter("repro_propagators_built_total").labels_seen() == []
 
     def test_gauges_labelled_by_level(self, traced_run):
         g = traced_run.metrics.gauge("repro_level_dim")
