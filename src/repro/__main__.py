@@ -226,6 +226,16 @@ def _cmd_experiment(args) -> int:
         argv.append("--plot")
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
+    if args.retries is not None:
+        argv += ["--retries", str(args.retries)]
+    if args.checkpoint_dir:
+        argv += ["--checkpoint-dir", args.checkpoint_dir]
+    if args.resume:
+        argv.append("--resume")
+    if args.drill:
+        argv += ["--drill", args.drill]
     if args.trace:
         argv += ["--trace", args.trace]
     if args.metrics_out:
@@ -320,8 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
     ex = sub.add_parser("experiment", help="regenerate a paper figure")
     ex.add_argument("name")
     ex.add_argument("--plot", action="store_true")
-    ex.add_argument("--jobs", type=int, default=1,
-                    help="worker processes for sweep points (default 1)")
+    # Shared sweep-supervision flags (--jobs with real validation,
+    # --timeout/--retries/--checkpoint-dir/--resume/--drill) — one
+    # definition for both CLIs, so `--jobs 0` is a parser error here too.
+    from repro.experiments._cli import add_sweep_args
+
+    add_sweep_args(ex)
     _add_obs_args(ex)
     ex.set_defaults(func=_cmd_experiment)
 

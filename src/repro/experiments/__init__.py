@@ -34,7 +34,8 @@ from repro.experiments.params import (
     TASK_TIME,
     paper_app,
 )
-from repro.experiments.executor import SweepExecutor
+from repro.experiments.executor import SweepExecutor, SweepReport
+from repro.experiments.journal import SweepJournal
 from repro.experiments.result import ExperimentResult
 
 #: Registry of every reproduced figure, in paper order.

@@ -4,11 +4,18 @@ Usage::
 
     python -m repro.experiments fig03
     python -m repro.experiments all --trace all.trace.jsonl
+    python -m repro.experiments fig04 --jobs 4 --timeout 120 \
+        --checkpoint-dir ckpt --resume
 
 Per-figure timing runs through the observability tracer
 (:mod:`repro.obs`), so a figure that crashes mid-run still reports the
 per-stage times it accumulated — and, when ``--trace`` /
 ``--metrics-out`` is given, still leaves its partial artifacts behind.
+
+Sweeps run under the supervised :class:`SweepExecutor`; exit codes follow
+the ``validate`` convention — 0 clean, 1 completed with recoveries
+(retries, salvages, pool rebuilds), 2 incomplete (failed points or an
+interrupt).  The per-sweep :class:`SweepReport` is printed to stderr.
 """
 
 from __future__ import annotations
@@ -20,7 +27,13 @@ import traceback
 from pathlib import Path
 
 from repro.experiments import ALL_EXPERIMENTS as FIGURES
+from repro.experiments._cli import (
+    add_sweep_args,
+    executor_from_args,
+    print_report,
+)
 from repro.obs import Instrumentation
+from repro.resilience.errors import SweepError
 
 
 def _flush_artifacts(ins: Instrumentation, trace, metrics_out) -> None:
@@ -64,29 +77,39 @@ def main(argv=None) -> int:
                         help="write the run's span tree as JSONL")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write metrics in Prometheus text format")
-    parser.add_argument("--jobs", type=int, default=1, metavar="J",
-                        help="fan independent sweep points across J worker "
-                             "processes (default 1: serial, deterministic "
-                             "reference; results are identical at any J)")
+    add_sweep_args(parser)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    executor = executor_from_args(args, parser)
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     ins = Instrumentation.enabled()
     current = None
+    rc = 0
+
+    def _print_new_reports() -> None:
+        # Reports accumulate on the executor across map() calls (a figure
+        # may run several sweeps); print the ones this figure added.
+        nonlocal rc, seen
+        for report in executor.reports[seen:]:
+            rc = max(rc, print_report(report))
+        seen = len(executor.reports)
+
+    seen = 0
     try:
         with ins.activate():
             for name in names:
                 current = name
                 fig = FIGURES[name]
-                kwargs = (
-                    {"jobs": args.jobs}
-                    if "jobs" in inspect.signature(fig).parameters
-                    else {}
-                )
+                params = inspect.signature(fig).parameters
+                if "executor" in params:
+                    kwargs = {"executor": executor}
+                elif "jobs" in params:
+                    kwargs = {"jobs": args.jobs}
+                else:
+                    kwargs = {}
                 with ins.tracer.span("experiment", figure=name) as span:
                     result = fig(**kwargs)
+                _print_new_reports()
                 print(result.format_table())
                 if args.plot:
                     from repro.reporting import plot_result
@@ -94,6 +117,21 @@ def main(argv=None) -> int:
                     print()
                     print(plot_result(result))
                 print(f"# computed in {span.wall:.2f}s\n")
+    except KeyboardInterrupt:
+        # Checkpoints are flushed per point, so the partial report below
+        # is exactly what --resume will pick up from.
+        _print_new_reports()
+        print(f"\n# experiment {current!r} INTERRUPTED "
+              "(finished points are journaled; re-run with --resume)",
+              file=sys.stderr)
+        _flush_artifacts(ins, args.trace, args.metrics_out)
+        return 2
+    except SweepError as exc:
+        _print_new_reports()  # the failed sweep's report is already queued
+        print(f"\n# experiment {current!r} FAILED: {exc.reason}: {exc}",
+              file=sys.stderr)
+        _flush_artifacts(ins, args.trace, args.metrics_out)
+        return 2
     except Exception:
         # A crashed figure still reports the per-stage times it reached.
         traceback.print_exc()
@@ -102,8 +140,10 @@ def main(argv=None) -> int:
         print(_stage_report(ins), file=sys.stderr)
         _flush_artifacts(ins, args.trace, args.metrics_out)
         return 1
+    finally:
+        executor.close()
     _flush_artifacts(ins, args.trace, args.metrics_out)
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

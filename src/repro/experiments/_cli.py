@@ -1,0 +1,151 @@
+"""Shared sweep-supervision CLI plumbing for both entry points.
+
+``python -m repro.experiments`` and ``python -m repro experiment`` expose
+the same supervision knobs; this module keeps the flag definitions, their
+validation (``--jobs 0`` must be a ``parser.error``, not a traceback from
+``SweepExecutor.__init__``), and the args→:class:`SweepExecutor`
+translation in one place so the two CLIs cannot drift.
+
+``--drill KIND@INDEX`` arms a deterministic
+:class:`~repro.resilience.faults.SweepFaultPlan` for fault drills (CI
+runs one on every push); it is a testing aid, never needed in service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.executor import SweepExecutor, SweepReport
+
+__all__ = [
+    "add_sweep_args",
+    "executor_from_args",
+    "positive_float_arg",
+    "positive_int_arg",
+    "print_report",
+]
+
+#: Drill kinds accepted by ``--drill`` (see ``parse_drill``).
+DRILL_KINDS = ("crash", "crash-always", "hang", "hang-always", "fail")
+
+
+def positive_int_arg(text: str) -> int:
+    """argparse ``type=`` for strictly positive integers (``--jobs`` etc.)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def positive_float_arg(text: str) -> float:
+    """argparse ``type=`` for strictly positive floats (``--timeout``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--jobs``/supervision flags to a (sub)parser."""
+    parser.add_argument(
+        "--jobs", type=positive_int_arg, default=1, metavar="J",
+        help="fan independent sweep points across J worker processes "
+             "(default 1: serial, deterministic reference; results are "
+             "identical at any J)")
+    parser.add_argument(
+        "--timeout", type=positive_float_arg, default=None, metavar="SECONDS",
+        help="per-point wall-clock deadline; a point past it is killed "
+             "with its worker pool and retried (jobs > 1 only)")
+    parser.add_argument(
+        "--retries", type=positive_int_arg, default=None, metavar="A",
+        help="total attempts per point, the last one inline in the "
+             "parent process (default 3; 1 disables retries)")
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="journal every completed point to DIR/<figure>.journal.jsonl "
+             "so a killed run salvages its finished points")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip points already recorded in the checkpoint journal "
+             "(bit-identical reuse; requires --checkpoint-dir)")
+    parser.add_argument(
+        "--drill", metavar="KIND@INDEX", default=None,
+        help="inject a deterministic supervision fault at one point "
+             f"index; KIND in {{{','.join(DRILL_KINDS)}}} "
+             "(testing aid — 'crash' SIGKILLs the first attempt's worker, "
+             "'crash-always' every pool attempt, forcing inline salvage)")
+
+
+def parse_drill(spec: str, parser: argparse.ArgumentParser):
+    """``KIND@INDEX`` → :class:`SweepFaultPlan` (parser.error on nonsense)."""
+    from repro.resilience.faults import SweepFaultPlan
+
+    kind, sep, index_text = spec.partition("@")
+    if not sep or kind not in DRILL_KINDS:
+        parser.error(
+            f"--drill must be KIND@INDEX with KIND in "
+            f"{{{','.join(DRILL_KINDS)}}}, got {spec!r}")
+    try:
+        index = int(index_text)
+    except ValueError:
+        parser.error(f"--drill index must be an integer, got {index_text!r}")
+    if index < 0:
+        parser.error(f"--drill index must be >= 0, got {index}")
+    if kind == "crash":
+        return SweepFaultPlan(crash_point=index)
+    if kind == "crash-always":
+        return SweepFaultPlan(crash_point=index, crash_attempts=None)
+    if kind == "hang":
+        return SweepFaultPlan(hang_point=index)
+    if kind == "hang-always":
+        return SweepFaultPlan(hang_point=index, hang_attempts=None)
+    return SweepFaultPlan(fail_point=index)
+
+
+def executor_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> SweepExecutor:
+    """Build the supervised executor both CLIs hand to figure modules."""
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    journal = None
+    if args.checkpoint_dir:
+        from repro.experiments.journal import SweepJournal
+
+        journal = SweepJournal(args.checkpoint_dir)
+    retry = None
+    if args.retries is not None:
+        from repro.resilience.retry import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries)
+    faults = parse_drill(args.drill, parser) if args.drill else None
+    return SweepExecutor(
+        args.jobs,
+        timeout=args.timeout,
+        retry=retry,
+        journal=journal,
+        resume=args.resume,
+        faults=faults,
+    )
+
+
+def print_report(report: SweepReport | None, *, stream=None) -> int:
+    """Print a sweep report (stderr) and return its 0/1/2 exit code.
+
+    Detail lines only appear when supervision actually did something, so
+    a clean run stays one line and the happy path stays quiet-ish.
+    """
+    if report is None:
+        return 0
+    stream = stream if stream is not None else sys.stderr
+    print(f"# {report.summary()}", file=stream)
+    for line in report.detail_lines():
+        print(f"#   {line}", file=stream)
+    return report.exit_code()

@@ -13,6 +13,14 @@ every workload size N and every curve differing only in N, and optional
 process-pool fan-out via the ``jobs=`` keyword (default 1, strictly
 serial and deterministic; ``jobs>1`` produces identical numbers).  The
 point functions are module-level so they pickle across pool boundaries.
+
+Every helper also accepts ``executor=``: a pre-configured
+:class:`~repro.experiments.executor.SweepExecutor` carrying supervision
+settings (per-point ``timeout=``, a ``RetryPolicy``, a checkpoint
+``journal=``/``resume=``, drill ``faults=``).  When given, it overrides
+``jobs`` — this is how both CLIs thread ``--timeout/--retries/--resume/
+--checkpoint-dir`` down to the sweep.  Sweeps are labelled with the
+experiment name, which keys the checkpoint journal.
 """
 
 from __future__ import annotations
@@ -62,6 +70,11 @@ def build_cluster(
     if kind == "distributed":
         return distributed_cluster(app, K, shapes=shapes)
     raise ValueError(f"unknown cluster kind {kind!r}; use 'central' or 'distributed'")
+
+
+def _executor(executor: SweepExecutor | None, jobs: int) -> SweepExecutor:
+    """The caller's supervised executor, or a plain one built from jobs."""
+    return executor if executor is not None else SweepExecutor(jobs)
 
 
 def shape_for_scv(scv: float) -> Shape:
@@ -155,11 +168,14 @@ def interdeparture_experiment(
     scvs: Sequence[float],
     app: ApplicationModel,
     jobs: int = 1,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Inter-departure time vs task order for several C² (Figs. 3, 4, 10, 11)."""
     station = _SWEEP_STATION[(kind, role)]
-    rows = SweepExecutor(jobs).map(
-        _point_interdeparture, [(kind, role, K, N, scv, app) for scv in scvs]
+    rows = _executor(executor, jobs).map(
+        _point_interdeparture,
+        [(kind, role, K, N, scv, app) for scv in scvs],
+        label=experiment,
     )
     series = {_series_label(scv): row for scv, row in zip(scvs, rows)}
     return ExperimentResult(
@@ -183,11 +199,14 @@ def steady_state_scv_experiment(
     heavy_app: ApplicationModel,
     light_app: ApplicationModel,
     jobs: int = 1,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Steady-state inter-departure time vs C² under heavy/light shared load (Fig. 5)."""
     scvs = np.asarray(scvs, dtype=float)
-    pairs = SweepExecutor(jobs).map(
-        _point_steady_scv, [(K, float(scv), heavy_app, light_app) for scv in scvs]
+    pairs = _executor(executor, jobs).map(
+        _point_steady_scv,
+        [(K, float(scv), heavy_app, light_app) for scv in scvs],
+        label=experiment,
     )
     contention = np.array([p[0] for p in pairs])
     no_contention = np.array([p[1] for p in pairs])
@@ -214,6 +233,7 @@ def prediction_error_experiment(
     scvs: Sequence[float],
     app: ApplicationModel,
     jobs: int = 1,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Error of the exponential approximation vs C² (Figs. 6, 7, 12, 13).
 
@@ -223,9 +243,10 @@ def prediction_error_experiment(
     """
     scvs = np.asarray(scvs, dtype=float)
     Ns = tuple(int(N) for N in Ns)
-    cols = SweepExecutor(jobs).map(
+    cols = _executor(executor, jobs).map(
         _point_prediction_error,
         [(kind, role, K, Ns, float(scv), app) for scv in scvs],
+        label=experiment,
     )
     series = {
         f"N={N}": np.array([col[j] for col in cols]) for j, N in enumerate(Ns)
@@ -253,13 +274,15 @@ def speedup_scv_experiment(
     scvs: Sequence[float],
     app: ApplicationModel,
     jobs: int = 1,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Speedup vs C² of the swept station (Figs. 8, 9)."""
     scvs = np.asarray(scvs, dtype=float)
     Ns = tuple(int(N) for N in Ns)
-    cols = SweepExecutor(jobs).map(
+    cols = _executor(executor, jobs).map(
         _point_speedup_scv,
         [(kind, role, K, Ns, float(scv), app) for scv in scvs],
+        label=experiment,
     )
     series = {
         f"N={N}": np.array([col[j] for col in cols]) for j, N in enumerate(Ns)
@@ -284,6 +307,7 @@ def speedup_vs_k_experiment(
     curves: dict[str, tuple[Shape, int]],
     app: ApplicationModel,
     jobs: int = 1,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     """Speedup vs cluster size (Figs. 14, 15).
 
@@ -293,8 +317,10 @@ def speedup_vs_k_experiment(
     Ks = np.asarray(Ks, dtype=int)
     labels = list(curves)
     curve_items = tuple(curves[label] for label in labels)
-    rows = SweepExecutor(jobs).map(
-        _point_speedup_k, [(int(K), curve_items, app) for K in Ks]
+    rows = _executor(executor, jobs).map(
+        _point_speedup_k,
+        [(int(K), curve_items, app) for K in Ks],
+        label=experiment,
     )
     series = {
         label: np.array([row[j] for row in rows]) for j, label in enumerate(labels)

@@ -1,4 +1,4 @@
-"""Sweep execution engine: shared models, optional process-pool fan-out.
+"""Supervised sweep execution: shared models, process-pool fan-out, retries.
 
 A figure sweep is a list of *independent points* (one per swept C², K, …).
 Each point owns the :class:`~repro.core.transient.TransientModel` it
@@ -11,87 +11,637 @@ cached propagators are assembled exactly once per point.
 * ``jobs=1`` (default) — strictly serial, in submission order; this is
   the deterministic reference mode and costs nothing over a plain loop.
 * ``jobs>1`` — the points fan out across a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are collected
-  in submission order, so the assembled output is *identical* to
-  ``jobs=1``: each point's arithmetic is untouched, only the wall-clock
-  interleaving changes.
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Results are assembled
+  by point index, so the output is *identical* to ``jobs=1``: each
+  point's arithmetic is untouched, only the wall-clock interleaving
+  changes.
 
-Observability survives the fan-out: each worker records its own
-``sweep_point`` span tree and metrics registry and ships them back with
-the result; the parent grafts the spans (:meth:`repro.obs.Tracer.graft`)
-and merges the counters (:meth:`repro.obs.MetricsRegistry.merge`), so
-``repro profile`` keeps accounting ≥95 % of wall time at any ``--jobs``.
+On top of the fan-out sits a **supervision layer** (all opt-out by
+configuration, ~zero cost on the happy path):
+
+* **deadlines** — ``timeout=`` bounds each point's wall clock; futures
+  are collected through :func:`concurrent.futures.wait`, never a blind
+  ``fut.result()``, so a hung worker is detected, its pool killed and
+  rebuilt, and innocent in-flight points resubmitted without losing an
+  attempt;
+* **retries** — a :class:`~repro.resilience.retry.RetryPolicy` re-runs
+  crashed/timed-out/raising points with exponential backoff and
+  deterministic jitter (results stay bit-identical at any ``jobs``); the
+  final attempt runs *inline in the parent*, the rung no worker death
+  can reach — the sweep-level mirror of the solver's degradation ladder;
+* **checkpoints** — a :class:`~repro.experiments.journal.SweepJournal`
+  records each completed point (flushed immediately), so a killed run
+  salvages its finished points and ``resume=True`` skips them
+  bit-identically;
+* **reporting** — every ``map`` leaves a :class:`SweepReport` on
+  :attr:`SweepExecutor.report` (per-point status, attempts, pool
+  rebuilds) that the CLIs surface with ``validate``-style 0/1/2 exit
+  codes.
+
+Observability survives the fan-out *and* failures: each worker records
+its own ``sweep_point`` span tree and metrics registry and ships them
+back with the result — or, when the point function raises, alongside a
+picklable :class:`WorkerFailure` envelope — so ``repro profile`` keeps
+accounting ≥95 % of wall time at any ``--jobs`` even on failing sweeps.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.obs import runtime as _rt
 from repro.obs.instrument import Instrumentation
+from repro.resilience.errors import SolverError, SweepError
+from repro.resilience.faults import SweepFaultPlan, trigger_point_fault
+from repro.resilience.retry import RetryPolicy
 
-__all__ = ["SweepExecutor", "pool_worker"]
+__all__ = [
+    "PointOutcome",
+    "SweepExecutor",
+    "SweepReport",
+    "WorkerFailure",
+    "pool_worker",
+]
+
+#: Sentinel for a point with no result yet.
+_PENDING = object()
+
+#: Module alias so tests can monkeypatch the supervisor's wait primitive.
+_wait = _futures_wait
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Picklable account of a point attempt that raised inside a worker.
+
+    ``reason`` is a stable code — a
+    :class:`~repro.resilience.errors.SolverError` reason when the point
+    failed structurally, else ``"exception"`` — used as the retry
+    metric's label; ``kind``/``message`` preserve the original exception
+    for the report.
+    """
+
+    kind: str
+    reason: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "WorkerFailure":
+        reason = exc.reason if isinstance(exc, SolverError) else "exception"
+        return cls(kind=type(exc).__name__, reason=reason, message=str(exc))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.message}"
 
 
 def pool_worker(
-    fn: Callable[..., Any], args: tuple, observe: bool
+    fn: Callable[..., Any],
+    args: tuple,
+    observe: bool,
+    faults: SweepFaultPlan | None = None,
+    index: int = 0,
+    attempt: int = 1,
 ) -> tuple[Any, list | None, Any]:
     """Run one sweep point inside a worker process.
 
     When ``observe`` is set (the parent had instrumentation active) the
     worker arms a fresh bundle, wraps the point in a ``sweep_point`` root
     span, and returns ``(value, spans, metrics)`` for the parent to
-    graft/merge; otherwise it returns ``(value, None, None)``.
+    graft/merge; otherwise it returns ``(value, None, None)``.  A point
+    function that raises does **not** lose its telemetry: the exception
+    is shipped back as a :class:`WorkerFailure` in the value slot, with
+    the spans and metrics recorded up to the failure alongside it.
+
+    An armed :class:`~repro.resilience.faults.SweepFaultPlan` fires
+    before the point runs — a crash drill SIGKILLs this process, which no
+    envelope can survive; the parent sees ``BrokenProcessPool`` instead.
     """
     if not observe:
-        return fn(*args), None, None
+        try:
+            if faults is not None:
+                trigger_point_fault(faults, index, attempt)
+            return fn(*args), None, None
+        except Exception as exc:
+            return WorkerFailure.from_exception(exc), None, None
     ins = Instrumentation.enabled()
     with ins.activate():
-        with ins.tracer.span("sweep_point", fn=fn.__name__, mode="pool"):
-            value = fn(*args)
+        try:
+            with ins.tracer.span("sweep_point", fn=fn.__name__, mode="pool"):
+                if faults is not None:
+                    trigger_point_fault(faults, index, attempt)
+                value = fn(*args)
+        except Exception as exc:
+            return WorkerFailure.from_exception(exc), ins.tracer.spans, ins.metrics
     return value, ins.tracer.spans, ins.metrics
 
 
-class SweepExecutor:
-    """Runs independent sweep points, inline or across a process pool."""
+# ----------------------------------------------------------------------
+@dataclass
+class PointOutcome:
+    """Supervision verdict for one sweep point."""
 
-    def __init__(self, jobs: int = 1):
+    index: int
+    #: "pending" | "ok" | "resumed" | "retried" | "salvaged" | "failed"
+    status: str = "pending"
+    #: attempts actually started (0 for a journal-resumed point)
+    attempts: int = 0
+    #: last failure description (non-empty only for "failed")
+    error: str = ""
+    #: one reason-coded entry per failed attempt, oldest first
+    failures: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SweepReport:
+    """Structured account of one supervised sweep run."""
+
+    label: str
+    total: int = 0
+    points: list[PointOutcome] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    interrupted: bool = False
+
+    def count(self, status: str) -> int:
+        return sum(1 for p in self.points if p.status == status)
+
+    @property
+    def ok(self) -> int:
+        return self.count("ok")
+
+    @property
+    def resumed(self) -> int:
+        return self.count("resumed")
+
+    @property
+    def retried(self) -> int:
+        return self.count("retried")
+
+    @property
+    def salvaged(self) -> int:
+        return self.count("salvaged")
+
+    @property
+    def failed(self) -> int:
+        return self.count("failed")
+
+    @property
+    def complete(self) -> bool:
+        """Every point has a result (clean, resumed, retried or salvaged)."""
+        return not self.interrupted and all(
+            p.status in ("ok", "resumed", "retried", "salvaged")
+            for p in self.points
+        )
+
+    def exit_code(self) -> int:
+        """``validate``-style verdict: 0 clean, 1 recovered, 2 incomplete."""
+        if not self.complete:
+            return 2
+        if self.retried or self.salvaged or self.pool_rebuilds:
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        """One greppable line: totals by status plus rebuild count."""
+        tail = " INTERRUPTED" if self.interrupted else ""
+        return (
+            f"sweep {self.label}: points={self.total} ok={self.ok} "
+            f"resumed={self.resumed} retried={self.retried} "
+            f"salvaged={self.salvaged} failed={self.failed} "
+            f"pool_rebuilds={self.pool_rebuilds}{tail}"
+        )
+
+    def detail_lines(self) -> list[str]:
+        """One line per point that needed supervision (empty when clean)."""
+        lines = []
+        for p in self.points:
+            if p.status in ("ok", "resumed"):
+                continue
+            trail = "; ".join(p.failures)
+            lines.append(
+                f"point {p.index}: {p.status} (attempts={p.attempts})"
+                + (f" — {trail}" if trail else "")
+            )
+        return lines
+
+
+def _failure_reason(exc: BaseException) -> str:
+    return exc.reason if isinstance(exc, SolverError) else "exception"
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL a pool's workers (hung workers ignore polite shutdown)."""
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+class SweepExecutor:
+    """Runs independent sweep points, inline or across a supervised pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs serially in the parent.
+    timeout:
+        Per-point wall-clock deadline in seconds (pool mode only — a
+        serial parent cannot preempt itself).  ``None`` disables.
+    retry:
+        :class:`~repro.resilience.retry.RetryPolicy`; the default allows
+        3 attempts with the last one inline in the parent.
+    journal:
+        :class:`~repro.experiments.journal.SweepJournal` recording every
+        completed point; ``None`` disables checkpointing.
+    resume:
+        Look each point up in the journal before running it and reuse the
+        recorded (bit-exact) result on a hit.
+    faults:
+        Deterministic :class:`~repro.resilience.faults.SweepFaultPlan`
+        for supervision drills — never armed in service.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        journal=None,
+        resume: bool = False,
+        faults: SweepFaultPlan | None = None,
+    ):
         if jobs < 1 or int(jobs) != jobs:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+        if timeout is not None and not timeout > 0:
+            raise ValueError(f"timeout must be positive seconds, got {timeout!r}")
         self.jobs = int(jobs)
+        self.timeout = None if timeout is None else float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal
+        self.resume = bool(resume)
+        self.faults = faults
+        #: report of the most recent :meth:`map` (None before the first)
+        self.report: SweepReport | None = None
+        #: reports of every :meth:`map` on this executor, oldest first
+        self.reports: list[SweepReport] = []
 
-    def map(self, fn: Callable[..., Any], calls: Sequence[tuple]) -> list[Any]:
-        """``[fn(*args) for args in calls]`` with submission-order results."""
+    def close(self) -> None:
+        """Flush and close the attached journal, if any (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[..., Any],
+        calls: Sequence[tuple],
+        *,
+        label: str | None = None,
+    ) -> list[Any]:
+        """``[fn(*args) for args in calls]`` with index-order results.
+
+        ``label`` names the sweep in the report and keys the checkpoint
+        journal (figure modules pass their experiment name).  Raises
+        :class:`~repro.resilience.errors.SweepError` when any point fails
+        beyond retry; raises ``KeyboardInterrupt`` after flushing the
+        journal and marking the report interrupted.
+        """
         calls = list(calls)
-        if self.jobs == 1 or len(calls) <= 1:
-            return [self._run_inline(fn, args) for args in calls]
-        return self._run_pool(fn, calls)
+        label = label or getattr(fn, "__name__", "sweep")
+        report = SweepReport(label=label, total=len(calls))
+        report.points = [PointOutcome(index=i) for i in range(len(calls))]
+        self.report = report
+        self.reports.append(report)
 
-    def _run_inline(self, fn: Callable[..., Any], args: tuple) -> Any:
+        results: list[Any] = [_PENDING] * len(calls)
+        pending = list(range(len(calls)))
+        if self.journal is not None and self.resume:
+            pending = self._resume_from_journal(
+                label, calls, results, report.points
+            )
+
+        try:
+            if pending:
+                if self.jobs == 1 or len(pending) <= 1:
+                    self._run_serial(fn, calls, pending, results, report, label)
+                else:
+                    self._run_pool(fn, calls, pending, results, report, label)
+        except KeyboardInterrupt:
+            report.interrupted = True
+            raise
+        if not report.complete:
+            bad = [p.index for p in report.points if p.status == "failed"]
+            raise SweepError(
+                f"sweep {label!r}: {len(bad)} of {report.total} points failed "
+                f"beyond retry (indices {bad}); completed points "
+                + ("are checkpointed" if self.journal is not None
+                   else "were not checkpointed (no journal)"),
+                report=report,
+            )
+        return results
+
+    # -- resume --------------------------------------------------------
+    def _resume_from_journal(
+        self, label: str, calls: list[tuple], results: list, outcomes
+    ) -> list[int]:
+        ins = _rt.ACTIVE
+        still = []
+        for i, args in enumerate(calls):
+            hit, value = self.journal.lookup(label, args)
+            if hit:
+                results[i] = value
+                outcomes[i].status = "resumed"
+                if ins is not None:
+                    ins.count("repro_points_resumed_total")
+            else:
+                still.append(i)
+        return still
+
+    def _checkpoint(self, label: str, args: tuple, out: PointOutcome,
+                    value: Any) -> None:
+        if self.journal is not None:
+            self.journal.record(
+                label, args, index=out.index, value=value,
+                status=out.status, attempts=out.attempts,
+            )
+
+    # -- shared attempt bookkeeping ------------------------------------
+    def _note_retry(self, index: int, attempt: int, reason: str,
+                    delay: float) -> None:
         ins = _rt.ACTIVE
         if ins is None:
+            return
+        with ins.span("point_retry", index=index, attempt=attempt,
+                      reason=reason, delay=round(delay, 6)):
+            pass
+        ins.count("repro_point_retries_total", reason=reason)
+
+    def _note_salvage(self) -> None:
+        ins = _rt.ACTIVE
+        if ins is not None:
+            ins.count("repro_points_salvaged_total")
+
+    # -- serial path ---------------------------------------------------
+    def _run_inline(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        faults: SweepFaultPlan | None = None,
+        index: int = 0,
+        attempt: int = 1,
+    ) -> Any:
+        ins = _rt.ACTIVE
+        if ins is None:
+            if faults is not None:
+                trigger_point_fault(faults, index, attempt, inline=True)
             return fn(*args)
         with ins.span("sweep_point", fn=fn.__name__, mode="inline"):
+            if faults is not None:
+                trigger_point_fault(faults, index, attempt, inline=True)
             value = fn(*args)
         ins.count("repro_sweep_points_total", mode="inline")
         return value
 
-    def _run_pool(self, fn: Callable[..., Any], calls: list[tuple]) -> list[Any]:
+    def _run_serial(self, fn, calls, pending, results, report, label):
+        for i in pending:
+            out = report.points[i]
+            for attempt in range(1, self.retry.max_attempts + 1):
+                out.attempts = attempt
+                fallback = self.retry.is_fallback(attempt)
+                try:
+                    value = self._run_inline(
+                        fn, calls[i],
+                        faults=None if fallback else self.faults,
+                        index=i, attempt=attempt,
+                    )
+                except Exception as exc:
+                    reason = _failure_reason(exc)
+                    out.failures.append(f"attempt {attempt}: {reason}")
+                    if attempt >= self.retry.max_attempts:
+                        out.status = "failed"
+                        out.error = f"{type(exc).__name__}: {exc}"
+                        break
+                    delay = self.retry.delay(attempt, i)
+                    self._note_retry(i, attempt, reason, delay)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                results[i] = value
+                if attempt == 1:
+                    out.status = "ok"
+                elif fallback:
+                    out.status = "salvaged"
+                    self._note_salvage()
+                else:
+                    out.status = "retried"
+                self._checkpoint(label, calls[i], out, value)
+                break
+
+    # -- pool path -----------------------------------------------------
+    def _rebuild_pool(self, pool: ProcessPoolExecutor, workers: int, *,
+                      cause: str, report: SweepReport) -> ProcessPoolExecutor:
+        _kill_pool_processes(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+        report.pool_rebuilds += 1
+        ins = _rt.ACTIVE
+        if ins is not None:
+            ins.count("repro_pool_rebuilds_total", cause=cause)
+            ins.event("pool_rebuild", cause=cause)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _fallback_inline(self, fn, args, i, results, report, label):
+        """Final attempt, inline in the parent: no pool, no faults."""
+        out = report.points[i]
+        out.attempts = self.retry.max_attempts
+        try:
+            value = self._run_inline(fn, args)
+        except Exception as exc:
+            out.status = "failed"
+            out.error = f"{type(exc).__name__}: {exc}"
+            out.failures.append(
+                f"attempt {out.attempts}: {_failure_reason(exc)}"
+            )
+            return
+        results[i] = value
+        out.status = "salvaged"
+        self._note_salvage()
+        self._checkpoint(label, args, out, value)
+
+    def _run_pool(self, fn, calls, pending, results, report, label):
         ins = _rt.ACTIVE
         observe = ins is not None
-        workers = min(self.jobs, len(calls), os.cpu_count() or 1)
-        out: list[Any] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(pool_worker, fn, args, observe) for args in calls]
-            for fut in futures:  # submission order ⇒ deterministic assembly
+        workers = min(self.jobs, len(pending), os.cpu_count() or 1)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        generation = 0
+        #: future -> (index, attempt, deadline, pool generation)
+        inflight: dict = {}
+        #: (index, attempt) ready to submit, FIFO; attempts are 1-based
+        ready = deque((i, 1) for i in pending)
+        #: (ready_at, index, attempt) backoff queue
+        waiting: list[tuple[float, int, int]] = []
+
+        def collect(fut, i, attempt):
+            """Handle one finished future: success, failure, or pool loss."""
+            try:
                 value, spans, metrics = fut.result()
-                out.append(value)
-                if ins is not None:
-                    if spans and ins.tracer is not None:
-                        ins.tracer.graft(spans)
-                    if metrics is not None and ins.metrics is not None:
-                        ins.metrics.merge(metrics)
-                    ins.count("repro_sweep_points_total", mode="pool")
-        return out
+            except BrokenProcessPool:
+                record_failure(i, attempt, "pool-broken",
+                               "worker process died (pool broken)")
+                return False
+            except Exception as exc:  # unpicklable payloads and the like
+                record_failure(i, attempt, "exception",
+                               f"{type(exc).__name__}: {exc}")
+                return True
+            if ins is not None:
+                if spans and ins.tracer is not None:
+                    ins.tracer.graft(spans)
+                if metrics is not None and ins.metrics is not None:
+                    ins.metrics.merge(metrics)
+            if isinstance(value, WorkerFailure):
+                record_failure(i, attempt, value.reason, str(value))
+                return True
+            out = report.points[i]
+            results[i] = value
+            out.status = "ok" if attempt == 1 else "retried"
+            if ins is not None:
+                ins.count("repro_sweep_points_total", mode="pool")
+            self._checkpoint(label, calls[i], out, value)
+            return True
+
+        def record_failure(i, attempt, reason, detail):
+            out = report.points[i]
+            out.failures.append(f"attempt {attempt}: {reason}")
+            if attempt >= self.retry.max_attempts:
+                out.status = "failed"
+                out.error = detail
+                return
+            delay = self.retry.delay(attempt, i)
+            self._note_retry(i, attempt, reason, delay)
+            waiting.append((time.monotonic() + delay, i, attempt + 1))
+
+        def submit_ready():
+            nonlocal pool, generation
+            while ready and len(inflight) < workers:
+                i, attempt = ready.popleft()
+                if self.retry.is_fallback(attempt):
+                    self._fallback_inline(fn, calls[i], i, results, report, label)
+                    continue
+                report.points[i].attempts = attempt
+                deadline = (
+                    time.monotonic() + self.timeout
+                    if self.timeout is not None else None
+                )
+                try:
+                    fut = pool.submit(
+                        pool_worker, fn, calls[i], observe, self.faults,
+                        i, attempt,
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    pool = self._rebuild_pool(
+                        pool, workers, cause="crash", report=report
+                    )
+                    generation += 1
+                    fut = pool.submit(
+                        pool_worker, fn, calls[i], observe, self.faults,
+                        i, attempt,
+                    )
+                inflight[fut] = (i, attempt, deadline, generation)
+
+        try:
+            submit_ready()
+            while inflight or waiting or ready:
+                now = time.monotonic()
+                due = sorted(w for w in waiting if w[0] <= now)
+                for w in due:
+                    waiting.remove(w)
+                    ready.append((w[1], w[2]))
+                submit_ready()
+                if not inflight:
+                    if waiting:
+                        now = time.monotonic()
+                        time.sleep(max(0.0, min(w[0] for w in waiting) - now))
+                    continue
+
+                horizon = [d for (_, _, d, _) in inflight.values()
+                           if d is not None]
+                horizon += [w[0] for w in waiting]
+                timeout = (
+                    max(0.0, min(horizon) - time.monotonic())
+                    if horizon else None
+                )
+                done, _ = _wait(
+                    set(inflight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken = False
+                for fut in done:
+                    i, attempt, _dl, gen = inflight.pop(fut)
+                    if not collect(fut, i, attempt) and gen == generation:
+                        broken = True
+                if broken:
+                    # The pool died under every in-flight point; none of
+                    # them can be attributed, so each is charged one
+                    # pool-broken attempt and retried.
+                    for fut, (i, attempt, _dl, _g) in list(inflight.items()):
+                        if fut.done():
+                            collect(fut, i, attempt)
+                        else:
+                            record_failure(i, attempt, "pool-broken",
+                                           "worker process died (pool broken)")
+                    inflight.clear()
+                    pool = self._rebuild_pool(
+                        pool, workers, cause="crash", report=report
+                    )
+                    generation += 1
+                    continue
+
+                now = time.monotonic()
+                expired = [
+                    fut for fut, (_i, _a, dl, _g) in inflight.items()
+                    if dl is not None and now > dl and not fut.done()
+                ]
+                if expired:
+                    # A running future cannot be cancelled: kill the pool.
+                    # Timed-out points are charged an attempt; innocent
+                    # in-flight points are resubmitted at the same attempt.
+                    for fut in expired:
+                        i, attempt, _dl, _g = inflight.pop(fut)
+                        record_failure(
+                            i, attempt, "timeout",
+                            f"point exceeded the {self.timeout:g}s deadline",
+                        )
+                    for fut, (i, attempt, _dl, _g) in list(inflight.items()):
+                        if fut.done():
+                            collect(fut, i, attempt)
+                        else:
+                            ready.appendleft((i, attempt))
+                    inflight.clear()
+                    pool = self._rebuild_pool(
+                        pool, workers, cause="timeout", report=report
+                    )
+                    generation += 1
+        except KeyboardInterrupt:
+            # Graceful Ctrl-C: no orphaned workers, journal already
+            # flushed per point; the caller prints the partial report.
+            _kill_pool_processes(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown()

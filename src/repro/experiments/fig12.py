@@ -15,7 +15,7 @@ __all__ = ["run"]
 
 def run(
     *, K: int = 5, Ns=(30,), scvs=SCV_SWEEP_DEDICATED, app=DEDICATED_APP,
-    jobs: int = 1,
+    jobs: int = 1, executor=None,
 ) -> ExperimentResult:
     """Reproduce Figure 12."""
     return prediction_error_experiment(
@@ -27,4 +27,5 @@ def run(
         scvs=scvs,
         app=app,
         jobs=jobs,
+        executor=executor,
     )

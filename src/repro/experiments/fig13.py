@@ -14,7 +14,7 @@ __all__ = ["run"]
 
 def run(
     *, K: int = 8, Ns=(30,), scvs=SCV_SWEEP_DEDICATED, app=DEDICATED_APP,
-    jobs: int = 1,
+    jobs: int = 1, executor=None,
 ) -> ExperimentResult:
     """Reproduce Figure 13."""
     return prediction_error_experiment(
@@ -26,4 +26,5 @@ def run(
         scvs=scvs,
         app=app,
         jobs=jobs,
+        executor=executor,
     )

@@ -15,7 +15,7 @@ __all__ = ["run"]
 
 
 def run(*, Ks=range(1, 11), N: int = 100, h2_scv: float = 2.0, app=DEDICATED_APP,
-        jobs: int = 1) -> ExperimentResult:
+        jobs: int = 1, executor=None) -> ExperimentResult:
     """Reproduce Figure 15."""
     curves = {
         "exp": (Shape.exponential(), int(N)),
@@ -28,4 +28,5 @@ def run(*, Ks=range(1, 11), N: int = 100, h2_scv: float = 2.0, app=DEDICATED_APP
         curves=curves,
         app=app,
         jobs=jobs,
+        executor=executor,
     )

@@ -1,0 +1,258 @@
+"""Resumable sweep checkpoints: a JSONL journal of completed points.
+
+A figure sweep is a list of independent points; losing a 40-minute run to
+a crash on point 37 of 40 is the failure mode this module removes.  The
+:class:`SweepJournal` appends one JSON line per *completed* point to
+``<checkpoint-dir>/<figure>.journal.jsonl`` — flushed immediately, so a
+``SIGKILL`` mid-sweep loses at most the point in flight — and a
+``--resume`` run looks each point up before submitting it, skipping the
+finished ones.
+
+Two properties make resume trustworthy:
+
+* **Stable fingerprints.** Each record is keyed by a SHA-256 over a
+  canonical rendering of ``(figure, point arguments, repro version)``.
+  Floats are hashed by their IEEE-754 hex form, dataclasses by sorted
+  field name/value pairs, :class:`~repro.distributions.shapes.Shape` by
+  ``(name, sorted params)`` — no ``repr`` ambiguity, no pickle
+  bytestream, no hash randomization.  Change a parameter (or upgrade the
+  package) and the fingerprint misses: the point is recomputed, never
+  silently reused.
+* **Bit-exact values.** Results round-trip through a typed codec —
+  ``ndarray`` as base64 of its raw bytes plus dtype/shape, floats as
+  ``float.hex()`` — so a resumed sweep assembles output *bit-identical*
+  to the uninterrupted run (asserted in
+  ``tests/experiments/test_supervision.py``).
+
+Only successes are journaled; failures are re-run on resume.  Re-running
+without ``--resume`` appends fresh records, and lookup takes the last
+record per fingerprint, so a journal never has to be deleted to be safe.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Any, IO
+
+import numpy as np
+
+from repro.distributions.shapes import Shape
+from repro.obs import runtime as _rt
+
+__all__ = ["SweepJournal", "decode_value", "encode_value", "fingerprint_point"]
+
+#: Journal line schema version (bump on incompatible record changes).
+SCHEMA = "repro-sweep-journal/1"
+
+
+# ----------------------------------------------------------------------
+# Bit-exact value codec
+def encode_value(value: Any) -> Any:
+    """JSON-encodable rendering of a point result, bit-exact for floats."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__kind__": "ndarray",
+            "dtype": value.dtype.str,
+            "shape": list(value.shape),
+            "data": base64.b64encode(np.ascontiguousarray(value).tobytes()).decode(
+                "ascii"
+            ),
+        }
+    if isinstance(value, (np.floating, float)):
+        return {"__kind__": "float", "hex": float(value).hex()}
+    if isinstance(value, (np.integer, int)) and not isinstance(value, bool):
+        return {"__kind__": "int", "value": int(value)}
+    if isinstance(value, tuple):
+        return {"__kind__": "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__kind__": "list", "items": [encode_value(v) for v in value]}
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    raise TypeError(
+        f"cannot journal a point result of type {type(value).__name__}"
+    )
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if not isinstance(obj, dict):
+        return obj
+    kind = obj.get("__kind__")
+    if kind == "ndarray":
+        arr = np.frombuffer(
+            base64.b64decode(obj["data"]), dtype=np.dtype(obj["dtype"])
+        )
+        return arr.reshape(obj["shape"]).copy()  # owned, writable
+    if kind == "float":
+        return float.fromhex(obj["hex"])
+    if kind == "int":
+        return int(obj["value"])
+    if kind == "tuple":
+        return tuple(decode_value(v) for v in obj["items"])
+    if kind == "list":
+        return [decode_value(v) for v in obj["items"]]
+    raise ValueError(f"unknown journal value kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprints
+def _canonical(obj: Any) -> Any:
+    """A JSON-stable, process-independent rendering of point arguments."""
+    if isinstance(obj, Shape):
+        return ["shape", obj.name, sorted(
+            (k, _canonical(v)) for k, v in obj.params.items()
+        )]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            sorted(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        ]
+    if isinstance(obj, np.ndarray):
+        return ["ndarray", obj.dtype.str, list(obj.shape),
+                base64.b64encode(np.ascontiguousarray(obj).tobytes()).decode("ascii")]
+    if isinstance(obj, (np.floating, float)):
+        return ["f", float(obj).hex()]
+    if isinstance(obj, (np.integer,)):
+        return ["i", int(obj)]
+    if isinstance(obj, (tuple, list)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return ["dict", sorted((str(k), _canonical(v)) for k, v in obj.items())]
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(
+        f"cannot fingerprint a point argument of type {type(obj).__name__}; "
+        "journal keys must be built from numbers, strings, arrays, shapes "
+        "and dataclasses"
+    )
+
+
+def fingerprint_point(figure: str, args: tuple, version: str) -> str:
+    """Stable SHA-256 key of one sweep point: (figure, params, version)."""
+    payload = json.dumps(
+        [SCHEMA, version, figure, _canonical(tuple(args))],
+        separators=(",", ":"), sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+class SweepJournal:
+    """Append-only per-figure checkpoint journal under one directory.
+
+    Parameters
+    ----------
+    root:
+        Checkpoint directory (created on first write).
+    version:
+        Package version folded into every fingerprint; defaults to the
+        installed :data:`repro.__version__`, so journals never leak
+        across releases.
+    """
+
+    def __init__(self, root: str | Path, *, version: str | None = None):
+        if version is None:
+            from repro import __version__ as version
+        self.root = Path(root)
+        self.version = str(version)
+        self._loaded: dict[str, dict[str, Any]] = {}
+        self._handles: dict[str, IO[str]] = {}
+
+    def path(self, figure: str) -> Path:
+        """The JSONL file backing one figure's checkpoints."""
+        return self.root / f"{figure}.journal.jsonl"
+
+    # -- reading -------------------------------------------------------
+    def _records(self, figure: str) -> dict[str, Any]:
+        cached = self._loaded.get(figure)
+        if cached is not None:
+            return cached
+        records: dict[str, Any] = {}
+        path = self.path(figure)
+        if path.exists():
+            for line in path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from a killed run
+                if rec.get("schema") != SCHEMA:
+                    continue
+                records[rec["fp"]] = rec  # last record per fingerprint wins
+        self._loaded[figure] = records
+        return records
+
+    def lookup(self, figure: str, args: tuple) -> tuple[bool, Any]:
+        """``(hit, value)`` for one point; the value is bit-exact."""
+        rec = self._records(figure).get(
+            fingerprint_point(figure, args, self.version)
+        )
+        if rec is None:
+            return False, None
+        return True, decode_value(rec["value"])
+
+    # -- writing -------------------------------------------------------
+    def record(
+        self,
+        figure: str,
+        args: tuple,
+        *,
+        index: int,
+        value: Any,
+        status: str = "ok",
+        attempts: int = 1,
+    ) -> None:
+        """Append one completed point (flushed immediately)."""
+        ins = _rt.ACTIVE
+        ctx = (
+            ins.span("checkpoint_write", figure=figure, index=index)
+            if ins is not None else nullcontext()
+        )
+        with ctx:
+            fp = fingerprint_point(figure, args, self.version)
+            rec = {
+                "schema": SCHEMA,
+                "fp": fp,
+                "figure": figure,
+                "version": self.version,
+                "index": index,
+                "status": status,
+                "attempts": attempts,
+                "value": encode_value(value),
+            }
+            fh = self._handles.get(figure)
+            if fh is None:
+                self.root.mkdir(parents=True, exist_ok=True)
+                fh = self.path(figure).open("a", encoding="utf-8")
+                self._handles[figure] = fh
+            fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            fh.flush()
+            self._records(figure)[fp] = rec
+        if ins is not None:
+            ins.count("repro_checkpoint_writes_total")
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Close any open journal files (safe to call repeatedly)."""
+        for fh in self._handles.values():
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+        self._handles.clear()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -301,6 +301,16 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Degradation-ladder rung attempts, by rung/outcome/reason"),
     ("counter", "repro_replications_total",
      "Discrete-event simulation replications completed"),
+    ("counter", "repro_point_retries_total",
+     "Sweep point attempts retried by the supervisor, by failure reason"),
+    ("counter", "repro_points_salvaged_total",
+     "Sweep points recovered by the inline-fallback rung in the parent"),
+    ("counter", "repro_points_resumed_total",
+     "Sweep points skipped by reusing a checkpoint journal record"),
+    ("counter", "repro_pool_rebuilds_total",
+     "Worker pools killed and rebuilt by the supervisor, by cause"),
+    ("counter", "repro_checkpoint_writes_total",
+     "Completed sweep points appended to a checkpoint journal"),
     ("gauge", "repro_level_dim",
      "State-space dimension D(k) of each assembled level"),
     ("gauge", "repro_level_nnz",

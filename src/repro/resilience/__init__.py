@@ -24,6 +24,8 @@ _EXPORTS = {
     "ConvergenceError": "repro.resilience.errors",
     "NumericalHealthError": "repro.resilience.errors",
     "BudgetExceededError": "repro.resilience.errors",
+    "InjectedFaultError": "repro.resilience.errors",
+    "SweepError": "repro.resilience.errors",
     # guards
     "GuardConfig": "repro.resilience.guards",
     "GuardedLevel": "repro.resilience.guards",
@@ -49,7 +51,11 @@ _EXPORTS = {
     # faults
     "FaultPlan": "repro.resilience.faults",
     "FaultyLevel": "repro.resilience.faults",
+    "SweepFaultPlan": "repro.resilience.faults",
     "apply_faults": "repro.resilience.faults",
+    "trigger_point_fault": "repro.resilience.faults",
+    # sweep retry policy
+    "RetryPolicy": "repro.resilience.retry",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -31,6 +31,8 @@ __all__ = [
     "ConvergenceError",
     "NumericalHealthError",
     "BudgetExceededError",
+    "InjectedFaultError",
+    "SweepError",
 ]
 
 
@@ -197,4 +199,62 @@ class BudgetExceededError(SolverError):
         ctx["budget_kind"] = self.budget_kind
         ctx["needed"] = self.needed
         ctx["limit"] = self.limit
+        return ctx
+
+
+class InjectedFaultError(SolverError):
+    """A deterministic drill fault fired (tests and fault drills only).
+
+    ``mode`` is one of ``"crash"``, ``"hang"``, ``"fail"``; ``index`` and
+    ``attempt`` identify the sweep point and the 1-based attempt the
+    fault was keyed on.
+    """
+
+    reason = "injected-fault"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        mode: str,
+        index: int | None = None,
+        attempt: int | None = None,
+    ):
+        super().__init__(message)
+        self.mode = mode
+        self.index = index
+        self.attempt = attempt
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["mode"] = self.mode
+        ctx["index"] = self.index
+        ctx["attempt"] = self.attempt
+        return ctx
+
+
+class SweepError(SolverError):
+    """A figure sweep could not complete: points failed beyond retry.
+
+    Raised by :class:`~repro.experiments.executor.SweepExecutor` after
+    supervision exhausts every attempt (pool retries plus the inline
+    fallback) for at least one point.  Carries the run's
+    :class:`~repro.experiments.executor.SweepReport` as :attr:`report`,
+    so callers can tell salvaged partial work from a total loss; any
+    completed point is already persisted when a checkpoint journal is
+    attached, and ``--resume`` re-runs only the failures.
+    """
+
+    reason = "sweep-failed"
+
+    def __init__(self, message: str, *, report=None):
+        super().__init__(message)
+        self.report = report
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["failed_points"] = (
+            [p.index for p in self.report.points if p.status == "failed"]
+            if self.report is not None else []
+        )
         return ctx

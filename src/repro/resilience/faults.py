@@ -20,19 +20,38 @@ ladder in :mod:`repro.resilience.fallback` has a reproducible trigger:
 Faults wrap :class:`~repro.laqt.operators.LevelOperators` behind the same
 duck-typed surface, so the solver code under test is byte-for-byte the
 production code.
+
+One layer up, :class:`SweepFaultPlan` manufactures *process-level*
+accidents for the supervised sweep runtime
+(:class:`~repro.experiments.executor.SweepExecutor`): a worker that
+SIGKILLs itself mid-point (``crash_point`` — the parent sees
+``BrokenProcessPool`` and must rebuild the pool), a worker that hangs
+past any deadline (``hang_point``), and a point function that raises
+(``fail_point``).  Triggers are deterministic — keyed on the point index
+and the 1-based attempt number — so every supervision branch (timeout,
+rebuild, retry, inline salvage) has a reproducible drill.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.laqt.operators import LevelOperators
-from repro.resilience.errors import SingularLevelError
+from repro.resilience.errors import InjectedFaultError, SingularLevelError
 
-__all__ = ["FaultPlan", "FaultyLevel", "apply_faults"]
+__all__ = [
+    "FaultPlan",
+    "FaultyLevel",
+    "SweepFaultPlan",
+    "apply_faults",
+    "trigger_point_fault",
+]
 
 
 class _PoisonedLU:
@@ -225,3 +244,111 @@ def apply_faults(ops: LevelOperators, plan: "FaultPlan | None"):
     if plan.nan_level != ops.k and plan.singular_level != ops.k:
         return ops
     return FaultyLevel(ops, plan)
+
+
+# ----------------------------------------------------------------------
+# Process-level faults: drills for the supervised sweep runtime.
+@dataclass(frozen=True)
+class SweepFaultPlan:
+    """Deterministic process-level faults for sweep supervision drills.
+
+    Each fault names a *point index* and the number of leading attempts
+    it fires on: ``crash_attempts=1`` (the default) kills only the first
+    attempt, so the supervised retry succeeds and the point ends up
+    ``retried``; ``crash_attempts=None`` kills every pool attempt, so
+    only the inline-fallback rung in the parent can salvage the point.
+    Faults never fire on the inline fallback itself — the parent process
+    is the rung being drilled, not the target.
+
+    Parameters
+    ----------
+    crash_point:
+        Index whose worker SIGKILLs itself (``BrokenProcessPool`` in the
+        parent; raises :class:`InjectedFaultError` when the attempt runs
+        inline at ``jobs=1``, where a real SIGKILL would take the parent
+        down with it).
+    crash_attempts:
+        Attempts (1-based, leading) that crash; ``None`` = all pool
+        attempts.
+    hang_point / hang_attempts:
+        Index whose worker sleeps ``hang_seconds`` — long past any sane
+        per-point deadline — exercising timeout detection and the
+        kill-and-rebuild path.  Inline, it raises instead of sleeping.
+    hang_seconds:
+        How long a hung worker sleeps (default one hour).
+    fail_point / fail_attempts:
+        Index whose attempt raises :class:`InjectedFaultError` inside the
+        point function, exercising the plain exception-retry branch.
+    """
+
+    crash_point: int | None = None
+    crash_attempts: int | None = 1
+    hang_point: int | None = None
+    hang_attempts: int | None = 1
+    hang_seconds: float = 3600.0
+    fail_point: int | None = None
+    fail_attempts: int | None = 1
+
+    @property
+    def active(self) -> bool:
+        """True when any process-level fault is armed."""
+        return (
+            self.crash_point is not None
+            or self.hang_point is not None
+            or self.fail_point is not None
+        )
+
+    @staticmethod
+    def _fires(point: int | None, attempts: int | None,
+               index: int, attempt: int) -> bool:
+        if point is None or point != index:
+            return False
+        return attempts is None or attempt <= attempts
+
+    def crashes(self, index: int, attempt: int) -> bool:
+        return self._fires(self.crash_point, self.crash_attempts, index, attempt)
+
+    def hangs(self, index: int, attempt: int) -> bool:
+        return self._fires(self.hang_point, self.hang_attempts, index, attempt)
+
+    def fails(self, index: int, attempt: int) -> bool:
+        return self._fires(self.fail_point, self.fail_attempts, index, attempt)
+
+
+def trigger_point_fault(
+    plan: "SweepFaultPlan | None",
+    index: int,
+    attempt: int,
+    *,
+    inline: bool = False,
+) -> None:
+    """Fire the armed fault for ``(index, attempt)``, if any.
+
+    Called at the top of every supervised point attempt.  In a pool
+    worker (``inline=False``) a crash is a genuine ``SIGKILL`` and a hang
+    a genuine sleep; inline (``jobs=1``) both degrade to a raised
+    :class:`InjectedFaultError`, so a drilled serial sweep exercises the
+    same retry bookkeeping — and produces the same final results — as the
+    pooled one without killing the parent process.
+    """
+    if plan is None:
+        return
+    if plan.crashes(index, attempt):
+        if not inline:
+            os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, by design
+        raise InjectedFaultError(
+            f"injected fault: crash of point {index} (attempt {attempt})",
+            mode="crash", index=index, attempt=attempt,
+        )
+    if plan.hangs(index, attempt):
+        if not inline:
+            time.sleep(plan.hang_seconds)
+        raise InjectedFaultError(
+            f"injected fault: hang of point {index} (attempt {attempt})",
+            mode="hang", index=index, attempt=attempt,
+        )
+    if plan.fails(index, attempt):
+        raise InjectedFaultError(
+            f"injected fault: failure of point {index} (attempt {attempt})",
+            mode="fail", index=index, attempt=attempt,
+        )

@@ -1,0 +1,114 @@
+"""Declarative retry policy for the supervised sweep runtime.
+
+A sweep point that dies — worker crash, wall-clock timeout, or an
+exception inside the point function — is re-run according to a
+:class:`RetryPolicy`: up to ``max_attempts`` total attempts, separated by
+exponential backoff.  The backoff carries *deterministic* jitter derived
+from the point index and attempt number (a splitmix64-style integer
+hash — no ``random`` anywhere near the hot path), so two runs of the same
+sweep schedule byte-identical delays and the assembled results stay
+bit-identical at any ``jobs``.
+
+The final attempt is special: when ``inline_fallback`` is set (the
+default) it runs *inline in the parent process*, outside the process
+pool, mirroring the degradation ladder's shape one layer up — the pool is
+the fast path, the parent is the rung that cannot be killed by a broken
+worker.  Deterministic fault plans (:class:`~repro.resilience.faults.
+SweepFaultPlan`) never fire on the fallback attempt, so every drill has a
+guaranteed recovery rung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _jitter_fraction(index: int, attempt: int) -> float:
+    """Deterministic pseudo-uniform fraction in [0, 1) from (index, attempt).
+
+    A splitmix64 finalizer over a linear combination of the inputs: cheap,
+    stateless, and stable across processes and Python versions (pure
+    integer arithmetic — hash randomization does not touch it).
+    """
+    x = (index * 0x9E3779B97F4A7C15 + (attempt + 1) * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how often) a failed sweep point is re-run.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per point, the first included.  ``1`` disables
+        retries (and the inline fallback) entirely.
+    base_delay:
+        Backoff before the second attempt, in seconds.
+    multiplier:
+        Exponential growth factor of the backoff per failed attempt.
+    max_delay:
+        Hard cap on any single backoff delay, in seconds.
+    jitter:
+        Fractional spread added on top of the exponential delay;
+        ``0.25`` means up to +25 %, deterministically derived from the
+        point index and attempt number.
+    inline_fallback:
+        Run the final attempt inline in the parent process (no pool, no
+        injected faults, no timeout) so a point survives even a worker
+        population that keeps dying under it.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    inline_fallback: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1 or int(self.max_attempts) != self.max_attempts:
+            raise ValueError(
+                f"max_attempts must be a positive integer, got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0.0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay!r}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if self.max_delay < 0.0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay!r}")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter!r}")
+
+    @property
+    def pool_attempts(self) -> int:
+        """Attempts that may run in a worker before the inline fallback."""
+        if self.inline_fallback and self.max_attempts > 1:
+            return self.max_attempts - 1
+        return self.max_attempts
+
+    def is_fallback(self, attempt: int) -> bool:
+        """True when ``attempt`` (1-based) is the inline-fallback attempt."""
+        return (
+            self.inline_fallback
+            and self.max_attempts > 1
+            and attempt >= self.max_attempts
+        )
+
+    def delay(self, attempt: int, index: int = 0) -> float:
+        """Backoff (seconds) before re-running ``index`` after its
+        ``attempt``-th failure.  Deterministic for a given (index, attempt)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt!r}")
+        raw = self.base_delay * self.multiplier ** (attempt - 1)
+        raw *= 1.0 + self.jitter * _jitter_fraction(index, attempt)
+        return min(raw, self.max_delay)
