@@ -7,6 +7,8 @@
     python -m repro report cluster.json --workstations 5 --tasks 30
     python -m repro validate cluster.json --workstations 5 --tasks 20
     python -m repro experiment fig03 --plot
+    python -m repro experiment fig03 --shard-dir /shared/run --workers 4
+    python -m repro sweep-worker fig03 --shard-dir /shared/run
     python -m repro profile cluster.json -K 5 -N 30
 
 Specs travel as JSON (see :mod:`repro.network.serialize`), so an analysis
@@ -218,11 +220,10 @@ def _run_validate(args) -> int:
     return 2 if report.degraded else 1
 
 
-def _cmd_experiment(args) -> int:
-    from repro.experiments.__main__ import main as exp_main
-
+def _experiment_argv(args) -> list:
+    """Forward the shared sweep/shard flags to the experiments CLI."""
     argv = [args.name]
-    if args.plot:
+    if getattr(args, "plot", False):
         argv.append("--plot")
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
@@ -236,11 +237,45 @@ def _cmd_experiment(args) -> int:
         argv.append("--resume")
     if args.drill:
         argv += ["--drill", args.drill]
+    if args.shard_dir:
+        argv += ["--shard-dir", args.shard_dir]
+    if args.worker_id:
+        argv += ["--worker-id", args.worker_id]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.lease_ttl is not None:
+        argv += ["--lease-ttl", str(args.lease_ttl)]
+    if args.report_json:
+        argv += ["--report-json", args.report_json]
+    if args.checkpoint_gc:
+        argv.append("--checkpoint-gc")
     if args.trace:
         argv += ["--trace", args.trace]
     if args.metrics_out:
         argv += ["--metrics-out", args.metrics_out]
-    return exp_main(argv)
+    return argv
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.__main__ import main as exp_main
+
+    return exp_main(_experiment_argv(args))
+
+
+def _cmd_sweep_worker(args) -> int:
+    """One worker process of a distributed sweep (see docs/ROBUSTNESS.md).
+
+    Thin delegation to the experiments CLI with ``--shard-dir`` required:
+    the worker claims points via leases, heartbeats, steals from dead
+    peers, and exits with the usual 0/1/2 sweep verdict.
+    """
+    from repro.experiments.__main__ import main as exp_main
+
+    if not args.shard_dir and not args.checkpoint_gc:
+        print("sweep-worker requires --shard-dir (the shared namespace "
+              "directory)", file=sys.stderr)
+        return 2
+    return exp_main(_experiment_argv(args))
 
 
 def _cmd_profile(args) -> int:
@@ -262,6 +297,7 @@ def _cmd_profile(args) -> int:
         trace_path=args.trace,
         metrics_path=args.metrics_out,
         metrics_json_path=args.metrics_json,
+        report_json_path=args.report_json,
     ):
         print(f"wrote {path}")
     bench = write_bench(args.bench_out, [result.bench_record()],
@@ -339,6 +375,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(ex)
     ex.set_defaults(func=_cmd_experiment)
 
+    sw = sub.add_parser(
+        "sweep-worker",
+        help="join a distributed sweep as one worker process "
+             "(lease-claimed points over a shared --shard-dir)",
+    )
+    sw.add_argument("name", help="figure to sweep (or 'all')")
+    add_sweep_args(sw)
+    _add_obs_args(sw)
+    sw.set_defaults(func=_cmd_sweep_worker)
+
     pf = sub.add_parser(
         "profile",
         help="instrumented solve: per-stage cost table + trace/metrics/"
@@ -357,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                     default="profile.metrics.prom")
     pf.add_argument("--metrics-json", metavar="PATH", default=None,
                     help="also write the metrics as JSON")
+    pf.add_argument("--report-json", metavar="PATH", default=None,
+                    help="also write the run's sweep reports (per-point "
+                         "status/attempts) as JSON next to trace/metrics")
     pf.add_argument("--bench-out", metavar="PATH",
                     default="BENCH_transient.json")
     _add_robust_args(pf)

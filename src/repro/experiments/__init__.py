@@ -37,6 +37,7 @@ from repro.experiments.params import (
 from repro.experiments.executor import SweepExecutor, SweepReport
 from repro.experiments.journal import SweepJournal
 from repro.experiments.result import ExperimentResult
+from repro.experiments.shard import ShardExecutor, ShardNamespace
 
 #: Registry of every reproduced figure, in paper order.
 FIGURES = {
@@ -68,6 +69,8 @@ ALL_EXPERIMENTS = {**FIGURES, **EXTENSIONS}
 
 __all__ = [
     "ExperimentResult",
+    "ShardExecutor",
+    "ShardNamespace",
     "SweepExecutor",
     "FIGURES",
     "EXTENSIONS",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import subprocess
 import sys
 import traceback
 from pathlib import Path
@@ -31,9 +32,11 @@ from repro.experiments._cli import (
     add_sweep_args,
     executor_from_args,
     print_report,
+    run_checkpoint_gc,
+    write_report_json,
 )
 from repro.obs import Instrumentation
-from repro.resilience.errors import SweepError
+from repro.resilience.errors import ShardError, SweepError
 
 
 def _flush_artifacts(ins: Instrumentation, trace, metrics_out) -> None:
@@ -43,6 +46,51 @@ def _flush_artifacts(ins: Instrumentation, trace, metrics_out) -> None:
     if metrics_out:
         Path(metrics_out).write_text(ins.metrics.to_prometheus())
         print(f"wrote {metrics_out}", file=sys.stderr)
+
+
+def _spawn_workers(args: argparse.Namespace) -> list[subprocess.Popen]:
+    """Launch ``--workers``-1 sweep-worker subprocesses; we are the last.
+
+    Children join the same shard namespace with stable worker ids and
+    quiet stdio (the parent is the one reporting).  An armed ``--drill``
+    goes to the *first* child only, so there is always at least one clean
+    worker (this process) to steal from the drilled one; a
+    ``die-after-claim`` child is waited for before the parent starts
+    sweeping, making the steal deterministic — the lease is provably
+    orphaned by the time the survivor reaches it.
+    """
+    base = [sys.executable, "-m", "repro.experiments", args.figure,
+            "--shard-dir", args.shard_dir]
+    if args.retries is not None:
+        base += ["--retries", str(args.retries)]
+    if args.lease_ttl is not None:
+        base += ["--lease-ttl", str(args.lease_ttl)]
+    children: list[subprocess.Popen] = []
+    for n in range(1, args.workers):
+        argv = list(base) + ["--worker-id", f"shard-w{n}"]
+        if args.drill and n == 1:
+            argv += ["--drill", args.drill]
+        child = subprocess.Popen(
+            argv, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        children.append(child)
+        if args.drill and n == 1 and args.drill.startswith("die-after-claim"):
+            try:
+                child.wait(timeout=600)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+                child.kill()
+    return children
+
+
+def _reap_workers(children: list[subprocess.Popen]) -> None:
+    """Collect launcher children; by now every point has a record, so any
+    straggler converges almost immediately (or was killed by its drill)."""
+    for child in children:
+        try:
+            child.wait(timeout=120)
+        except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+            child.kill()
+            child.wait(timeout=10)
 
 
 def _stage_report(ins: Instrumentation) -> str:
@@ -79,7 +127,19 @@ def main(argv=None) -> int:
                         help="write metrics in Prometheus text format")
     add_sweep_args(parser)
     args = parser.parse_args(argv)
-    executor = executor_from_args(args, parser)
+    if args.checkpoint_gc:
+        return run_checkpoint_gc(
+            args, parser,
+            figure=None if args.figure == "all" else args.figure,
+        )
+    try:
+        executor = executor_from_args(args, parser)
+    except ShardError as exc:
+        print(f"# shard namespace rejected: {exc}", file=sys.stderr)
+        return 2
+    children = (
+        _spawn_workers(args) if (args.workers or 0) > 1 else []
+    )
 
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     ins = Instrumentation.enabled()
@@ -142,6 +202,10 @@ def main(argv=None) -> int:
         return 1
     finally:
         executor.close()
+        _reap_workers(children)
+        if args.report_json and executor.reports:
+            path = write_report_json(args.report_json, executor.reports)
+            print(f"wrote {path}", file=sys.stderr)
     _flush_artifacts(ins, args.trace, args.metrics_out)
     return rc
 

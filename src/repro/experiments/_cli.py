@@ -3,18 +3,26 @@
 ``python -m repro.experiments`` and ``python -m repro experiment`` expose
 the same supervision knobs; this module keeps the flag definitions, their
 validation (``--jobs 0`` must be a ``parser.error``, not a traceback from
-``SweepExecutor.__init__``), and the args→:class:`SweepExecutor`
-translation in one place so the two CLIs cannot drift.
+``SweepExecutor.__init__``), and the args→executor translation in one
+place so the two CLIs cannot drift.  With ``--shard-dir`` the executor is
+a :class:`~repro.experiments.shard.ShardExecutor` joining a distributed
+namespace; without it, the single-process
+:class:`~repro.experiments.executor.SweepExecutor`.
 
 ``--drill KIND@INDEX`` arms a deterministic
-:class:`~repro.resilience.faults.SweepFaultPlan` for fault drills (CI
-runs one on every push); it is a testing aid, never needed in service.
+:class:`~repro.resilience.faults.SweepFaultPlan` (point-level kinds) or
+:class:`~repro.resilience.faults.ShardFaultPlan` (shard-level kinds, where
+the number after ``@`` counts *successful lease claims*, not a point
+index) for fault drills (CI runs both on every push); it is a testing
+aid, never needed in service.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.experiments.executor import SweepExecutor, SweepReport
 
@@ -24,10 +32,17 @@ __all__ = [
     "positive_float_arg",
     "positive_int_arg",
     "print_report",
+    "write_report_json",
 ]
 
-#: Drill kinds accepted by ``--drill`` (see ``parse_drill``).
+#: Point-level drill kinds accepted by ``--drill`` (see ``parse_drill``).
 DRILL_KINDS = ("crash", "crash-always", "hang", "hang-always", "fail")
+
+#: Shard-level drill kinds (require ``--shard-dir``); the ``@N`` operand
+#: is the 1-based claim count the fault keys on (ignored by the last two).
+SHARD_DRILL_KINDS = (
+    "die-after-claim", "stale-heartbeat", "duplicate-claim", "torn-segment",
+)
 
 
 def positive_int_arg(text: str) -> int:
@@ -80,7 +95,38 @@ def add_sweep_args(parser: argparse.ArgumentParser) -> None:
         help="inject a deterministic supervision fault at one point "
              f"index; KIND in {{{','.join(DRILL_KINDS)}}} "
              "(testing aid — 'crash' SIGKILLs the first attempt's worker, "
-             "'crash-always' every pool attempt, forcing inline salvage)")
+             "'crash-always' every pool attempt, forcing inline salvage); "
+             f"with --shard-dir also {{{','.join(SHARD_DRILL_KINDS)}}}, "
+             "where the number counts successful lease claims")
+    parser.add_argument(
+        "--shard-dir", metavar="DIR", default=None,
+        help="join the distributed sweep namespace at DIR: claim points "
+             "via lease files, append results to a per-worker segment, "
+             "steal expired leases of dead workers; results stay "
+             "bit-identical to a serial run at any worker count")
+    parser.add_argument(
+        "--worker-id", metavar="ID", default=None,
+        help="stable worker id inside the shard namespace "
+             "(default: <host>-<pid>)")
+    parser.add_argument(
+        "--workers", type=positive_int_arg, default=None, metavar="W",
+        help="convenience launcher: spawn W-1 sweep-worker subprocesses "
+             "against --shard-dir and join as the W-th worker yourself")
+    parser.add_argument(
+        "--lease-ttl", type=positive_float_arg, default=None,
+        metavar="SECONDS",
+        help="shard lease time-to-live; a worker silent this long has "
+             "its claimed points stolen (default 30)")
+    parser.add_argument(
+        "--report-json", metavar="PATH", default=None,
+        help="write every sweep report (per-point status, attempts, "
+             "shard provenance) as JSON")
+    parser.add_argument(
+        "--checkpoint-gc", action="store_true",
+        help="compact the journal (--checkpoint-dir) and/or shard "
+             "namespace (--shard-dir) down to one record per point, "
+             "dropping leases and graves for finished points, then exit "
+             "without sweeping")
 
 
 def parse_drill(spec: str, parser: argparse.ArgumentParser):
@@ -109,23 +155,85 @@ def parse_drill(spec: str, parser: argparse.ArgumentParser):
     return SweepFaultPlan(fail_point=index)
 
 
+def parse_shard_drill(spec: str, parser: argparse.ArgumentParser):
+    """``KIND@CLAIMS`` → :class:`ShardFaultPlan` for shard-level kinds."""
+    from repro.resilience.faults import ShardFaultPlan
+
+    kind, _sep, count_text = spec.partition("@")
+    count = 1
+    if count_text:
+        try:
+            count = int(count_text)
+        except ValueError:
+            parser.error(
+                f"--drill claim count must be an integer, got {count_text!r}")
+        if count < 1:
+            parser.error(f"--drill claim count must be >= 1, got {count}")
+    if kind == "die-after-claim":
+        return ShardFaultPlan(die_after_claims=count)
+    if kind == "stale-heartbeat":
+        return ShardFaultPlan(stall_heartbeat_after=count)
+    if kind == "duplicate-claim":
+        return ShardFaultPlan(duplicate_claim=True)
+    return ShardFaultPlan(tear_segment=True)
+
+
+def parse_drills(spec: str | None, parser: argparse.ArgumentParser):
+    """``--drill`` value → ``(SweepFaultPlan | None, ShardFaultPlan | None)``."""
+    if not spec:
+        return None, None
+    kind = spec.partition("@")[0]
+    if kind in SHARD_DRILL_KINDS:
+        return None, parse_shard_drill(spec, parser)
+    return parse_drill(spec, parser), None
+
+
 def executor_from_args(
     args: argparse.Namespace, parser: argparse.ArgumentParser
-) -> SweepExecutor:
-    """Build the supervised executor both CLIs hand to figure modules."""
-    if args.resume and not args.checkpoint_dir:
-        parser.error("--resume requires --checkpoint-dir")
-    journal = None
-    if args.checkpoint_dir:
-        from repro.experiments.journal import SweepJournal
+):
+    """Build the executor both CLIs hand to figure modules.
 
-        journal = SweepJournal(args.checkpoint_dir)
+    ``--shard-dir`` selects the distributed
+    :class:`~repro.experiments.shard.ShardExecutor` (the process becomes
+    one cooperating worker); otherwise the single-process
+    :class:`SweepExecutor`.
+    """
+    shard_dir = getattr(args, "shard_dir", None)
+    if args.resume and not args.checkpoint_dir and not shard_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if getattr(args, "workers", None) and not shard_dir:
+        parser.error("--workers requires --shard-dir")
+    if getattr(args, "lease_ttl", None) and not shard_dir:
+        parser.error("--lease-ttl requires --shard-dir")
     retry = None
     if args.retries is not None:
         from repro.resilience.retry import RetryPolicy
 
         retry = RetryPolicy(max_attempts=args.retries)
-    faults = parse_drill(args.drill, parser) if args.drill else None
+    faults, shard_faults = parse_drills(args.drill, parser)
+    if shard_faults is not None and not shard_dir:
+        parser.error(
+            f"--drill {args.drill} is a shard drill and requires --shard-dir")
+    if shard_dir:
+        from repro.experiments.shard import ShardExecutor
+
+        kwargs = {}
+        if getattr(args, "lease_ttl", None):
+            kwargs["lease_ttl"] = args.lease_ttl
+        return ShardExecutor(
+            shard_dir,
+            worker_id=getattr(args, "worker_id", None),
+            retry=retry,
+            faults=faults,
+            shard_faults=shard_faults,
+            timeout=args.timeout,
+            **kwargs,
+        )
+    journal = None
+    if args.checkpoint_dir:
+        from repro.experiments.journal import SweepJournal
+
+        journal = SweepJournal(args.checkpoint_dir)
     return SweepExecutor(
         args.jobs,
         timeout=args.timeout,
@@ -134,6 +242,42 @@ def executor_from_args(
         resume=args.resume,
         faults=faults,
     )
+
+
+def write_report_json(path: str | Path, reports: list[SweepReport]) -> Path:
+    """Serialize every sweep report of a run as one JSON artifact."""
+    path = Path(path)
+    path.write_text(json.dumps(
+        {"reports": [r.to_dict() for r in reports]}, indent=2,
+    ) + "\n")
+    return path
+
+
+def run_checkpoint_gc(args: argparse.Namespace,
+                      parser: argparse.ArgumentParser,
+                      *, figure: str | None = None, stream=None) -> int:
+    """``--checkpoint-gc``: compact journal and/or shard state, then exit."""
+    stream = stream if stream is not None else sys.stderr
+    if not args.checkpoint_dir and not getattr(args, "shard_dir", None):
+        parser.error("--checkpoint-gc requires --checkpoint-dir or --shard-dir")
+    if args.checkpoint_dir:
+        from repro.experiments.journal import SweepJournal
+
+        journal = SweepJournal(args.checkpoint_dir)
+        dropped = journal.compact(figure)
+        for fig, n in sorted(dropped.items()):
+            print(f"# compacted {fig}: dropped {n} superseded record(s)",
+                  file=stream)
+        journal.close()
+    if getattr(args, "shard_dir", None):
+        from repro.experiments.shard import ShardNamespace
+
+        ns = ShardNamespace(args.shard_dir)
+        kept = ns.gc(figure)
+        for fig, n in sorted(kept.items()):
+            print(f"# shard gc {fig}: {n} record(s) in one merged segment, "
+                  "leases and graves dropped", file=stream)
+    return 0
 
 
 def print_report(report: SweepReport | None, *, stream=None) -> int:

@@ -64,11 +64,15 @@ from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "PointOutcome",
+    "REPORT_SCHEMA",
     "SweepExecutor",
     "SweepReport",
     "WorkerFailure",
     "pool_worker",
 ]
+
+#: Schema tag for serialized sweep reports (``SweepReport.to_dict``).
+REPORT_SCHEMA = "repro-sweep-report/1"
 
 #: Sentinel for a point with no result yet.
 _PENDING = object()
@@ -145,10 +149,19 @@ def pool_worker(
 # ----------------------------------------------------------------------
 @dataclass
 class PointOutcome:
-    """Supervision verdict for one sweep point."""
+    """Supervision verdict for one sweep point.
+
+    ``owner``/``steals``/``generation`` are shard provenance, set only by
+    the distributed :class:`~repro.experiments.shard.ShardExecutor`: the
+    worker id that produced the accepted record, how many times the
+    point's lease was stolen from a dead or stalled holder, and the final
+    lease generation (``steals + 1`` for a computed point).
+    """
 
     index: int
     #: "pending" | "ok" | "resumed" | "retried" | "salvaged" | "failed"
+    #: | "peer" (computed by another shard worker)
+    #: | "stolen" (computed here after stealing an expired lease)
     status: str = "pending"
     #: attempts actually started (0 for a journal-resumed point)
     attempts: int = 0
@@ -156,6 +169,27 @@ class PointOutcome:
     error: str = ""
     #: one reason-coded entry per failed attempt, oldest first
     failures: list[str] = field(default_factory=list)
+    #: shard worker id that produced the accepted record ("" outside shards)
+    owner: str = ""
+    #: expired-lease steals on this point's way to completion
+    steals: int = 0
+    #: lease generation of the accepted record (0 outside shards)
+    generation: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (used by ``--report-json`` artifacts)."""
+        out = {
+            "index": self.index,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "failures": list(self.failures),
+        }
+        if self.owner or self.generation:
+            out["owner"] = self.owner
+            out["steals"] = self.steals
+            out["generation"] = self.generation
+        return out
 
 
 @dataclass
@@ -192,10 +226,19 @@ class SweepReport:
         return self.count("failed")
 
     @property
+    def peer(self) -> int:
+        return self.count("peer")
+
+    @property
+    def stolen(self) -> int:
+        return self.count("stolen")
+
+    @property
     def complete(self) -> bool:
         """Every point has a result (clean, resumed, retried or salvaged)."""
         return not self.interrupted and all(
-            p.status in ("ok", "resumed", "retried", "salvaged")
+            p.status in ("ok", "resumed", "retried", "salvaged",
+                         "peer", "stolen")
             for p in self.points
         )
 
@@ -203,17 +246,21 @@ class SweepReport:
         """``validate``-style verdict: 0 clean, 1 recovered, 2 incomplete."""
         if not self.complete:
             return 2
-        if self.retried or self.salvaged or self.pool_rebuilds:
+        if self.retried or self.salvaged or self.stolen or self.pool_rebuilds:
             return 1
         return 0
 
     def summary(self) -> str:
         """One greppable line: totals by status plus rebuild count."""
         tail = " INTERRUPTED" if self.interrupted else ""
+        shard = (
+            f" stolen={self.stolen} peer={self.peer}"
+            if self.stolen or self.peer else ""
+        )
         return (
             f"sweep {self.label}: points={self.total} ok={self.ok} "
             f"resumed={self.resumed} retried={self.retried} "
-            f"salvaged={self.salvaged} failed={self.failed} "
+            f"salvaged={self.salvaged} failed={self.failed}{shard} "
             f"pool_rebuilds={self.pool_rebuilds}{tail}"
         )
 
@@ -221,14 +268,36 @@ class SweepReport:
         """One line per point that needed supervision (empty when clean)."""
         lines = []
         for p in self.points:
-            if p.status in ("ok", "resumed"):
+            if p.status in ("ok", "resumed", "peer"):
                 continue
             trail = "; ".join(p.failures)
+            prov = (
+                f" owner={p.owner} steals={p.steals}"
+                if p.status == "stolen" else ""
+            )
             lines.append(
-                f"point {p.index}: {p.status} (attempts={p.attempts})"
+                f"point {p.index}: {p.status} (attempts={p.attempts}{prov})"
                 + (f" — {trail}" if trail else "")
             )
         return lines
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of the full report (``--report-json``)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "label": self.label,
+            "total": self.total,
+            "complete": self.complete,
+            "exit_code": self.exit_code(),
+            "interrupted": self.interrupted,
+            "pool_rebuilds": self.pool_rebuilds,
+            "counts": {
+                status: self.count(status)
+                for status in ("ok", "resumed", "retried", "salvaged",
+                               "failed", "peer", "stolen")
+            },
+            "points": [p.to_dict() for p in self.points],
+        }
 
 
 def _failure_reason(exc: BaseException) -> str:

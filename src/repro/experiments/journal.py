@@ -23,10 +23,26 @@ Two properties make resume trustworthy:
   ``float.hex()`` — so a resumed sweep assembles output *bit-identical*
   to the uninterrupted run (asserted in
   ``tests/experiments/test_supervision.py``).
+* **Crash-consistent appends.** Every record carries a CRC-32 of its own
+  canonical rendering and is fsync'd to disk before the point counts as
+  checkpointed, so a power loss can tear at most the final line.  On
+  load, a torn *tail* (the unfinished last line of a killed writer) is
+  silently skipped; a torn *middle* record or a CRC mismatch — the
+  signature of partial flushes or bit rot — is **quarantined** to
+  ``<root>/quarantine/<figure>.quarantine.jsonl`` (and counted on
+  ``repro_journal_quarantined_total``) instead of crashing the load or,
+  worse, being trusted.
 
 Only successes are journaled; failures are re-run on resume.  Re-running
 without ``--resume`` appends fresh records, and lookup takes the last
-record per fingerprint, so a journal never has to be deleted to be safe.
+record per fingerprint, so a journal never has to be deleted to be safe —
+:meth:`SweepJournal.compact` rewrites a directory down to one record per
+fingerprint (fsync + atomic rename) when the history is no longer wanted.
+
+The module-level helpers (:func:`make_record`, :func:`load_records_text`,
+:func:`record_crc`) are shared with the distributed shard layer
+(:mod:`repro.experiments.shard`), which appends the same record schema to
+per-worker segment files and merges them last-record-wins.
 """
 
 from __future__ import annotations
@@ -35,16 +51,29 @@ import base64
 import dataclasses
 import hashlib
 import json
+import os
+import zlib
 from contextlib import nullcontext
 from pathlib import Path
-from typing import Any, IO
+from typing import Any, Callable, IO
 
 import numpy as np
 
 from repro.distributions.shapes import Shape
 from repro.obs import runtime as _rt
 
-__all__ = ["SweepJournal", "decode_value", "encode_value", "fingerprint_point"]
+__all__ = [
+    "SweepJournal",
+    "decode_value",
+    "encode_value",
+    "fingerprint_point",
+    "fsync_write",
+    "load_records_text",
+    "make_record",
+    "record_crc",
+    "record_line",
+    "write_atomic",
+]
 
 #: Journal line schema version (bump on incompatible record changes).
 SCHEMA = "repro-sweep-journal/1"
@@ -145,6 +174,129 @@ def fingerprint_point(figure: str, args: tuple, version: str) -> str:
 
 
 # ----------------------------------------------------------------------
+# Shared record schema (single-writer journals and shard segments alike)
+def record_crc(rec: dict) -> int:
+    """CRC-32 over the canonical rendering of a record (minus its crc)."""
+    body = json.dumps(
+        {k: v for k, v in rec.items() if k != "crc"},
+        separators=(",", ":"), sort_keys=True,
+    )
+    return zlib.crc32(body.encode("utf-8"))
+
+
+def make_record(
+    figure: str,
+    args: tuple,
+    *,
+    version: str,
+    index: int,
+    value: Any,
+    status: str = "ok",
+    attempts: int = 1,
+    owner: str | None = None,
+    generation: int | None = None,
+) -> dict:
+    """One checkpoint record, CRC-sealed, ready to serialize as a line.
+
+    ``owner``/``generation`` are shard provenance: the worker id that
+    computed the point and the lease generation it held (1 = first
+    holder, >1 = the point was stolen that many minus one times).
+    """
+    rec: dict[str, Any] = {
+        "schema": SCHEMA,
+        "fp": fingerprint_point(figure, args, version),
+        "figure": figure,
+        "version": version,
+        "index": index,
+        "status": status,
+        "attempts": attempts,
+        "value": encode_value(value),
+    }
+    if owner is not None:
+        rec["owner"] = owner
+    if generation is not None:
+        rec["generation"] = int(generation)
+    rec["crc"] = record_crc(rec)
+    return rec
+
+
+def record_line(rec: dict) -> str:
+    """The journal's serialized form of one record (no newline)."""
+    return json.dumps(rec, separators=(",", ":"))
+
+
+def load_records_text(
+    text: str,
+    *,
+    on_bad_line: Callable[[int, str, str], None] | None = None,
+) -> dict[str, dict]:
+    """Parse journal text into ``{fingerprint: record}``, last record wins.
+
+    Recovery semantics (the crash-consistency contract):
+
+    * an *unterminated* malformed last line — the torn tail of a killed
+      writer — is skipped silently (``--resume`` recomputes the point);
+    * any other malformed line (torn middle after a partial flush,
+      CRC mismatch from bit rot, half a record glued to the next append)
+      is reported through ``on_bad_line(lineno, raw, why)`` and skipped —
+      quarantined, never trusted, never fatal;
+    * valid JSON of a foreign schema is ignored (forward compatibility).
+    """
+    records: dict[str, dict] = {}
+    if not text:
+        return records
+    ends_with_newline = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    last = len(lines) - 1
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        why = None
+        rec = None
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            why = "unparsable"
+        if rec is not None:
+            if not isinstance(rec, dict) or "schema" not in rec:
+                why = "not-a-record"
+            elif rec.get("schema") != SCHEMA:
+                continue  # foreign-but-valid line: ignore
+            elif "fp" not in rec or "value" not in rec:
+                why = "missing-fields"
+            elif "crc" in rec and record_crc(rec) != rec["crc"]:
+                why = "crc-mismatch"
+        if why is not None:
+            if i == last and not ends_with_newline and why == "unparsable":
+                continue  # torn tail from a killed writer: benign
+            if on_bad_line is not None:
+                on_bad_line(i + 1, line, why)
+            continue
+        records[rec["fp"]] = rec
+    return records
+
+
+def fsync_write(fh: IO[str], line: str) -> None:
+    """Append one line, flushed and fsync'd, so a crash cannot lose it."""
+    fh.write(line + "\n")
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def write_atomic(path: Path, text: str) -> None:
+    """Durable whole-file replace: write temp, fsync, atomic rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
 class SweepJournal:
     """Append-only per-figure checkpoint journal under one directory.
 
@@ -156,13 +308,24 @@ class SweepJournal:
         Package version folded into every fingerprint; defaults to the
         installed :data:`repro.__version__`, so journals never leak
         across releases.
+    fsync:
+        When true (the default), every append is fsync'd before the
+        point counts as checkpointed.  Tests that hammer the journal can
+        turn it off; production paths should not.
     """
 
-    def __init__(self, root: str | Path, *, version: str | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        version: str | None = None,
+        fsync: bool = True,
+    ):
         if version is None:
             from repro import __version__ as version
         self.root = Path(root)
         self.version = str(version)
+        self.fsync = bool(fsync)
         self._loaded: dict[str, dict[str, Any]] = {}
         self._handles: dict[str, IO[str]] = {}
 
@@ -170,25 +333,37 @@ class SweepJournal:
         """The JSONL file backing one figure's checkpoints."""
         return self.root / f"{figure}.journal.jsonl"
 
+    def quarantine_path(self, figure: str) -> Path:
+        """Where corrupted records from one figure's journal end up."""
+        return self.root / "quarantine" / f"{figure}.quarantine.jsonl"
+
     # -- reading -------------------------------------------------------
+    def _quarantine(self, figure: str, lineno: int, raw: str, why: str) -> None:
+        """Preserve one corrupted journal line for post-mortem, never trust it."""
+        qpath = self.quarantine_path(figure)
+        qpath.parent.mkdir(parents=True, exist_ok=True)
+        with qpath.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                {"source": self.path(figure).name, "line": lineno,
+                 "why": why, "raw": raw},
+                separators=(",", ":"),
+            ) + "\n")
+        ins = _rt.ACTIVE
+        if ins is not None:
+            ins.count("repro_journal_quarantined_total")
+
     def _records(self, figure: str) -> dict[str, Any]:
         cached = self._loaded.get(figure)
         if cached is not None:
             return cached
-        records: dict[str, Any] = {}
         path = self.path(figure)
-        if path.exists():
-            for line in path.read_text().splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail write from a killed run
-                if rec.get("schema") != SCHEMA:
-                    continue
-                records[rec["fp"]] = rec  # last record per fingerprint wins
+        text = path.read_text() if path.exists() else ""
+        records = load_records_text(
+            text,
+            on_bad_line=lambda lineno, raw, why: self._quarantine(
+                figure, lineno, raw, why
+            ),
+        )
         self._loaded[figure] = records
         return records
 
@@ -211,35 +386,74 @@ class SweepJournal:
         value: Any,
         status: str = "ok",
         attempts: int = 1,
+        owner: str | None = None,
+        generation: int | None = None,
     ) -> None:
-        """Append one completed point (flushed immediately)."""
+        """Append one completed point, CRC-sealed and fsync'd."""
         ins = _rt.ACTIVE
         ctx = (
             ins.span("checkpoint_write", figure=figure, index=index)
             if ins is not None else nullcontext()
         )
         with ctx:
-            fp = fingerprint_point(figure, args, self.version)
-            rec = {
-                "schema": SCHEMA,
-                "fp": fp,
-                "figure": figure,
-                "version": self.version,
-                "index": index,
-                "status": status,
-                "attempts": attempts,
-                "value": encode_value(value),
-            }
+            rec = make_record(
+                figure, args, version=self.version, index=index, value=value,
+                status=status, attempts=attempts, owner=owner,
+                generation=generation,
+            )
             fh = self._handles.get(figure)
             if fh is None:
                 self.root.mkdir(parents=True, exist_ok=True)
                 fh = self.path(figure).open("a", encoding="utf-8")
                 self._handles[figure] = fh
-            fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            fh.write(record_line(rec) + "\n")
             fh.flush()
-            self._records(figure)[fp] = rec
+            if self.fsync:
+                os.fsync(fh.fileno())
+            self._records(figure)[rec["fp"]] = rec
         if ins is not None:
             ins.count("repro_checkpoint_writes_total")
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self, figure: str | None = None) -> dict[str, int]:
+        """Rewrite journals down to one (the last) record per fingerprint.
+
+        Returns ``{figure: records_dropped}`` for each journal touched.
+        The rewrite is durable — temp file, fsync, atomic rename — so a
+        crash mid-compaction leaves either the old or the new journal,
+        never a torn hybrid.  Open append handles are closed first (the
+        next :meth:`record` reopens against the compacted file).
+        """
+        if figure is not None:
+            figures = [figure]
+        else:
+            figures = sorted(
+                p.name[: -len(".journal.jsonl")]
+                for p in self.root.glob("*.journal.jsonl")
+            )
+        self.close()
+        dropped: dict[str, int] = {}
+        for fig in figures:
+            path = self.path(fig)
+            if not path.exists():
+                continue
+            total = sum(
+                1 for line in path.read_text().splitlines() if line.strip()
+            )
+            records = self._records(fig)
+            write_atomic(
+                path,
+                "".join(
+                    record_line(rec) + "\n"
+                    for rec in sorted(
+                        records.values(),
+                        key=lambda r: (r.get("index", 0), r["fp"]),
+                    )
+                ),
+            )
+            self._loaded.pop(fig, None)  # reload from the compacted file
+            dropped[fig] = total - len(records)
+        return dropped
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,920 @@
+"""Distributed sweep sharding: lease-based work stealing over one journal.
+
+A figure sweep is embarrassingly parallel, and
+:class:`~repro.experiments.journal.SweepJournal` fingerprints are already
+host-independent SHA-256 over ``(figure, args, version)`` — so the only
+thing standing between the single-machine supervised runtime and a fleet
+of workers sharing a directory is *coordination that survives death*.
+This module provides it with three filesystem primitives, chosen so that
+every failure mode degrades to duplicate work, never to wrong results:
+
+* **Lease files** (``leases/<figure>.<fp>.lease.json``): a worker claims
+  a point by atomically creating its lease (``O_CREAT | O_EXCL`` — the
+  filesystem adjudicates races), writing its owner id and a deadline.  A
+  heartbeat thread renews held leases at a third of the TTL; a lease
+  whose deadline passed is **stolen** by renaming it into ``graves/`` (an
+  atomic compare-and-swap: exactly one stealer wins the rename) and
+  claiming afresh with a bumped generation counter.
+* **Per-worker segments** (``segments/<figure>.<worker>.seg.jsonl``):
+  each worker appends completed points — the same CRC-sealed, fsync'd
+  record schema as the single-writer journal — to its *own* file, so
+  concurrent writers never interleave bytes.  Every worker incrementally
+  tails every segment (complete lines only) and merges last-record-wins
+  by fingerprint; corrupt lines are quarantined, never trusted.
+* **A manifest** (``shard.json``): pins the namespace to one package
+  version.  Mixing releases would silently miss every fingerprint, so a
+  mismatch is a hard :class:`~repro.resilience.errors.ShardError`.
+
+**Why results are bit-identical to a serial run, no matter what.**
+Leases are a *performance* mechanism only — they reduce duplicate work,
+they do not guard correctness.  Any interleaving of deaths, steals and
+duplicate claims at worst makes two workers compute the same point, and
+both then append records with the same fingerprint and (because the
+point arithmetic is deterministic and the codec bit-exact) byte-identical
+values; last-record-wins merging makes the duplicates invisible.  The
+drills in :class:`~repro.resilience.faults.ShardFaultPlan` deliberately
+manufacture the worst interleavings (SIGKILL mid-lease, stalled
+heartbeats, claim bypasses, torn segments) and the tests assert the
+merged arrays hash-match the serial reference.
+
+:class:`ShardExecutor` presents the same surface as
+:class:`~repro.experiments.executor.SweepExecutor` (``map``/``report``/
+``reports``/``close``), so every figure module's ``executor=`` plumbing
+works unchanged; ``repro sweep-worker FIGURE --shard-dir DIR`` is the
+process entry point and ``repro experiment FIGURE --shard-dir DIR
+--workers N`` the convenience launcher.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.experiments.executor import PointOutcome, SweepReport
+from repro.experiments.journal import (
+    decode_value,
+    fingerprint_point,
+    load_records_text,
+    make_record,
+    record_line,
+    write_atomic,
+)
+from repro.obs import runtime as _rt
+from repro.resilience.errors import LeaseError, ShardError, SweepError
+from repro.resilience.faults import (
+    ShardFaultPlan,
+    SweepFaultPlan,
+    trigger_point_fault,
+)
+from repro.resilience.retry import RetryPolicy, jitter_fraction
+
+__all__ = [
+    "LEASE_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "Lease",
+    "ShardExecutor",
+    "ShardNamespace",
+    "default_worker_id",
+]
+
+#: Lease file schema version.
+LEASE_SCHEMA = "repro-shard-lease/1"
+#: Namespace manifest schema version.
+MANIFEST_SCHEMA = "repro-shard/1"
+
+#: Characters allowed in worker ids (they become file-name components).
+_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique per live process on a shared filesystem."""
+    host = socket.gethostname().split(".")[0] or "host"
+    return _sanitize(f"{host}-{os.getpid()}")
+
+
+def _sanitize(worker_id: str) -> str:
+    out = "".join(c if c in _SAFE else "-" for c in str(worker_id))
+    if not out:
+        raise ValueError(f"worker id {worker_id!r} has no usable characters")
+    return out
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Lease:
+    """One worker's claim on one sweep point, as stored in its lease file."""
+
+    figure: str
+    fp: str
+    index: int
+    owner: str
+    generation: int
+    deadline: float
+    #: set by the heartbeat when a renewal finds the lease stolen/gone
+    lost: bool = field(default=False, compare=False)
+    #: drill flag: the heartbeat skips renewing a stalled lease
+    stalled: bool = field(default=False, compare=False)
+    #: drill flag: a duplicate-claim bypass holds no file at all
+    phantom: bool = field(default=False, compare=False)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": LEASE_SCHEMA,
+                "figure": self.figure,
+                "fp": self.fp,
+                "index": self.index,
+                "owner": self.owner,
+                "generation": self.generation,
+                "deadline": self.deadline,
+            },
+            separators=(",", ":"), sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, *, path=None) -> "Lease":
+        try:
+            obj = json.loads(text)
+        except ValueError:
+            raise LeaseError(
+                f"unparsable lease file {path}", path=path
+            ) from None
+        if not isinstance(obj, dict) or obj.get("schema") != LEASE_SCHEMA:
+            raise LeaseError(
+                f"foreign or unversioned lease file {path} "
+                f"(schema {obj.get('schema') if isinstance(obj, dict) else None!r})",
+                path=path,
+                owner=obj.get("owner") if isinstance(obj, dict) else None,
+            )
+        return cls(
+            figure=obj["figure"], fp=obj["fp"], index=int(obj["index"]),
+            owner=obj["owner"], generation=int(obj["generation"]),
+            deadline=float(obj["deadline"]),
+        )
+
+
+# ----------------------------------------------------------------------
+class ShardNamespace:
+    """Layout and invariants of one shared shard directory.
+
+    Creating the namespace is idempotent and race-safe: the first worker
+    to ``O_EXCL``-create ``shard.json`` wins, everyone else validates it.
+    A manifest from a different package version raises
+    :class:`~repro.resilience.errors.ShardError` — fingerprints are
+    version-scoped, so sharing a namespace across releases could only
+    waste work or, worse, hide it.
+    """
+
+    def __init__(self, root: str | Path, *, version: str | None = None):
+        if version is None:
+            from repro import __version__ as version
+        self.root = Path(root)
+        self.version = str(version)
+        self.leases = self.root / "leases"
+        self.graves = self.root / "graves"
+        self.segments_dir = self.root / "segments"
+        self.quarantine_dir = self.root / "quarantine"
+        for d in (self.root, self.leases, self.graves,
+                  self.segments_dir, self.quarantine_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._check_manifest()
+
+    def _check_manifest(self) -> None:
+        path = self.root / "shard.json"
+        body = json.dumps(
+            {"schema": MANIFEST_SCHEMA, "version": self.version},
+            separators=(",", ":"), sort_keys=True,
+        )
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            obj = None
+            try:
+                obj = json.loads(path.read_text())
+            except ValueError:
+                pass
+            if (
+                not isinstance(obj, dict)
+                or obj.get("schema") != MANIFEST_SCHEMA
+            ):
+                raise ShardError(
+                    f"{path} is not a shard manifest; refusing to use "
+                    f"{self.root} as a shard namespace",
+                    shard_dir=self.root,
+                )
+            if obj.get("version") != self.version:
+                raise ShardError(
+                    f"shard namespace {self.root} belongs to version "
+                    f"{obj.get('version')!r}, this worker is {self.version!r}; "
+                    "fingerprints are version-scoped — use a fresh directory",
+                    shard_dir=self.root,
+                )
+            return
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- paths ---------------------------------------------------------
+    def lease_path(self, figure: str, fp: str) -> Path:
+        return self.leases / f"{figure}.{fp[:32]}.lease.json"
+
+    def segment_path(self, figure: str, worker: str) -> Path:
+        return self.segments_dir / f"{figure}.{worker}.seg.jsonl"
+
+    def segment_paths(self, figure: str) -> list[Path]:
+        return sorted(self.segments_dir.glob(f"{figure}.*.seg.jsonl"))
+
+    def quarantine_path(self, worker: str) -> Path:
+        return self.quarantine_dir / f"{worker}.quarantine.jsonl"
+
+    # -- maintenance ---------------------------------------------------
+    def gc(self, figure: str | None = None) -> dict[str, int]:
+        """Compact segments to one record per fingerprint; drop dead state.
+
+        For each figure (all of them by default): merge every segment
+        last-record-wins, rewrite the merge as a single durable
+        ``<figure>.merged.seg.jsonl`` (temp + fsync + atomic rename),
+        delete the per-worker segments it replaces, and delete lease
+        files and graves for fingerprints that have a record — finished
+        points need no coordination state.  Returns ``{figure: records}``
+        for each figure compacted.
+
+        Only safe while no worker is actively sweeping that figure (the
+        CLI exposes it as ``--checkpoint-gc``, an offline maintenance
+        step).
+        """
+        if figure is not None:
+            figures = [figure]
+        else:
+            figures = sorted({
+                p.name.split(".", 1)[0]
+                for p in self.segments_dir.glob("*.seg.jsonl")
+            })
+        kept: dict[str, int] = {}
+        for fig in figures:
+            paths = self.segment_paths(fig)
+            if not paths:
+                continue
+            merged: dict[str, dict] = {}
+            for path in paths:
+                merged.update(load_records_text(path.read_text()))
+            out = self.segment_path(fig, "merged")
+            write_atomic(out, "".join(
+                record_line(rec) + "\n"
+                for rec in sorted(
+                    merged.values(), key=lambda r: (r.get("index", 0), r["fp"])
+                )
+            ))
+            for path in paths:
+                if path != out:
+                    path.unlink(missing_ok=True)
+            for fp in merged:
+                self.lease_path(fig, fp).unlink(missing_ok=True)
+            for grave in self.graves.glob(f"{fig}.*"):
+                grave.unlink(missing_ok=True)
+            kept[fig] = len(merged)
+        return kept
+
+
+# ----------------------------------------------------------------------
+class ShardExecutor:
+    """Sweep points cooperatively with every worker sharing ``shard_dir``.
+
+    Duck-type compatible with
+    :class:`~repro.experiments.executor.SweepExecutor` — figure modules
+    take it through the same ``executor=`` keyword.  Points run *inline*
+    in this process (the fleet of workers is the parallelism; there is no
+    nested pool), supervised by the same
+    :class:`~repro.resilience.retry.RetryPolicy` retry loop.
+
+    Parameters
+    ----------
+    shard_dir:
+        The shared namespace directory (any filesystem all workers see).
+    worker_id:
+        Stable unique id of this worker; defaults to ``<host>-<pid>``.
+    lease_ttl:
+        Seconds a lease lives without renewal.  The heartbeat renews at
+        ``ttl / 3``; a worker dead longer than the TTL gets its points
+        stolen.  Cross-machine namespaces assume clocks agree to well
+        under the TTL (NTP-grade skew is fine for the 30 s default).
+    poll:
+        Base sleep between claim scans when no point was claimable
+        (jittered deterministically per worker to avoid thundering herds).
+    retry:
+        Per-point inline retry policy (default: 3 attempts).
+    faults:
+        Point-level :class:`~repro.resilience.faults.SweepFaultPlan`
+        drill (crash degrades to a raise, as in serial mode).
+    shard_faults:
+        Shard-level :class:`~repro.resilience.faults.ShardFaultPlan`
+        drill — deaths mid-lease, stalled heartbeats, duplicate claims,
+        torn segments.
+    timeout:
+        Accepted for CLI symmetry with ``SweepExecutor`` and ignored — an
+        inline worker cannot preempt itself; hung *peers* are handled by
+        lease expiry instead.
+    """
+
+    def __init__(
+        self,
+        shard_dir: str | Path,
+        *,
+        worker_id: str | None = None,
+        lease_ttl: float = 30.0,
+        poll: float = 0.1,
+        retry: RetryPolicy | None = None,
+        faults: SweepFaultPlan | None = None,
+        shard_faults: ShardFaultPlan | None = None,
+        timeout: float | None = None,
+        version: str | None = None,
+    ):
+        if not lease_ttl > 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl!r}")
+        if not poll > 0:
+            raise ValueError(f"poll must be positive, got {poll!r}")
+        self.ns = ShardNamespace(shard_dir, version=version)
+        self.worker_id = _sanitize(
+            worker_id if worker_id is not None else default_worker_id()
+        )
+        self.lease_ttl = float(lease_ttl)
+        self.poll = float(poll)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        self.shard_faults = shard_faults
+        self.timeout = timeout  # unused; see docstring
+        #: report of the most recent :meth:`map` (None before the first)
+        self.report: SweepReport | None = None
+        #: reports of every :meth:`map` on this executor, oldest first
+        self.reports: list[SweepReport] = []
+        #: successful lease acquisitions (drills key on this counter)
+        self.claims = 0
+
+        self._held: dict[str, Lease] = {}  # fp -> lease, heartbeat-renewed
+        self._held_lock = threading.Lock()
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+        self._segment_fh = None
+        #: per-figure merge state: (offsets by path, merged records)
+        self._offsets: dict[str, dict[Path, int]] = {}
+        self._merged: dict[str, dict[str, dict]] = {}
+        self._quarantined: set[tuple[str, int]] = set()
+        self._steal_seq = 0
+
+    # -- lease protocol ------------------------------------------------
+    def _write_lease_excl(self, lease: Lease) -> bool:
+        path = self.ns.lease_path(lease.figure, lease.fp)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(lease.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
+
+    def _peek_lease(self, figure: str, fp: str) -> Lease | None:
+        path = self.ns.lease_path(figure, fp)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:  # pragma: no cover - transient NFS races
+            if exc.errno in (errno.ESTALE, errno.ENOENT):
+                return None
+            raise
+        try:
+            return Lease.from_json(text, path=path)
+        except LeaseError:
+            if not text.strip():
+                # A torn lease write from a dying kernel: claimable.
+                return None
+            raise
+
+    def try_claim(self, figure: str, fp: str, index: int) -> Lease | None:
+        """Claim one point: fresh acquire, or steal an expired lease.
+
+        Returns the held :class:`Lease` (``generation > 1`` marks a
+        steal) or ``None`` when a live peer holds the point.
+        """
+        ins = _rt.ACTIVE
+        if self.shard_faults is not None and self.shard_faults.duplicate_claim:
+            # Drill: compute without coordinating at all — the worst
+            # duplicate-claim race, on purpose.  Merge must absorb it.
+            return Lease(figure=figure, fp=fp, index=index,
+                         owner=self.worker_id, generation=1,
+                         deadline=time.time() + self.lease_ttl, phantom=True)
+        current = self._peek_lease(figure, fp)
+        if current is None and self.ns.lease_path(figure, fp).exists():
+            # A torn (empty) lease from a crashed claimer would block the
+            # O_EXCL create below; clear it like a steal — atomic rename,
+            # exactly one winner — then race for the fresh claim.
+            self._steal_seq += 1
+            grave = self.ns.graves / (
+                f"{figure}.{fp[:32]}.g0.{self.worker_id}.{self._steal_seq}"
+                ".json"
+            )
+            try:
+                os.rename(self.ns.lease_path(figure, fp), grave)
+            except FileNotFoundError:
+                pass  # another worker cleared it first; race for the claim
+        if current is None:
+            lease = Lease(
+                figure=figure, fp=fp, index=index, owner=self.worker_id,
+                generation=1, deadline=time.time() + self.lease_ttl,
+            )
+            ctx = (
+                ins.span("lease_acquire", figure=figure, index=index,
+                         generation=1)
+                if ins is not None else None
+            )
+            if ctx is not None:
+                with ctx:
+                    won = self._write_lease_excl(lease)
+            else:
+                won = self._write_lease_excl(lease)
+            if not won:
+                return None
+            if ins is not None:
+                ins.count("repro_leases_acquired_total", mode="fresh")
+            return lease
+        if current.owner == self.worker_id:
+            # Our own stale lease from a previous incarnation of this
+            # worker id: treat like any other expired lease below.
+            pass
+        if time.time() <= current.deadline:
+            return None
+        # Expired: steal via atomic rename — exactly one winner.
+        if ins is not None:
+            ins.count("repro_lease_expiries_total")
+        self._steal_seq += 1
+        grave = self.ns.graves / (
+            f"{figure}.{fp[:32]}.g{current.generation}"
+            f".{self.worker_id}.{self._steal_seq}.json"
+        )
+        try:
+            os.rename(self.ns.lease_path(figure, fp), grave)
+        except FileNotFoundError:
+            return None  # another stealer (or a releasing owner) won
+        lease = Lease(
+            figure=figure, fp=fp, index=index, owner=self.worker_id,
+            generation=current.generation + 1,
+            deadline=time.time() + self.lease_ttl,
+        )
+        ctx = (
+            ins.span("lease_acquire", figure=figure, index=index,
+                     generation=lease.generation, stolen_from=current.owner)
+            if ins is not None else None
+        )
+        if ctx is not None:
+            with ctx:
+                won = self._write_lease_excl(lease)
+        else:
+            won = self._write_lease_excl(lease)
+        if not won:
+            # A third worker re-claimed between our rename and create;
+            # benign — we simply did not get the point.
+            return None
+        if ins is not None:
+            ins.count("repro_leases_acquired_total", mode="steal")
+            ins.count("repro_points_stolen_total")
+        return lease
+
+    def renew(self, lease: Lease, *, observe: bool = True) -> bool:
+        """Extend a held lease; returns False (and flags it lost) if stolen.
+
+        Peeks before writing so a thief's fresh lease is never clobbered;
+        the unavoidable peek→write window only ever causes duplicate
+        computation, which the merge absorbs.
+        """
+        if lease.phantom:
+            return True
+        try:
+            current = self._peek_lease(lease.figure, lease.fp)
+        except LeaseError:
+            current = None
+        if (
+            current is None
+            or current.owner != lease.owner
+            or current.generation != lease.generation
+        ):
+            lease.lost = True
+            return False
+        lease.deadline = time.time() + self.lease_ttl
+        path = self.ns.lease_path(lease.figure, lease.fp)
+        tmp = path.with_name(path.name + f".renew.{self.worker_id}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(lease.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        ins = _rt.ACTIVE if observe else None
+        if ins is not None:
+            with ins.span("lease_renew", figure=lease.figure,
+                          index=lease.index, generation=lease.generation):
+                pass
+        return True
+
+    def release(self, lease: Lease) -> None:
+        """Drop a held lease (only if still ours — never a thief's)."""
+        if lease.phantom:
+            return
+        try:
+            current = self._peek_lease(lease.figure, lease.fp)
+        except LeaseError:
+            return
+        if (
+            current is not None
+            and current.owner == lease.owner
+            and current.generation == lease.generation
+        ):
+            self.ns.lease_path(lease.figure, lease.fp).unlink(missing_ok=True)
+
+    # -- heartbeat -----------------------------------------------------
+    def _heartbeat(self) -> None:
+        # NOTE: the tracer is single-threaded by design; the heartbeat
+        # must never emit spans or touch metrics — it only renews files.
+        interval = self.lease_ttl / 3.0
+        while not self._hb_stop.wait(interval):
+            with self._held_lock:
+                leases = list(self._held.values())
+            for lease in leases:
+                if lease.stalled or lease.lost:
+                    continue
+                try:
+                    self.renew(lease, observe=False)
+                except OSError:  # pragma: no cover - transient fs hiccup
+                    pass
+
+    def _hold(self, lease: Lease) -> None:
+        with self._held_lock:
+            self._held[lease.fp] = lease
+        if self._hb_thread is None:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat,
+                name=f"shard-heartbeat-{self.worker_id}",
+                daemon=True,
+            )
+            self._hb_thread.start()
+
+    def _drop(self, lease: Lease) -> None:
+        with self._held_lock:
+            self._held.pop(lease.fp, None)
+        self.release(lease)
+
+    # -- segment writing -----------------------------------------------
+    def _append_segment(self, figure: str, rec: dict) -> None:
+        path = self.ns.segment_path(figure, self.worker_id)
+        if self._segment_fh is None or self._segment_fh.name != str(path):
+            if self._segment_fh is not None:
+                self._segment_fh.close()
+            self._segment_fh = path.open("a", encoding="utf-8")
+        self._segment_fh.write(record_line(rec) + "\n")
+        self._segment_fh.flush()
+        os.fsync(self._segment_fh.fileno())
+        if self.shard_faults is not None and self.shard_faults.tear_segment:
+            # Drill: append a torn half-record; every reader must
+            # quarantine it, none may crash or trust it.
+            self._segment_fh.write('{"schema":"' + "repro-sweep-journal/1"
+                                   + '","fp":"torn-')
+            self._segment_fh.write("\n")
+            self._segment_fh.flush()
+            os.fsync(self._segment_fh.fileno())
+        ins = _rt.ACTIVE
+        if ins is not None:
+            ins.count("repro_checkpoint_writes_total")
+
+    # -- segment merging -----------------------------------------------
+    def _quarantine(self, source: Path, lineno: int, raw: str, why: str) -> None:
+        key = (str(source), zlib.crc32(raw.encode("utf-8")))
+        if key in self._quarantined:
+            return
+        self._quarantined.add(key)
+        qpath = self.ns.quarantine_path(self.worker_id)
+        with qpath.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                {"source": source.name, "line": lineno, "why": why,
+                 "raw": raw},
+                separators=(",", ":"),
+            ) + "\n")
+        ins = _rt.ACTIVE
+        if ins is not None:
+            ins.count("repro_journal_quarantined_total")
+
+    def refresh(self, figure: str) -> int:
+        """Tail every segment incrementally; returns new records absorbed.
+
+        Only newline-terminated data is consumed (a peer's in-flight
+        append stays invisible until its newline lands); a segment that
+        *shrank* (offline compaction) is re-read from the start.
+        """
+        offsets = self._offsets.setdefault(figure, {})
+        merged = self._merged.setdefault(figure, {})
+        new = 0
+        read_any = False
+        for path in self.ns.segment_paths(figure):
+            try:
+                size = path.stat().st_size
+            except FileNotFoundError:
+                continue
+            off = offsets.get(path, 0)
+            if size < off:
+                off = 0  # truncated/compacted underneath us: re-read
+            if size == off:
+                continue
+            with open(path, "rb") as fh:
+                fh.seek(off)
+                chunk = fh.read(size - off)
+            nl = chunk.rfind(b"\n")
+            if nl < 0:
+                continue  # no complete new line yet
+            text = chunk[: nl + 1].decode("utf-8", errors="replace")
+            offsets[path] = off + nl + 1
+            read_any = True
+            # Line numbers are chunk-relative on incremental reads;
+            # quarantine entries carry the raw line, which is what counts.
+            found = load_records_text(
+                text,
+                on_bad_line=lambda lineno, raw, why, p=path:
+                    self._quarantine(p, lineno, raw, why),
+            )
+            new += len(found)
+            merged.update(found)
+        if read_any:
+            ins = _rt.ACTIVE
+            if ins is not None:
+                with ins.span("segment_merge", figure=figure,
+                              records=new, total=len(merged)):
+                    pass
+        return new
+
+    def merged(self, figure: str) -> dict[str, dict]:
+        """The current last-record-wins view across every segment."""
+        self.refresh(figure)
+        return self._merged.setdefault(figure, {})
+
+    # -- point computation ---------------------------------------------
+    def _compute_point(
+        self, fn: Callable[..., Any], args: tuple, index: int,
+        out: PointOutcome,
+    ) -> tuple[bool, Any]:
+        """Inline retry loop for one claimed point (mirrors serial mode)."""
+        ins = _rt.ACTIVE
+        for attempt in range(1, self.retry.max_attempts + 1):
+            out.attempts = attempt
+            fallback = self.retry.is_fallback(attempt)
+            try:
+                if ins is not None:
+                    with ins.span("sweep_point", fn=fn.__name__, mode="shard"):
+                        if self.faults is not None and not fallback:
+                            trigger_point_fault(
+                                self.faults, index, attempt, inline=True
+                            )
+                        value = fn(*args)
+                    ins.count("repro_sweep_points_total", mode="shard")
+                else:
+                    if self.faults is not None and not fallback:
+                        trigger_point_fault(
+                            self.faults, index, attempt, inline=True
+                        )
+                    value = fn(*args)
+            except Exception as exc:
+                from repro.experiments.executor import _failure_reason
+
+                reason = _failure_reason(exc)
+                out.failures.append(f"attempt {attempt}: {reason}")
+                if attempt >= self.retry.max_attempts:
+                    out.status = "failed"
+                    out.error = f"{type(exc).__name__}: {exc}"
+                    return False, None
+                delay = self.retry.delay(attempt, index)
+                if ins is not None:
+                    with ins.span("point_retry", index=index, attempt=attempt,
+                                  reason=reason, delay=round(delay, 6)):
+                        pass
+                    ins.count("repro_point_retries_total", reason=reason)
+                if delay:
+                    time.sleep(delay)
+                continue
+            return True, value
+        return False, None  # pragma: no cover - loop always returns
+
+    # -- the cooperative sweep -----------------------------------------
+    def map(
+        self,
+        fn: Callable[..., Any],
+        calls: Sequence[tuple],
+        *,
+        label: str | None = None,
+    ) -> list[Any]:
+        """``[fn(*args) for args in calls]``, cooperatively with the fleet.
+
+        Every worker calls this with the *same* figure and calls; each
+        point is computed by whichever worker claims it (or steals it
+        from a dead claimant), and every worker returns the identical,
+        bit-exact assembled result list.
+        """
+        calls = list(calls)
+        figure = label or getattr(fn, "__name__", "sweep")
+        fps = [
+            fingerprint_point(figure, args, self.ns.version) for args in calls
+        ]
+        report = SweepReport(label=figure, total=len(calls))
+        report.points = [PointOutcome(index=i) for i in range(len(calls))]
+        self.report = report
+        self.reports.append(report)
+        ins = _rt.ACTIVE
+
+        results: list[Any] = [None] * len(calls)
+        done: set[int] = set()
+        local_failed: set[int] = set()
+        computed_here: set[int] = set()
+
+        def settle_from(merged: dict[str, dict], *, initial: bool) -> None:
+            for i in range(len(calls)):
+                if i in done:
+                    continue
+                rec = merged.get(fps[i])
+                if rec is None:
+                    continue
+                results[i] = decode_value(rec["value"])
+                out = report.points[i]
+                gen = int(rec.get("generation", 1) or 1)
+                out.owner = rec.get("owner", "") or ""
+                out.generation = gen
+                out.steals = max(0, gen - 1)
+                if i in computed_here:
+                    pass  # status was set at compute time
+                elif initial:
+                    out.status = "resumed"
+                    if ins is not None:
+                        ins.count("repro_points_resumed_total")
+                else:
+                    out.status = "peer"
+                done.add(i)
+
+        settle_from(self.merged(figure), initial=True)
+
+        tick = 0
+        try:
+            while len(done) < len(calls):
+                progressed = False
+                pending = [i for i in range(len(calls)) if i not in done]
+                offset = (
+                    zlib.crc32(self.worker_id.encode()) % max(1, len(pending))
+                )
+                scan = pending[offset:] + pending[:offset]
+                for i in scan:
+                    if i in local_failed:
+                        continue
+                    lease = self.try_claim(figure, fps[i], i)
+                    if lease is None:
+                        continue
+                    self.claims += 1
+                    sf = self.shard_faults
+                    if sf is not None and sf.dies_now(self.claims):
+                        # Drill: die holding the lease — no cleanup, no
+                        # release; peers must steal after the TTL.
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if sf is not None and sf.stalls_now(self.claims):
+                        lease.stalled = True  # heartbeat abandons it
+                        time.sleep(sf.stall_seconds)
+                    self._hold(lease)
+                    out = report.points[i]
+                    ok, value = self._compute_point(fn, calls[i], i, out)
+                    if ok:
+                        # Renew (and notice theft) right before the
+                        # record lands; a lost lease still records — the
+                        # thief's value is bit-identical, last wins.
+                        self.renew(lease)
+                        self._append_segment(figure, make_record(
+                            figure, calls[i], version=self.ns.version,
+                            index=i, value=value,
+                            status="ok", attempts=out.attempts,
+                            owner=self.worker_id, generation=lease.generation,
+                        ))
+                        results[i] = value
+                        out.owner = self.worker_id
+                        out.generation = lease.generation
+                        out.steals = max(0, lease.generation - 1)
+                        if lease.generation > 1:
+                            out.status = "stolen"
+                        elif out.attempts == 1:
+                            out.status = "ok"
+                        elif self.retry.is_fallback(out.attempts):
+                            out.status = "salvaged"
+                        else:
+                            out.status = "retried"
+                        computed_here.add(i)
+                        done.add(i)
+                    else:
+                        local_failed.add(i)
+                    self._drop(lease)
+                    progressed = True
+                    break  # refresh the merged view between points
+                settle_from(self.merged(figure), initial=False)
+                if progressed or len(done) >= len(calls):
+                    continue
+                # Nothing claimable: either peers hold live leases on
+                # the remainder, or every remaining point failed here.
+                still = [i for i in range(len(calls)) if i not in done]
+                if still and all(i in local_failed for i in still):
+                    if not self._any_live_peer_lease(figure, fps, still):
+                        report_failed = [
+                            i for i in still
+                            if report.points[i].status == "failed"
+                        ]
+                        raise SweepError(
+                            f"sweep {figure!r}: {len(report_failed)} of "
+                            f"{report.total} points failed beyond retry on "
+                            f"every live worker (indices {report_failed}); "
+                            "completed points are in the shard segments",
+                            report=report,
+                        )
+                tick += 1
+                time.sleep(
+                    self.poll * (0.75 + 0.5 * jitter_fraction(
+                        zlib.crc32(self.worker_id.encode()) & 0xFFFF, tick
+                    ))
+                )
+        except KeyboardInterrupt:
+            report.interrupted = True
+            self._release_held()
+            raise
+        finally:
+            self._stop_heartbeat()
+
+        if not report.complete:
+            bad = [p.index for p in report.points if p.status == "failed"]
+            raise SweepError(
+                f"sweep {figure!r}: {len(bad)} of {report.total} points "
+                f"failed beyond retry (indices {bad}); completed points are "
+                "in the shard segments",
+                report=report,
+            )
+        return results
+
+    def _any_live_peer_lease(
+        self, figure: str, fps: list[str], indices: list[int]
+    ) -> bool:
+        now = time.time()
+        for i in indices:
+            try:
+                lease = self._peek_lease(figure, fps[i])
+            except LeaseError:
+                continue
+            if (
+                lease is not None
+                and lease.owner != self.worker_id
+                and now <= lease.deadline
+            ):
+                return True
+        return False
+
+    # -- lifecycle -----------------------------------------------------
+    def _release_held(self) -> None:
+        with self._held_lock:
+            leases = list(self._held.values())
+            self._held.clear()
+        for lease in leases:
+            try:
+                self.release(lease)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _stop_heartbeat(self) -> None:
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5.0)
+            self._hb_thread = None
+        self._hb_stop = threading.Event()
+
+    def close(self) -> None:
+        """Release leases, stop the heartbeat, close the segment file."""
+        self._stop_heartbeat()
+        self._release_held()
+        if self._segment_fh is not None:
+            try:
+                self._segment_fh.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+            self._segment_fh = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -311,6 +311,14 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Worker pools killed and rebuilt by the supervisor, by cause"),
     ("counter", "repro_checkpoint_writes_total",
      "Completed sweep points appended to a checkpoint journal"),
+    ("counter", "repro_leases_acquired_total",
+     "Sweep-point leases acquired by shard workers (fresh claims and steals)"),
+    ("counter", "repro_points_stolen_total",
+     "Sweep points stolen from an expired lease of a dead or stalled worker"),
+    ("counter", "repro_lease_expiries_total",
+     "Lease deadlines observed expired by a peer (steal opportunities)"),
+    ("counter", "repro_journal_quarantined_total",
+     "Corrupted journal/segment records quarantined instead of trusted"),
     ("gauge", "repro_level_dim",
      "State-space dimension D(k) of each assembled level"),
     ("gauge", "repro_level_nnz",

@@ -56,6 +56,9 @@ class ProfileResult:
     level_dims: list[int]
     instrumentation: Instrumentation
     meta: dict[str, Any] = field(default_factory=dict)
+    #: sweep reports collected during the profiled run (per-point status,
+    #: attempts, shard provenance) — empty when no supervised sweep ran
+    sweep_reports: list[Any] = field(default_factory=list)
 
     # -- aggregation ---------------------------------------------------
     @property
@@ -185,8 +188,15 @@ class ProfileResult:
         trace_path: str | Path | None = None,
         metrics_path: str | Path | None = None,
         metrics_json_path: str | Path | None = None,
+        report_json_path: str | Path | None = None,
     ) -> list[Path]:
-        """Write the JSONL trace / Prometheus metrics / JSON metrics files."""
+        """Write the trace / metrics / sweep-report artifact files.
+
+        ``report_json_path`` serializes :attr:`sweep_reports` with the
+        same ``repro-sweep-report/1`` schema the experiments CLI's
+        ``--report-json`` emits — an empty ``reports`` list documents
+        that no supervised sweep ran during this profile.
+        """
         written = []
         if trace_path is not None:
             p = Path(trace_path)
@@ -199,6 +209,13 @@ class ProfileResult:
         if metrics_json_path is not None:
             p = Path(metrics_json_path)
             p.write_text(self.instrumentation.metrics.to_json() + "\n")
+            written.append(p)
+        if report_json_path is not None:
+            p = Path(report_json_path)
+            p.write_text(json.dumps(
+                {"reports": [r.to_dict() for r in self.sweep_reports]},
+                indent=2,
+            ) + "\n")
             written.append(p)
         return written
 

@@ -33,6 +33,8 @@ __all__ = [
     "BudgetExceededError",
     "InjectedFaultError",
     "SweepError",
+    "ShardError",
+    "LeaseError",
 ]
 
 
@@ -257,4 +259,51 @@ class SweepError(SolverError):
             [p.index for p in self.report.points if p.status == "failed"]
             if self.report is not None else []
         )
+        return ctx
+
+
+class ShardError(SolverError):
+    """A distributed shard namespace is unusable or inconsistent.
+
+    Raised by :class:`~repro.experiments.shard.ShardNamespace` on a
+    manifest schema/version mismatch (two releases must never share a
+    namespace — fingerprints would silently miss) and by
+    :class:`~repro.experiments.shard.ShardExecutor` when a sweep can make
+    no further progress: every remaining point failed locally beyond
+    retry and no live peer holds a lease on any of them.
+    """
+
+    reason = "shard-failed"
+
+    def __init__(self, message: str, *, shard_dir=None, report=None):
+        super().__init__(message)
+        self.shard_dir = None if shard_dir is None else str(shard_dir)
+        self.report = report
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["shard_dir"] = self.shard_dir
+        return ctx
+
+
+class LeaseError(ShardError):
+    """A lease file is malformed or violates the protocol invariants.
+
+    Carries the lease ``path`` and the ``owner`` recorded in it (when
+    readable).  Raised on unparsable lease bodies and on schema
+    mismatches; *expired* leases are never an error — they are the
+    work-stealing signal.
+    """
+
+    reason = "lease-invalid"
+
+    def __init__(self, message: str, *, path=None, owner: str | None = None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.owner = owner
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["path"] = self.path
+        ctx["owner"] = self.owner
         return ctx

@@ -48,6 +48,7 @@ from repro.resilience.errors import InjectedFaultError, SingularLevelError
 __all__ = [
     "FaultPlan",
     "FaultyLevel",
+    "ShardFaultPlan",
     "SweepFaultPlan",
     "apply_faults",
     "trigger_point_fault",
@@ -313,6 +314,73 @@ class SweepFaultPlan:
 
     def fails(self, index: int, attempt: int) -> bool:
         return self._fires(self.fail_point, self.fail_attempts, index, attempt)
+
+
+# ----------------------------------------------------------------------
+# Shard-level faults: drills for the distributed sweep runtime.
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Deterministic distributed-coordination faults for shard drills.
+
+    These drive the lease/steal/merge machinery of
+    :class:`~repro.experiments.shard.ShardExecutor` through its failure
+    matrix without any nondeterministic racing.  Triggers are keyed on
+    the worker's *claim count* — "the Nth lease this worker successfully
+    acquires" — not on point indices, because which worker claims which
+    point first is inherently racy across processes; the claim counter is
+    local and exact.
+
+    Parameters
+    ----------
+    die_after_claims:
+        SIGKILL this worker immediately after its Nth successful lease
+        acquisition — the held lease never gets a value, its heartbeat
+        stops, and a surviving peer must steal the point after expiry.
+    stall_heartbeat_after:
+        After the Nth claim, stop renewing that lease and stall the
+        point computation for ``stall_seconds`` (longer than the lease
+        TTL in drills) before computing normally.  A live peer steals and
+        recomputes the point; this worker's late duplicate record is
+        merged benignly (values are bit-identical by construction).
+    stall_seconds:
+        How long a stalled heartbeat drill sleeps before resuming.
+    duplicate_claim:
+        Bypass lease acquisition entirely on every point: this worker
+        computes points *without* holding leases, manufacturing the
+        worst-case duplicate-claim race on purpose.  The merged journal
+        must still be exact — same fingerprints, bit-identical values.
+    tear_segment:
+        After each record this worker appends, also append a torn half
+        record (no trailing newline completion) to its own segment,
+        exercising quarantine-on-merge in every reader.
+    """
+
+    die_after_claims: int | None = None
+    stall_heartbeat_after: int | None = None
+    stall_seconds: float = 2.0
+    duplicate_claim: bool = False
+    tear_segment: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when any shard fault is armed."""
+        return (
+            self.die_after_claims is not None
+            or self.stall_heartbeat_after is not None
+            or self.duplicate_claim
+            or self.tear_segment
+        )
+
+    def dies_now(self, claims: int) -> bool:
+        """True when the worker must SIGKILL after its ``claims``-th claim."""
+        return self.die_after_claims is not None and claims == self.die_after_claims
+
+    def stalls_now(self, claims: int) -> bool:
+        """True when this claim's heartbeat must stall."""
+        return (
+            self.stall_heartbeat_after is not None
+            and claims == self.stall_heartbeat_after
+        )
 
 
 def trigger_point_fault(

@@ -22,17 +22,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy"]
+__all__ = ["RetryPolicy", "jitter_fraction"]
 
 _MASK64 = (1 << 64) - 1
 
 
-def _jitter_fraction(index: int, attempt: int) -> float:
+def jitter_fraction(index: int, attempt: int) -> float:
     """Deterministic pseudo-uniform fraction in [0, 1) from (index, attempt).
 
     A splitmix64 finalizer over a linear combination of the inputs: cheap,
     stateless, and stable across processes and Python versions (pure
-    integer arithmetic — hash randomization does not touch it).
+    integer arithmetic — hash randomization does not touch it).  Public
+    because the shard layer reuses it to de-synchronize lease-claim scans
+    and contention backoff across workers without any ``random`` state.
     """
     x = (index * 0x9E3779B97F4A7C15 + (attempt + 1) * 0xBF58476D1CE4E5B9) & _MASK64
     x ^= x >> 30
@@ -41,6 +43,10 @@ def _jitter_fraction(index: int, attempt: int) -> float:
     x = (x * 0x94D049BB133111EB) & _MASK64
     x ^= x >> 31
     return (x >> 11) / float(1 << 53)
+
+
+#: Backward-compatible private alias (monkeypatched in older tests).
+_jitter_fraction = jitter_fraction
 
 
 @dataclass(frozen=True)

@@ -133,3 +133,26 @@ class TestValidateBench:
         }))
         with pytest.raises(ValueError, match="nonpositive"):
             validate_bench(p)
+
+
+class TestReportArtifact:
+    def test_report_json_written_even_without_sweeps(self, result, tmp_path):
+        (path,) = result.write_artifacts(report_json_path=tmp_path / "r.json")
+        doc = json.loads(path.read_text())
+        assert doc == {"reports": []}
+
+    def test_report_json_serializes_attached_reports(self, result, tmp_path):
+        from repro.experiments.executor import PointOutcome, SweepReport
+
+        report = SweepReport(label="probe", total=1)
+        report.points.append(PointOutcome(index=0, status="ok", attempts=1))
+        result.sweep_reports.append(report)
+        try:
+            result.write_artifacts(report_json_path=tmp_path / "r.json")
+        finally:
+            result.sweep_reports.clear()
+        doc = json.loads((tmp_path / "r.json").read_text())
+        (entry,) = doc["reports"]
+        assert entry["schema"] == "repro-sweep-report/1"
+        assert entry["label"] == "probe"
+        assert entry["points"][0]["status"] == "ok"

@@ -133,3 +133,42 @@ class TestStationaryVectorGuards:
         pi = stationary_left_vector(lambda x: x @ T, 2)
         assert pi @ T == pytest.approx(pi)
         assert pi.sum() == pytest.approx(1.0)
+
+
+class TestShardFaultPlan:
+    """Shard drills: armed by claim COUNT, which is worker-local and exact
+    (point→worker assignment is racy; the local claim counter is not)."""
+
+    def test_inactive_by_default(self):
+        from repro.resilience.faults import ShardFaultPlan
+
+        plan = ShardFaultPlan()
+        assert not plan.active
+        assert not plan.dies_now(1)
+        assert not plan.stalls_now(1)
+
+    def test_each_knob_arms_the_plan(self):
+        from repro.resilience.faults import ShardFaultPlan
+
+        assert ShardFaultPlan(die_after_claims=1).active
+        assert ShardFaultPlan(stall_heartbeat_after=2).active
+        assert ShardFaultPlan(duplicate_claim=True).active
+        assert ShardFaultPlan(tear_segment=True).active
+
+    def test_die_fires_exactly_at_the_threshold(self):
+        from repro.resilience.faults import ShardFaultPlan
+
+        plan = ShardFaultPlan(die_after_claims=2)
+        assert not plan.dies_now(1)
+        assert plan.dies_now(2)
+        # claims=3 is unreachable in practice (the process died at 2);
+        # the trigger is an exact match on the local claim counter.
+        assert not plan.dies_now(3)
+
+    def test_stall_fires_at_the_threshold(self):
+        from repro.resilience.faults import ShardFaultPlan
+
+        plan = ShardFaultPlan(stall_heartbeat_after=1, stall_seconds=0.5)
+        assert not plan.stalls_now(0)
+        assert plan.stalls_now(1)
+        assert plan.stall_seconds == 0.5

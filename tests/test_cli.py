@@ -70,3 +70,63 @@ class TestExperimentPassthrough:
     def test_runs_figure(self, capsys):
         assert main(["experiment", "fig12"]) == 0
         assert "fig12" in capsys.readouterr().out
+
+
+class TestSweepWorker:
+    def test_requires_shard_dir(self, capsys):
+        assert main(["sweep-worker", "fig12"]) == 2
+        assert "--shard-dir" in capsys.readouterr().err
+
+    def test_joins_namespace_and_leaves_segments(self, tmp_path, capsys):
+        ns = tmp_path / "ns"
+        rc = main([
+            "sweep-worker", "fig12", "--shard-dir", str(ns),
+            "--worker-id", "cli-w0", "--lease-ttl", "30",
+            "--report-json", str(tmp_path / "report.json"),
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "sweep fig12" in err
+        assert (ns / "shard.json").exists()
+        segments = list((ns / "segments").glob("fig12.cli-w0.seg.jsonl"))
+        assert len(segments) == 1
+        doc = json.loads((tmp_path / "report.json").read_text())
+        (report,) = doc["reports"]
+        assert report["schema"] == "repro-sweep-report/1"
+        assert report["complete"] and report["exit_code"] == 0
+        assert all(p["owner"] == "cli-w0" for p in report["points"])
+
+        # A second worker resumes everything from the merged segments.
+        rc = main([
+            "sweep-worker", "fig12", "--shard-dir", str(ns),
+            "--worker-id", "cli-w1",
+        ])
+        assert rc == 0
+        assert f"resumed={report['total']}" in capsys.readouterr().err
+
+    def test_checkpoint_gc_merges_segments(self, tmp_path, capsys):
+        ns = tmp_path / "ns"
+        assert main([
+            "sweep-worker", "fig12", "--shard-dir", str(ns),
+            "--worker-id", "cli-w0",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep-worker", "fig12", "--shard-dir", str(ns),
+            "--checkpoint-gc",
+        ]) == 0
+        assert "shard gc fig12" in capsys.readouterr().err
+        merged = list((ns / "segments").glob("*.seg.jsonl"))
+        assert [p.name for p in merged] == ["fig12.merged.seg.jsonl"]
+
+
+class TestExperimentReportJson:
+    def test_report_json_for_plain_sweep(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main([
+            "experiment", "fig12", "--report-json", str(path),
+        ]) == 0
+        doc = json.loads(path.read_text())
+        (report,) = doc["reports"]
+        assert report["exit_code"] == 0
+        assert report["counts"]["ok"] == report["total"]
