@@ -278,9 +278,89 @@ def _cmd_sweep_worker(args) -> int:
     return exp_main(_experiment_argv(args))
 
 
+def _cmd_status(args) -> int:
+    """Live fleet console over a shard namespace's telemetry streams."""
+    import json as _json
+    import time as _time
+
+    from repro.obs.fleet import FleetView
+
+    def render() -> FleetView:
+        fleet = FleetView.load(
+            args.shard_dir, figure=args.figure, stale_after=args.stale_after
+        )
+        if args.json:
+            print(_json.dumps(fleet.to_dict(), sort_keys=True))
+        else:
+            print(fleet.format_console())
+        return fleet
+
+    if args.watch is None:
+        fleet = render()
+        return 0 if fleet.workers else 2
+    try:
+        while True:
+            fleet = render()
+            doc = fleet.to_dict()
+            if fleet.workers and doc["fleet"]["total"] and \
+                    doc["fleet"]["done"] >= doc["fleet"]["total"]:
+                return 0
+            _time.sleep(args.watch)
+            if not args.json:
+                print()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _profile_fleet(args) -> int:
+    """`repro profile --merge-telemetry`: fleet trace merge + coverage gate."""
+    from repro.obs.fleet import FleetView
+
+    fleet = FleetView.load(args.merge_telemetry, figure=args.name)
+    tracer = fleet.merged_tracer()
+    if not tracer.spans:
+        print(f"no telemetry spans under {args.merge_telemetry} "
+              "(fleet ran uninstrumented?)", file=sys.stderr)
+        return 2
+    totals = tracer.stage_totals()
+    print(f"{'stage':<24} {'count':>7} {'wall s':>10} {'self s':>10}")
+    for name, agg in sorted(totals.items(), key=lambda kv: -kv[1]["self"]):
+        print(f"{name:<24} {int(agg['count']):>7} "
+              f"{agg['wall']:>10.4f} {agg['self']:>10.4f}")
+    lat = fleet.latency()
+    if lat is not None:
+        print(f"point latency: p50 {lat['p50'] * 1e3:.2f}ms  "
+              f"p95 {lat['p95'] * 1e3:.2f}ms  p99 {lat['p99'] * 1e3:.2f}ms  "
+              f"(n={int(lat['count'])})")
+    if args.trace:
+        Path(args.trace).write_text(tracer.to_jsonl() + "\n")
+        print(f"wrote {args.trace}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            fleet.merged_metrics().to_prometheus()
+        )
+        print(f"wrote {args.metrics_out}")
+    cov = fleet.coverage()
+    if cov is None:
+        print("fleet span coverage: unknown (no busy time recorded)")
+        return 0
+    print(f"fleet span coverage: {cov:.1%}")
+    if cov < 0.95:
+        print(f"WARNING: fleet span coverage {cov:.1%} below 95% of "
+              "busy wall", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.obs.profile import profile_spec, write_bench
 
+    if args.merge_telemetry:
+        return _profile_fleet(args)
+    if not args.spec or args.workstations is None or args.tasks is None:
+        print("profile requires a spec plus -K/-N "
+              "(or --merge-telemetry DIR)", file=sys.stderr)
+        return 2
     spec = _load_spec(args.spec)
     resilience = _resilience_config(args) if args.robust else None
     name = args.name or Path(args.spec).stem
@@ -385,14 +465,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(sw)
     sw.set_defaults(func=_cmd_sweep_worker)
 
+    st = sub.add_parser(
+        "status",
+        help="live fleet console: per-worker progress, leases, steals, "
+             "throughput, ETA and latency percentiles from a shard "
+             "namespace's telemetry streams",
+    )
+    st.add_argument("--shard-dir", required=True, metavar="DIR",
+                    help="the shared shard namespace directory")
+    st.add_argument("--figure", default=None,
+                    help="only show workers sweeping this figure")
+    st.add_argument("--json", action="store_true",
+                    help="emit one repro-fleet-status/1 JSON document")
+    st.add_argument("--watch", nargs="?", type=float, const=2.0,
+                    default=None, metavar="SECS",
+                    help="re-render every SECS (default 2) until the "
+                         "sweep completes or Ctrl-C")
+    st.add_argument("--stale-after", type=float, default=10.0,
+                    help="seconds without telemetry before a worker "
+                         "counts as stalled (default 10)")
+    st.set_defaults(func=_cmd_status)
+
     pf = sub.add_parser(
         "profile",
         help="instrumented solve: per-stage cost table + trace/metrics/"
              "BENCH artifacts",
     )
-    pf.add_argument("spec")
-    pf.add_argument("--workstations", "-K", type=int, required=True)
-    pf.add_argument("--tasks", "-N", type=int, required=True)
+    pf.add_argument("spec", nargs="?", default=None)
+    pf.add_argument("--workstations", "-K", type=int, default=None)
+    pf.add_argument("--tasks", "-N", type=int, default=None)
+    pf.add_argument("--merge-telemetry", metavar="DIR", default=None,
+                    help="instead of solving, merge a shard namespace's "
+                         "worker telemetry into one wall-clock-aligned "
+                         "fleet trace (stage table, latency percentiles, "
+                         "span-coverage gate); --name filters the figure, "
+                         "--trace/--metrics-out write the merged artifacts")
     pf.add_argument("--repeats", type=int, default=5,
                     help="cold solves to time (median is reported)")
     pf.add_argument("--name", default=None,

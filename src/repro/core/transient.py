@@ -350,8 +350,14 @@ class TransientModel:
                 with ins.span("epoch", epoch=j, level=k_active,
                               phase="refill") as sp:
                     visit(j, k_active, top, x)
+                    x_prev = x
                     x = step_refill(x)
                 self._epoch_metrics(ins, sp)
+                # The refill recurrence is the paper's power iteration
+                # p(Y_K R_K)^i → p_ss (§5); its sup-norm step distance is
+                # the convergence gauge the SLO layer watches.
+                ins.gauge("repro_epoch_convergence_distance",
+                          float(np.max(np.abs(x - x_prev))))
         at = N - k_active
         for k in range(k_active, 0, -1):
             if hook is not None:

@@ -290,6 +290,14 @@ def print_report(report: SweepReport | None, *, stream=None) -> int:
         return 0
     stream = stream if stream is not None else sys.stderr
     print(f"# {report.summary()}", file=stream)
+    lat = report.latency()
+    if lat is not None:
+        print(
+            f"# point latency: p50 {lat['p50'] * 1e3:.1f}ms "
+            f"p95 {lat['p95'] * 1e3:.1f}ms p99 {lat['p99'] * 1e3:.1f}ms "
+            f"(n={int(lat['count'])})",
+            file=stream,
+        )
     for line in report.detail_lines():
         print(f"#   {line}", file=stream)
     return report.exit_code()

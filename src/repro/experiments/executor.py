@@ -68,11 +68,13 @@ __all__ = [
     "SweepExecutor",
     "SweepReport",
     "WorkerFailure",
+    "latency_summary",
     "pool_worker",
 ]
 
 #: Schema tag for serialized sweep reports (``SweepReport.to_dict``).
-REPORT_SCHEMA = "repro-sweep-report/1"
+#: ``/2`` added per-point wall seconds and the aggregate latency block.
+REPORT_SCHEMA = "repro-sweep-report/2"
 
 #: Sentinel for a point with no result yet.
 _PENDING = object()
@@ -105,6 +107,35 @@ class WorkerFailure:
         return f"{self.kind}: {self.message}"
 
 
+def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
+    """Exact percentile summary of per-point wall times.
+
+    Linear interpolation between order statistics (numpy's default
+    ``quantile`` method) over the sorted samples — the SLO numbers in
+    :meth:`SweepReport.latency`, ``--report-json`` and ``repro status``.
+    Unlike :meth:`~repro.obs.metrics.Histogram.quantile` this is an exact
+    order statistic, not a bucket estimate.
+    """
+    xs = sorted(float(s) for s in seconds)
+    if not xs:
+        raise ValueError("latency_summary needs at least one sample")
+
+    def pct(q: float) -> float:
+        pos = q * (len(xs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(xs) - 1)
+        return xs[lo] + (pos - lo) * (xs[hi] - xs[lo])
+
+    return {
+        "count": len(xs),
+        "mean": sum(xs) / len(xs),
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "p99": pct(0.99),
+        "max": xs[-1],
+    }
+
+
 def pool_worker(
     fn: Callable[..., Any],
     args: tuple,
@@ -112,28 +143,32 @@ def pool_worker(
     faults: SweepFaultPlan | None = None,
     index: int = 0,
     attempt: int = 1,
-) -> tuple[Any, list | None, Any]:
+) -> tuple[Any, list | None, Any, float]:
     """Run one sweep point inside a worker process.
 
     When ``observe`` is set (the parent had instrumentation active) the
     worker arms a fresh bundle, wraps the point in a ``sweep_point`` root
-    span, and returns ``(value, spans, metrics)`` for the parent to
-    graft/merge; otherwise it returns ``(value, None, None)``.  A point
-    function that raises does **not** lose its telemetry: the exception
-    is shipped back as a :class:`WorkerFailure` in the value slot, with
-    the spans and metrics recorded up to the failure alongside it.
+    span, and returns ``(value, spans, metrics, seconds)`` for the parent
+    to graft/merge; otherwise it returns ``(value, None, None, seconds)``.
+    ``seconds`` is the point's wall-clock duration, measured in both
+    modes so latency SLOs survive uninstrumented runs.  A point function
+    that raises does **not** lose its telemetry: the exception is shipped
+    back as a :class:`WorkerFailure` in the value slot, with the spans
+    and metrics recorded up to the failure alongside it.
 
     An armed :class:`~repro.resilience.faults.SweepFaultPlan` fires
     before the point runs — a crash drill SIGKILLs this process, which no
     envelope can survive; the parent sees ``BrokenProcessPool`` instead.
     """
+    t0 = time.perf_counter()
     if not observe:
         try:
             if faults is not None:
                 trigger_point_fault(faults, index, attempt)
-            return fn(*args), None, None
+            return fn(*args), None, None, time.perf_counter() - t0
         except Exception as exc:
-            return WorkerFailure.from_exception(exc), None, None
+            return (WorkerFailure.from_exception(exc), None, None,
+                    time.perf_counter() - t0)
     ins = Instrumentation.enabled()
     with ins.activate():
         try:
@@ -142,8 +177,9 @@ def pool_worker(
                     trigger_point_fault(faults, index, attempt)
                 value = fn(*args)
         except Exception as exc:
-            return WorkerFailure.from_exception(exc), ins.tracer.spans, ins.metrics
-    return value, ins.tracer.spans, ins.metrics
+            return (WorkerFailure.from_exception(exc), ins.tracer.spans,
+                    ins.metrics, time.perf_counter() - t0)
+    return value, ins.tracer.spans, ins.metrics, time.perf_counter() - t0
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +211,9 @@ class PointOutcome:
     steals: int = 0
     #: lease generation of the accepted record (0 outside shards)
     generation: int = 0
+    #: wall-clock seconds of the accepted attempt (0.0 when not computed
+    #: here, e.g. journal-resumed or peer-computed points)
+    seconds: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-ready rendering (used by ``--report-json`` artifacts)."""
@@ -184,6 +223,7 @@ class PointOutcome:
             "attempts": self.attempts,
             "error": self.error,
             "failures": list(self.failures),
+            "seconds": round(self.seconds, 9),
         }
         if self.owner or self.generation:
             out["owner"] = self.owner
@@ -250,6 +290,18 @@ class SweepReport:
             return 1
         return 0
 
+    def latency(self) -> dict[str, float] | None:
+        """Exact p50/p95/p99 over per-point wall seconds, or ``None``.
+
+        Only points actually computed in this run carry a duration
+        (journal-resumed and peer-computed points report 0.0 and are
+        excluded), so the percentiles describe real solve latency.
+        """
+        secs = [p.seconds for p in self.points if p.seconds > 0.0]
+        if not secs:
+            return None
+        return latency_summary(secs)
+
     def summary(self) -> str:
         """One greppable line: totals by status plus rebuild count."""
         tail = " INTERRUPTED" if self.interrupted else ""
@@ -296,6 +348,7 @@ class SweepReport:
                 for status in ("ok", "resumed", "retried", "salvaged",
                                "failed", "peer", "stolen")
             },
+            "latency": self.latency(),
             "points": [p.to_dict() for p in self.points],
         }
 
@@ -480,11 +533,13 @@ class SweepExecutor:
             if faults is not None:
                 trigger_point_fault(faults, index, attempt, inline=True)
             return fn(*args)
-        with ins.span("sweep_point", fn=fn.__name__, mode="inline"):
+        with ins.span("sweep_point", fn=fn.__name__, mode="inline") as sp:
             if faults is not None:
                 trigger_point_fault(faults, index, attempt, inline=True)
             value = fn(*args)
         ins.count("repro_sweep_points_total", mode="inline")
+        if sp.wall is not None:
+            ins.observe("repro_point_seconds", sp.wall, mode="inline")
         return value
 
     def _run_serial(self, fn, calls, pending, results, report, label):
@@ -493,6 +548,7 @@ class SweepExecutor:
             for attempt in range(1, self.retry.max_attempts + 1):
                 out.attempts = attempt
                 fallback = self.retry.is_fallback(attempt)
+                t0 = time.perf_counter()
                 try:
                     value = self._run_inline(
                         fn, calls[i],
@@ -512,6 +568,7 @@ class SweepExecutor:
                         time.sleep(delay)
                     continue
                 results[i] = value
+                out.seconds = time.perf_counter() - t0
                 if attempt == 1:
                     out.status = "ok"
                 elif fallback:
@@ -538,6 +595,7 @@ class SweepExecutor:
         """Final attempt, inline in the parent: no pool, no faults."""
         out = report.points[i]
         out.attempts = self.retry.max_attempts
+        t0 = time.perf_counter()
         try:
             value = self._run_inline(fn, args)
         except Exception as exc:
@@ -548,6 +606,7 @@ class SweepExecutor:
             )
             return
         results[i] = value
+        out.seconds = time.perf_counter() - t0
         out.status = "salvaged"
         self._note_salvage()
         self._checkpoint(label, args, out, value)
@@ -568,7 +627,7 @@ class SweepExecutor:
         def collect(fut, i, attempt):
             """Handle one finished future: success, failure, or pool loss."""
             try:
-                value, spans, metrics = fut.result()
+                value, spans, metrics, seconds = fut.result()
             except BrokenProcessPool:
                 record_failure(i, attempt, "pool-broken",
                                "worker process died (pool broken)")
@@ -587,9 +646,11 @@ class SweepExecutor:
                 return True
             out = report.points[i]
             results[i] = value
+            out.seconds = seconds
             out.status = "ok" if attempt == 1 else "retried"
             if ins is not None:
                 ins.count("repro_sweep_points_total", mode="pool")
+                ins.observe("repro_point_seconds", seconds, mode="pool")
             self._checkpoint(label, calls[i], out, value)
             return True
 

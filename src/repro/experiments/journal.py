@@ -195,12 +195,17 @@ def make_record(
     attempts: int = 1,
     owner: str | None = None,
     generation: int | None = None,
+    seconds: float | None = None,
 ) -> dict:
     """One checkpoint record, CRC-sealed, ready to serialize as a line.
 
     ``owner``/``generation`` are shard provenance: the worker id that
     computed the point and the lease generation it held (1 = first
     holder, >1 = the point was stolen that many minus one times).
+    ``seconds`` is the accepted attempt's wall-clock duration, carried
+    so peers settling this record inherit the latency sample for their
+    own report percentiles.  All three are optional additive fields;
+    readers of schema /1 tolerate their absence.
     """
     rec: dict[str, Any] = {
         "schema": SCHEMA,
@@ -216,6 +221,8 @@ def make_record(
         rec["owner"] = owner
     if generation is not None:
         rec["generation"] = int(generation)
+    if seconds is not None and seconds > 0.0:
+        rec["seconds"] = round(float(seconds), 9)
     rec["crc"] = record_crc(rec)
     return rec
 

@@ -55,6 +55,7 @@ import socket
 import threading
 import time
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -185,8 +186,10 @@ class ShardNamespace:
         self.graves = self.root / "graves"
         self.segments_dir = self.root / "segments"
         self.quarantine_dir = self.root / "quarantine"
+        self.telemetry_dir = self.root / "telemetry"
         for d in (self.root, self.leases, self.graves,
-                  self.segments_dir, self.quarantine_dir):
+                  self.segments_dir, self.quarantine_dir,
+                  self.telemetry_dir):
             d.mkdir(parents=True, exist_ok=True)
         self._check_manifest()
 
@@ -238,6 +241,9 @@ class ShardNamespace:
 
     def quarantine_path(self, worker: str) -> Path:
         return self.quarantine_dir / f"{worker}.quarantine.jsonl"
+
+    def telemetry_path(self, worker: str) -> Path:
+        return self.telemetry_dir / f"{worker}.tel.jsonl"
 
     # -- maintenance ---------------------------------------------------
     def gc(self, figure: str | None = None) -> dict[str, int]:
@@ -326,6 +332,13 @@ class ShardExecutor:
         Accepted for CLI symmetry with ``SweepExecutor`` and ignored — an
         inline worker cannot preempt itself; hung *peers* are handled by
         lease expiry instead.
+    telemetry:
+        When true (the default) this worker appends an advisory,
+        CRC-sealed telemetry stream to ``telemetry/<worker>.tel.jsonl``
+        — lifecycle, progress/metric heartbeats, per-point wall times
+        and trace-span batches — which ``repro status`` and the fleet
+        trace merger aggregate (:mod:`repro.obs.fleet`).  Results never
+        depend on it; disable for perf-critical uninstrumented runs.
     """
 
     def __init__(
@@ -340,6 +353,7 @@ class ShardExecutor:
         shard_faults: ShardFaultPlan | None = None,
         timeout: float | None = None,
         version: str | None = None,
+        telemetry: bool = True,
     ):
         if not lease_ttl > 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl!r}")
@@ -362,11 +376,19 @@ class ShardExecutor:
         #: successful lease acquisitions (drills key on this counter)
         self.claims = 0
 
+        self.telemetry = bool(telemetry)
+
         self._held: dict[str, Lease] = {}  # fp -> lease, heartbeat-renewed
         self._held_lock = threading.Lock()
         self._hb_stop = threading.Event()
         self._hb_thread: threading.Thread | None = None
         self._segment_fh = None
+        self._tel_writer = None  # lazily-opened TelemetryWriter
+        #: fleet-progress counters the heartbeat snapshots (ints/floats
+        #: only — GIL-atomic reads, written solely by the map thread)
+        self._tel_counts = {"computed": 0, "merged": 0, "stolen": 0,
+                            "failed": 0, "idle": 0.0}
+        self._shipped_spans: set[int] = set()
         #: per-figure merge state: (offsets by path, merged records)
         self._offsets: dict[str, dict[Path, int]] = {}
         self._merged: dict[str, dict[str, dict]] = {}
@@ -526,6 +548,7 @@ class ShardExecutor:
             with ins.span("lease_renew", figure=lease.figure,
                           index=lease.index, generation=lease.generation):
                 pass
+            ins.count("repro_lease_renewals_total")
         return True
 
     def release(self, lease: Lease) -> None:
@@ -546,22 +569,66 @@ class ShardExecutor:
     # -- heartbeat -----------------------------------------------------
     def _heartbeat(self) -> None:
         # NOTE: the tracer is single-threaded by design; the heartbeat
-        # must never emit spans or touch metrics — it only renews files.
+        # must never emit spans.  Metrics are thread-safe (every family
+        # locks its series), so renewals are *counted* here — and each
+        # beat also writes a progress + metrics-snapshot telemetry
+        # record so `repro status` sees even a claim-starved worker.
         interval = self.lease_ttl / 3.0
         while not self._hb_stop.wait(interval):
+            ins = _rt.ACTIVE
             with self._held_lock:
                 leases = list(self._held.values())
             for lease in leases:
                 if lease.stalled or lease.lost:
                     continue
                 try:
-                    self.renew(lease, observe=False)
+                    if self.renew(lease, observe=False) and ins is not None:
+                        ins.count("repro_lease_renewals_total")
                 except OSError:  # pragma: no cover - transient fs hiccup
                     pass
+            self._emit_progress()
+            if self._tel_writer is not None and ins is not None \
+                    and ins.metrics is not None:
+                self._tel_writer.emit("metrics", metrics=ins.metrics.to_dict())
 
-    def _hold(self, lease: Lease) -> None:
+    def _emit_progress(self) -> None:
+        """Append one progress record (called from both threads)."""
+        if self._tel_writer is None:
+            return
         with self._held_lock:
-            self._held[lease.fp] = lease
+            held = sorted(lease.index for lease in self._held.values())
+        counts = self._tel_counts
+        self._tel_writer.emit(
+            "progress", held=held, claims=self.claims,
+            computed=counts["computed"], merged=counts["merged"],
+            stolen=counts["stolen"], failed=counts["failed"],
+            idle=round(counts["idle"], 6),
+        )
+
+    def _ship_spans(self) -> None:
+        """Telemetry-ship every closed, not-yet-shipped tracer span.
+
+        Runs on the map thread only (the tracer is single-threaded);
+        each span ships exactly once, keyed by its index in the worker
+        tracer's flat list, so the fleet reader can restore parent
+        links across batches.  The still-open container span (the CLI's
+        ``experiment`` root) never closes mid-run and never ships.
+        """
+        ins = _rt.ACTIVE
+        if self._tel_writer is None or ins is None or ins.tracer is None:
+            return
+        from repro.obs.fleet import spans_to_wire
+
+        fresh = [i for i, sp in enumerate(ins.tracer.spans)
+                 if sp.closed and i not in self._shipped_spans]
+        if not fresh:
+            return
+        self._shipped_spans.update(fresh)
+        self._tel_writer.emit(
+            "spans", spans=spans_to_wire(ins.tracer.spans, fresh)
+        )
+
+    def _start_heartbeat(self) -> None:
         if self._hb_thread is None:
             self._hb_thread = threading.Thread(
                 target=self._heartbeat,
@@ -569,6 +636,11 @@ class ShardExecutor:
                 daemon=True,
             )
             self._hb_thread.start()
+
+    def _hold(self, lease: Lease) -> None:
+        with self._held_lock:
+            self._held[lease.fp] = lease
+        self._start_heartbeat()
 
     def _drop(self, lease: Lease) -> None:
         with self._held_lock:
@@ -676,6 +748,7 @@ class ShardExecutor:
         for attempt in range(1, self.retry.max_attempts + 1):
             out.attempts = attempt
             fallback = self.retry.is_fallback(attempt)
+            t0 = time.perf_counter()
             try:
                 if ins is not None:
                     with ins.span("sweep_point", fn=fn.__name__, mode="shard"):
@@ -709,8 +782,61 @@ class ShardExecutor:
                 if delay:
                     time.sleep(delay)
                 continue
+            out.seconds = time.perf_counter() - t0
+            if ins is not None:
+                ins.observe("repro_point_seconds", out.seconds, mode="shard")
             return True, value
         return False, None  # pragma: no cover - loop always returns
+
+    def _finish_point(
+        self, figure: str, args: tuple, i: int, lease: Lease,
+        out: PointOutcome, ok: bool, value: Any,
+        results: list, done: set, computed_here: set, local_failed: set,
+    ) -> None:
+        """Record, release, and report one claimed point after compute."""
+        if ok:
+            # Renew (and notice theft) right before the record lands; a
+            # lost lease still records — the thief's value is
+            # bit-identical, last wins.
+            self.renew(lease)
+            self._append_segment(figure, make_record(
+                figure, args, version=self.ns.version,
+                index=i, value=value,
+                status="ok", attempts=out.attempts,
+                owner=self.worker_id, generation=lease.generation,
+                seconds=out.seconds,
+            ))
+            results[i] = value
+            out.owner = self.worker_id
+            out.generation = lease.generation
+            out.steals = max(0, lease.generation - 1)
+            if lease.generation > 1:
+                out.status = "stolen"
+            elif out.attempts == 1:
+                out.status = "ok"
+            elif self.retry.is_fallback(out.attempts):
+                out.status = "salvaged"
+            else:
+                out.status = "retried"
+            computed_here.add(i)
+            done.add(i)
+            self._tel_counts["computed"] += 1
+            if lease.generation > 1:
+                self._tel_counts["stolen"] += 1
+        else:
+            local_failed.add(i)
+            self._tel_counts["failed"] += 1
+        self._drop(lease)
+        if self._tel_writer is not None:
+            if ok:
+                self._tel_writer.emit(
+                    "point", index=i,
+                    seconds=round(out.seconds, 9),
+                    status=out.status,
+                    generation=lease.generation,
+                )
+            self._ship_spans()
+            self._emit_progress()
 
     # -- the cooperative sweep -----------------------------------------
     def map(
@@ -738,6 +864,25 @@ class ShardExecutor:
         self.reports.append(report)
         ins = _rt.ACTIVE
 
+        if self.telemetry:
+            if self._tel_writer is None:
+                from repro.obs.fleet import TelemetryWriter
+
+                self._tel_writer = TelemetryWriter(
+                    self.ns.telemetry_path(self.worker_id), self.worker_id
+                )
+            tracer = ins.tracer if ins is not None else None
+            self._tel_writer.emit(
+                "hello", figure=figure, total=len(calls), pid=os.getpid(),
+                host=socket.gethostname().split(".")[0],
+                epoch_unix=(
+                    tracer.epoch_unix if tracer is not None else time.time()
+                ),
+            )
+            # Heartbeat from the very start (not first claim), so even a
+            # claim-starved worker shows a live pulse in `repro status`.
+            self._start_heartbeat()
+
         results: list[Any] = [None] * len(calls)
         done: set[int] = set()
         local_failed: set[int] = set()
@@ -756,6 +901,7 @@ class ShardExecutor:
                 out.owner = rec.get("owner", "") or ""
                 out.generation = gen
                 out.steals = max(0, gen - 1)
+                out.seconds = float(rec.get("seconds", 0.0) or 0.0)
                 if i in computed_here:
                     pass  # status was set at compute time
                 elif initial:
@@ -765,6 +911,7 @@ class ShardExecutor:
                 else:
                     out.status = "peer"
                 done.add(i)
+            self._tel_counts["merged"] = len(done)
 
         settle_from(self.merged(figure), initial=True)
 
@@ -793,36 +940,24 @@ class ShardExecutor:
                         lease.stalled = True  # heartbeat abandons it
                         time.sleep(sf.stall_seconds)
                     self._hold(lease)
-                    out = report.points[i]
-                    ok, value = self._compute_point(fn, calls[i], i, out)
-                    if ok:
-                        # Renew (and notice theft) right before the
-                        # record lands; a lost lease still records — the
-                        # thief's value is bit-identical, last wins.
-                        self.renew(lease)
-                        self._append_segment(figure, make_record(
-                            figure, calls[i], version=self.ns.version,
-                            index=i, value=value,
-                            status="ok", attempts=out.attempts,
-                            owner=self.worker_id, generation=lease.generation,
-                        ))
-                        results[i] = value
-                        out.owner = self.worker_id
-                        out.generation = lease.generation
-                        out.steals = max(0, lease.generation - 1)
-                        if lease.generation > 1:
-                            out.status = "stolen"
-                        elif out.attempts == 1:
-                            out.status = "ok"
-                        elif self.retry.is_fallback(out.attempts):
-                            out.status = "salvaged"
-                        else:
-                            out.status = "retried"
-                        computed_here.add(i)
-                        done.add(i)
-                    else:
-                        local_failed.add(i)
-                    self._drop(lease)
+                    # One container span per claimed point: compute plus
+                    # the coordination overhead around it (segment fsync,
+                    # lease release, telemetry), so the fleet coverage
+                    # gate sees where claimed wall time actually went.
+                    ctx = (
+                        ins.span("shard_point", index=i,
+                                 generation=lease.generation)
+                        if ins is not None else nullcontext()
+                    )
+                    with ctx:
+                        out = report.points[i]
+                        ok, value = self._compute_point(
+                            fn, calls[i], i, out
+                        )
+                        self._finish_point(
+                            figure, calls[i], i, lease, out, ok, value,
+                            results, done, computed_here, local_failed,
+                        )
                     progressed = True
                     break  # refresh the merged view between points
                 settle_from(self.merged(figure), initial=False)
@@ -845,17 +980,37 @@ class ShardExecutor:
                             report=report,
                         )
                 tick += 1
-                time.sleep(
-                    self.poll * (0.75 + 0.5 * jitter_fraction(
-                        zlib.crc32(self.worker_id.encode()) & 0xFFFF, tick
-                    ))
-                )
+                nap = self.poll * (0.75 + 0.5 * jitter_fraction(
+                    zlib.crc32(self.worker_id.encode()) & 0xFFFF, tick
+                ))
+                time.sleep(nap)
+                self._tel_counts["idle"] += nap
         except KeyboardInterrupt:
             report.interrupted = True
             self._release_held()
             raise
         finally:
             self._stop_heartbeat()
+            if self._tel_writer is not None:
+                self._ship_spans()
+                if ins is not None and ins.metrics is not None:
+                    # Final cumulative snapshot: short sweeps end before
+                    # the heartbeat ever ships one.
+                    self._tel_writer.emit(
+                        "metrics", metrics=ins.metrics.to_dict())
+                if report.interrupted:
+                    status = "interrupted"
+                elif report.complete:
+                    status = "complete"
+                else:
+                    status = "failed"
+                counts = self._tel_counts
+                self._tel_writer.emit(
+                    "bye", status=status, claims=self.claims,
+                    computed=counts["computed"], merged=counts["merged"],
+                    stolen=counts["stolen"], failed=counts["failed"],
+                    idle=round(counts["idle"], 6),
+                )
 
         if not report.complete:
             bad = [p.index for p in report.points if p.status == "failed"]
@@ -903,7 +1058,7 @@ class ShardExecutor:
         self._hb_stop = threading.Event()
 
     def close(self) -> None:
-        """Release leases, stop the heartbeat, close the segment file."""
+        """Release leases, stop the heartbeat, close segment + telemetry."""
         self._stop_heartbeat()
         self._release_held()
         if self._segment_fh is not None:
@@ -912,6 +1067,9 @@ class ShardExecutor:
             except OSError:  # pragma: no cover - best-effort close
                 pass
             self._segment_fh = None
+        if self._tel_writer is not None:
+            self._tel_writer.close()
+            self._tel_writer = None
 
     def __enter__(self) -> "ShardExecutor":
         return self

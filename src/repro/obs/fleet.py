@@ -1,0 +1,537 @@
+"""Fleet observability: telemetry streams, aggregation, live status.
+
+A distributed sweep (:mod:`repro.experiments.shard`) is a fleet of
+workers coordinating through lease files — and, before this module, a
+black box: each worker's spans and metrics lived and died in its own
+process, and the only fleet-wide signal was the final merged journal.
+
+This module makes the fleet observable through one append-only,
+CRC-sealed **telemetry stream per worker** inside the shard namespace
+(``telemetry/<worker>.tel.jsonl``), written by
+:class:`TelemetryWriter` and read back by :class:`FleetView`:
+
+* ``hello``/``bye`` — worker lifecycle (figure, total points, pid,
+  host, tracer wall-clock epoch);
+* ``progress`` — points computed here / merged fleet-wide, held lease
+  indices, claims, steals, local failures, cumulative idle seconds —
+  emitted by the heartbeat thread *and* after every computed point;
+* ``point`` — per-point wall seconds with status and lease generation
+  (the latency-SLO samples);
+* ``metrics`` — periodic cumulative
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshots
+  (rehydrated via :meth:`~repro.obs.metrics.MetricsRegistry.from_dict`
+  and folded together with ``merge``);
+* ``spans`` — batches of *closed* tracer spans carrying their
+  worker-local index and parent index, reassembled here and grafted
+  onto one wall-clock-aligned fleet tracer
+  (:meth:`FleetView.merged_tracer` → the existing JSONL/tree
+  exporters and ``repro profile --merge-telemetry``).
+
+Every record is sealed with the journal's
+:func:`~repro.experiments.journal.record_crc`; readers skip torn or
+corrupt lines, so a SIGKILL mid-append can never poison the fleet view.
+The stream is *advisory*: results and resume correctness never depend
+on it (the journal segments carry those), so telemetry writes are
+flushed but not fsync'd.
+
+``repro status --shard-dir DIR [--json|--watch]`` renders the
+aggregated view as a live console: per-worker state with stall
+detection (stale heartbeats), fleet throughput, ETA, and exact
+p50/p95/p99 point latency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.experiments.executor import latency_summary
+from repro.experiments.journal import record_crc
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, SpanEvent, Tracer
+
+__all__ = [
+    "FLEET_STATUS_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "FleetView",
+    "TelemetryWriter",
+    "WorkerTelemetry",
+    "load_telemetry_text",
+    "spans_to_wire",
+    "spans_from_wire",
+]
+
+#: Telemetry stream record schema (one JSON object per line).
+TELEMETRY_SCHEMA = "repro-shard-telemetry/1"
+#: ``repro status --json`` document schema.
+FLEET_STATUS_SCHEMA = "repro-fleet-status/1"
+
+#: Seconds without any telemetry record before a live worker counts as
+#: stalled (the default; ``repro status --stale-after`` overrides).
+DEFAULT_STALE_AFTER = 10.0
+
+
+# ----------------------------------------------------------------------
+# Writer side (runs inside shard workers)
+class TelemetryWriter:
+    """Thread-safe, CRC-sealed appender for one worker's stream.
+
+    The shard heartbeat thread and the sweep's main thread both emit
+    (progress beats vs. point/span records), so every append happens
+    under one lock.  Writes are flushed — visible to a concurrently
+    polling ``repro status`` — but not fsync'd: telemetry is advisory,
+    and the stream loses at most its torn tail on power loss, which
+    readers skip by construction.
+    """
+
+    def __init__(self, path: str | Path, worker: str):
+        self.path = Path(path)
+        self.worker = worker
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def emit(self, type: str, **fields: Any) -> None:
+        """Append one sealed record; silently drops after close/OS error."""
+        rec: dict[str, Any] = {
+            "schema": TELEMETRY_SCHEMA,
+            "type": type,
+            "worker": self.worker,
+            "t": time.time(),
+            **fields,
+        }
+        rec["crc"] = record_crc(rec)
+        line = json.dumps(rec, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                self._fh.write(line)
+                self._fh.flush()
+            except (OSError, ValueError):  # pragma: no cover - best effort
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+
+
+def spans_to_wire(spans: list[Span], indices: Iterable[int]) -> list[dict]:
+    """Serialize the given (closed) spans of a tracer's flat list.
+
+    ``i`` is the span's index in the worker tracer's own ``spans`` list
+    and ``parent`` the same for its parent — stable across batches, so
+    the reader can restore cross-batch parent links.  The still-open
+    container span (e.g. the CLI's ``experiment`` root) is never closed
+    mid-run, hence never shipped, hence never double-counted.
+    """
+    out = []
+    for i in indices:
+        sp = spans[i]
+        out.append({
+            "i": i,
+            "parent": sp.parent,
+            "name": sp.name,
+            "depth": sp.depth,
+            "start": round(sp.start, 9),
+            "wall": None if sp.wall is None else round(sp.wall, 9),
+            "rss_delta": sp.rss_delta,
+            "attrs": sp.attrs,
+            "events": [e.to_dict() for e in sp.events],
+        })
+    return out
+
+
+def spans_from_wire(wire: list[dict]) -> list[Span]:
+    """Rebuild one worker's spans from all its shipped batches.
+
+    Parent links are remapped from worker-tracer indices to positions in
+    the returned list; a parent that was never shipped (the unclosed
+    container) leaves its children as roots (``parent=None``), which is
+    exactly how :meth:`~repro.obs.tracer.Tracer.graft` adopts them in
+    fleet (offset) mode.
+    """
+    by_i: dict[int, dict] = {}
+    for w in wire:
+        by_i[int(w["i"])] = w
+    order = sorted(by_i)
+    pos = {i: p for p, i in enumerate(order)}
+    spans: list[Span] = []
+    for i in order:
+        w = by_i[i]
+        parent = w.get("parent")
+        spans.append(Span(
+            name=w["name"],
+            parent=pos.get(parent) if parent is not None else None,
+            depth=int(w.get("depth", 0)),
+            start=float(w.get("start", 0.0)),
+            attrs=dict(w.get("attrs") or {}),
+            events=[
+                SpanEvent(name=e["name"], offset=float(e.get("offset", 0.0)),
+                          attrs=dict(e.get("attrs") or {}))
+                for e in (w.get("events") or [])
+            ],
+            wall=None if w.get("wall") is None else float(w["wall"]),
+            rss_delta=w.get("rss_delta"),
+        ))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Reader side
+def load_telemetry_text(text: str) -> list[dict]:
+    """Parse one stream's text into its valid records, in append order.
+
+    Unparsable lines (torn tails), foreign schemas and CRC mismatches
+    are skipped — telemetry is advisory, so a corrupt line costs one
+    data point, never a crash.
+    """
+    out: list[dict] = []
+    for raw in text.split("\n"):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(rec, dict) or rec.get("schema") != TELEMETRY_SCHEMA:
+            continue
+        if rec.get("crc") != record_crc(rec):
+            continue
+        out.append(rec)
+    return out
+
+
+@dataclass
+class WorkerTelemetry:
+    """Aggregated view of one worker's telemetry stream."""
+
+    worker: str
+    figure: str = ""
+    total: int = 0
+    pid: int = 0
+    host: str = ""
+    #: wall-clock epoch of the worker's tracer (hello record)
+    epoch_unix: float = 0.0
+    hello_t: float = 0.0
+    last_t: float = 0.0
+    #: "" while running, else the bye record's status
+    bye_status: str = ""
+    computed: int = 0
+    merged: int = 0
+    held: list[int] = field(default_factory=list)
+    claims: int = 0
+    stolen: int = 0
+    failed: int = 0
+    idle: float = 0.0
+    #: per-point samples: {"index", "seconds", "status", "generation"}
+    points: list[dict] = field(default_factory=list)
+    metrics: MetricsRegistry | None = None
+    spans: list[Span] = field(default_factory=list)
+
+    @classmethod
+    def from_records(cls, worker: str, records: list[dict]) -> "WorkerTelemetry":
+        wt = cls(worker=worker)
+        wire: list[dict] = []
+        for rec in records:
+            t = float(rec.get("t", 0.0))
+            wt.last_t = max(wt.last_t, t)
+            kind = rec.get("type")
+            if kind == "hello":
+                wt.figure = rec.get("figure", "")
+                wt.total = int(rec.get("total", 0))
+                wt.pid = int(rec.get("pid", 0))
+                wt.host = rec.get("host", "")
+                wt.epoch_unix = float(rec.get("epoch_unix", t))
+                wt.hello_t = t
+            elif kind in ("progress", "bye"):
+                wt.computed = int(rec.get("computed", wt.computed))
+                wt.merged = int(rec.get("merged", wt.merged))
+                wt.held = list(rec.get("held", wt.held))
+                wt.claims = int(rec.get("claims", wt.claims))
+                wt.stolen = int(rec.get("stolen", wt.stolen))
+                wt.failed = int(rec.get("failed", wt.failed))
+                wt.idle = float(rec.get("idle", wt.idle))
+                if kind == "bye":
+                    wt.bye_status = rec.get("status", "complete")
+                    wt.held = []
+            elif kind == "point":
+                wt.points.append({
+                    "index": int(rec.get("index", -1)),
+                    "seconds": float(rec.get("seconds", 0.0)),
+                    "status": rec.get("status", "ok"),
+                    "generation": int(rec.get("generation", 1)),
+                })
+            elif kind == "metrics":
+                doc = rec.get("metrics")
+                if isinstance(doc, dict):
+                    # Snapshots are cumulative: the latest one wins.
+                    wt.metrics = MetricsRegistry.from_dict(doc)
+            elif kind == "spans":
+                wire.extend(rec.get("spans") or [])
+        wt.spans = spans_from_wire(wire)
+        return wt
+
+    def state(self, *, now: float, stale_after: float) -> str:
+        """``running`` | ``stalled`` | ``done`` | ``failed`` | ``interrupted``."""
+        if self.bye_status == "complete":
+            return "done"
+        if self.bye_status:
+            return self.bye_status
+        if self.last_t and now - self.last_t > stale_after:
+            return "stalled"
+        return "running"
+
+    def busy_seconds(self) -> float:
+        """Span-extent wall time minus declared idle (coverage denominator)."""
+        closed = [sp for sp in self.spans if sp.closed]
+        if not closed:
+            return 0.0
+        extent = (
+            max(sp.start + sp.wall for sp in closed)
+            - min(sp.start for sp in closed)
+        )
+        return max(extent - min(self.idle, extent), 0.0)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class FleetView:
+    """All workers' telemetry streams aggregated into one fleet picture."""
+
+    shard_dir: Path
+    figure: str | None
+    workers: list[WorkerTelemetry]
+    stale_after: float = DEFAULT_STALE_AFTER
+
+    @classmethod
+    def load(
+        cls,
+        shard_dir: str | Path,
+        *,
+        figure: str | None = None,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ) -> "FleetView":
+        """Read every ``telemetry/*.tel.jsonl`` stream under a shard dir.
+
+        Read-only and layout-tolerant: no manifest check, no lease
+        traffic — a monitor must never perturb (or be blocked by) the
+        fleet it watches.
+        """
+        root = Path(shard_dir)
+        workers: list[WorkerTelemetry] = []
+        tel_dir = root / "telemetry"
+        for path in sorted(tel_dir.glob("*.tel.jsonl")):
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:  # pragma: no cover - raced unlink
+                continue
+            records = load_telemetry_text(text)
+            if not records:
+                continue
+            worker = records[0].get("worker", path.name[: -len(".tel.jsonl")])
+            wt = WorkerTelemetry.from_records(worker, records)
+            if figure is not None and wt.figure != figure:
+                continue
+            workers.append(wt)
+        return cls(shard_dir=root, figure=figure, workers=workers,
+                   stale_after=float(stale_after))
+
+    # -- fleet aggregates ----------------------------------------------
+    @property
+    def total(self) -> int:
+        """Sweep size (max over workers: hellos agree within a figure)."""
+        return max((w.total for w in self.workers), default=0)
+
+    def done(self) -> int:
+        """Fleet-wide finished points: computed here or settled from peers."""
+        indices = {p["index"] for w in self.workers for p in w.points}
+        return max(max((w.merged for w in self.workers), default=0),
+                   len(indices))
+
+    def computed(self) -> int:
+        return sum(w.computed for w in self.workers)
+
+    def stolen(self) -> int:
+        return sum(w.stolen for w in self.workers)
+
+    def held(self) -> list[int]:
+        out = sorted({i for w in self.workers for i in w.held})
+        return out
+
+    def latency(self) -> dict[str, float] | None:
+        """Exact fleet p50/p95/p99 over every computed point's seconds."""
+        secs = [p["seconds"] for w in self.workers for p in w.points
+                if p["seconds"] > 0.0]
+        if not secs:
+            return None
+        return latency_summary(secs)
+
+    def throughput(self) -> float | None:
+        """Fleet points per second since the first worker said hello."""
+        hellos = [w.hello_t for w in self.workers if w.hello_t]
+        if not hellos:
+            return None
+        last = max((w.last_t for w in self.workers), default=0.0)
+        elapsed = last - min(hellos)
+        n = self.computed()
+        if elapsed <= 0 or n == 0:
+            return None
+        return n / elapsed
+
+    def eta_seconds(self, *, now: float | None = None) -> float | None:
+        """Projected seconds to finish the remaining points (None unknown)."""
+        rate = self.throughput()
+        total = self.total
+        if rate is None or total == 0:
+            return None
+        remaining = max(total - self.done(), 0)
+        return remaining / rate
+
+    # -- cross-worker trace merging ------------------------------------
+    def merged_tracer(self) -> Tracer:
+        """One wall-clock-aligned tracer over every worker's spans.
+
+        The earliest worker tracer epoch anchors the fleet timeline;
+        every other worker's spans are grafted at the offset between its
+        epoch and the anchor, each tagged ``worker=<id>``.
+        """
+        tr = Tracer(measure_rss=False)
+        with_spans = [w for w in self.workers if w.spans]
+        if not with_spans:
+            return tr
+        anchor = min(w.epoch_unix for w in with_spans)
+        tr.epoch_unix = anchor
+        for w in sorted(with_spans, key=lambda w: w.epoch_unix):
+            tr.graft(w.spans, offset=w.epoch_unix - anchor,
+                     attrs={"worker": w.worker})
+        return tr
+
+    def coverage(self) -> float | None:
+        """Fraction of fleet busy time accounted for by root spans.
+
+        Numerator: summed wall of adopted root spans (``sweep_point``,
+        ``lease_acquire``, ``segment_merge``, …).  Denominator: each
+        worker's span-extent wall time minus its declared poll-idle
+        time.  ``None`` when no spans were shipped (uninstrumented
+        fleet) — absence of instrumentation is not a coverage failure.
+        """
+        tr = self.merged_tracer()
+        if not tr.spans:
+            return None
+        busy = sum(w.busy_seconds() for w in self.workers)
+        if busy <= 0:
+            return None
+        roots = sum(sp.wall for sp in tr.iter_closed() if sp.parent is None)
+        return roots / busy
+
+    # -- rendering ------------------------------------------------------
+    def to_dict(self, *, now: float | None = None) -> dict[str, Any]:
+        """The ``repro status --json`` document (``repro-fleet-status/1``)."""
+        now = time.time() if now is None else now
+        workers = []
+        for w in sorted(self.workers, key=lambda w: w.worker):
+            workers.append({
+                "worker": w.worker,
+                "figure": w.figure,
+                "state": w.state(now=now, stale_after=self.stale_after),
+                "pid": w.pid,
+                "host": w.host,
+                "computed": w.computed,
+                "merged": w.merged,
+                "held": list(w.held),
+                "claims": w.claims,
+                "stolen": w.stolen,
+                "failed": w.failed,
+                "idle_seconds": round(w.idle, 6),
+                "last_seen_age": (
+                    round(max(now - w.last_t, 0.0), 3) if w.last_t else None
+                ),
+            })
+        states = [w["state"] for w in workers]
+        return {
+            "schema": FLEET_STATUS_SCHEMA,
+            "shard_dir": str(self.shard_dir),
+            "figure": self.figure or (
+                self.workers[0].figure if self.workers else None
+            ),
+            "generated_unix": now,
+            "fleet": {
+                "workers": len(workers),
+                "running": states.count("running"),
+                "stalled": states.count("stalled"),
+                "done_workers": states.count("done"),
+                "total": self.total,
+                "done": self.done(),
+                "computed": self.computed(),
+                "stolen": self.stolen(),
+                "held": self.held(),
+                "throughput": self.throughput(),
+                "eta_seconds": self.eta_seconds(now=now),
+                "latency": self.latency(),
+            },
+            "workers": workers,
+        }
+
+    def format_console(self, *, now: float | None = None) -> str:
+        """Human-readable status table for the terminal."""
+        now = time.time() if now is None else now
+        doc = self.to_dict(now=now)
+        fleet = doc["fleet"]
+        lines = []
+        fig = doc["figure"] or "?"
+        lines.append(
+            f"fleet {fig} @ {doc['shard_dir']}: "
+            f"{fleet['done']}/{fleet['total']} points done, "
+            f"{fleet['workers']} workers "
+            f"({fleet['running']} running, {fleet['stalled']} stalled)"
+        )
+        tput = fleet["throughput"]
+        eta = fleet["eta_seconds"]
+        lat = fleet["latency"]
+        bits = []
+        if tput is not None:
+            bits.append(f"throughput {tput:.2f} pts/s")
+        if eta is not None:
+            bits.append(f"eta {eta:.1f}s")
+        if lat is not None:
+            bits.append(
+                f"latency p50 {lat['p50'] * 1e3:.1f}ms / "
+                f"p95 {lat['p95'] * 1e3:.1f}ms / "
+                f"p99 {lat['p99'] * 1e3:.1f}ms"
+            )
+        if bits:
+            lines.append("  " + ", ".join(bits))
+        header = (
+            f"  {'worker':<24} {'state':<11} {'done':>4} {'held':>4} "
+            f"{'stolen':>6} {'failed':>6} {'idle':>7} {'seen':>6}"
+        )
+        lines.append(header)
+        for w in doc["workers"]:
+            age = "-" if w["last_seen_age"] is None else f"{w['last_seen_age']:.1f}s"
+            lines.append(
+                f"  {w['worker']:<24} {w['state']:<11} {w['computed']:>4} "
+                f"{len(w['held']):>4} {w['stolen']:>6} {w['failed']:>6} "
+                f"{w['idle_seconds']:>6.1f}s {age:>6}"
+            )
+        return "\n".join(lines)
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """All workers' latest metric snapshots folded into one registry."""
+        reg = MetricsRegistry()
+        for w in sorted(self.workers, key=lambda w: w.worker):
+            if w.metrics is not None:
+                reg.merge(w.metrics)
+        return reg

@@ -1,16 +1,23 @@
 """Process-local metrics: counters, gauges, histograms, two exporters.
 
 A :class:`MetricsRegistry` is a plain in-process object — no sockets, no
-background threads — holding named metric families with optional labels.
-The solver increments families like ``repro_epochs_solved_total`` and
-``repro_guard_trips_total{where=...}`` through the instrumentation layer
-(:mod:`repro.obs.instrument`); exporters serialize the whole registry as
+background threads of its own — holding named metric families with
+optional labels.  The solver increments families like
+``repro_epochs_solved_total`` and ``repro_guard_trips_total{where=...}``
+through the instrumentation layer (:mod:`repro.obs.instrument`);
+exporters serialize the whole registry as
 
 * JSON (:meth:`MetricsRegistry.to_json`) — nested, machine-loadable, the
   format the profiling CLI archives next to traces;
 * Prometheus text exposition format (:meth:`MetricsRegistry.to_prometheus`)
   — ``# HELP`` / ``# TYPE`` blocks ready for a node-exporter textfile
   collector or a pushgateway.
+
+Mutations and exports are **thread-safe**: every family guards its series
+with a lock, so the shard heartbeat thread may legally record lease
+renewals (and snapshot the registry for the fleet telemetry stream) while
+the main thread is mid-solve.  The tracer, by contrast, remains
+single-threaded by design — background threads may count, never span.
 
 Label values are kept stable by construction: the solver only ever uses
 the reason codes of :mod:`repro.resilience.errors` and the fixed span
@@ -22,6 +29,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from bisect import bisect_right
 from typing import Any, Iterable
 
@@ -54,7 +62,12 @@ def _format_value(v: float) -> str:
 
 
 class _Metric:
-    """Shared bookkeeping of one metric family."""
+    """Shared bookkeeping of one metric family.
+
+    Each family carries its own mutation lock: increments/observations
+    from a background thread (the shard heartbeat) interleave safely with
+    the main thread's, and exporters snapshot under the same lock.
+    """
 
     kind = "untyped"
 
@@ -62,6 +75,18 @@ class _Metric:
         self.name = name
         self.help = help
         self._series: dict[_LabelKey, Any] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Pool workers ship their registry back through pickle; the lock
+        # is process-local state and is recreated on the other side.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def series(self) -> dict[_LabelKey, Any]:
@@ -80,7 +105,8 @@ class Counter(_Metric):
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         return float(self._series.get(_label_key(labels), 0.0))
@@ -92,7 +118,8 @@ class Gauge(_Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels: Any) -> None:
-        self._series[_label_key(labels)] = float(value)
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
 
     def value(self, **labels: Any) -> float:
         return float(self._series.get(_label_key(labels), 0.0))
@@ -121,27 +148,59 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        state = self._series.get(key)
-        if state is None:
-            state = {"count": 0, "sum": 0.0,
-                     "bucket_counts": [0] * len(self.buckets)}
-            self._series[key] = state
-        state["count"] += 1
-        state["sum"] += float(value)
-        i = bisect_right(self.buckets, float(value))
-        if i < len(self.buckets):
-            state["bucket_counts"][i] += 1
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = {"count": 0, "sum": 0.0,
+                         "bucket_counts": [0] * len(self.buckets)}
+                self._series[key] = state
+            state["count"] += 1
+            state["sum"] += float(value)
+            i = bisect_right(self.buckets, float(value))
+            if i < len(self.buckets):
+                state["bucket_counts"][i] += 1
 
     def snapshot(self, **labels: Any) -> dict[str, Any]:
         """Count/sum/cumulative-bucket view for one label set."""
-        state = self._series.get(_label_key(labels))
-        if state is None:
-            return {"count": 0, "sum": 0.0, "buckets": {}}
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            if state is None:
+                return {"count": 0, "sum": 0.0, "buckets": {}}
+            counts = list(state["bucket_counts"])
+            count, total = state["count"], state["sum"]
         cum, out = 0, {}
-        for bound, n in zip(self.buckets, state["bucket_counts"]):
+        for bound, n in zip(self.buckets, counts):
             cum += n
             out[bound] = cum
-        return {"count": state["count"], "sum": state["sum"], "buckets": out}
+        return {"count": count, "sum": total, "buckets": out}
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile (0..1) from the cumulative buckets.
+
+        Prometheus-style ``histogram_quantile``: linear interpolation
+        inside the bucket the rank falls into, with the lowest bucket
+        interpolated from 0 and anything beyond the last finite bound
+        clamped to it.  Returns ``nan`` for an empty histogram.  An
+        estimate, not an order statistic — exact per-point percentiles
+        come from :func:`repro.experiments.executor.latency_summary`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        snap = self.snapshot(**labels)
+        if snap["count"] == 0:
+            return math.nan
+        rank = q * snap["count"]
+        prev_bound, prev_cum = 0.0, 0
+        for bound in self.buckets:
+            cum = snap["buckets"].get(bound, prev_cum)
+            if cum >= rank:
+                if cum == prev_cum:  # pragma: no cover - defensive
+                    return bound
+                frac = (rank - prev_cum) / (cum - prev_cum)
+                return prev_bound + frac * (bound - prev_bound)
+            prev_bound, prev_cum = bound, cum
+        # Rank beyond the last finite bucket (+Inf bucket): clamp.
+        return self.buckets[-1]
 
 
 class MetricsRegistry:
@@ -149,19 +208,30 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     # -- registration --------------------------------------------------
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise ValueError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"requested {cls.kind}"
-            )
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {cls.kind}"
+                )
         return metric
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -195,27 +265,78 @@ class MetricsRegistry:
             if isinstance(theirs, Histogram):
                 mine = self.histogram(theirs.name, theirs.help,
                                       buckets=theirs.buckets)
-                for key, state in theirs.series.items():
-                    dst = mine.series.get(key)
-                    if dst is None:
-                        mine.series[key] = {
-                            "count": state["count"],
-                            "sum": state["sum"],
-                            "bucket_counts": list(state["bucket_counts"]),
-                        }
-                        continue
-                    dst["count"] += state["count"]
-                    dst["sum"] += state["sum"]
-                    for i, n in enumerate(state["bucket_counts"]):
-                        dst["bucket_counts"][i] += n
+                with mine._lock:
+                    for key, state in theirs.series.items():
+                        dst = mine.series.get(key)
+                        if dst is None:
+                            mine.series[key] = {
+                                "count": state["count"],
+                                "sum": state["sum"],
+                                "bucket_counts": list(state["bucket_counts"]),
+                            }
+                            continue
+                        dst["count"] += state["count"]
+                        dst["sum"] += state["sum"]
+                        for i, n in enumerate(state["bucket_counts"]):
+                            dst["bucket_counts"][i] += n
             elif isinstance(theirs, Gauge):
                 mine = self.gauge(theirs.name, theirs.help)
-                for key, value in theirs.series.items():
-                    mine.series[key] = value
+                with mine._lock:
+                    for key, value in theirs.series.items():
+                        mine.series[key] = value
             else:
                 mine = self.counter(theirs.name, theirs.help)
-                for key, value in theirs.series.items():
-                    mine.series[key] = mine.series.get(key, 0.0) + value
+                with mine._lock:
+                    for key, value in theirs.series.items():
+                        mine.series[key] = mine.series.get(key, 0.0) + value
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot.
+
+        The inverse used by the fleet-telemetry reader: workers ship
+        periodic ``to_dict`` snapshots in their telemetry stream, and the
+        aggregator rehydrates each into a registry so :meth:`merge` can
+        fold them into one fleet view.  Histogram cumulative buckets are
+        de-cumulated back into per-bucket counts.
+        """
+        reg = cls()
+        for name, fam in doc.items():
+            kind = fam.get("kind", "counter")
+            help = fam.get("help", "")
+            series = fam.get("series", [])
+            if kind == "histogram":
+                bounds: list[float] | None = None
+                for entry in series:
+                    keys = sorted(float(b) for b in entry.get("buckets", {}))
+                    if keys:
+                        bounds = keys
+                        break
+                hist = reg.histogram(name, help,
+                                     buckets=bounds or DEFAULT_BUCKETS)
+                for entry in series:
+                    key = _label_key(entry.get("labels", {}))
+                    cum_by_bound = {float(b): int(c)
+                                    for b, c in entry.get("buckets", {}).items()}
+                    counts, prev = [], 0
+                    for b in hist.buckets:
+                        cum = cum_by_bound.get(b, prev)
+                        counts.append(cum - prev)
+                        prev = cum
+                    hist.series[key] = {"count": int(entry["count"]),
+                                        "sum": float(entry["sum"]),
+                                        "bucket_counts": counts}
+            elif kind == "gauge":
+                g = reg.gauge(name, help)
+                for entry in series:
+                    g.series[_label_key(entry.get("labels", {}))] = \
+                        float(entry["value"])
+            else:
+                c = reg.counter(name, help)
+                for entry in series:
+                    c.series[_label_key(entry.get("labels", {}))] = \
+                        float(entry["value"])
+        return reg
 
     # -- exporters -----------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -319,6 +440,10 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Lease deadlines observed expired by a peer (steal opportunities)"),
     ("counter", "repro_journal_quarantined_total",
      "Corrupted journal/segment records quarantined instead of trusted"),
+    ("counter", "repro_lease_renewals_total",
+     "Lease heartbeat renewals performed by shard workers"),
+    ("gauge", "repro_epoch_convergence_distance",
+     "Sup-norm distance between successive epoch entrance vectors"),
     ("gauge", "repro_level_dim",
      "State-space dimension D(k) of each assembled level"),
     ("gauge", "repro_level_nnz",
@@ -329,6 +454,8 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Wall seconds per sparse LU factorization"),
     ("histogram", "repro_replication_seconds",
      "Wall seconds per simulation replication"),
+    ("histogram", "repro_point_seconds",
+     "Wall seconds per experiment sweep point, by execution mode"),
 )
 
 

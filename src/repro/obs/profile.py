@@ -193,7 +193,7 @@ class ProfileResult:
         """Write the trace / metrics / sweep-report artifact files.
 
         ``report_json_path`` serializes :attr:`sweep_reports` with the
-        same ``repro-sweep-report/1`` schema the experiments CLI's
+        same ``repro-sweep-report/2`` schema the experiments CLI's
         ``--report-json`` emits — an empty ``reports`` list documents
         that no supervised sweep ran during this profile.
         """

@@ -150,6 +150,11 @@ class Tracer:
         self._stack: list[int] = []
         self._measure_rss = measure_rss
         self._epoch = time.perf_counter()
+        #: wall-clock time (``time.time()``) at tracer construction.  Span
+        #: ``start`` offsets are relative to this instant, so a span's
+        #: absolute timestamp is ``epoch_unix + span.start`` — the anchor
+        #: the fleet aggregator uses to align traces across workers.
+        self.epoch_unix = time.time()
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
@@ -196,14 +201,28 @@ class Tracer:
         """Number of spans not yet closed (0 after a clean run)."""
         return len(self._stack)
 
-    def graft(self, spans: list[Span]) -> None:
+    def graft(self, spans: list[Span], *, offset: float | None = None,
+              attrs: dict[str, Any] | None = None) -> None:
         """Adopt spans recorded by another tracer (process-pool workers).
 
         Foreign spans keep their relative structure: parent links are
-        re-indexed into this tracer's flat list, their roots are attached
-        under the innermost open span (if any), and start offsets are
-        re-based to this tracer's clock at graft time so the merged
-        timeline stays monotone.  Only closed spans are adopted.
+        re-indexed into this tracer's flat list.  Only closed spans are
+        adopted.  Two alignment modes:
+
+        * ``offset=None`` (pool-worker flush): roots are attached under
+          the innermost open span (if any) and start offsets are re-based
+          to this tracer's clock at graft time, so the merged timeline
+          stays monotone even though worker clocks are unrelated.
+        * ``offset`` given (fleet aggregation): the foreign spans were
+          recorded against a tracer whose wall-clock epoch differs from
+          this one's by ``offset`` seconds
+          (``their.epoch_unix - ours.epoch_unix``); each adopted start
+          becomes ``offset + sp.start``, placing every worker on one
+          wall-clock-aligned fleet timeline.  Orphan spans stay roots
+          (``parent=None``) at their shipped depth.
+
+        ``attrs`` (e.g. ``{"worker": wid}``) is merged into every adopted
+        span without overwriting the span's own keys.
         """
         closed = [sp for sp in spans if sp.closed]
         if not closed:
@@ -221,18 +240,25 @@ class Tracer:
             if not sp.closed:
                 continue
             if sp.parent is None or sp.parent not in remap:
-                new_parent = parent
-                extra_depth = 0
+                new_parent = None if offset is not None else parent
+                extra_depth = sp.depth if offset is not None else 0
+                root_depth = 0 if offset is not None else depth0
             else:
                 new_parent = remap[sp.parent]
                 extra_depth = sp.depth
+                root_depth = 0 if offset is not None else depth0
+            new_attrs = dict(sp.attrs)
+            if attrs:
+                for k, v in attrs.items():
+                    new_attrs.setdefault(k, v)
             self.spans.append(
                 Span(
                     name=sp.name,
                     parent=new_parent,
-                    depth=depth0 + extra_depth,
-                    start=now + (sp.start - t0),
-                    attrs=dict(sp.attrs),
+                    depth=root_depth + extra_depth,
+                    start=(offset + sp.start) if offset is not None
+                    else now + (sp.start - t0),
+                    attrs=new_attrs,
                     events=list(sp.events),
                     wall=sp.wall,
                     rss_delta=sp.rss_delta,

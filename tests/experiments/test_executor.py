@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.distributions import Shape
-from repro.experiments.executor import SweepExecutor, pool_worker
+from repro.experiments.executor import (
+    SweepExecutor,
+    latency_summary,
+    pool_worker,
+)
 from repro.obs import Instrumentation
 
 
@@ -16,6 +20,35 @@ def _square(x):
 
 def _tagged(tag, n):
     return np.full(n, tag, dtype=float)
+
+
+class TestLatencySummary:
+    def test_exact_order_statistics(self):
+        # 1..100ms: the order statistics are exact, not bucket estimates.
+        secs = [k / 1000.0 for k in range(1, 101)]
+        lat = latency_summary(secs)
+        assert lat["count"] == 100
+        assert lat["p50"] == pytest.approx(0.0505)
+        assert lat["p95"] == pytest.approx(0.09505)
+        assert lat["p99"] == pytest.approx(0.09901)
+        assert lat["max"] == pytest.approx(0.1)
+        assert lat["mean"] == pytest.approx(sum(secs) / 100)
+
+    def test_single_sample(self):
+        lat = latency_summary([0.25])
+        assert lat["p50"] == lat["p99"] == lat["max"] == 0.25
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary([])
+
+    def test_sweep_report_latency(self):
+        ex = SweepExecutor(1)
+        ex.map(_square, [(i,) for i in range(4)])
+        lat = ex.report.latency()
+        assert lat is not None and lat["count"] == 4
+        assert ex.report.to_dict()["latency"] == lat
+        assert all(p.seconds > 0.0 for p in ex.report.points)
 
 
 class TestExecutorBasics:
@@ -83,15 +116,17 @@ class TestTelemetryRoundTrip:
         assert counter.value(mode="pool") == 4
 
     def test_pool_worker_unobserved_ships_no_telemetry(self):
-        value, spans, metrics = pool_worker(_square, (3,), False)
+        value, spans, metrics, seconds = pool_worker(_square, (3,), False)
         assert value == 9
         assert spans is None and metrics is None
+        assert seconds > 0.0
 
     def test_pool_worker_observed_ships_telemetry(self):
-        value, spans, metrics = pool_worker(_square, (3,), True)
+        value, spans, metrics, seconds = pool_worker(_square, (3,), True)
         assert value == 9
         assert [sp.name for sp in spans] == ["sweep_point"]
         assert metrics.counter("repro_sweep_points_total") is not None
+        assert seconds > 0.0
 
 
 class TestShapePickling:

@@ -117,20 +117,21 @@ class TestFaultPlan:
 class TestWorkerEnvelope:
     def test_failure_keeps_telemetry(self):
         # Satellite fix: a raising point must not drop its spans/metrics.
-        value, spans, metrics = pool_worker(_boom, (1.0,), True)
+        value, spans, metrics, seconds = pool_worker(_boom, (1.0,), True)
         assert isinstance(value, WorkerFailure)
         assert value.reason == "exception"
         assert spans and spans[0].name == "sweep_point"
         assert metrics is not None
+        assert seconds > 0.0
 
     def test_solver_error_reason_is_preserved(self):
-        value, _, _ = pool_worker(_health_fail, (1.0,), True)
+        value, _, _, _ = pool_worker(_health_fail, (1.0,), True)
         assert isinstance(value, WorkerFailure)
         assert value.reason == "numerical-health"
         assert value.kind == "NumericalHealthError"
 
     def test_unobserved_failure_still_enveloped(self):
-        value, spans, metrics = pool_worker(_boom, (1.0,), False)
+        value, spans, metrics, _seconds = pool_worker(_boom, (1.0,), False)
         assert isinstance(value, WorkerFailure)
         assert spans is None and metrics is None
 

@@ -109,6 +109,75 @@ class TestTraceFlags:
         assert [p.name for p in tmp_path.iterdir()] == ["cluster.json"]
 
 
+class TestStatusCommand:
+    @pytest.fixture()
+    def shard_dir(self, tmp_path):
+        import time
+
+        from repro.experiments.shard import ShardExecutor
+        from repro.obs import Instrumentation
+        from repro.obs.runtime import activate
+
+        def slow(x):
+            time.sleep(0.02)
+            return 3.0 * x
+
+        ins = Instrumentation.enabled(measure_rss=False)
+        with activate(ins):
+            ex = ShardExecutor(tmp_path / "shard", worker_id="w1", poll=0.05)
+            with ins.span("experiment", figure="smoke"):
+                ex.map(slow, [(i,) for i in range(4)], label="smoke")
+            ex.close()
+        return tmp_path / "shard"
+
+    def test_console(self, shard_dir, capsys):
+        assert main(["status", "--shard-dir", str(shard_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 points done" in out and "w1" in out
+
+    def test_json_document(self, shard_dir, capsys):
+        assert main(["status", "--shard-dir", str(shard_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-fleet-status/1"
+        assert doc["fleet"]["done"] == 4
+        assert doc["fleet"]["latency"]["count"] == 4
+        assert doc["workers"][0]["state"] == "done"
+
+    def test_empty_namespace_exits_2(self, tmp_path, capsys):
+        assert main(["status", "--shard-dir", str(tmp_path)]) == 2
+        assert "0 workers" in capsys.readouterr().out
+
+    def test_watch_exits_when_complete(self, shard_dir, capsys):
+        rc = main(["status", "--shard-dir", str(shard_dir),
+                   "--watch", "0.05", "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out.splitlines()[0])
+
+    def test_profile_merge_telemetry(self, shard_dir, tmp_path, capsys):
+        trace = tmp_path / "fleet.trace.jsonl"
+        prom = tmp_path / "fleet.prom"
+        rc = main(["profile", "--merge-telemetry", str(shard_dir),
+                   "--trace", str(trace), "--metrics-out", str(prom)])
+        out = capsys.readouterr().out
+        assert "fleet span coverage:" in out
+        assert "point latency: p50" in out
+        assert rc in (0, 1)  # 1 only if coverage dips below the 95% gate
+        names = {
+            json.loads(ln)["name"] for ln in trace.read_text().splitlines()
+        }
+        assert {"shard_point", "sweep_point", "lease_acquire"} <= names
+        assert 'repro_point_seconds_count{mode="shard"} 4' in prom.read_text()
+
+    def test_profile_without_spec_or_telemetry_errors(self, capsys):
+        assert main(["profile"]) == 2
+        assert "profile requires a spec" in capsys.readouterr().err
+
+    def test_profile_merge_empty_exits_2(self, tmp_path, capsys):
+        rc = main(["profile", "--merge-telemetry", str(tmp_path / "none")])
+        assert rc == 2
+        assert "no telemetry spans" in capsys.readouterr().err
+
+
 class TestExperimentTracing:
     def test_experiment_trace_flag(self, tmp_path, capsys):
         trace = tmp_path / "e.jsonl"

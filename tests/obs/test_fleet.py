@@ -1,0 +1,270 @@
+"""Fleet observability: telemetry streams, aggregation, status schema."""
+
+import json
+
+import pytest
+
+from repro.experiments.shard import ShardExecutor
+from repro.obs.fleet import (
+    FLEET_STATUS_SCHEMA,
+    TELEMETRY_SCHEMA,
+    FleetView,
+    TelemetryWriter,
+    WorkerTelemetry,
+    load_telemetry_text,
+    spans_from_wire,
+    spans_to_wire,
+)
+from repro.obs.instrument import Instrumentation
+from repro.obs.runtime import activate
+from repro.obs.tracer import Span, Tracer
+
+
+def _slow_double(x):
+    import time
+
+    time.sleep(0.02)
+    return 2.0 * x
+
+
+# ----------------------------------------------------------------------
+class TestTelemetryWriter:
+    def test_records_are_crc_sealed(self, tmp_path):
+        w = TelemetryWriter(tmp_path / "w1.tel.jsonl", "w1")
+        w.emit("hello", figure="fig", total=3)
+        w.emit("progress", computed=1)
+        w.close()
+        text = (tmp_path / "w1.tel.jsonl").read_text()
+        records = load_telemetry_text(text)
+        assert [r["type"] for r in records] == ["hello", "progress"]
+        assert all(r["schema"] == TELEMETRY_SCHEMA for r in records)
+        assert all(r["worker"] == "w1" for r in records)
+
+    def test_corrupt_and_torn_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "w1.tel.jsonl"
+        w = TelemetryWriter(path, "w1")
+        w.emit("hello", figure="fig", total=3)
+        w.emit("progress", computed=2)
+        w.close()
+        good, bad = path.read_text().splitlines()
+        bad = bad.replace('"computed":2', '"computed":9')  # breaks the CRC
+        text = good + "\n" + bad + "\nnot json at all\n{\"half\": tru"
+        records = load_telemetry_text(text)
+        assert [r["type"] for r in records] == ["hello"]
+
+    def test_emit_after_close_is_silent(self, tmp_path):
+        w = TelemetryWriter(tmp_path / "w1.tel.jsonl", "w1")
+        w.close()
+        w.emit("progress", computed=1)  # must not raise
+        assert load_telemetry_text(
+            (tmp_path / "w1.tel.jsonl").read_text()) == []
+
+
+# ----------------------------------------------------------------------
+class TestSpanWire:
+    def test_round_trip_preserves_tree(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("outer", k="v"):
+            with tr.span("inner"):
+                tr.event("tick", n=1)
+        wire = spans_to_wire(tr.spans, [0, 1])
+        back = spans_from_wire(wire)
+        assert [sp.name for sp in back] == ["outer", "inner"]
+        assert back[1].parent == 0 and back[0].parent is None
+        assert back[0].attrs == {"k": "v"}
+        assert back[1].events[0].name == "tick"
+        assert back[0].wall == pytest.approx(tr.spans[0].wall)
+
+    def test_unshipped_parent_leaves_child_as_root(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("container"):
+            with tr.span("child"):
+                pass
+        # Ship only the child, as a worker does while its container
+        # (the CLI's ``experiment`` root) is still open.
+        back = spans_from_wire(spans_to_wire(tr.spans, [1]))
+        assert [sp.name for sp in back] == ["child"]
+        assert back[0].parent is None
+
+    def test_batches_restore_cross_batch_parent_links(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("a"):
+            pass
+        first = spans_to_wire(tr.spans, [0])
+        with tr.span("b"):
+            with tr.span("c"):
+                pass
+        second = spans_to_wire(tr.spans, [1, 2])
+        back = spans_from_wire(first + second)
+        names = {sp.name: sp for sp in back}
+        assert names["c"].parent == back.index(names["b"])
+
+
+# ----------------------------------------------------------------------
+class TestGraftOffset:
+    def _one_closed(self, name, start=0.0):
+        return Span(name=name, parent=None, depth=0, start=start, wall=0.5)
+
+    def test_offset_mode_aligns_wall_clock(self):
+        tr = Tracer(measure_rss=False)
+        tr.graft([self._one_closed("w2_root", start=1.0)], offset=2.5)
+        assert tr.spans[0].start == pytest.approx(3.5)
+        assert tr.spans[0].parent is None
+
+    def test_offset_mode_orphans_stay_roots_under_open_span(self):
+        tr = Tracer(measure_rss=False)
+        with tr.span("experiment"):
+            tr.graft([self._one_closed("foreign")], offset=0.0)
+        foreign = tr.spans[1]
+        assert foreign.name == "foreign"
+        assert foreign.parent is None and foreign.depth == 0
+
+    def test_attrs_tag_without_overwriting(self):
+        tr = Tracer(measure_rss=False)
+        sp = self._one_closed("x")
+        sp.attrs["worker"] = "original"
+        tr.graft([sp, self._one_closed("y")], offset=0.0,
+                 attrs={"worker": "w9"})
+        assert tr.spans[0].attrs["worker"] == "original"
+        assert tr.spans[1].attrs["worker"] == "w9"
+
+
+# ----------------------------------------------------------------------
+class TestWorkerTelemetry:
+    def _records(self, tmp_path):
+        w = TelemetryWriter(tmp_path / "w1.tel.jsonl", "w1")
+        w.emit("hello", figure="fig", total=4, pid=7, host="h",
+               epoch_unix=100.0)
+        w.emit("progress", computed=1, merged=2, held=[3], claims=2,
+               stolen=1, failed=0, idle=0.25)
+        w.emit("point", index=0, seconds=0.5, status="ok", generation=1)
+        w.close()
+        return load_telemetry_text((tmp_path / "w1.tel.jsonl").read_text())
+
+    def test_from_records(self, tmp_path):
+        wt = WorkerTelemetry.from_records("w1", self._records(tmp_path))
+        assert (wt.figure, wt.total, wt.pid, wt.host) == ("fig", 4, 7, "h")
+        assert wt.epoch_unix == 100.0
+        assert (wt.computed, wt.merged, wt.held) == (1, 2, [3])
+        assert (wt.claims, wt.stolen, wt.idle) == (2, 1, 0.25)
+        assert wt.points == [
+            {"index": 0, "seconds": 0.5, "status": "ok", "generation": 1}]
+
+    def test_state_transitions(self, tmp_path):
+        wt = WorkerTelemetry.from_records("w1", self._records(tmp_path))
+        assert wt.state(now=wt.last_t + 1.0, stale_after=10.0) == "running"
+        assert wt.state(now=wt.last_t + 60.0, stale_after=10.0) == "stalled"
+        wt.bye_status = "complete"
+        assert wt.state(now=wt.last_t + 60.0, stale_after=10.0) == "done"
+        wt.bye_status = "interrupted"
+        assert wt.state(now=wt.last_t, stale_after=10.0) == "interrupted"
+
+    def test_bye_clears_held(self, tmp_path):
+        path = tmp_path / "w1.tel.jsonl"
+        w = TelemetryWriter(path, "w1")
+        w.emit("hello", figure="fig", total=2)
+        w.emit("progress", computed=1, held=[1])
+        w.emit("bye", status="complete", computed=2, held=[])
+        w.close()
+        wt = WorkerTelemetry.from_records(
+            "w1", load_telemetry_text(path.read_text()))
+        assert wt.held == [] and wt.bye_status == "complete"
+
+
+# ----------------------------------------------------------------------
+class TestFleetViewLive:
+    """End-to-end against a real instrumented shard sweep."""
+
+    @pytest.fixture()
+    def shard(self, tmp_path):
+        ins = Instrumentation.enabled(measure_rss=False)
+        with activate(ins):
+            ex = ShardExecutor(tmp_path / "shard", worker_id="w1", poll=0.05)
+            with ins.span("experiment", figure="smoke"):
+                results = ex.map(
+                    _slow_double, [(i,) for i in range(5)], label="smoke")
+            ex.close()
+        assert results == [0.0, 2.0, 4.0, 6.0, 8.0]
+        return tmp_path / "shard"
+
+    def test_status_document(self, shard):
+        view = FleetView.load(shard)
+        doc = view.to_dict()
+        assert doc["schema"] == FLEET_STATUS_SCHEMA
+        assert doc["figure"] == "smoke"
+        fleet = doc["fleet"]
+        assert fleet["total"] == 5 and fleet["done"] == 5
+        assert fleet["computed"] == 5 and fleet["stolen"] == 0
+        lat = fleet["latency"]
+        assert lat["count"] == 5
+        assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        (worker,) = doc["workers"]
+        assert worker["worker"] == "w1" and worker["state"] == "done"
+        json.dumps(doc)  # the whole document must be JSON-serializable
+
+    def test_console_renders(self, shard):
+        text = FleetView.load(shard).format_console()
+        assert "5/5 points done" in text
+        assert "w1" in text and "done" in text
+
+    def test_merged_tracer_and_coverage(self, shard):
+        view = FleetView.load(shard)
+        tr = view.merged_tracer()
+        names = {sp.name for sp in tr.spans}
+        assert {"shard_point", "sweep_point", "lease_acquire",
+                "segment_merge"} <= names
+        assert all(sp.attrs.get("worker") == "w1" for sp in tr.spans)
+        # The experiment container never ships; shard_point roots carry
+        # the claimed wall time, so coverage clears the profile gate.
+        assert "experiment" not in names
+        cov = view.coverage()
+        assert cov is not None and cov > 0.8
+
+    def test_merged_metrics(self, shard):
+        reg = FleetView.load(shard).merged_metrics()
+        text = reg.to_prometheus()
+        assert 'repro_sweep_points_total{mode="shard"} 5' in text
+        assert 'repro_point_seconds_count{mode="shard"} 5' in text
+
+    def test_figure_filter(self, shard):
+        assert FleetView.load(shard, figure="other").workers == []
+        assert len(FleetView.load(shard, figure="smoke").workers) == 1
+
+
+class TestFleetViewMultiWorker:
+    def test_two_streams_aggregate(self, tmp_path):
+        tel = tmp_path / "telemetry"
+        for wid, computed, stolen, epoch in (
+            ("w1", 3, 0, 100.0), ("w2", 2, 1, 100.5),
+        ):
+            w = TelemetryWriter(tel / f"{wid}.tel.jsonl", wid)
+            w.emit("hello", figure="fig", total=5, epoch_unix=epoch)
+            for k in range(computed):
+                w.emit("point", index=k, seconds=0.1, status="ok",
+                       generation=1)
+            tr = Tracer(measure_rss=False)
+            with tr.span("sweep_point", mode="shard"):
+                pass
+            w.emit("spans", spans=spans_to_wire(tr.spans, [0]))
+            w.emit("bye", status="complete", computed=computed,
+                   merged=5, stolen=stolen, held=[])
+            w.close()
+        view = FleetView.load(tmp_path)
+        fleet = view.to_dict()["fleet"]
+        assert fleet["workers"] == 2 and fleet["done_workers"] == 2
+        assert fleet["computed"] == 5 and fleet["stolen"] == 1
+        assert fleet["done"] == 5
+        assert fleet["latency"]["count"] == 5
+        merged = view.merged_tracer()
+        assert {sp.attrs["worker"] for sp in merged.spans} == {"w1", "w2"}
+        # w2's epoch is 0.5s after the anchor: wall-clock alignment.
+        w1_sp = next(s for s in merged.spans if s.attrs["worker"] == "w1")
+        w2_sp = next(s for s in merged.spans if s.attrs["worker"] == "w2")
+        assert w2_sp.start - w1_sp.start == pytest.approx(
+            0.5, abs=0.05)
+
+    def test_empty_dir_is_quiet(self, tmp_path):
+        view = FleetView.load(tmp_path)
+        assert view.workers == []
+        assert view.coverage() is None and view.latency() is None
+        assert view.to_dict()["fleet"]["total"] == 0

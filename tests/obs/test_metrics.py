@@ -51,6 +51,33 @@ class TestHistogram:
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
 
+class TestHistogramQuantile:
+    def test_interpolates_inside_bucket(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # rank 2 of 4 sits halfway through the (1, 2] bucket (cum 1→3).
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.75) == pytest.approx(2.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        h = MetricsRegistry().histogram("h", buckets=[1.0])
+        assert math.isnan(h.quantile(0.5))
+
+    def test_beyond_last_bucket_clamps(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 2.0])
+        h.observe(50.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_out_of_range_rejected(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
 class TestRegistry:
     def test_idempotent_registration(self):
         reg = MetricsRegistry()
@@ -61,6 +88,96 @@ class TestRegistry:
         reg.counter("x")
         with pytest.raises(ValueError):
             reg.gauge("x")
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        # Regression: the shard heartbeat thread counts lease renewals
+        # while the map thread observes point latencies concurrently.
+        import threading
+
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        h = reg.histogram("h_seconds", buckets=[0.5, 1.0])
+        n, threads = 5000, 8
+
+        def hammer():
+            for _ in range(n):
+                c.inc(kind="x")
+                h.observe(0.25)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert c.value(kind="x") == float(n * threads)
+        snap = h.snapshot()
+        assert snap["count"] == n * threads
+        assert snap["buckets"][0.5] == n * threads
+
+
+class TestPickling:
+    def test_registry_survives_pool_round_trip(self):
+        # Pool workers return their registry via pickle; the per-family
+        # locks are process-local and must not break that.
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(2, kind="x")
+        reg.histogram("h", buckets=[1.0]).observe(0.5)
+        back = pickle.loads(pickle.dumps(reg))
+        assert back.to_dict() == reg.to_dict()
+        back.counter("c_total").inc(kind="x")  # lock was recreated
+        assert back.counter("c_total").value(kind="x") == 3.0
+
+
+class TestMergeAndRoundTrip:
+    def test_merge_accumulates_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, values in ((a, (0.05, 0.5)), (b, (0.5, 5.0))):
+            h = reg.histogram("h", buckets=[0.1, 1.0, 10.0])
+            for v in values:
+                h.observe(v, mode="shard")
+        a.merge(b)
+        snap = a.histogram("h", buckets=[0.1, 1.0, 10.0]).snapshot(mode="shard")
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+        assert snap["buckets"] == {0.1: 1, 1.0: 3, 10.0: 4}
+
+    def test_merge_seeds_missing_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h", buckets=[1.0]).observe(0.5, k="v")
+        a.merge(b)
+        assert a.histogram("h", buckets=[1.0]).snapshot(k="v")["count"] == 1
+
+    def test_from_dict_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(3, kind="x")
+        reg.gauge("g").set(7.5)
+        h = reg.histogram("h", buckets=[0.1, 1.0])
+        h.observe(0.05, mode="shard")
+        h.observe(0.5, mode="shard")
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+        assert back.to_prometheus() == reg.to_prometheus()
+
+    def test_rehydrated_snapshots_merge_like_live_ones(self):
+        # The fleet aggregation path: each worker ships to_dict, the
+        # reader rehydrates and folds them together.
+        workers = []
+        for values in ((0.05, 0.2), (0.4,)):
+            reg = MetricsRegistry()
+            h = reg.histogram("h", buckets=[0.1, 1.0])
+            for v in values:
+                h.observe(v)
+            workers.append(reg.to_dict())
+        fleet = MetricsRegistry()
+        for doc in workers:
+            fleet.merge(MetricsRegistry.from_dict(doc))
+        snap = fleet.histogram("h", buckets=[0.1, 1.0]).snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"] == {0.1: 1, 1.0: 3}
 
 
 class TestJsonExporter:

@@ -96,6 +96,14 @@ class TestTransientMetrics:
         assert snap["count"] == 30
         assert snap["sum"] > 0.0
 
+    def test_convergence_distance_gauge(self, traced_run):
+        # ‖p_i − p_{i+1}‖∞ of the last refill epoch: finite, and small
+        # once the entrance vectors have settled toward the fixed point.
+        g = traced_run.metrics.gauge("repro_epoch_convergence_distance")
+        value = g.value()
+        assert np.isfinite(value)
+        assert 0.0 <= value < 1.0
+
 
 class TestInstrumentParameter:
     def test_constructor_callback(self):

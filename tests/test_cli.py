@@ -92,9 +92,14 @@ class TestSweepWorker:
         assert len(segments) == 1
         doc = json.loads((tmp_path / "report.json").read_text())
         (report,) = doc["reports"]
-        assert report["schema"] == "repro-sweep-report/1"
+        assert report["schema"] == "repro-sweep-report/2"
         assert report["complete"] and report["exit_code"] == 0
         assert all(p["owner"] == "cli-w0" for p in report["points"])
+        # /2: per-point wall seconds plus aggregate latency percentiles.
+        assert all(p["seconds"] > 0.0 for p in report["points"])
+        lat = report["latency"]
+        assert lat["count"] == report["total"]
+        assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
 
         # A second worker resumes everything from the merged segments.
         rc = main([
