@@ -9,6 +9,13 @@ transient solve — ``build_level``, ``epoch`` and ``factorize`` — pass
 ``--floor-seconds`` never fail: at sub-millisecond medians the ratio is
 dominated by timer and scheduler noise, not by code.
 
+``--min-speedup SLOW:FAST:RATIO`` (repeatable) additionally asserts a
+*relative* perf property inside the FRESH file alone: workload ``SLOW``'s
+median wall time must be at least ``RATIO`` times workload ``FAST``'s.
+This is how CI pins the spectral engine's N-free refill — e.g.
+``--min-speedup fig03_n10k_propagator:fig03_n10k_spectral:10`` fails the
+job if the closed-form makespan ever drops under 10x the stepped one.
+
 Exits nonzero (failing the CI job) on regression or when the two files
 share no comparable workload/stage pair.
 
@@ -16,7 +23,7 @@ Usage::
 
     python benchmarks/check_bench_regression.py FRESH BASELINE \
         [--stage epoch --stage factorize] [--max-ratio 1.2] \
-        [--floor-seconds 0.001]
+        [--floor-seconds 0.001] [--min-speedup SLOW:FAST:RATIO]
 """
 
 from __future__ import annotations
@@ -64,6 +71,43 @@ def compare(
     return lines, failures
 
 
+def check_speedups(
+    fresh: dict, specs: list[str]
+) -> tuple[list[str], list[str]]:
+    """Gate ``SLOW:FAST:RATIO`` wall-time speedups inside the fresh file."""
+    by_name = {w["name"]: w for w in fresh.get("workloads", [])}
+    lines: list[str] = []
+    failures: list[str] = []
+    for spec in specs:
+        try:
+            slow_name, fast_name, ratio_text = spec.split(":")
+            want = float(ratio_text)
+        except ValueError:
+            raise SystemExit(
+                f"--min-speedup must be SLOW:FAST:RATIO, got {spec!r}"
+            )
+        slow = by_name.get(slow_name)
+        fast = by_name.get(fast_name)
+        if slow is None or fast is None:
+            missing = slow_name if slow is None else fast_name
+            failures.append(
+                f"speedup {spec}: workload {missing!r} missing from fresh file"
+            )
+            continue
+        slow_s = float(slow["wall_seconds"]["median"])
+        fast_s = float(fast["wall_seconds"]["median"])
+        got = slow_s / fast_s if fast_s > 0 else float("inf")
+        line = (
+            f"speedup {slow_name} / {fast_name}: "
+            f"{slow_s * 1e3:.3f} ms / {fast_s * 1e3:.3f} ms = {got:.1f}x "
+            f"(gate: >= {want:g}x)"
+        )
+        lines.append(line)
+        if got < want:
+            failures.append(line)
+    return lines, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", type=Path, help="freshly produced BENCH_transient.json")
@@ -89,6 +133,15 @@ def main(argv: list[str] | None = None) -> int:
         help="stage medians at or below this never fail the gate "
         "(default 1e-3: sub-ms readings are timer noise)",
     )
+    ap.add_argument(
+        "--min-speedup",
+        action="append",
+        dest="speedups",
+        default=None,
+        metavar="SLOW:FAST:RATIO",
+        help="require fresh workload SLOW's median wall time to be at "
+        "least RATIO times workload FAST's (repeatable)",
+    )
     args = ap.parse_args(argv)
 
     fresh = json.loads(args.fresh.read_text())
@@ -97,6 +150,10 @@ def main(argv: list[str] | None = None) -> int:
     lines, failures = compare(
         fresh, baseline, stages, args.max_ratio, args.floor_seconds
     )
+    if args.speedups:
+        sp_lines, sp_failures = check_speedups(fresh, args.speedups)
+        lines += sp_lines
+        failures += sp_failures
     for line in lines:
         print(line)
     if not lines:
@@ -108,15 +165,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if failures:
         print(
-            f"REGRESSION: {len(failures)} stage reading(s) over "
-            f"{args.max_ratio:.2f}x",
+            f"REGRESSION: {len(failures)} gated reading(s) failed",
             file=sys.stderr,
         )
         return 1
-    print(
-        f"OK: all {len(lines)} stage reading(s) within "
-        f"{args.max_ratio:.2f}x of baseline"
-    )
+    print(f"OK: all {len(lines)} gated reading(s) passed")
     return 0
 
 

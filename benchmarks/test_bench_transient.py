@@ -12,7 +12,12 @@ Workloads:
 * ``fig03_central_k5``  — central cluster, shared disk C² = 10, K=5, N=30
   (the paper's Figure 3 configuration, D(5) = 91);
 * ``fig04_central_k8``  — the same application at K=8, N=60
-  (Figure 4's scale, D(8) = 285).
+  (Figure 4's scale, D(8) = 285);
+* ``fig03_n10k_propagator`` / ``fig03_n10k_spectral`` — the fig03 class
+  pushed to N = 10⁴, once per epoch backend.  The pair exists so CI can
+  gate the spectral engine's N-free refill as a *relative* property
+  (``check_bench_regression.py --min-speedup``, ≥10x): absolute wall
+  times drift across machines, the ratio does not.
 """
 
 from __future__ import annotations
@@ -33,12 +38,19 @@ def _spec():
 
 
 @pytest.mark.parametrize(
-    "name, K, N",
-    [("fig03_central_k5", 5, 30), ("fig04_central_k8", 8, 60)],
-    ids=["fig03_k5", "fig04_k8"],
+    "name, K, N, propagation",
+    [
+        ("fig03_central_k5", 5, 30, "propagator"),
+        ("fig04_central_k8", 8, 60, "propagator"),
+        ("fig03_n10k_propagator", 5, 10_000, "propagator"),
+        ("fig03_n10k_spectral", 5, 10_000, "spectral"),
+    ],
+    ids=["fig03_k5", "fig04_k8", "n10k_propagator", "n10k_spectral"],
 )
-def test_bench_transient(results_dir, record_text, name, K, N):
-    result = profile_spec(_spec(), K, N, repeats=REPEATS, name=name)
+def test_bench_transient(results_dir, record_text, name, K, N, propagation):
+    result = profile_spec(
+        _spec(), K, N, repeats=REPEATS, name=name, propagation=propagation
+    )
 
     # Sanity: the spans must account for (nearly) all of the wall time,
     # and the solve must reproduce the known makespan regime.
@@ -64,5 +76,12 @@ def test_bench_file_is_wellformed(results_dir):
     doc = validate_bench(path)
     names = {w["name"] for w in doc["workloads"]}
     assert {"fig03_central_k5", "fig04_central_k8"} <= names
+    by_name = {w["name"]: w for w in doc["workloads"]}
+    if {"fig03_n10k_propagator", "fig03_n10k_spectral"} <= names:
+        slow = by_name["fig03_n10k_propagator"]["wall_seconds"]["median"]
+        fast = by_name["fig03_n10k_spectral"]["wall_seconds"]["median"]
+        assert slow / fast >= 10.0, (
+            f"spectral N=10k speedup {slow / fast:.1f}x under the 10x bar"
+        )
     # Round-trip: the file is plain JSON, stable under re-serialization.
     assert json.loads(path.read_text())["schema"] == "repro-bench-transient/1"

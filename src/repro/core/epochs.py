@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.transient import TransientModel
 from repro.distributions.base import MatrixExponential
+from repro.resilience.errors import ConvergenceError
 
 __all__ = ["epoch_distribution", "epoch_distributions", "epoch_scvs"]
 
@@ -35,10 +36,19 @@ def _entrance_mix(x: np.ndarray) -> np.ndarray:
 
     The division must use the *clipped* sum: dividing by the raw sum would
     leave the entrance vector summing to slightly more than 1 whenever
-    round-off produced negative entries.
+    round-off produced negative entries.  An all-nonpositive vector
+    (reachable under fault injection or a badly conditioned level) has no
+    mass left to normalize — raise instead of returning a NaN mix.
     """
     clipped = np.clip(x, 0.0, None)
-    return clipped / clipped.sum()
+    mass = clipped.sum()
+    if not mass > 0.0:
+        raise ConvergenceError(
+            "epoch entrance vector has no positive mass to normalize "
+            f"(sum {float(np.sum(x)):.3e}, min {float(np.min(x)):.3e})",
+            residuals=[float(np.sum(x))],
+        )
+    return clipped / mass
 
 
 def _epoch_levels(model: TransientModel, N: int) -> list[int]:
@@ -55,7 +65,10 @@ def epoch_distribution(model: TransientModel, N: int, epoch: int) -> MatrixExpon
     if not 1 <= epoch <= N:
         raise ValueError(f"epoch must be in 1..{N}, got {epoch!r}")
     levels = _epoch_levels(model, N)
-    x = model.epoch_vectors(N)[epoch - 1]
+    # Only the requested epoch's vector is needed: the spectral engine
+    # jumps to it in O(1), the stepped paths stop the recurrence there —
+    # never O(N) work and memory for a single epoch.
+    x = model.epoch_vector(N, epoch - 1)
     k = levels[epoch - 1]
     return MatrixExponential(_entrance_mix(x), _level_B(model, k))
 

@@ -55,9 +55,10 @@ def solve_steady_state(
 
     The iteration starts from the filling vector ``p_K``, which is already
     close to stationarity in lightly-loaded systems.  Under the model's
-    default ``propagation="propagator"`` each step is one gemv against
-    the cached ``Y_K R_K`` matrix; under ``"solve"`` it is one sparse
-    triangular solve plus two sparse products.
+    default ``propagation="propagator"`` (and ``"spectral"``, whose
+    decomposition serves epoch jumps, not this fixed point) each step is
+    one gemv against the cached ``Y_K R_K`` matrix; under ``"solve"`` it
+    is one sparse triangular solve plus two sparse products.
 
     Raises
     ------
@@ -68,7 +69,7 @@ def solve_steady_state(
     """
     top = model.level(model.K)
     x0 = model.entrance_vector(model.K)
-    step = top.step_YR if model.propagation == "propagator" else top.apply_YR
+    step = top.apply_YR if model.propagation == "solve" else top.step_YR
     try:
         p_ss = stationary_left_vector(
             step, top.dim, x0=x0, tol=tol, max_iter=max_iter

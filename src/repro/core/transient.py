@@ -30,6 +30,7 @@ from repro.laqt.states import build_spaces
 from repro.network.spec import NetworkSpec
 from repro.obs import runtime as _rt
 from repro.obs.instrument import Instrumentation
+from repro.resilience.errors import SpectralFallbackError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.budget import Budget
@@ -77,9 +78,19 @@ class TransientModel:
         the explicit ``Y_k R_k`` / ``Y_k`` matrices once per level
         (blocked multi-column solve) so every epoch is one gemv;
         ``"solve"`` is the bit-exact historical path that re-runs the
-        transposed triangular solve each epoch.  The two agree to LU
-        round-off (≤1e-12 on the paper workloads); equivalence is pinned
-        in ``benchmarks/test_ablation_propagation.py``.
+        transposed triangular solve each epoch; ``"spectral"``
+        eigendecomposes ``Y_K R_K`` once per model (paper §5: the refill
+        recurrence is a power iteration) and evaluates any epoch — and
+        the refill portion of the makespan, as a geometric series over
+        the non-unit spectrum — in closed form, making the refill cost
+        independent of ``N``.  An ill-conditioned decomposition (probe
+        residual, LAPACK failure, CSR-only propagator) downgrades
+        stickily to ``"propagator"`` with a reason-coded
+        :class:`~repro.resilience.errors.SpectralFallbackError` recorded
+        on :attr:`spectral_fallback` — never a wrong answer.  All modes
+        agree to ≤1e-10 on the paper workloads; equivalence is pinned in
+        ``benchmarks/test_ablation_propagation.py`` /
+        ``benchmarks/test_ablation_spectral.py``.
 
     Notes
     -----
@@ -104,7 +115,10 @@ class TransientModel:
         "vectorized": build_level,
         "reference": build_level_reference,
     }
-    _PROPAGATION_MODES = ("propagator", "solve")
+    _PROPAGATION_MODES = ("propagator", "solve", "spectral")
+
+    # Sticky spectral downgrade (set once, first time the engine declines).
+    _spectral_fallback: SpectralFallbackError | None = None
 
     def __init__(
         self,
@@ -157,8 +171,23 @@ class TransientModel:
 
     @property
     def propagation(self) -> str:
-        """Active epoch-propagation backend (``"propagator"`` or ``"solve"``)."""
+        """Requested epoch-propagation backend (one of
+        :data:`_PROPAGATION_MODES`)."""
         return self._propagation
+
+    @property
+    def effective_propagation(self) -> str:
+        """Backend actually in use: ``"spectral"`` downgrades to
+        ``"propagator"`` once :attr:`spectral_fallback` is set."""
+        if self._propagation == "spectral" and self._spectral_fallback is not None:
+            return "propagator"
+        return self._propagation
+
+    @property
+    def spectral_fallback(self) -> SpectralFallbackError | None:
+        """The reason-coded error that downgraded ``"spectral"`` to the
+        gemv path, or ``None`` (engine healthy or never requested)."""
+        return self._spectral_fallback
 
     # -- instrumentation surface ---------------------------------------
     @property
@@ -289,14 +318,31 @@ class TransientModel:
         def visit(j: int, k: int, ops, x: np.ndarray) -> None:
             times[j] = ops.mean_epoch_time(x)
 
+        eng = self._bulk_engine(n)
+        if eng is not None:
+            head, x, k_active, m, ins = self._spectral_refill(
+                n, eng, lambda top, x0, m: eng.epoch_times(x0, top.tau, m))
+            times[:m] = head
+            self._drain_phase(m, k_active, x, visit,
+                              hook=None, ins=ins, fast=True)
+            return times
+
         self._epoch_recurrence(n, visit, observe=True)
         return times
 
     @staticmethod
     def _validate_N(N: int) -> int:
-        if N < 1 or int(N) != N:
+        # bool is an int subclass: makespan(True) would silently solve
+        # N=1, which is always a caller bug, not a workload size.
+        if isinstance(N, (bool, np.bool_)):
             raise ValueError(f"N must be a positive integer, got {N!r}")
-        return int(N)
+        try:
+            n = int(N)
+        except (TypeError, ValueError):
+            raise ValueError(f"N must be a positive integer, got {N!r}") from None
+        if n != N or n < 1:
+            raise ValueError(f"N must be a positive integer, got {N!r}")
+        return n
 
     @staticmethod
     def _frozen_view(x: np.ndarray) -> np.ndarray:
@@ -329,7 +375,7 @@ class TransientModel:
         k_active = min(self._K, N)
         top = self.level(k_active)
         x = self.entrance_vector(k_active)
-        fast = self._propagation == "propagator"
+        fast = self._propagation != "solve"
         hook = self._epoch_hook if observe else None
         ins = self._effective_instrument() if observe else None
         if ins is not None:
@@ -339,26 +385,55 @@ class TransientModel:
                 # Callback-only bundle: folded into the hook path above,
                 # keeping the loop free of dead span/metric branches.
                 ins = None
+        eng = self._spectral_engine(top) if N > k_active else None
+        x0 = x
         step_refill = top.step_YR if fast else top.apply_YR
         for j in range(N - k_active):
             if hook is not None:
                 hook(j, k_active, self._frozen_view(x))
             if ins is None:
                 visit(j, k_active, top, x)
-                x = step_refill(x)
+                x = eng.propagate(x0, j + 1) if eng is not None else step_refill(x)
             else:
                 with ins.span("epoch", epoch=j, level=k_active,
                               phase="refill") as sp:
                     visit(j, k_active, top, x)
                     x_prev = x
-                    x = step_refill(x)
+                    x = eng.propagate(x0, j + 1) if eng is not None else step_refill(x)
                 self._epoch_metrics(ins, sp)
                 # The refill recurrence is the paper's power iteration
-                # p(Y_K R_K)^i → p_ss (§5); its sup-norm step distance is
-                # the convergence gauge the SLO layer watches.
-                ins.gauge("repro_epoch_convergence_distance",
-                          float(np.max(np.abs(x - x_prev))))
-        at = N - k_active
+                # p(Y_K R_K)^i → p_ss (§5).  Under the spectral engine
+                # the gauge is the *exact* geometric rate of that
+                # iteration (the spectral gap); otherwise it is the
+                # measured sup-norm step distance the SLO layer watched
+                # historically.
+                ins.gauge(
+                    "repro_epoch_convergence_distance",
+                    eng.gap if eng is not None
+                    else float(np.max(np.abs(x - x_prev))),
+                )
+        self._drain_phase(N - k_active, k_active, x, visit,
+                          hook=hook, ins=ins, fast=fast)
+
+    def _drain_phase(
+        self,
+        at: int,
+        k_active: int,
+        x: np.ndarray,
+        visit: Callable[[int, int, object, np.ndarray], None],
+        *,
+        hook,
+        ins: Instrumentation | None,
+        fast: bool,
+    ) -> None:
+        """Drain cascade ``Y_K, Y_{K−1}, …, Y_1`` (§4.1 Case 1).
+
+        The drain operators are rectangular (``D(k) × D(k−1)``) so they
+        have no spectral form; every propagation mode drains through the
+        cached-propagator gemvs (``fast=True``) or the historical solves.
+        Shared by the stepped recurrence and the spectral bulk paths so
+        the two cannot drift.
+        """
         for k in range(k_active, 0, -1):
             if hook is not None:
                 hook(at, k, self._frozen_view(x))
@@ -374,6 +449,85 @@ class TransientModel:
                         x = ops.step_Y(x) if fast else ops.apply_Y(x)
                 self._epoch_metrics(ins, sp)
             at += 1
+
+    # -- spectral engine ------------------------------------------------
+    def _spectral_engine(self, top):
+        """Top-level :class:`SpectralDecomposition`, or ``None``.
+
+        ``None`` when the mode isn't ``"spectral"`` or the engine has
+        already declined for this model (the downgrade is sticky — one
+        reason code per model, no per-call retry storms).
+        """
+        if self._propagation != "spectral" or self._spectral_fallback is not None:
+            return None
+        try:
+            accessor = getattr(top, "spectral_YR", None)
+            if accessor is None:
+                raise SpectralFallbackError(
+                    f"level backend {type(top).__name__} exposes no "
+                    "spectral surface",
+                    cause="unsupported-backend",
+                    level=getattr(top, "k", None),
+                )
+            return accessor()
+        except SpectralFallbackError as exc:
+            self._note_spectral_fallback(exc)
+            return None
+
+    def _note_spectral_fallback(self, exc: SpectralFallbackError) -> None:
+        self._spectral_fallback = exc
+        ins = self._effective_instrument()
+        if ins is not None:
+            ins.count("repro_spectral_fallbacks_total", reason=exc.reason)
+            ins.event("spectral_fallback", reason=exc.reason, message=str(exc))
+
+    def _bulk_engine(self, n: int):
+        """Spectral engine for the closed-form bulk refill, or ``None``.
+
+        The bulk path collapses the whole refill phase into one
+        vectorized evaluation, so it only engages when nothing observes
+        individual refill epochs: no deprecated ``epoch_hook`` and no
+        ``on_epoch`` callback (the resilience budget clock arms one —
+        such solves take the stepped spectral path, which checks budgets
+        every epoch and returns identical vectors).
+        """
+        if self._propagation != "spectral":
+            return None
+        k_active = min(self._K, n)
+        if n <= k_active or self._epoch_hook is not None:
+            return None
+        ins = self._effective_instrument()
+        if ins is not None and ins.on_epoch is not None:
+            return None
+        return self._spectral_engine(self.level(k_active))
+
+    def _spectral_refill(self, n: int, eng, evaluate):
+        """Run the closed-form refill under one ``epoch`` span.
+
+        ``evaluate(top, x0, m)`` computes the caller's refill quantity
+        (per-epoch times or their geometric-series sum) from the
+        entrance vector; returns ``(value, x_end, k_active, m, ins)``
+        with ``x_end = x0 (Y_K R_K)^m`` ready for the drain cascade and
+        ``ins`` filtered exactly as the stepped recurrence does.
+        """
+        k_active = min(self._K, n)
+        m = n - k_active
+        top = self.level(k_active)
+        x0 = self.entrance_vector(k_active)
+        ins = self._effective_instrument()
+        if ins is not None and ins.tracer is None and ins.metrics is None:
+            ins = None
+        if ins is None:
+            return evaluate(top, x0, m), eng.propagate(x0, m), k_active, m, None
+        with ins.span("epoch", level=k_active, phase="refill",
+                      mode="spectral", epochs=m) as sp:
+            value = evaluate(top, x0, m)
+            x = eng.propagate(x0, m)
+        ins.count("repro_epochs_solved_total", m)
+        if sp is not None and sp.wall is not None:
+            ins.observe("repro_epoch_seconds", sp.wall)
+        ins.gauge("repro_epoch_convergence_distance", eng.gap)
+        return value, x, k_active, m, ins
 
     @staticmethod
     def _chain_hooks(first, second):
@@ -397,8 +551,27 @@ class TransientModel:
         return np.cumsum(self.interdeparture_times(N))
 
     def makespan(self, N: int) -> float:
-        """Exact mean time to finish all ``N`` tasks, ``E(T)`` of §4."""
-        return float(self.interdeparture_times(N).sum())
+        """Exact mean time to finish all ``N`` tasks, ``E(T)`` of §4.
+
+        Under ``propagation="spectral"`` the refill portion is summed as
+        a geometric series over the non-unit spectrum of ``Y_K R_K`` —
+        O(D) after the one-off decomposition, independent of ``N`` — and
+        only the final ``min(K, N)`` drain epochs are stepped.
+        """
+        n = self._validate_N(N)
+        eng = self._bulk_engine(n)
+        if eng is None:
+            return float(self.interdeparture_times(n).sum())
+        total, x, k_active, m, ins = self._spectral_refill(
+            n, eng, lambda top, x0, m: eng.refill_time_sum(x0, top.tau, m))
+
+        drain = np.empty(k_active)
+
+        def visit(j: int, k: int, ops, xx: np.ndarray) -> None:
+            drain[j - m] = ops.mean_epoch_time(xx)
+
+        self._drain_phase(m, k_active, x, visit, hook=None, ins=ins, fast=True)
+        return float(total + drain.sum())
 
     def epoch_vectors(self, N: int) -> list[np.ndarray]:
         """State mix at the start of every epoch (diagnostics/tests).
@@ -415,6 +588,39 @@ class TransientModel:
             observe=False,
         )
         return out
+
+    def epoch_vector(self, N: int, index: int) -> np.ndarray:
+        """State mix at the start of epoch ``index`` (0-based) alone.
+
+        Equal to ``epoch_vectors(N)[index]`` without materializing the
+        other ``N − 1`` vectors: the spectral engine jumps straight to
+        ``p (Y_K R_K)^index`` (O(1) in ``N``), the gemv/solve paths stop
+        the recurrence at the requested epoch (O(index)), and a drain
+        epoch only steps the partial ``Y_k`` cascade past the refill end.
+        """
+        n = self._validate_N(N)
+        index = int(index)
+        if not 0 <= index < n:
+            raise ValueError(f"epoch index must be in 0..{n - 1}, got {index!r}")
+        k_active = min(self._K, n)
+        refill = n - k_active
+        top = self.level(k_active)
+        x = self.entrance_vector(k_active)
+        fast = self._propagation != "solve"
+        eng = self._spectral_engine(top) if refill else None
+        steps = min(index, refill)
+        if steps:
+            if eng is not None:
+                x = eng.propagate(x, steps)
+            else:
+                step = top.step_YR if fast else top.apply_YR
+                for _ in range(steps):
+                    x = step(x)
+        # Partial drain cascade: epoch refill + d starts after Y_{K} … Y_{K−d+1}.
+        for k in range(k_active, k_active - (index - steps), -1):
+            ops = self.level(k)
+            x = ops.step_Y(x) if fast else ops.apply_Y(x)
+        return x
 
     def level_B(self, k: int) -> np.ndarray:
         """Dense epoch-phase generator ``B_k = M_k (I − P_k)``.

@@ -122,6 +122,14 @@ def add_sweep_args(parser: argparse.ArgumentParser) -> None:
         help="write every sweep report (per-point status, attempts, "
              "shard provenance) as JSON")
     parser.add_argument(
+        "--propagation", choices=("propagator", "solve", "spectral"),
+        default=None,
+        help="epoch-propagation backend for every swept model: "
+             "'propagator' (default; cached-gemv), 'solve' (historical "
+             "bit-exact path), 'spectral' (closed-form eigendecomposition "
+             "of Y_K R_K — refill cost independent of N, auto-downgrades "
+             "to 'propagator' when ill-conditioned)")
+    parser.add_argument(
         "--checkpoint-gc", action="store_true",
         help="compact the journal (--checkpoint-dir) and/or shard "
              "namespace (--shard-dir) down to one record per point, "
@@ -227,6 +235,7 @@ def executor_from_args(
             faults=faults,
             shard_faults=shard_faults,
             timeout=args.timeout,
+            propagation=getattr(args, "propagation", None),
             **kwargs,
         )
     journal = None
@@ -241,6 +250,7 @@ def executor_from_args(
         journal=journal,
         resume=args.resume,
         faults=faults,
+        propagation=getattr(args, "propagation", None),
     )
 
 

@@ -77,6 +77,15 @@ def _executor(executor: SweepExecutor | None, jobs: int) -> SweepExecutor:
     return executor if executor is not None else SweepExecutor(jobs)
 
 
+def _propagation(ex) -> str:
+    """The executor's epoch-propagation backend (model default when unset).
+
+    Threaded into every point-call tuple so pool workers (which rebuild
+    nothing but the tuple's arguments) honour ``--propagation`` too.
+    """
+    return getattr(ex, "propagation", None) or "propagator"
+
+
 def shape_for_scv(scv: float) -> Shape:
     """The paper's distribution choice for a C² value.
 
@@ -96,26 +105,31 @@ def _series_label(scv: float) -> str:
 
 
 def _swept_model(kind: str, role: str, K: int, scv: float,
-                 app: ApplicationModel) -> TransientModel:
+                 app: ApplicationModel,
+                 propagation: str = "propagator") -> TransientModel:
     """The one model a sweep point owns (levels/propagators built once)."""
     station = _SWEEP_STATION[(kind, role)]
     spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
-    return TransientModel(spec, K)
+    return TransientModel(spec, K, propagation=propagation)
 
 
 # -- module-level point functions (picklable across the process pool) ---
 def _point_interdeparture(
-    kind: str, role: str, K: int, N: int, scv: float, app: ApplicationModel
+    kind: str, role: str, K: int, N: int, scv: float, app: ApplicationModel,
+    propagation: str = "propagator",
 ) -> np.ndarray:
-    return _swept_model(kind, role, K, scv, app).interdeparture_times(N)
+    return _swept_model(kind, role, K, scv, app, propagation).interdeparture_times(N)
 
 
 def _point_steady_scv(
-    K: int, scv: float, heavy_app: ApplicationModel, light_app: ApplicationModel
+    K: int, scv: float, heavy_app: ApplicationModel, light_app: ApplicationModel,
+    propagation: str = "propagator",
 ) -> tuple[float, float]:
     shapes = {"rdisk": shape_for_scv(scv)}
-    heavy = TransientModel(central_cluster(heavy_app, shapes), K)
-    light = TransientModel(central_cluster(light_app, shapes), K)
+    heavy = TransientModel(central_cluster(heavy_app, shapes), K,
+                           propagation=propagation)
+    light = TransientModel(central_cluster(light_app, shapes), K,
+                           propagation=propagation)
     return (
         solve_steady_state(heavy).interdeparture_time,
         solve_steady_state(light).interdeparture_time,
@@ -123,26 +137,29 @@ def _point_steady_scv(
 
 
 def _point_prediction_error(
-    kind: str, role: str, K: int, Ns: tuple, scv: float, app: ApplicationModel
+    kind: str, role: str, K: int, Ns: tuple, scv: float, app: ApplicationModel,
+    propagation: str = "propagator",
 ) -> np.ndarray:
     station = _SWEEP_STATION[(kind, role)]
     spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
-    actual = TransientModel(spec, K)
-    expo = TransientModel(exponential_twin(spec), K)
+    actual = TransientModel(spec, K, propagation=propagation)
+    expo = TransientModel(exponential_twin(spec), K, propagation=propagation)
     return np.array(
         [prediction_error(actual.makespan(N), expo.makespan(N)) for N in Ns]
     )
 
 
 def _point_speedup_scv(
-    kind: str, role: str, K: int, Ns: tuple, scv: float, app: ApplicationModel
+    kind: str, role: str, K: int, Ns: tuple, scv: float, app: ApplicationModel,
+    propagation: str = "propagator",
 ) -> np.ndarray:
-    model = _swept_model(kind, role, K, scv, app)
+    model = _swept_model(kind, role, K, scv, app, propagation)
     return np.array([speedup(model, N) for N in Ns])
 
 
 def _point_speedup_k(
-    K: int, curve_items: tuple, app: ApplicationModel
+    K: int, curve_items: tuple, app: ApplicationModel,
+    propagation: str = "propagator",
 ) -> np.ndarray:
     # One model per distinct CPU shape, shared by every curve (different N)
     # that uses it.
@@ -152,7 +169,7 @@ def _point_speedup_k(
         key = shape.name + repr(sorted(shape.params.items()))
         if key not in models:
             spec = central_cluster(app, {"cpu": shape})
-            models[key] = TransientModel(spec, int(K))
+            models[key] = TransientModel(spec, int(K), propagation=propagation)
         vals[i] = speedup(models[key], N)
     return vals
 
@@ -172,9 +189,10 @@ def interdeparture_experiment(
 ) -> ExperimentResult:
     """Inter-departure time vs task order for several C² (Figs. 3, 4, 10, 11)."""
     station = _SWEEP_STATION[(kind, role)]
-    rows = _executor(executor, jobs).map(
+    ex = _executor(executor, jobs)
+    rows = ex.map(
         _point_interdeparture,
-        [(kind, role, K, N, scv, app) for scv in scvs],
+        [(kind, role, K, N, scv, app, _propagation(ex)) for scv in scvs],
         label=experiment,
     )
     series = {_series_label(scv): row for scv, row in zip(scvs, rows)}
@@ -203,9 +221,11 @@ def steady_state_scv_experiment(
 ) -> ExperimentResult:
     """Steady-state inter-departure time vs C² under heavy/light shared load (Fig. 5)."""
     scvs = np.asarray(scvs, dtype=float)
-    pairs = _executor(executor, jobs).map(
+    ex = _executor(executor, jobs)
+    pairs = ex.map(
         _point_steady_scv,
-        [(K, float(scv), heavy_app, light_app) for scv in scvs],
+        [(K, float(scv), heavy_app, light_app, _propagation(ex))
+         for scv in scvs],
         label=experiment,
     )
     contention = np.array([p[0] for p in pairs])
@@ -243,9 +263,11 @@ def prediction_error_experiment(
     """
     scvs = np.asarray(scvs, dtype=float)
     Ns = tuple(int(N) for N in Ns)
-    cols = _executor(executor, jobs).map(
+    ex = _executor(executor, jobs)
+    cols = ex.map(
         _point_prediction_error,
-        [(kind, role, K, Ns, float(scv), app) for scv in scvs],
+        [(kind, role, K, Ns, float(scv), app, _propagation(ex))
+         for scv in scvs],
         label=experiment,
     )
     series = {
@@ -279,9 +301,11 @@ def speedup_scv_experiment(
     """Speedup vs C² of the swept station (Figs. 8, 9)."""
     scvs = np.asarray(scvs, dtype=float)
     Ns = tuple(int(N) for N in Ns)
-    cols = _executor(executor, jobs).map(
+    ex = _executor(executor, jobs)
+    cols = ex.map(
         _point_speedup_scv,
-        [(kind, role, K, Ns, float(scv), app) for scv in scvs],
+        [(kind, role, K, Ns, float(scv), app, _propagation(ex))
+         for scv in scvs],
         label=experiment,
     )
     series = {
@@ -317,9 +341,10 @@ def speedup_vs_k_experiment(
     Ks = np.asarray(Ks, dtype=int)
     labels = list(curves)
     curve_items = tuple(curves[label] for label in labels)
-    rows = _executor(executor, jobs).map(
+    ex = _executor(executor, jobs)
+    rows = ex.map(
         _point_speedup_k,
-        [(int(K), curve_items, app) for K in Ks],
+        [(int(K), curve_items, app, _propagation(ex)) for K in Ks],
         label=experiment,
     )
     series = {

@@ -400,6 +400,7 @@ class SweepExecutor:
         journal=None,
         resume: bool = False,
         faults: SweepFaultPlan | None = None,
+        propagation: str | None = None,
     ):
         if jobs < 1 or int(jobs) != jobs:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
@@ -411,6 +412,9 @@ class SweepExecutor:
         self.journal = journal
         self.resume = bool(resume)
         self.faults = faults
+        #: epoch-propagation backend the figure sweeps hand to every
+        #: swept model (None = the model default, "propagator")
+        self.propagation = propagation
         #: report of the most recent :meth:`map` (None before the first)
         self.report: SweepReport | None = None
         #: reports of every :meth:`map` on this executor, oldest first

@@ -354,6 +354,7 @@ class ShardExecutor:
         timeout: float | None = None,
         version: str | None = None,
         telemetry: bool = True,
+        propagation: str | None = None,
     ):
         if not lease_ttl > 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl!r}")
@@ -369,6 +370,8 @@ class ShardExecutor:
         self.faults = faults
         self.shard_faults = shard_faults
         self.timeout = timeout  # unused; see docstring
+        #: epoch-propagation backend handed to every swept model
+        self.propagation = propagation
         #: report of the most recent :meth:`map` (None before the first)
         self.report: SweepReport | None = None
         #: reports of every :meth:`map` on this executor, oldest first

@@ -442,8 +442,13 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Corrupted journal/segment records quarantined instead of trusted"),
     ("counter", "repro_lease_renewals_total",
      "Lease heartbeat renewals performed by shard workers"),
+    ("counter", "repro_spectral_fallbacks_total",
+     "Spectral epoch engines declined (sticky downgrades to the gemv "
+     "path), by reason code"),
     ("gauge", "repro_epoch_convergence_distance",
-     "Sup-norm distance between successive epoch entrance vectors"),
+     "Convergence rate of the refill power iteration: the exact spectral "
+     "gap of Y_K R_K under propagation=spectral, else the measured "
+     "sup-norm distance between successive epoch entrance vectors"),
     ("gauge", "repro_level_dim",
      "State-space dimension D(k) of each assembled level"),
     ("gauge", "repro_level_nnz",

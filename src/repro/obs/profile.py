@@ -229,6 +229,7 @@ def profile_spec(
     name: str | None = None,
     measure_rss: bool = True,
     resilience=None,
+    propagation: str = "propagator",
 ) -> ProfileResult:
     """Profile ``repeats`` cold solves of ``spec`` at ``(K, N)``.
 
@@ -236,6 +237,8 @@ def profile_spec(
     :class:`~repro.resilience.fallback.ResilienceConfig`), each repeat
     runs through the degradation ladder instead of the plain model, so
     rung attempts and guard trips show up in the trace and metrics.
+    ``propagation`` selects the epoch backend of the profiled model
+    (ignored when ``resilience`` carries its own).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats!r}")
@@ -255,7 +258,9 @@ def profile_spec(
 
                     makespan = solve_resilient(spec, K, N, resilience).makespan
                 else:
-                    makespan = TransientModel(spec, K).makespan(N)
+                    makespan = TransientModel(
+                        spec, K, propagation=propagation
+                    ).makespan(N)
             run_walls.append(time.perf_counter() - t0)
     return ProfileResult(
         name=name or getattr(spec, "name", None) or "workload",
@@ -266,7 +271,12 @@ def profile_spec(
         makespan=float(makespan),
         level_dims=level_dims,
         instrumentation=ins,
-        meta={"resilient": resilience is not None},
+        meta={
+            "resilient": resilience is not None,
+            "propagation": (
+                resilience.propagation if resilience is not None else propagation
+            ),
+        },
     )
 
 

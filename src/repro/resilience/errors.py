@@ -31,6 +31,7 @@ __all__ = [
     "ConvergenceError",
     "NumericalHealthError",
     "BudgetExceededError",
+    "SpectralFallbackError",
     "InjectedFaultError",
     "SweepError",
     "ShardError",
@@ -201,6 +202,54 @@ class BudgetExceededError(SolverError):
         ctx["budget_kind"] = self.budget_kind
         ctx["needed"] = self.needed
         ctx["limit"] = self.limit
+        return ctx
+
+
+class SpectralFallbackError(SolverError):
+    """The spectral epoch engine declined and the gemv path must be used.
+
+    Raised by ``LevelOperators.spectral_YR()`` when the eigendecomposition
+    of ``Y_K R_K`` is unavailable or untrustworthy.  ``cause`` is a short
+    stable slug — one of ``"dim-cap"`` (the cached propagator is CSR, too
+    large to densify), ``"eig-failed"`` (LAPACK did not converge or the
+    eigenbasis is numerically singular), ``"nonfinite"`` (the
+    decomposition contains NaN/inf), ``"residual"`` (the probe-epoch
+    residual check failed: reconstructed powers drift from iterated
+    ones), ``"unsupported-backend"`` (a wrapped level backend exposes no
+    spectral surface) — and the instance :attr:`reason` is
+    ``"spectral-<cause>"`` so ladder reports and the
+    ``repro_spectral_fallbacks_total{reason}`` counter stay reason-coded.
+
+    :class:`~repro.core.transient.TransientModel` always catches this and
+    downgrades to ``propagation="propagator"``; it never escapes a solve.
+    """
+
+    reason = "spectral-unavailable"
+
+    #: slugs accepted for ``cause`` (label-set stability, like guard kinds)
+    CAUSES = ("dim-cap", "eig-failed", "nonfinite", "residual",
+              "unsupported-backend")
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cause: str,
+        level: int | None = None,
+        dim: int | None = None,
+        residuals: Sequence[float] | None = None,
+    ):
+        super().__init__(message, level=level, dim=dim, residuals=residuals)
+        if cause not in self.CAUSES:
+            raise ValueError(
+                f"unknown spectral fallback cause {cause!r}; valid: {self.CAUSES}"
+            )
+        self.cause = cause
+        self.reason = f"spectral-{cause}"
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["cause"] = self.cause
         return ctx
 
 

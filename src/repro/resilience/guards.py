@@ -339,6 +339,25 @@ class GuardedLevel:
     def propagator_YR(self):
         return self._ops.propagator_YR()
 
+    def spectral_YR(self):
+        """Forward the spectral surface when the wrapped backend has one.
+
+        The decomposition self-checks at build time (probe epochs), and
+        drain vectors still pass through the guarded ``step_Y`` checks.
+        Backends without a spectral surface (dense rescue, fault drills)
+        raise the reason-coded refusal the model downgrades on.
+        """
+        inner = getattr(self._ops, "spectral_YR", None)
+        if inner is None:
+            from repro.resilience.errors import SpectralFallbackError
+
+            raise SpectralFallbackError(
+                f"level backend {type(self._ops).__name__} exposes no "
+                "spectral surface",
+                cause="unsupported-backend", level=self.k, dim=self.dim,
+            )
+        return inner()
+
     def step_Y(self, x: np.ndarray) -> np.ndarray:
         y = self._ops.step_Y(x)
         if not self._healthy(y) and self._refine:
