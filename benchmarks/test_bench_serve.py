@@ -1,0 +1,169 @@
+"""BENCH_serve.json emitter: warm-vs-cold solve latency and throughput.
+
+Times the solver-as-a-service path on the fig04-class workload (central
+cluster, shared disk C² = 10, K=8, N=60 — D(8) = 285):
+
+* ``serve_fig04_cold`` — every solve builds its model from scratch
+  (a fresh :class:`~repro.serve.cache.ModelCache` per repeat);
+* ``serve_fig04_warm`` — every solve hits one warm cache entry;
+* ``serve_many_fig04`` — a 24-query mixed batch (duplicates + an
+  N-sweep) through ``solve_many``; queries/second lands in ``meta``.
+
+The records merge into ``benchmarks/results/BENCH_serve.json`` under the
+same ``repro-bench-transient/1`` schema the transient bench uses (stage
+breakdowns empty — the cache path is one span deep), so
+``check_bench_regression.py --min-speedup serve_fig04_cold:serve_fig04_warm:5``
+gates the ISSUE 9 acceptance ratio in CI: **warm ≥ 5× cold**, a relative
+property that holds across machines while absolute walls drift.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.clusters import ApplicationModel, central_cluster
+from repro.distributions import Shape
+from repro.obs.profile import validate_bench, write_bench
+from repro.serve import ModelCache, Query, SolverService
+
+REPEATS = 5
+K, N = 8, 60
+SOURCE = "benchmarks/test_bench_serve.py"
+
+
+def _spec():
+    return central_cluster(ApplicationModel(), {"rdisk": Shape.scv(10.0)})
+
+
+def _query(n: int = N, metric: str = "makespan") -> Query:
+    return Query(spec=_spec(), K=K, N=n, metric=metric)
+
+
+def _record(name: str, walls: list[float], makespan: float,
+            meta: dict | None = None) -> dict:
+    return {
+        "name": name,
+        "K": K,
+        "N": N,
+        "repeats": len(walls),
+        "level_dims": [],
+        "makespan": makespan,
+        "wall_seconds": {
+            "median": statistics.median(walls),
+            "min": min(walls),
+            "max": max(walls),
+            "runs": [round(w, 6) for w in walls],
+        },
+        "stages": {},
+        **({"meta": meta} if meta else {}),
+    }
+
+
+def _time(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_bench_serve_warm_vs_cold(results_dir, record_text):
+    cold_walls, warm_walls = [], []
+    makespan = 0.0
+
+    for _ in range(REPEATS):
+        service = SolverService(cache=ModelCache())  # cold: fresh cache
+        wall, answer = _time(lambda: service.solve(_query()))
+        cold_walls.append(wall)
+        makespan = answer.value
+
+    warm_service = SolverService(cache=ModelCache())
+    baseline = warm_service.solve(_query())  # prime once
+    assert baseline.value == makespan  # warm path answers the same bits
+    for _ in range(REPEATS):
+        wall, answer = _time(lambda: warm_service.solve(_query()))
+        warm_walls.append(wall)
+        assert answer.cached
+        assert answer.value == makespan
+
+    cold_med = statistics.median(cold_walls)
+    warm_med = statistics.median(warm_walls)
+    speedup = cold_med / warm_med
+    assert speedup >= 5.0, (
+        f"warm solve only {speedup:.1f}x faster than cold "
+        f"({warm_med * 1e3:.2f} ms vs {cold_med * 1e3:.2f} ms); "
+        "the cache is not amortizing the build"
+    )
+
+    path = write_bench(
+        results_dir / "BENCH_serve.json",
+        [
+            _record("serve_fig04_cold", cold_walls, makespan),
+            _record("serve_fig04_warm", warm_walls, makespan,
+                    meta={"speedup_vs_cold": round(speedup, 2)}),
+        ],
+        source=SOURCE,
+    )
+    validate_bench(path)
+    record_text(
+        "bench_serve_warm_vs_cold",
+        f"cold median {cold_med * 1e3:.2f} ms | "
+        f"warm median {warm_med * 1e3:.2f} ms | speedup {speedup:.1f}x",
+    )
+
+
+def test_bench_solve_many_throughput(results_dir, record_text):
+    batch = (
+        [_query() for _ in range(8)]                      # dedupe block
+        + [_query(n) for n in range(10, 70, 10)]          # N-sweep, 1 model
+        + [_query(metric="interdeparture") for _ in range(4)]
+        + [_query(n, "departure") for n in (20, 40, 20, 40, 20, 40)]
+    )
+    service = SolverService(cache=ModelCache())
+    service.solve_many(batch)  # prime the single model
+
+    walls = []
+    for _ in range(REPEATS):
+        wall, answers = _time(lambda: service.solve_many(batch))
+        walls.append(wall)
+        assert len(answers) == len(batch)
+        assert all(a.cached or a.deduped for a in answers)
+
+    med = statistics.median(walls)
+    qps = len(batch) / med
+    path = write_bench(
+        results_dir / "BENCH_serve.json",
+        [_record("serve_many_fig04", walls,
+                 float(service.solve(_query()).value),
+                 meta={"batch_queries": len(batch),
+                       "queries_per_second": round(qps, 1)})],
+        source=SOURCE,
+    )
+    doc = validate_bench(path)
+    names = {w["name"] for w in doc["workloads"]}
+    assert "serve_many_fig04" in names
+    record_text(
+        "bench_serve_solve_many",
+        f"{len(batch)} queries in {med * 1e3:.2f} ms warm "
+        f"({qps:,.0f} q/s)",
+    )
+
+
+def test_bench_serve_file_feeds_regression_gate(results_dir):
+    """The emitted file passes the exact CI invocation."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    path = results_dir / "BENCH_serve.json"
+    if not path.exists():
+        import pytest
+
+        pytest.skip("emitters did not run in this session")
+    script = Path(__file__).parent / "check_bench_regression.py"
+    out = subprocess.run(
+        [sys.executable, str(script), str(path), str(path),
+         "--min-speedup", "serve_fig04_cold:serve_fig04_warm:5"],
+        capture_output=True, text=True,
+    )
+    assert out.returncode == 0, out.stdout + out.stderr
+    assert "serve_fig04_cold" in out.stdout

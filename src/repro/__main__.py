@@ -403,6 +403,21 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.daemon import run_daemon
+
+    return run_daemon(
+        args.host,
+        args.port,
+        cache_bytes=args.cache_bytes,
+        threads=args.threads,
+        deadline=args.deadline,
+        shard_dir=args.shard_dir,
+        port_file=args.port_file,
+        pid_file=args.pid_file,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -530,6 +545,37 @@ def build_parser() -> argparse.ArgumentParser:
                     default="BENCH_transient.json")
     _add_robust_args(pf)
     pf.set_defaults(func=_cmd_profile)
+
+    from repro.serve.cache import DEFAULT_CACHE_BYTES
+
+    sv = sub.add_parser(
+        "serve",
+        help="solver-as-a-service HTTP daemon: solve/solve_many over a "
+             "content-addressed warm-model cache, plus status and "
+             "Prometheus metrics",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8278,
+                    help="listen port (0 = pick a free one; see "
+                         "--port-file)")
+    sv.add_argument("--port-file", metavar="PATH", default=None,
+                    help="write the bound port here once listening "
+                         "(for --port 0 and test harnesses)")
+    sv.add_argument("--pid-file", metavar="PATH", default=None,
+                    help="write the daemon's PID here once listening "
+                         "(for clean-shutdown supervision)")
+    sv.add_argument("--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES,
+                    help="model-cache byte budget before LRU eviction "
+                         f"(default {DEFAULT_CACHE_BYTES >> 20} MiB)")
+    sv.add_argument("--threads", type=int, default=4,
+                    help="solver thread-pool width (default 4)")
+    sv.add_argument("--deadline", type=float, default=None,
+                    help="default per-request deadline in seconds "
+                         "(requests may set their own; exceeded → 504)")
+    sv.add_argument("--shard-dir", metavar="DIR", default=None,
+                    help="also surface this shard namespace's fleet "
+                         "document under /status")
+    sv.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -622,6 +622,55 @@ class TransientModel:
             x = ops.step_Y(x) if fast else ops.apply_Y(x)
         return x
 
+    # -- cache-extraction surface (repro.serve) ------------------------
+    def _unwrap_level(self, ops, attr: str):
+        """First layer of a (possibly wrapped) level exposing ``attr``."""
+        while True:
+            fn = getattr(ops, attr, None)
+            if fn is not None:
+                return fn
+            inner = getattr(ops, "_ops", None)
+            if inner is None:
+                return None
+            ops = inner
+
+    def cached_bytes(self) -> int:
+        """Resident bytes of everything this model holds warm.
+
+        Sums :meth:`~repro.laqt.operators.LevelOperators.cached_bytes`
+        over the built levels (operators, LU factors, propagators,
+        spectral decompositions) plus the cached entrance vectors — the
+        number the content-addressed model cache charges this model
+        against its byte budget.  Grows as lazy surfaces materialize;
+        wrapped level backends (guards, fault injection) are unwrapped to
+        the first layer that can account for itself, and levels that
+        cannot are counted as zero rather than guessed.
+        """
+        total = 0
+        for ops in self._levels.values():
+            fn = self._unwrap_level(ops, "cached_bytes")
+            if fn is not None:
+                total += int(fn())
+        for x in self._entrance.values():
+            total += int(x.nbytes)
+        return total
+
+    def cache_info(self) -> dict:
+        """Warm-state summary: per-level rows plus entrance bookkeeping."""
+        levels = []
+        for k in sorted(self._levels):
+            fn = self._unwrap_level(self._levels[k], "cache_info")
+            levels.append(fn() if fn is not None
+                          else {"level": k, "bytes": 0})
+        return {
+            "K": self._K,
+            "propagation": self.effective_propagation,
+            "levels_built": len(self._levels),
+            "entrance_cached": len(self._entrance),
+            "bytes": self.cached_bytes(),
+            "levels": levels,
+        }
+
     def level_B(self, k: int) -> np.ndarray:
         """Dense epoch-phase generator ``B_k = M_k (I − P_k)``.
 

@@ -107,9 +107,20 @@ def _series_label(scv: float) -> str:
 def _swept_model(kind: str, role: str, K: int, scv: float,
                  app: ApplicationModel,
                  propagation: str = "propagator") -> TransientModel:
-    """The one model a sweep point owns (levels/propagators built once)."""
+    """The one model a sweep point owns (levels/propagators built once).
+
+    When a :class:`~repro.serve.cache.ModelCache` is ambient (a
+    ``SweepExecutor(model_cache=...)`` or an active ``repro serve``
+    process), the build goes through it so repeated points against one
+    spec share a warm model instead of re-assembling operators.
+    """
     station = _SWEEP_STATION[(kind, role)]
     spec = build_cluster(kind, app, K, {station: shape_for_scv(scv)})
+    from repro.serve.cache import ambient_cache
+
+    cache = ambient_cache()
+    if cache is not None:
+        return cache.get_or_build(spec, K, propagation=propagation)
     return TransientModel(spec, K, propagation=propagation)
 
 

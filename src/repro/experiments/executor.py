@@ -53,6 +53,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -401,6 +402,7 @@ class SweepExecutor:
         resume: bool = False,
         faults: SweepFaultPlan | None = None,
         propagation: str | None = None,
+        model_cache=None,
     ):
         if jobs < 1 or int(jobs) != jobs:
             raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
@@ -415,6 +417,12 @@ class SweepExecutor:
         #: epoch-propagation backend the figure sweeps hand to every
         #: swept model (None = the model default, "propagator")
         self.propagation = propagation
+        #: optional :class:`~repro.serve.cache.ModelCache` made ambient
+        #: around every inline point, so sweep points that build their
+        #: model through :func:`repro.experiments._sweeps._swept_model`
+        #: reuse warm models across points (serial path only — pool
+        #: workers are separate processes and always build cold)
+        self.model_cache = model_cache
         #: report of the most recent :meth:`map` (None before the first)
         self.report: SweepReport | None = None
         #: reports of every :meth:`map` on this executor, oldest first
@@ -533,14 +541,17 @@ class SweepExecutor:
         attempt: int = 1,
     ) -> Any:
         ins = _rt.ACTIVE
-        if ins is None:
-            if faults is not None:
-                trigger_point_fault(faults, index, attempt, inline=True)
-            return fn(*args)
-        with ins.span("sweep_point", fn=fn.__name__, mode="inline") as sp:
-            if faults is not None:
-                trigger_point_fault(faults, index, attempt, inline=True)
-            value = fn(*args)
+        cache_ctx = (nullcontext() if self.model_cache is None
+                     else self.model_cache.activate())
+        with cache_ctx:
+            if ins is None:
+                if faults is not None:
+                    trigger_point_fault(faults, index, attempt, inline=True)
+                return fn(*args)
+            with ins.span("sweep_point", fn=fn.__name__, mode="inline") as sp:
+                if faults is not None:
+                    trigger_point_fault(faults, index, attempt, inline=True)
+                value = fn(*args)
         ins.count("repro_sweep_points_total", mode="inline")
         if sp.wall is not None:
             ins.observe("repro_point_seconds", sp.wall, mode="inline")

@@ -64,6 +64,7 @@ from repro.obs import runtime as _rt
 
 __all__ = [
     "SweepJournal",
+    "canonical_value",
     "decode_value",
     "encode_value",
     "fingerprint_point",
@@ -162,6 +163,18 @@ def _canonical(obj: Any) -> Any:
         "journal keys must be built from numbers, strings, arrays, shapes "
         "and dataclasses"
     )
+
+
+def canonical_value(obj: Any) -> Any:
+    """Public alias of the canonical rendering used by fingerprints.
+
+    The model-cache layer (:mod:`repro.serve.cache`) keys warm
+    :class:`~repro.core.transient.TransientModel` entries by the same
+    host-independent rendering the journal uses for sweep points, so a
+    spec hashes identically whether it reaches the solver through a
+    checkpointed sweep or a service query.
+    """
+    return _canonical(obj)
 
 
 def fingerprint_point(figure: str, args: tuple, version: str) -> str:

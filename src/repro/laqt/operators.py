@@ -27,6 +27,8 @@ which is what makes the distributed-cluster state spaces tractable.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -54,6 +56,12 @@ __all__ = [
 PROPAGATOR_DENSE_BYTES = 32 << 20
 #: column-block width of the multi-RHS solve that builds a propagator
 PROPAGATOR_BLOCK_COLS = 128
+#: thread cap of the column-parallel propagator build.  Only levels whose
+#: dim exceeds the dense cap (CSR-destined propagators, where the
+#: multi-RHS solve dominates) split their column blocks across threads;
+#: each block writes a disjoint output slice through an independent
+#: ``lu.solve`` call, so the result is bit-identical to the serial build.
+PROPAGATOR_SOLVE_THREADS = min(4, os.cpu_count() or 1)
 #: probe epochs of the spectral self-check: reconstructed powers are
 #: compared against iterated gemvs at these exponents before the
 #: decomposition is trusted (one near the transient, one deep enough to
@@ -285,15 +293,36 @@ class LevelOperators:
 
         Blocking bounds the dense right-hand-side scratch to
         ``dim × PROPAGATOR_BLOCK_COLS`` regardless of how wide ``B`` is.
+        Levels above the dense cap split the blocks across up to
+        :data:`PROPAGATOR_SOLVE_THREADS` threads: each block is an
+        independent read-only solve against the shared factors writing a
+        disjoint slice of ``out``, so scheduling cannot change a bit.
         """
         lu = self.lu
         ncols = B.shape[1]
         out = np.empty((self.dim, ncols))
         Bc = B.tocsc()
-        for j0 in range(0, ncols, PROPAGATOR_BLOCK_COLS):
+        starts = range(0, ncols, PROPAGATOR_BLOCK_COLS)
+
+        def solve_block(j0: int) -> None:
             j1 = min(j0 + PROPAGATOR_BLOCK_COLS, ncols)
             out[:, j0:j1] = lu.solve(Bc[:, j0:j1].toarray())
+
+        workers = self._solve_column_threads(len(starts))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for _ in pool.map(solve_block, starts):
+                    pass
+        else:
+            for j0 in starts:
+                solve_block(j0)
         return out
+
+    def _solve_column_threads(self, nblocks: int) -> int:
+        """Thread count of the propagator build: 1 below the dense cap."""
+        if nblocks < 2 or self.dim <= self.dense_threshold():
+            return 1
+        return max(1, min(nblocks, PROPAGATOR_SOLVE_THREADS))
 
     def propagator_Y(self) -> "np.ndarray | sp.csr_matrix":
         """Cached ``Y_k = (I − P_k)^{-1} Q_k`` as an explicit matrix.
@@ -442,6 +471,62 @@ class LevelOperators:
         object.__setattr__(decomp, "residual", residual)
         return decomp
 
+    # -- cache-extraction surface (repro.serve.cache byte accounting) --
+    @staticmethod
+    def _stored_bytes(obj) -> int:
+        """Bytes held by one cached artifact (ndarray, CSR, or None)."""
+        if obj is None:
+            return 0
+        if isinstance(obj, np.ndarray):
+            return int(obj.nbytes)
+        if sp.issparse(obj):
+            return int(obj.data.nbytes + obj.indices.nbytes
+                       + obj.indptr.nbytes)
+        return 0
+
+    def cached_bytes(self) -> int:
+        """Resident bytes of this level: operators plus every lazy cache.
+
+        Counts the assembled ``P/Q/R`` and rate vector, then whatever the
+        lazy surfaces have materialized so far — ``τ'``, the LU factors
+        (``SuperLU.nnz`` entries at 12 bytes each: float64 value plus an
+        int32 index), the dense/CSR propagators and the spectral
+        eigentriple.  This is the number the model cache's byte-budget
+        eviction sums, so it grows as a model warms up.
+        """
+        total = int(self.rates.nbytes)
+        for mat in (self.P, self.Q, self.R):
+            total += self._stored_bytes(mat)
+        total += self._stored_bytes(self._tau)
+        total += self._stored_bytes(self._prop_Y)
+        total += self._stored_bytes(self._prop_YR)
+        if self._lu is not None:
+            total += 12 * int(getattr(self._lu, "nnz", 0) or 0)
+        sd = self._spectral_YR
+        if sd is not None:
+            total += int(sd.w.nbytes + sd.V.nbytes + sd.Vinv.nbytes
+                         + sd.unit.nbytes)
+        return total
+
+    def cache_info(self) -> dict:
+        """What this level holds warm (one row of a cache status doc)."""
+        def storage(obj) -> str | None:
+            if obj is None:
+                return None
+            return "dense" if isinstance(obj, np.ndarray) else "csr"
+
+        return {
+            "level": self.k,
+            "dim": self.dim,
+            "nnz": int(self.P.nnz + self.Q.nnz + self.R.nnz),
+            "bytes": self.cached_bytes(),
+            "lu": self._lu is not None,
+            "tau": self._tau is not None,
+            "propagator_Y": storage(self._prop_Y),
+            "propagator_YR": storage(self._prop_YR),
+            "spectral": self._spectral_YR is not None,
+        }
+
     def dense_Y(self) -> np.ndarray:
         """Dense ``Y_k`` (tests/ablations only — quadratic memory in ``dim``)."""
         inv = self.lu.solve(np.eye(self.dim))
@@ -478,6 +563,37 @@ def _expand(ptr: np.ndarray, gids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return rows, slots
 
 
+def _csr_from_parts(
+    v: np.ndarray,
+    c: np.ndarray,
+    indptr: np.ndarray,
+    shape: tuple[int, int],
+) -> sp.csr_matrix:
+    """Canonical CSR from verified parts, skipping scipy's constructor.
+
+    The caller guarantees row-major sorted indices with no duplicates, so
+    ``check_format``/canonicalization would only re-derive what the
+    lexsort already proved.  The arrays are attached directly (index
+    dtype downcast once, matching what scipy's own constructor would
+    pick) and the canonical-format flags set, which shaves the dominant
+    fixed cost off small-dimension level assembly.
+    """
+    nnz = int(indptr[-1])
+    idx_dtype = (
+        np.int32
+        if max(int(shape[1]), nnz) <= np.iinfo(np.int32).max
+        else np.int64
+    )
+    out = sp.csr_matrix.__new__(sp.csr_matrix)
+    out.data = v
+    out.indices = c.astype(idx_dtype, copy=False)
+    out.indptr = indptr.astype(idx_dtype, copy=False)
+    out._shape = (int(shape[0]), int(shape[1]))
+    out.has_sorted_indices = True
+    out.has_canonical_format = True
+    return out
+
+
 def _coo_to_csr(
     rows: list[np.ndarray],
     cols: list[np.ndarray],
@@ -489,22 +605,34 @@ def _coo_to_csr(
     When no ``(row, col)`` pair repeats — the common case for the §5.4
     operators — the canonical CSR is built directly from a lexsort, which
     yields bit-identical data to ``csr_matrix((vals, (rows, cols)))`` at a
-    fraction of the constructor overhead.  Duplicates fall back to scipy
-    so the summation semantics stay exactly the historical ones.
+    fraction of the constructor overhead.  Batches that already arrive in
+    row-major order (single-station operators like ``R_k``) skip the sort
+    outright, and the final matrix is assembled by
+    :func:`_csr_from_parts` without re-validating what the sort proved.
+    Duplicates fall back to scipy so the summation semantics stay exactly
+    the historical ones.
     """
     if not rows:
         return sp.csr_matrix(shape)
-    r = np.concatenate(rows)
-    c = np.concatenate(cols)
-    v = np.concatenate(vals)
-    order = np.lexsort((c, r))
-    r, c, v = r[order], c[order], v[order]
-    if r.size and bool(((r[1:] == r[:-1]) & (c[1:] == c[:-1])).any()):
-        return sp.csr_matrix((v, (r, c)), shape=shape)
+    if len(rows) == 1:
+        r, c, v = rows[0], cols[0], vals[0]
+    else:
+        r = np.concatenate(rows)
+        c = np.concatenate(cols)
+        v = np.concatenate(vals)
+    # Strictly increasing (row, col) pairs mean already sorted *and*
+    # duplicate-free — one O(nnz) scan replacing the lexsort entirely.
+    presorted = r.size < 2 or bool(
+        ((r[1:] > r[:-1]) | ((r[1:] == r[:-1]) & (c[1:] > c[:-1]))).all()
+    )
+    if not presorted:
+        order = np.lexsort((c, r))
+        r, c, v = r[order], c[order], v[order]
+        if bool(((r[1:] == r[:-1]) & (c[1:] == c[:-1])).any()):
+            return sp.csr_matrix((v, (r, c)), shape=shape)
     indptr = np.zeros(shape[0] + 1, dtype=np.int64)
     np.cumsum(np.bincount(r, minlength=shape[0]), out=indptr[1:])
-    out = sp.csr_matrix((v, c, indptr), shape=shape)
-    return out
+    return _csr_from_parts(v, c, indptr, shape)
 
 
 def build_level(

@@ -445,6 +445,14 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
     ("counter", "repro_spectral_fallbacks_total",
      "Spectral epoch engines declined (sticky downgrades to the gemv "
      "path), by reason code"),
+    ("counter", "repro_cache_hits_total",
+     "Model-cache lookups served from a warm entry"),
+    ("counter", "repro_cache_misses_total",
+     "Model-cache lookups that had to build a fresh model"),
+    ("counter", "repro_cache_evictions_total",
+     "Model-cache entries evicted under the byte budget"),
+    ("counter", "repro_requests_total",
+     "Service requests handled by repro serve, by endpoint and code"),
     ("gauge", "repro_epoch_convergence_distance",
      "Convergence rate of the refill power iteration: the exact spectral "
      "gap of Y_K R_K under propagation=spectral, else the measured "
@@ -453,6 +461,10 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "State-space dimension D(k) of each assembled level"),
     ("gauge", "repro_level_nnz",
      "Stored nonzeros (P+Q+R) of each assembled level"),
+    ("gauge", "repro_cache_bytes",
+     "Bytes currently accounted to warm cached models"),
+    ("gauge", "repro_cache_entries",
+     "Models currently resident in the model cache"),
     ("histogram", "repro_epoch_seconds",
      "Wall seconds per departure epoch"),
     ("histogram", "repro_factorization_seconds",
@@ -461,6 +473,8 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Wall seconds per simulation replication"),
     ("histogram", "repro_point_seconds",
      "Wall seconds per experiment sweep point, by execution mode"),
+    ("histogram", "repro_request_seconds",
+     "Wall seconds per service request, by endpoint"),
 )
 
 

@@ -1,0 +1,42 @@
+"""Solver-as-a-service: warm model reuse behind a batched query surface.
+
+The paper's pitch is that one cheap analytic model answers what-if
+questions that would each cost a simulation run — but a cold
+:class:`~repro.core.transient.TransientModel` still pays operator
+assembly, LU factorization and propagator construction before its first
+answer.  This package amortizes that cost across queries:
+
+* :mod:`repro.serve.cache` — a content-addressed, byte-budgeted LRU of
+  built models, keyed by the same host-independent SHA-256 canonical
+  fingerprints the sweep journal uses;
+* :mod:`repro.serve.service` — :func:`~repro.serve.service.solve_many`:
+  dedupe by fingerprint, group per model, solve every ``N`` against one
+  warm build (optionally fanning distinct-model groups across a
+  :class:`~repro.experiments.executor.SweepExecutor` pool);
+* :mod:`repro.serve.daemon` — the ``repro serve`` asyncio HTTP front-end
+  (``solve`` / ``solve_many`` / ``status`` / ``metrics``) with
+  per-request deadlines and the resilience ladder's 0/1/2 verdicts
+  mapped onto response codes.
+
+Everything is stdlib + the existing solver stack; answers through the
+cache are bit-identical to cold solves (pinned in ``tests/serve/``).
+"""
+
+from repro.serve.cache import (
+    DEFAULT_CACHE_BYTES,
+    ModelCache,
+    ambient_cache,
+    model_fingerprint,
+)
+from repro.serve.service import Answer, Query, SolverService, solve_many
+
+__all__ = [
+    "Answer",
+    "DEFAULT_CACHE_BYTES",
+    "ModelCache",
+    "Query",
+    "SolverService",
+    "ambient_cache",
+    "model_fingerprint",
+    "solve_many",
+]

@@ -1,0 +1,456 @@
+"""``repro serve``: an asyncio HTTP front-end over the solver service.
+
+Stdlib only — ``asyncio.start_server`` plus a deliberately small
+HTTP/1.1 subset (one request per connection, ``Connection: close``).
+Endpoints:
+
+* ``POST /solve`` — body ``{"spec": {...}, "K": 8, "N": 60,
+  "metric": "makespan", "propagation": "propagator",
+  "deadline": 5.0, "robust": false}``.  ``spec`` is the JSON wire format
+  of :mod:`repro.network.serialize`.  The response carries the answer
+  twice: ``value`` in the journal's bit-exact codec
+  (:func:`repro.experiments.journal.encode_value` — floats as IEEE-754
+  hex, arrays as base64) for byte-faithful comparison, and ``display``
+  as plain JSON numbers for humans.
+* ``POST /solve_many`` — ``{"queries": [<solve bodies>], "deadline": s}``;
+  answers come back in request order, deduped and grouped per model by
+  :meth:`~repro.serve.service.SolverService.solve_many`.
+* ``GET /status`` — cache stats, request counters, uptime, and (when the
+  daemon was started with ``--shard-dir``) the live fleet document.
+* ``GET /metrics`` — Prometheus text exposition of the daemon's
+  registry (``repro_requests_total``, ``repro_cache_*``, solver
+  counters).
+
+**Response codes mirror the resilience ladder's 0/1/2 exit codes**
+(docs/ROBUSTNESS.md): ``200`` = rung 0, a clean exact answer; ``203``
+(Non-Authoritative Information) = rung 1, a degraded-but-honest answer
+from the ladder (``"robust": true`` solves only); ``500`` = rung 2, the
+solver failed with a reason code.  Transport-level verdicts keep their
+usual meanings: ``400`` malformed request, ``404``/``405`` bad route,
+``413`` oversized body, ``504`` per-request deadline exceeded.
+
+Solves run on a thread pool (the cache serializes builds per
+fingerprint; the metrics registry is thread-safe).  The daemon arms a
+**metrics-only** instrumentation bundle: a tracer is single-threaded by
+design and would grow without bound in a long-lived process, so spans
+are disabled while counters stay live.  SIGTERM/SIGINT stop the
+listener, let in-flight requests finish, and exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.experiments.journal import encode_value
+from repro.network.serialize import spec_from_dict
+from repro.obs.instrument import Instrumentation
+from repro.obs.metrics import default_registry
+from repro.serve.cache import DEFAULT_CACHE_BYTES, ModelCache
+from repro.serve.service import METRICS, Query, SolverService
+
+__all__ = ["ServeDaemon", "run_daemon"]
+
+#: Largest accepted request body (a spec is a few KB; batches stay small).
+MAX_BODY_BYTES = 16 << 20
+#: Largest accepted header block.
+MAX_HEADER_BYTES = 64 << 10
+
+#: rung → HTTP status (see module docstring).
+RUNG_STATUS = {0: 200, 1: 203, 2: 500}
+
+_REASONS = {
+    200: "OK",
+    203: "Non-Authoritative Information",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _display(value):
+    """Human-readable JSON rendering next to the bit-exact codec."""
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return [float(v) for v in value.ravel()]
+    return float(value)
+
+
+def _parse_query(doc: dict) -> Query:
+    if not isinstance(doc, dict):
+        raise _HttpError(400, "query must be a JSON object")
+    try:
+        spec = spec_from_dict(doc["spec"])
+        K = int(doc["K"])
+        N = int(doc["N"])
+    except _HttpError:
+        raise
+    except KeyError as exc:
+        raise _HttpError(400, f"query missing field {exc.args[0]!r}") from exc
+    except Exception as exc:
+        raise _HttpError(400, f"bad query: {exc}") from exc
+    metric = doc.get("metric", "makespan")
+    propagation = doc.get("propagation", "propagator")
+    if metric not in METRICS:
+        raise _HttpError(400, f"metric must be one of {METRICS}, "
+                              f"got {metric!r}")
+    if propagation not in ("propagator", "solve", "spectral"):
+        raise _HttpError(400, f"unknown propagation {propagation!r}")
+    try:
+        return Query(spec=spec, K=K, N=N, metric=metric,
+                     propagation=propagation)
+    except ValueError as exc:
+        raise _HttpError(400, str(exc)) from exc
+
+
+class ServeDaemon:
+    """One listening service instance (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8278,
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        threads: int = 4,
+        deadline: float | None = None,
+        shard_dir: str | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.deadline = deadline
+        self.shard_dir = shard_dir
+        self.cache = ModelCache(max_bytes=cache_bytes)
+        self.service = SolverService(cache=self.cache)
+        self.instrument = Instrumentation(metrics=default_registry())
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(threads)),
+            thread_name_prefix="repro-serve",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self._started = time.monotonic()
+        self._requests = 0
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        self.port = int(port)
+        return str(host), self.port
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`stop` (or a signal handler) fires."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._stop.wait()
+        self._pool.shutdown(wait=True)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # -- HTTP plumbing -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        endpoint = "unknown"
+        t0 = time.perf_counter()
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                endpoint = path
+                code, doc = await self._route(method, path, body)
+            except _HttpError as exc:
+                code, doc = exc.code, {"status": "error",
+                                       "error": exc.message}
+            payload, ctype = self._render(code, doc)
+            await self._write_response(writer, code, payload, ctype)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            code = 0  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        self._requests += 1
+        ins = self.instrument
+        ins.count("repro_requests_total", endpoint=endpoint, code=str(code))
+        ins.observe("repro_request_seconds",
+                    time.perf_counter() - t0, endpoint=endpoint)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(413, "header block too large") from exc
+        except asyncio.IncompleteReadError as exc:
+            raise _HttpError(400, "truncated request") from exc
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "header block too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {lines[0]!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body of {length} bytes over the "
+                                  f"{MAX_BODY_BYTES} cap")
+        body = await reader.readexactly(length) if length else b""
+        return method, path.split("?", 1)[0], body
+
+    def _render(self, code: int, doc) -> tuple[bytes, str]:
+        if isinstance(doc, (bytes, str)):
+            payload = doc.encode("utf-8") if isinstance(doc, str) else doc
+            return payload, "text/plain; version=0.0.4; charset=utf-8"
+        return (json.dumps(doc, sort_keys=True).encode("utf-8") + b"\n",
+                "application/json")
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, code: int,
+        payload: bytes, ctype: str,
+    ) -> None:
+        reason = _REASONS.get(code, "OK")
+        head = (
+            f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> tuple[int, object]:
+        if path == "/solve":
+            self._require(method, "POST", path)
+            return await self._solve(self._json(body))
+        if path == "/solve_many":
+            self._require(method, "POST", path)
+            return await self._solve_many(self._json(body))
+        if path in ("/status", "/healthz"):
+            self._require(method, "GET", path)
+            return 200, self._status_doc()
+        if path == "/metrics":
+            self._require(method, "GET", path)
+            return 200, self.instrument.metrics.to_prometheus()
+        raise _HttpError(404, f"no route {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"{path} expects {expected}, got {method}")
+
+    @staticmethod
+    def _json(body: bytes) -> dict:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        return doc
+
+    # -- endpoints -----------------------------------------------------
+    async def _offload(self, fn, deadline: float | None):
+        """Run ``fn`` on the solver pool under an optional deadline.
+
+        On timeout the HTTP answer is 504 immediately; the computation
+        thread is not preempted (it finishes and warms the cache for the
+        retry — document, don't pretend to cancel)."""
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, fn)
+        if deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            raise _HttpError(
+                504, f"deadline of {deadline:g}s exceeded"
+            ) from None
+
+    def _deadline(self, doc: dict) -> float | None:
+        raw = doc.get("deadline", self.deadline)
+        if raw is None:
+            return None
+        try:
+            deadline = float(raw)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad deadline {raw!r}") from exc
+        if not deadline > 0:
+            raise _HttpError(400, f"deadline must be positive, got {raw!r}")
+        return deadline
+
+    async def _solve(self, doc: dict) -> tuple[int, dict]:
+        deadline = self._deadline(doc)
+        if doc.get("robust"):
+            return await self._solve_robust(doc, deadline)
+        query = _parse_query(doc)
+        with self.instrument.activate():
+            answer = await self._offload(
+                lambda: self.service.solve(query), deadline
+            )
+        return 200, {
+            "status": "ok",
+            "rung": 0,
+            "value": encode_value(answer.value),
+            "display": _display(answer.value),
+            "fingerprint": answer.fingerprint,
+            "model_fingerprint": answer.model_fingerprint,
+            "cached": answer.cached,
+            "seconds": round(answer.seconds, 6),
+        }
+
+    async def _solve_robust(self, doc: dict,
+                            deadline: float | None) -> tuple[int, dict]:
+        """Ladder solve: 200/203/500 = rung 0/1/2 (makespan only)."""
+        from repro.resilience.errors import SolverError
+        from repro.resilience.fallback import ResilienceConfig, solve_resilient
+
+        if doc.get("metric", "makespan") != "makespan":
+            raise _HttpError(400, "robust solves answer metric='makespan'")
+        query = _parse_query(doc)
+
+        def work():
+            return solve_resilient(
+                query.spec, query.K, query.N,
+                ResilienceConfig(propagation=query.propagation),
+            )
+
+        with self.instrument.activate():
+            try:
+                result = await self._offload(work, deadline)
+            except SolverError as exc:
+                return RUNG_STATUS[2], {
+                    "status": "failed", "rung": 2,
+                    "reason": exc.reason, "error": str(exc),
+                }
+        rung = 1 if result.report.degraded else 0
+        return RUNG_STATUS[rung], {
+            "status": "degraded" if rung else "ok",
+            "rung": rung,
+            "method": result.report.method,
+            "value": encode_value(float(result.makespan)),
+            "display": float(result.makespan),
+            "summary": result.report.summary(),
+        }
+
+    async def _solve_many(self, doc: dict) -> tuple[int, dict]:
+        deadline = self._deadline(doc)
+        raw = doc.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise _HttpError(400, "solve_many needs a non-empty "
+                                  "'queries' list")
+        queries = [_parse_query(q) for q in raw]
+        with self.instrument.activate():
+            answers = await self._offload(
+                lambda: self.service.solve_many(queries), deadline
+            )
+        return 200, {
+            "status": "ok",
+            "rung": 0,
+            "answers": [
+                {
+                    "value": encode_value(a.value),
+                    "display": _display(a.value),
+                    "fingerprint": a.fingerprint,
+                    "model_fingerprint": a.model_fingerprint,
+                    "cached": a.cached,
+                    "deduped": a.deduped,
+                    "seconds": round(a.seconds, 6),
+                }
+                for a in answers
+            ],
+            "cache": self.cache.stats(),
+        }
+
+    def _status_doc(self) -> dict:
+        doc = {
+            "schema": "repro-serve-status/1",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "requests": self._requests,
+            "deadline": self.deadline,
+            "cache": self.cache.stats(),
+            "fleet": None,
+        }
+        if self.shard_dir:
+            from repro.obs.fleet import FleetView
+
+            try:
+                doc["fleet"] = FleetView.load(self.shard_dir).to_dict()
+            except Exception as exc:  # fleet doc is best-effort
+                doc["fleet"] = {"error": str(exc)}
+        return doc
+
+
+async def _run(daemon: ServeDaemon, port_file: str | None,
+               pid_file: str | None) -> int:
+    host, port = await daemon.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, daemon.stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    print(f"repro serve listening on http://{host}:{port}", file=sys.stderr)
+    if pid_file:
+        import os
+
+        Path(pid_file).write_text(f"{os.getpid()}\n")
+    if port_file:
+        Path(port_file).write_text(f"{port}\n")
+    await daemon.serve_until_stopped()
+    print("repro serve: shutdown complete", file=sys.stderr)
+    return 0
+
+
+def run_daemon(
+    host: str = "127.0.0.1",
+    port: int = 8278,
+    *,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    threads: int = 4,
+    deadline: float | None = None,
+    shard_dir: str | None = None,
+    port_file: str | None = None,
+    pid_file: str | None = None,
+) -> int:
+    """Blocking entry point for the ``repro serve`` CLI (exit code 0)."""
+    daemon = ServeDaemon(
+        host, port, cache_bytes=cache_bytes, threads=threads,
+        deadline=deadline, shard_dir=shard_dir,
+    )
+    try:
+        return asyncio.run(_run(daemon, port_file, pid_file))
+    except KeyboardInterrupt:  # pragma: no cover - signal path covered above
+        return 0

@@ -124,6 +124,96 @@ class TestRowInvariants:
             _assert_equal(spec, 4)
 
 
+class TestCsrFastPath:
+    """`_coo_to_csr` skips scipy's canonicalization only when it may.
+
+    Every branch — presorted single batch, unsorted batches, duplicate
+    entries (scipy fallback) — must be **bit-identical** to the plain
+    ``sp.csr_matrix((v, (r, c)))`` constructor: same data/indices/indptr
+    bytes, and the canonical-format flags it advertises must be true.
+    """
+
+    @staticmethod
+    def _assert_matches_scipy(rows, cols, vals, shape):
+        import scipy.sparse as sp
+
+        from repro.laqt.operators import _coo_to_csr
+
+        fast = _coo_to_csr(rows, cols, vals, shape)
+        ref = sp.csr_matrix(
+            (np.concatenate(vals),
+             (np.concatenate(rows), np.concatenate(cols))),
+            shape=shape,
+        )
+        ref.sum_duplicates()
+        ref.sort_indices()
+        assert fast.shape == ref.shape
+        assert np.array_equal(fast.data, ref.data)
+        assert np.array_equal(fast.indices, ref.indices)
+        assert np.array_equal(fast.indptr, ref.indptr)
+        assert fast.has_sorted_indices
+        # the flags must be *true*, not just set: a strict re-check
+        check = fast.copy()
+        check.has_sorted_indices = False
+        check.sort_indices()
+        assert np.array_equal(check.indices, fast.indices)
+        assert np.array_equal(check.data, fast.data)
+
+    def test_presorted_single_batch(self):
+        r = np.array([0, 0, 1, 2, 2])
+        c = np.array([1, 3, 0, 1, 2])
+        v = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        self._assert_matches_scipy([r], [c], [v], (3, 4))
+
+    def test_unsorted_batches(self, rng):
+        for _ in range(5):
+            shape = (int(rng.integers(3, 20)), int(rng.integers(3, 20)))
+            batches = int(rng.integers(1, 4))
+            rows, cols, vals = [], [], []
+            seen = set()
+            for _ in range(batches):
+                n = int(rng.integers(1, 12))
+                pts = []
+                for _ in range(n):
+                    ij = (int(rng.integers(shape[0])),
+                          int(rng.integers(shape[1])))
+                    if ij not in seen:  # keep this case duplicate-free
+                        seen.add(ij)
+                        pts.append(ij)
+                if not pts:
+                    continue
+                rows.append(np.array([p[0] for p in pts]))
+                cols.append(np.array([p[1] for p in pts]))
+                vals.append(rng.uniform(0.1, 5.0, len(pts)))
+            if rows:
+                self._assert_matches_scipy(rows, cols, vals, shape)
+
+    def test_duplicates_fall_back_to_scipy_summation(self):
+        r = np.array([0, 0, 1, 0])
+        c = np.array([1, 1, 0, 2])  # (0,1) appears twice → must sum
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        self._assert_matches_scipy([r], [c], [v], (2, 3))
+
+    def test_empty_rows_and_trailing_gap(self):
+        r = np.array([1, 1])
+        c = np.array([0, 2])
+        v = np.array([1.0, 2.0])
+        self._assert_matches_scipy([r], [c], [v], (5, 3))
+
+    def test_index_dtype_matches_scipy_choice(self):
+        import scipy.sparse as sp
+
+        from repro.laqt.operators import _coo_to_csr
+
+        out = _coo_to_csr([np.array([0, 1])], [np.array([0, 1])],
+                          [np.array([1.0, 2.0])], (2, 2))
+        ref = sp.csr_matrix(
+            (np.array([1.0, 2.0]),
+             (np.array([0, 1]), np.array([0, 1]))), shape=(2, 2))
+        assert out.indices.dtype == ref.indices.dtype
+        assert out.indptr.dtype == ref.indptr.dtype
+
+
 class TestAssemblyBackendKwarg:
     def test_invalid_backend_rejected(self, central_spec):
         with pytest.raises(ValueError, match="assembly"):

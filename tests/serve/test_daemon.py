@@ -1,0 +1,235 @@
+"""HTTP front-end: routes, status codes, deadlines, bit-exact payloads.
+
+Runs a real :class:`~repro.serve.daemon.ServeDaemon` on an ephemeral
+loopback port inside the test process (urllib clients on worker threads,
+the asyncio loop driving the server), so the wire format, the resilience
+status-code mapping and the deadline path are all exercised end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.clusters import central_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape
+from repro.experiments.journal import encode_value
+from repro.experiments.params import BASE_APP
+from repro.network.serialize import spec_to_dict
+from repro.serve.daemon import ServeDaemon
+
+
+def _spec(scv: float = 10.0):
+    return central_cluster(BASE_APP, {"rdisk": Shape.scv(scv)})
+
+
+def _body(**over):
+    doc = {"spec": spec_to_dict(_spec()), "K": 5, "N": 30}
+    doc.update(over)
+    return doc
+
+
+class _Client:
+    """Blocking urllib round-trips, run on the loop's default executor."""
+
+    def __init__(self, base: str):
+        self.base = base
+
+    def post(self, path: str, doc: dict) -> tuple[int, dict]:
+        req = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(doc).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as r:
+                return r.status, json.loads(r.read())
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read())
+
+    def get(self, path: str) -> tuple[int, str]:
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=60) as r:
+                return r.status, r.read().decode()
+        except urllib.error.HTTPError as e:
+            return e.code, e.read().decode()
+
+
+def _drive(test_coro_fn, **daemon_kw):
+    """Start a daemon on port 0, run the coroutine, shut down cleanly."""
+
+    async def runner():
+        daemon = ServeDaemon(port=0, threads=2, **daemon_kw)
+        host, port = await daemon.start()
+        task = asyncio.create_task(daemon.serve_until_stopped())
+        client = _Client(f"http://{host}:{port}")
+        loop = asyncio.get_running_loop()
+
+        async def post(path, doc):
+            return await loop.run_in_executor(None, client.post, path, doc)
+
+        async def get(path):
+            return await loop.run_in_executor(None, client.get, path)
+
+        try:
+            await test_coro_fn(daemon, post, get)
+        finally:
+            daemon.stop()
+            await asyncio.wait_for(task, 30)
+
+    asyncio.run(runner())
+
+
+class TestSolve:
+    def test_solve_is_bit_exact_and_200(self):
+        cold = TransientModel(_spec(), 5).makespan(30)
+
+        async def scenario(daemon, post, get):
+            code, doc = await post("/solve", _body())
+            assert code == 200
+            assert doc["rung"] == 0
+            assert doc["value"] == encode_value(cold)
+            assert doc["display"] == pytest.approx(cold)
+            assert not doc["cached"]
+            code, doc = await post("/solve", _body())
+            assert code == 200 and doc["cached"]
+
+        _drive(scenario)
+
+    def test_array_metrics_round_trip(self):
+        cold = TransientModel(_spec(), 5).interdeparture_times(30)
+
+        async def scenario(daemon, post, get):
+            code, doc = await post(
+                "/solve", _body(metric="interdeparture")
+            )
+            assert code == 200
+            assert doc["value"] == encode_value(cold)
+            assert np.allclose(doc["display"], cold)
+
+        _drive(scenario)
+
+    def test_robust_solve_maps_rung_to_status(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post("/solve", _body(robust=True))
+            # the canonical spec solves exactly → rung 0 → 200
+            assert code == 200
+            assert doc["rung"] == 0 and doc["method"] == "exact"
+            assert "summary" in doc
+
+        _drive(scenario)
+
+
+class TestSolveMany:
+    def test_batch_answers_in_order_with_dedupe(self):
+        cold30 = TransientModel(_spec(), 5).makespan(30)
+        cold40 = TransientModel(_spec(), 5).makespan(40)
+
+        async def scenario(daemon, post, get):
+            code, doc = await post("/solve_many", {
+                "queries": [_body(), _body(N=40), _body()],
+            })
+            assert code == 200
+            answers = doc["answers"]
+            assert [a["value"] for a in answers] == [
+                encode_value(cold30), encode_value(cold40),
+                encode_value(cold30),
+            ]
+            assert [a["deduped"] for a in answers] == [False, False, True]
+            assert doc["cache"]["misses"] == 1
+
+        _drive(scenario)
+
+
+class TestStatusAndMetrics:
+    def test_status_doc_shape(self):
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())
+            code, text = await get("/status")
+            assert code == 200
+            doc = json.loads(text)
+            assert doc["schema"] == "repro-serve-status/1"
+            assert doc["requests"] >= 1
+            assert doc["cache"]["misses"] == 1
+            assert doc["fleet"] is None  # no --shard-dir
+
+        _drive(scenario)
+
+    def test_metrics_exposition(self):
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())
+            await post("/solve", _body())
+            code, text = await get("/metrics")
+            assert code == 200
+            assert "# TYPE repro_cache_hits_total counter" in text
+            assert "repro_cache_misses_total 1" in text
+            assert 'repro_requests_total{code="200",endpoint="/solve"} 2' \
+                in text
+
+        _drive(scenario)
+
+
+class TestErrors:
+    def test_malformed_requests_are_400(self):
+        async def scenario(daemon, post, get):
+            for bad in (
+                {"K": 5, "N": 30},                      # missing spec
+                _body(metric="latency"),                # unknown metric
+                _body(propagation="warp"),              # unknown backend
+                _body(deadline=-1),                     # bad deadline
+                {"queries": []},                        # empty batch
+            ):
+                path = "/solve_many" if "queries" in bad else "/solve"
+                code, doc = await post(path, bad)
+                assert code == 400, (bad, doc)
+                assert doc["status"] == "error"
+
+        _drive(scenario)
+
+    def test_unknown_route_404_and_bad_method_405(self):
+        async def scenario(daemon, post, get):
+            code, _ = await post("/nope", {})
+            assert code == 404
+            code, _ = await get("/solve")
+            assert code == 405
+            code, _ = await post("/status", {})
+            assert code == 405
+
+        _drive(scenario)
+
+    def test_deadline_exceeded_is_504(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post(
+                "/solve", _body(N=5000, deadline=1e-4)
+            )
+            assert code == 504
+            assert "deadline" in doc["error"]
+
+        _drive(scenario)
+
+    def test_default_deadline_from_daemon_config(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post("/solve", _body(N=5000))
+            assert code == 504
+
+        _drive(scenario, deadline=1e-4)
+
+
+class TestCli:
+    def test_serve_subcommand_wired(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--cache-bytes", "1024",
+             "--threads", "2", "--deadline", "5",
+             "--port-file", "/tmp/p"]
+        )
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.port == 0 and args.cache_bytes == 1024
+        assert args.deadline == 5.0
