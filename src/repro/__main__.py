@@ -10,6 +10,8 @@
     python -m repro experiment fig03 --shard-dir /shared/run --workers 4
     python -m repro sweep-worker fig03 --shard-dir /shared/run
     python -m repro profile cluster.json -K 5 -N 30
+    python -m repro serve --port 8278 --max-inflight 8 --queue-depth 32
+    python -m repro status --serve http://127.0.0.1:8278
 
 Specs travel as JSON (see :mod:`repro.network.serialize`), so an analysis
 is fully reproducible from the file plus the command line.  ``report``,
@@ -290,10 +292,84 @@ def _cmd_sweep_worker(args) -> int:
     return exp_main(_experiment_argv(args))
 
 
+def _format_serve_status(doc: dict) -> str:
+    """One console block from a daemon's ``/status`` document."""
+    adm = doc.get("admission", {})
+    cache = doc.get("cache", {})
+    lines = [
+        f"repro serve status  (schema {doc.get('schema', '?')})",
+        f"  ready: {doc.get('ready')}   uptime: "
+        f"{doc.get('uptime_seconds', 0):.1f}s   requests: "
+        f"{doc.get('requests', 0)}",
+        f"  admission: {adm.get('inflight', 0)}/{adm.get('max_inflight', '?')}"
+        f" in flight, {adm.get('queued', 0)}/{adm.get('queue_depth', '?')} "
+        f"queued (peak {adm.get('max_queue_seen', 0)})",
+        f"  admitted: {adm.get('admitted', 0)}   shed: "
+        f"{adm.get('shed_total', 0)} {adm.get('shed', {})}   abandoned: "
+        f"{adm.get('abandoned', 0)}",
+        f"  brownout: {'ON' if adm.get('brownout') else 'off'} "
+        f"(watermark {adm.get('brownout_watermark')}, "
+        f"{adm.get('brownout_solves', 0)} degraded solves, "
+        f"{adm.get('brownout_seconds', 0.0):.1f}s total)   "
+        f"downtiered: {adm.get('downtiered', 0)}",
+        f"  cache: {cache.get('count', 0)} models, "
+        f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses",
+    ]
+    if doc.get("faults"):
+        lines.append(f"  faults armed: {doc['faults']}")
+    if adm.get("draining"):
+        lines.append("  DRAINING (readyz → 503)")
+    return "\n".join(lines)
+
+
+def _serve_status(args) -> int:
+    """`repro status --serve URL`: one daemon's admission/overload view."""
+    import json as _json
+    import time as _time
+    from urllib.parse import urlsplit
+
+    from repro.serve.client import ServeClient
+
+    raw = args.serve if "//" in args.serve else f"http://{args.serve}"
+    parts = urlsplit(raw)
+    host, port = parts.hostname or "127.0.0.1", parts.port or 8278
+
+    def render() -> dict:
+        with ServeClient(host, port) as client:
+            doc = client.status()
+        if args.json:
+            print(_json.dumps(doc, sort_keys=True))
+        else:
+            print(_format_serve_status(doc))
+        return doc
+
+    try:
+        if args.watch is None:
+            return 0 if render().get("ready") else 1
+        while True:
+            render()
+            _time.sleep(args.watch)
+            if not args.json:
+                print()
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, RuntimeError) as exc:
+        print(f"repro status: {raw} unreachable: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_status(args) -> int:
     """Live fleet console over a shard namespace's telemetry streams."""
     import json as _json
     import time as _time
+
+    if bool(args.shard_dir) == bool(args.serve):
+        print("status requires exactly one of --shard-dir DIR (fleet "
+              "console) or --serve URL (daemon admission stats)",
+              file=sys.stderr)
+        return 2
+    if args.serve:
+        return _serve_status(args)
 
     from repro.obs.fleet import FleetView
 
@@ -404,8 +480,25 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.resilience.faults import ServeFaultPlan
+    from repro.serve.admission import AdmissionConfig
     from repro.serve.daemon import run_daemon
 
+    try:
+        drill = ServeFaultPlan.parse(args.drill) if args.drill else None
+        admission = AdmissionConfig(
+            max_inflight=(args.max_inflight if args.max_inflight is not None
+                          else max(1, args.threads)),
+            queue_depth=args.queue_depth,
+            queue_deadline=args.queue_deadline,
+            brownout_watermark=args.brownout_watermark,
+            max_query_states=args.admit_max_states,
+            max_query_bytes=args.admit_max_bytes,
+            retry_after=args.retry_after,
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
     return run_daemon(
         args.host,
         args.port,
@@ -415,6 +508,13 @@ def _cmd_serve(args) -> int:
         shard_dir=args.shard_dir,
         port_file=args.port_file,
         pid_file=args.pid_file,
+        admission=admission,
+        drill=drill,
+        drill_endpoint=args.drill_endpoint,
+        drain_grace=args.drain_grace,
+        keepalive_requests=args.keepalive_requests,
+        keepalive_idle=args.keepalive_idle,
+        metrics_out=args.metrics_out,
     )
 
 
@@ -499,12 +599,17 @@ def build_parser() -> argparse.ArgumentParser:
              "throughput, ETA and latency percentiles from a shard "
              "namespace's telemetry streams",
     )
-    st.add_argument("--shard-dir", required=True, metavar="DIR",
+    st.add_argument("--shard-dir", metavar="DIR", default=None,
                     help="the shared shard namespace directory")
+    st.add_argument("--serve", metavar="URL", default=None,
+                    help="instead of a fleet, show a serve daemon's "
+                         "admission/overload stats from GET /status "
+                         "(e.g. http://127.0.0.1:8278)")
     st.add_argument("--figure", default=None,
                     help="only show workers sweeping this figure")
     st.add_argument("--json", action="store_true",
-                    help="emit one repro-fleet-status/1 JSON document")
+                    help="emit one status JSON document "
+                         "(repro-fleet-status/1 or repro-serve-status/2)")
     st.add_argument("--watch", nargs="?", type=float, const=2.0,
                     default=None, metavar="SECS",
                     help="re-render every SECS (default 2) until the "
@@ -575,6 +680,46 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--shard-dir", metavar="DIR", default=None,
                     help="also surface this shard namespace's fleet "
                          "document under /status")
+    # -- overload control (docs/ROBUSTNESS.md) -------------------------
+    sv.add_argument("--max-inflight", type=int, default=None,
+                    help="solves admitted to the pool at once "
+                         "(default: --threads)")
+    sv.add_argument("--queue-depth", type=int, default=16,
+                    help="bounded admission wait queue; arrivals past it "
+                         "are shed with 429 (default 16)")
+    sv.add_argument("--queue-deadline", type=float, default=2.0,
+                    help="longest a request may wait for a slot before "
+                         "being shed with 503 (default 2s)")
+    sv.add_argument("--brownout-watermark", type=int, default=None,
+                    help="queue depth past which makespan solves brown "
+                         "out onto the cheap ladder rungs (203 answers); "
+                         "default: brownout disabled")
+    sv.add_argument("--admit-max-states", type=int, default=None,
+                    help="reject (or down-tier) specs whose predicted "
+                         "peak level dimension D_RP(k) exceeds this")
+    sv.add_argument("--admit-max-bytes", type=int, default=None,
+                    help="reject (or down-tier) specs whose predicted "
+                         "operator + LU bytes exceed this")
+    sv.add_argument("--retry-after", type=float, default=1.0,
+                    help="Retry-After hint (seconds) on shed responses "
+                         "(default 1)")
+    sv.add_argument("--drain-grace", type=float, default=5.0,
+                    help="seconds SIGTERM waits for in-flight solves "
+                         "before hard exit (default 5)")
+    sv.add_argument("--keepalive-requests", type=int, default=100,
+                    help="requests served per connection before close "
+                         "(default 100)")
+    sv.add_argument("--keepalive-idle", type=float, default=5.0,
+                    help="idle seconds before a kept-alive connection "
+                         "closes (default 5)")
+    sv.add_argument("--metrics-out", metavar="PATH", default=None,
+                    help="flush final Prometheus metrics here on drain")
+    sv.add_argument("--drill", metavar="SPEC", default=None,
+                    help="arm a service-fault plan at startup, e.g. "
+                         "'slow-solve@0.3,error-burst@10' (drills only)")
+    sv.add_argument("--drill-endpoint", action="store_true",
+                    help="enable POST /drill to swap the fault plan at "
+                         "runtime (drills only; off by default)")
     sv.set_defaults(func=_cmd_serve)
     return parser
 

@@ -453,6 +453,19 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Model-cache entries evicted under the byte budget"),
     ("counter", "repro_requests_total",
      "Service requests handled by repro serve, by endpoint and code"),
+    ("counter", "repro_admission_total",
+     "Admission-controller decisions, by outcome "
+     "(admitted/shed/downtier/brownout)"),
+    ("counter", "repro_shed_total",
+     "Requests refused by the admission controller, by reason"),
+    ("counter", "repro_brownout_seconds",
+     "Total seconds the service has spent in brownout (cheap ladder "
+     "rungs forced)"),
+    ("counter", "repro_abandoned_work_total",
+     "Pool solves abandoned by timed-out requests but still occupying "
+     "a slot until completion"),
+    ("counter", "repro_client_retries_total",
+     "Retries issued by repro serve clients, by trigger"),
     ("gauge", "repro_epoch_convergence_distance",
      "Convergence rate of the refill power iteration: the exact spectral "
      "gap of Y_K R_K under propagation=spectral, else the measured "
@@ -465,6 +478,10 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Bytes currently accounted to warm cached models"),
     ("gauge", "repro_cache_entries",
      "Models currently resident in the model cache"),
+    ("gauge", "repro_admission_inflight",
+     "Solves currently holding an admission slot (abandoned included)"),
+    ("gauge", "repro_admission_queue_depth",
+     "Requests currently waiting for an admission slot"),
     ("histogram", "repro_epoch_seconds",
      "Wall seconds per departure epoch"),
     ("histogram", "repro_factorization_seconds",
@@ -475,6 +492,8 @@ CATALOG: tuple[tuple[str, str, str], ...] = (
      "Wall seconds per experiment sweep point, by execution mode"),
     ("histogram", "repro_request_seconds",
      "Wall seconds per service request, by endpoint"),
+    ("histogram", "repro_admission_wait_seconds",
+     "Seconds a request waited in the admission queue before a slot"),
 )
 
 

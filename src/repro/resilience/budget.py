@@ -29,6 +29,8 @@ from repro.resilience.errors import BudgetExceededError
 __all__ = [
     "Budget",
     "BudgetClock",
+    "CostPrediction",
+    "predict_cost",
     "predict_level_dims",
     "predict_peak_bytes",
     "enforce_budget",
@@ -151,6 +153,42 @@ def predict_level_dims(spec: NetworkSpec, K: int) -> list[int]:
             new[k] = acc
         dims = new
     return dims
+
+
+@dataclass(frozen=True)
+class CostPrediction:
+    """One query's predicted resource price, before anything is built.
+
+    The admission controller of ``repro serve`` prices every query with
+    this (exact ``D_RP(k)`` state counts, engineering byte estimate) so
+    an oversized spec is rejected or down-tiered *before* it occupies a
+    solver-pool slot.
+    """
+
+    #: predicted ``[D(0), …, D(K)]`` (exact integer convolution)
+    dims: tuple[int, ...]
+    #: largest single level dimension, ``max_k D(k)``
+    peak_states: int
+    #: ``Σ_k D(k)`` across all levels
+    total_states: int
+    #: estimated peak operator + LU bytes (see :func:`predict_peak_bytes`)
+    bytes: float
+
+
+def predict_cost(spec: NetworkSpec, K: int) -> CostPrediction:
+    """Price ``(spec, K)``: exact level dims plus the byte estimate.
+
+    A convenience bundle over :func:`predict_level_dims` and
+    :func:`predict_peak_bytes` for callers (the service admission layer,
+    capacity planners) that want the whole prediction in one object.
+    """
+    dims = predict_level_dims(spec, K)
+    return CostPrediction(
+        dims=tuple(dims),
+        peak_states=max(dims),
+        total_states=sum(dims),
+        bytes=predict_peak_bytes(spec, dims),
+    )
 
 
 def _branching_bound(spec: NetworkSpec) -> float:

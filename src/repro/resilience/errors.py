@@ -36,6 +36,9 @@ __all__ = [
     "SweepError",
     "ShardError",
     "LeaseError",
+    "OverloadError",
+    "CircuitOpenError",
+    "RetryBudgetExhaustedError",
 ]
 
 
@@ -355,4 +358,83 @@ class LeaseError(ShardError):
         ctx = super().context()
         ctx["path"] = self.path
         ctx["owner"] = self.owner
+        return ctx
+
+
+class OverloadError(SolverError):
+    """The service kept shedding this request past every allowed retry.
+
+    Raised by :class:`~repro.serve.client.ServeClient` when the daemon's
+    admission controller refused the request (``429``/``503``, or a
+    ``504`` per-request deadline) on the final attempt.  ``shed_reason``
+    is the server's reason code when the response carried one (one of
+    :data:`repro.serve.admission.SHED_REASONS`), ``code`` the last HTTP
+    status, and ``retry_after`` the server's last advisory backoff.
+    """
+
+    reason = "overload-shed"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: int | None = None,
+        shed_reason: str | None = None,
+        retry_after: float | None = None,
+        attempts: int | None = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.shed_reason = shed_reason
+        self.retry_after = None if retry_after is None else float(retry_after)
+        self.attempts = attempts
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["code"] = self.code
+        ctx["shed_reason"] = self.shed_reason
+        ctx["retry_after"] = self.retry_after
+        ctx["attempts"] = self.attempts
+        return ctx
+
+
+class CircuitOpenError(SolverError):
+    """The client's circuit breaker is open: the request was not sent.
+
+    A fleet of clients that keeps probing a collapsed daemon *is* the
+    metastable feedback loop; an open breaker converts that load into an
+    immediate local failure.  ``cooldown_remaining`` says how long until
+    the next half-open probe is allowed.
+    """
+
+    reason = "circuit-open"
+
+    def __init__(self, message: str, *, cooldown_remaining: float | None = None):
+        super().__init__(message)
+        self.cooldown_remaining = (
+            None if cooldown_remaining is None else float(cooldown_remaining)
+        )
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["cooldown_remaining"] = self.cooldown_remaining
+        return ctx
+
+
+class RetryBudgetExhaustedError(SolverError):
+    """The client's token-bucket retry budget refused another retry.
+
+    Carries the budget's ``tokens`` at refusal time; the failed request
+    is reported to the caller instead of amplified onto the wire.
+    """
+
+    reason = "retry-budget-exhausted"
+
+    def __init__(self, message: str, *, tokens: float | None = None):
+        super().__init__(message)
+        self.tokens = None if tokens is None else float(tokens)
+
+    def context(self) -> dict:
+        ctx = super().context()
+        ctx["tokens"] = self.tokens
         return ctx

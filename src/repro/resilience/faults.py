@@ -48,10 +48,12 @@ from repro.resilience.errors import InjectedFaultError, SingularLevelError
 __all__ = [
     "FaultPlan",
     "FaultyLevel",
+    "ServeFaultPlan",
     "ShardFaultPlan",
     "SweepFaultPlan",
     "apply_faults",
     "trigger_point_fault",
+    "trigger_serve_fault",
 ]
 
 
@@ -420,3 +422,132 @@ def trigger_point_fault(
             f"injected fault: failure of point {index} (attempt {attempt})",
             mode="fail", index=index, attempt=attempt,
         )
+
+
+# ----------------------------------------------------------------------
+# Service-level faults: drills for the overload-hardened serve daemon.
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """Deterministic service-level faults for overload drills.
+
+    Armed inside the serve daemon's solver pool, these manufacture the
+    three ingredients of a metastable collapse — capacity loss, capacity
+    *zero*, and error amplification — so the admission controller, the
+    retry-budget client, and the closed-loop drill in
+    :mod:`repro.serve.drill` all have reproducible triggers:
+
+    * ``slow_seconds`` — every solve sleeps this long before computing
+      (models a downstream slowdown: GC pause, cold cache, noisy
+      neighbor).  This is the canonical metastability trigger: service
+      time exceeding client deadlines turns every request into a timeout
+      *plus a retry*.
+    * ``stall_seconds`` — solves numbered ``[stall_from, stall_until)``
+      sleep this long (default: effectively forever relative to any
+      drill), wedging pool slots outright — the abandoned-work drill.
+    * ``error_burst`` — solves numbered ``[error_from, error_from +
+      error_burst)`` raise :class:`InjectedFaultError` instead of
+      computing, exercising the 500-path (which the client must *not*
+      retry — failed work that completed quickly is not overload).
+
+    Counting is by the daemon's monotonically increasing solve sequence
+    number (1-based), so a drill script can aim a fault window at "the
+    next N solves" regardless of thread interleaving.  A plan is
+    immutable; the daemon swaps whole plans atomically (via the
+    ``/drill`` endpoint) to move between drill phases.
+    """
+
+    slow_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    stall_from: int = 1
+    stall_until: int | None = None
+    error_burst: int = 0
+    error_from: int = 1
+
+    def __post_init__(self):
+        if self.slow_seconds < 0.0:
+            raise ValueError(f"slow_seconds must be >= 0, got {self.slow_seconds!r}")
+        if self.stall_seconds < 0.0:
+            raise ValueError(f"stall_seconds must be >= 0, got {self.stall_seconds!r}")
+        if self.error_burst < 0:
+            raise ValueError(f"error_burst must be >= 0, got {self.error_burst!r}")
+
+    @property
+    def active(self) -> bool:
+        """True when any service fault is armed."""
+        return (
+            self.slow_seconds > 0.0
+            or self.stall_seconds > 0.0
+            or self.error_burst > 0
+        )
+
+    def stalls(self, seq: int) -> bool:
+        """True when solve ``seq`` (1-based) falls in the stall window."""
+        if self.stall_seconds <= 0.0:
+            return False
+        if seq < self.stall_from:
+            return False
+        return self.stall_until is None or seq < self.stall_until
+
+    def errors(self, seq: int) -> bool:
+        """True when solve ``seq`` falls in the error burst."""
+        if self.error_burst <= 0:
+            return False
+        return self.error_from <= seq < self.error_from + self.error_burst
+
+    @classmethod
+    def parse(cls, text: str) -> "ServeFaultPlan":
+        """Parse a drill spec like ``"slow-solve@0.25,error-burst@10"``.
+
+        Recognized atoms (comma-separated, whitespace ignored):
+
+        * ``slow-solve@SECONDS`` — arm ``slow_seconds``
+        * ``pool-stall@SECONDS`` — arm ``stall_seconds`` (open window)
+        * ``error-burst@COUNT`` — arm ``error_burst``
+        * ``none`` / empty — no faults (useful to disarm via ``/drill``)
+        """
+        kwargs: dict = {}
+        for atom in text.split(","):
+            atom = atom.strip()
+            if not atom or atom == "none":
+                continue
+            name, sep, value = atom.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad serve-fault atom {atom!r}: expected NAME@VALUE"
+                )
+            try:
+                if name == "slow-solve":
+                    kwargs["slow_seconds"] = float(value)
+                elif name == "pool-stall":
+                    kwargs["stall_seconds"] = float(value)
+                elif name == "error-burst":
+                    kwargs["error_burst"] = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown serve-fault {name!r} "
+                        "(want slow-solve, pool-stall, or error-burst)"
+                    )
+            except ValueError as exc:
+                raise ValueError(f"bad serve-fault atom {atom!r}: {exc}") from exc
+        return cls(**kwargs)
+
+
+def trigger_serve_fault(plan: "ServeFaultPlan | None", seq: int) -> None:
+    """Fire the armed service fault for solve ``seq``, if any.
+
+    Called at the top of every pool-thread solve in the serve daemon.
+    Stall wins over error wins over slow when windows overlap (the most
+    disruptive fault is the one being drilled).
+    """
+    if plan is None or not plan.active:
+        return
+    if plan.stalls(seq):
+        time.sleep(plan.stall_seconds)
+        return
+    if plan.errors(seq):
+        raise InjectedFaultError(
+            f"injected fault: error burst at solve {seq}",
+            mode="error-burst", index=seq, attempt=1,
+        )
+    if plan.slow_seconds > 0.0:
+        time.sleep(plan.slow_seconds)

@@ -1,0 +1,393 @@
+"""``repro.serve.client``: the overload-safe client half of the service.
+
+A fleet of well-meaning clients is what turns a transient server
+slowdown into a *metastable* collapse: every timeout becomes a retry,
+retries regenerate the overload, and the system stays down after the
+trigger clears.  :class:`ServeClient` packages the three standard
+countermeasures so callers cannot accidentally build the feedback loop:
+
+* **Backoff with deterministic jitter** — a
+  :class:`~repro.resilience.retry.RetryPolicy` spaces retries
+  exponentially, de-synchronized across clients by the splitmix64 jitter
+  (no ``random`` state).
+* **Token-bucket retry budget** — a shared
+  :class:`~repro.resilience.retry.RetryBudget` bounds the fleet's
+  aggregate retry amplification (~10 % of request rate by default);
+  when the bucket is dry, the failed request is *reported*
+  (:class:`~repro.resilience.errors.RetryBudgetExhaustedError`), not
+  amplified.
+* **Circuit breaker** — a shared
+  :class:`~repro.resilience.retry.CircuitBreaker` stops offering load to
+  a service that keeps refusing it
+  (:class:`~repro.resilience.errors.CircuitOpenError` locally instead of
+  another packet on the wire), probing again after a cooldown.
+
+The client also **propagates deadlines** (the per-request wall budget is
+resent to the server as the body's ``deadline`` so an abandoned solve is
+bounded server-side too), **honors ``Retry-After``** from shed responses
+(the server knows its queue better than any client-side formula), and
+**reuses its HTTP connection** (keep-alive — connection churn is its own
+overload amplifier).
+
+Retries fire only on *overload-shaped* failures: ``429``/``503``
+(admission shed), ``504`` (server-side deadline), and transport errors.
+A ``400`` or ``500`` came from a responsive server that did real work —
+retrying those burns capacity for nothing, so they are returned (or
+surfaced) as-is.
+
+Pass ``policy=RetryPolicy(max_attempts=1)`` (or ``budget=None,
+breaker=None, honor_retry_after=False`` with a zero-delay policy) to
+build the *naive* client the metastability drill uses as its control
+group.  Instances are thread-safe (one lock around the shared
+connection); budget and breaker may be shared across many clients to
+model a fleet-wide budget.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+from repro.obs import runtime as _rt
+from repro.resilience.errors import (
+    CircuitOpenError,
+    OverloadError,
+    RetryBudgetExhaustedError,
+)
+from repro.resilience.retry import CircuitBreaker, RetryBudget, RetryPolicy
+
+__all__ = ["ServeClient", "DEFAULT_CLIENT_POLICY"]
+
+#: Statuses worth retrying: the server shed or abandoned the request
+#: without doing (much) work.  Everything else is a real answer.
+RETRYABLE_STATUSES = frozenset({429, 503, 504})
+
+#: Conservative default: 3 attempts, fast first backoff, 25 % jitter.
+DEFAULT_CLIENT_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.05, multiplier=2.0, max_delay=2.0,
+    jitter=0.25, inline_fallback=False,
+)
+
+
+class ServeClient:
+    """Deadline-propagating, retry-budgeted HTTP client for ``repro serve``.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's listening address.
+    policy:
+        Backoff schedule (:class:`RetryPolicy`); ``max_attempts=1``
+        disables retries entirely.
+    budget:
+        Token-bucket retry budget, or ``None`` for unbudgeted retries
+        (the naive/drill configuration).  Share one instance across
+        clients to bound a whole fleet.
+    breaker:
+        Circuit breaker, or ``None`` to always offer load.  Shareable
+        like the budget.
+    deadline:
+        Default per-request wall budget in seconds (overridable per
+        call); also resent to the server in solve bodies so abandoned
+        work is bounded on both sides.
+    attempt_timeout:
+        Cap on any *single* attempt, in seconds (classic
+        request-timeout-times-N-retries shape).  Combined with the
+        logical deadline by taking the minimum of the two remainders.
+    honor_retry_after:
+        Stretch backoff to at least the server's ``Retry-After`` hint.
+    instrument:
+        Metrics sink for ``repro_client_retries_total``; falls back to
+        the ambient active instrumentation.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8278,
+        *,
+        policy: RetryPolicy | None = None,
+        budget: RetryBudget | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline: float | None = None,
+        attempt_timeout: float | None = None,
+        honor_retry_after: bool = True,
+        instrument=None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.policy = policy if policy is not None else DEFAULT_CLIENT_POLICY
+        self.budget = budget
+        self.breaker = breaker
+        self.deadline = deadline
+        self.attempt_timeout = attempt_timeout
+        self.honor_retry_after = bool(honor_retry_after)
+        self._ins = instrument
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
+        self._request_index = 0
+        # -- fleet-drill accounting (monotone counters) ----------------
+        self.requests = 0
+        self.retries = 0
+        self.ok = 0            # 200/203 answers
+        self.shed_seen = 0     # 429/503 responses observed (any attempt)
+        self.timeouts = 0      # 504s + transport timeouts observed
+        self.failures = 0      # logical requests that ultimately failed
+        self.connections_opened = 0
+
+    # -- connection management (call with the lock held) ---------------
+    def _connection(self, timeout: float | None) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout
+            )
+            self.connections_opened += 1
+        elif self._conn.sock is not None:
+            self._conn.sock.settimeout(timeout)
+        else:
+            self._conn.timeout = timeout
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        """Close the kept-alive connection (idempotent)."""
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- one wire round-trip -------------------------------------------
+    def _attempt(self, method: str, path: str, payload: bytes | None,
+                 timeout: float | None) -> tuple[int, dict, float | None]:
+        """One HTTP exchange → (status, doc, retry_after).  Raises
+        ``OSError``/``http.client`` errors on transport failure."""
+        conn = self._connection(timeout)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        except Exception:
+            # Unknown connection state: never reuse a broken stream.
+            self._drop_connection()
+            raise
+        if resp.will_close:
+            self._drop_connection()
+        retry_after = None
+        header = resp.getheader("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:  # pragma: no cover - malformed header
+                retry_after = None
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            doc = {"raw": raw.decode("utf-8", "replace")}
+        if not isinstance(doc, dict):
+            doc = {"value": doc}
+        return resp.status, doc, retry_after
+
+    # -- retrying request core -----------------------------------------
+    def request(self, method: str, path: str, doc: dict | None = None, *,
+                deadline: float | None = None,
+                propagate_deadline: bool = False) -> tuple[int, dict]:
+        """One logical request with backoff, budget, and breaker.
+
+        Returns ``(status, doc)`` for any non-retryable answer.  Raises
+        :class:`CircuitOpenError` without touching the wire while the
+        breaker is open, :class:`RetryBudgetExhaustedError` when a retry
+        is needed but unaffordable, and :class:`OverloadError` when
+        every allowed attempt was shed/timed out.
+        """
+        deadline = self.deadline if deadline is None else deadline
+        deadline_ts = (time.monotonic() + deadline
+                       if deadline is not None else None)
+        with self._lock:
+            self._request_index += 1
+            index = self._request_index
+            self.requests += 1
+            if self.breaker is not None and not self.breaker.allow():
+                self.failures += 1
+                raise CircuitOpenError(
+                    f"circuit open for {self.host}:{self.port}",
+                    cooldown_remaining=self.breaker.cooldown_remaining(),
+                )
+            if self.budget is not None:
+                self.budget.deposit()
+            last_code: int | None = None
+            last_doc: dict = {}
+            attempt = 0
+            while True:
+                attempt += 1
+                remaining = (None if deadline_ts is None
+                             else deadline_ts - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    break  # wall budget exhausted → overload failure
+                budget_s = remaining
+                if self.attempt_timeout is not None:
+                    budget_s = (self.attempt_timeout if budget_s is None
+                                else min(budget_s, self.attempt_timeout))
+                body = None
+                if doc is not None:
+                    send = dict(doc)
+                    if propagate_deadline and budget_s is not None:
+                        send["deadline"] = round(budget_s, 6)
+                    body = json.dumps(send).encode("utf-8")
+                try:
+                    code, rdoc, retry_after = self._attempt(
+                        method, path, body, budget_s
+                    )
+                except (OSError, http.client.HTTPException) as exc:
+                    if isinstance(exc, (socket.timeout, TimeoutError)):
+                        self.timeouts += 1
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    last_code, last_doc = None, {"error": str(exc)}
+                    retry_after = None
+                else:
+                    if code in RETRYABLE_STATUSES:
+                        if code == 504:
+                            self.timeouts += 1
+                        else:
+                            self.shed_seen += 1
+                        if self.breaker is not None:
+                            self.breaker.record_failure()
+                        last_code, last_doc = code, rdoc
+                    else:
+                        # A real answer (even a 400/500): the service is
+                        # responsive, which is what the breaker protects.
+                        if self.breaker is not None:
+                            self.breaker.record_success()
+                        if code in (200, 203):
+                            self.ok += 1
+                        return code, rdoc
+                # -- a retry is wanted ---------------------------------
+                if attempt >= self.policy.max_attempts:
+                    break
+                if self.breaker is not None and not self.breaker.allow():
+                    self.failures += 1
+                    raise CircuitOpenError(
+                        f"circuit opened for {self.host}:{self.port} "
+                        f"after attempt {attempt}",
+                        cooldown_remaining=self.breaker.cooldown_remaining(),
+                    )
+                if self.budget is not None and not self.budget.try_withdraw():
+                    self.failures += 1
+                    raise RetryBudgetExhaustedError(
+                        f"retry budget dry after attempt {attempt} "
+                        f"({path} → {last_code})",
+                        tokens=self.budget.tokens,
+                    )
+                delay = self.policy.delay(attempt, index)
+                if self.honor_retry_after and retry_after is not None:
+                    delay = max(delay, retry_after)
+                if deadline_ts is not None:
+                    delay = min(delay, max(0.0,
+                                           deadline_ts - time.monotonic()))
+                self.retries += 1
+                ins = self._ins if self._ins is not None else _rt.ACTIVE
+                if ins is not None:
+                    ins.count("repro_client_retries_total",
+                              trigger=str(last_code or "transport"))
+                if delay > 0:
+                    time.sleep(delay)
+            self.failures += 1
+            raise OverloadError(
+                f"{path} shed/timed out on every allowed attempt "
+                f"(last status {last_code}): "
+                f"{last_doc.get('error', last_doc)}",
+                code=last_code,
+                shed_reason=last_doc.get("reason"),
+                retry_after=last_doc.get("retry_after"),
+                attempts=attempt,
+            )
+
+    # -- typed surface --------------------------------------------------
+    def solve(self, doc: dict, *, deadline: float | None = None) -> dict:
+        """POST ``/solve``; returns the answer doc (200 or honest 203).
+
+        Raises :class:`OverloadError` (terminal shed/timeout),
+        :class:`CircuitOpenError`, :class:`RetryBudgetExhaustedError`,
+        or ``RuntimeError`` for a 4xx/5xx answer.
+        """
+        code, rdoc = self.request("POST", "/solve", doc, deadline=deadline,
+                                  propagate_deadline=True)
+        if code in (200, 203):
+            return rdoc
+        raise RuntimeError(
+            f"/solve answered {code}: {rdoc.get('error', rdoc)}"
+        )
+
+    def solve_many(self, queries: list[dict], *,
+                   deadline: float | None = None) -> dict:
+        """POST ``/solve_many``; returns the batch doc on 200."""
+        code, rdoc = self.request(
+            "POST", "/solve_many", {"queries": queries},
+            deadline=deadline, propagate_deadline=True,
+        )
+        if code == 200:
+            return rdoc
+        raise RuntimeError(
+            f"/solve_many answered {code}: {rdoc.get('error', rdoc)}"
+        )
+
+    def status(self) -> dict:
+        """GET ``/status`` (no retries beyond the configured policy)."""
+        code, rdoc = self.request("GET", "/status")
+        if code != 200:
+            raise RuntimeError(f"/status answered {code}")
+        return rdoc
+
+    def healthz(self) -> bool:
+        """GET ``/healthz`` → liveness."""
+        code, _ = self.request("GET", "/healthz")
+        return code == 200
+
+    def readyz(self) -> bool:
+        """GET ``/readyz`` → readiness (False while draining)."""
+        try:
+            code, _ = self.request("GET", "/readyz")
+        except OverloadError:
+            return False  # 503 = not ready, by definition
+        return code == 200
+
+    def drill(self, faults: str) -> dict:
+        """POST ``/drill`` to re-arm the daemon's service-fault plan."""
+        code, rdoc = self.request("POST", "/drill", {"faults": faults})
+        if code != 200:
+            raise RuntimeError(
+                f"/drill answered {code}: {rdoc.get('error', rdoc)}"
+            )
+        return rdoc
+
+    def stats(self) -> dict:
+        """Client-side counters for drill assertions and reports."""
+        out = {
+            "requests": self.requests,
+            "retries": self.retries,
+            "ok": self.ok,
+            "shed_seen": self.shed_seen,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "connections_opened": self.connections_opened,
+        }
+        if self.budget is not None:
+            out["budget"] = self.budget.stats()
+        if self.breaker is not None:
+            out["breaker"] = self.breaker.stats()
+        return out

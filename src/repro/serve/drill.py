@@ -1,0 +1,483 @@
+"""``python -m repro.serve.drill``: the metastable-collapse drill.
+
+A **metastable failure** (Bronson et al., HotOS '21) is the
+service-death spiral that outlives its trigger: a transient slowdown
+makes clients time out, timeouts become retries, retries hold the
+server's queue at full, and the queue keeps every *new* request waiting
+long enough to time out too — so the system stays collapsed after the
+slowdown clears.  The sustaining feedback loop is built entirely out of
+well-meaning clients.
+
+This module stages that loop against a real :class:`~repro.serve.daemon.
+ServeDaemon` (loopback TCP, ephemeral port, the production admission
+controller in front of the production solver) and demonstrates both
+halves of the story:
+
+* the **naive arm** — zero-backoff, unbudgeted, breaker-less clients —
+  collapses: after the injected ``slow-solve`` fault *clears*, tail
+  goodput stays below ``collapse_ratio`` of baseline while the server
+  keeps shedding (asserted from the admission stats the daemon serves);
+* the **budgeted arm** — the same fleet behind a shared
+  :class:`~repro.resilience.retry.RetryBudget` and
+  :class:`~repro.resilience.retry.CircuitBreaker` — recovers: the
+  breaker stops offering load during the fault, the queue drains the
+  moment the fault clears, and tail goodput returns to at least
+  ``recovery_ratio`` of baseline.
+
+The drill is **closed-loop**: each client waits ``think_seconds`` after
+every answered (or abandoned) request, so offered load responds to
+service state exactly the way the paper's finite-workload models
+assume.  Service time is pinned by the daemon's own fault injector
+(``slow-solve@…`` re-armed over ``POST /drill``), which makes the
+capacity arithmetic hold on slow CI machines: what matters is the
+*ratio* of injected service time to ``attempt_timeout``, not the
+solver's raw speed.
+
+Every successful answer is checked **bit-identical** to a cold
+in-process solve (the journal codec's IEEE-754 text), so overload
+control provably never changed a result it admitted.
+
+Exit status: 0 when every arm's assertions hold, 1 otherwise (the CI
+overload-drill step runs this module directly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.resilience.errors import (
+    CircuitOpenError,
+    OverloadError,
+    RetryBudgetExhaustedError,
+)
+from repro.resilience.faults import ServeFaultPlan
+from repro.resilience.retry import CircuitBreaker, RetryBudget, RetryPolicy
+from repro.serve.admission import AdmissionConfig
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+
+__all__ = ["DrillConfig", "run_drill", "main"]
+
+
+@dataclass(frozen=True)
+class DrillConfig:
+    """Tuning of the collapse scenario (defaults are the CI drill).
+
+    The load shape is deliberately *supercritical under retries, subcritical
+    without them*: ``clients`` closed-loop clients against
+    ``max_inflight`` solver slots run at ~90 % utilization at the base
+    service time, so the queue that builds during the fault keeps every
+    admitted request's sojourn past ``attempt_timeout`` — each admitted
+    request becomes another client-abandoned zombie, and the collapse
+    sustains itself on retries alone.
+    """
+
+    # -- fleet ---------------------------------------------------------
+    clients: int = 6
+    think_seconds: float = 0.7
+    attempt_timeout: float = 0.8
+    max_attempts: int = 5
+    # -- injected service times (the capacity knob) --------------------
+    slow_base: float = 0.3
+    slow_fault: float = 0.9
+    # -- phase timeline ------------------------------------------------
+    warmup_seconds: float = 0.5
+    baseline_seconds: float = 2.5
+    fault_seconds: float = 1.5
+    recovery_seconds: float = 4.0
+    tail_seconds: float = 2.0
+    # -- daemon --------------------------------------------------------
+    threads: int = 2
+    max_inflight: int = 2
+    queue_depth: int = 8
+    queue_deadline: float = 2.0
+    retry_after: float = 0.1
+    # -- verdict thresholds --------------------------------------------
+    collapse_ratio: float = 0.3
+    recovery_ratio: float = 0.5
+    min_baseline_rate: float = 1.0
+    min_tail_sheds: int = 3
+
+    def __post_init__(self):
+        if self.tail_seconds > self.recovery_seconds:
+            raise ValueError("tail window must fit inside the recovery phase")
+        if self.warmup_seconds >= self.baseline_seconds:
+            raise ValueError("warmup must end before the baseline window")
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.baseline_seconds + self.fault_seconds
+                + self.recovery_seconds)
+
+
+# -- fleet-shared guards (one lock around the shared state) ------------
+class _SharedBudget(RetryBudget):
+    """A :class:`RetryBudget` safe to share across client threads."""
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self._lock = threading.Lock()
+
+    def deposit(self) -> None:
+        with self._lock:
+            super().deposit()
+
+    def try_withdraw(self) -> bool:
+        with self._lock:
+            return super().try_withdraw()
+
+
+class _SharedBreaker(CircuitBreaker):
+    """A :class:`CircuitBreaker` safe to share across client threads."""
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        with self._lock:
+            return super().allow()
+
+    def record_success(self) -> None:
+        with self._lock:
+            super().record_success()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            super().record_failure()
+
+
+class _DaemonHost:
+    """A :class:`ServeDaemon` on its own thread + event loop."""
+
+    def __init__(self, cfg: DrillConfig):
+        self._cfg = cfg
+        self.daemon: ServeDaemon | None = None
+        self.host = "127.0.0.1"
+        self.port = 0
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="drill-daemon", daemon=True
+        )
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def main():
+            cfg = self._cfg
+            self.daemon = ServeDaemon(
+                port=0,
+                threads=cfg.threads,
+                drill=ServeFaultPlan(slow_seconds=cfg.slow_base),
+                drill_endpoint=True,
+                drain_grace=2.0,
+                admission=AdmissionConfig(
+                    max_inflight=cfg.max_inflight,
+                    queue_depth=cfg.queue_depth,
+                    queue_deadline=cfg.queue_deadline,
+                    retry_after=cfg.retry_after,
+                ),
+            )
+            self._loop = asyncio.get_running_loop()
+            self.host, self.port = await self.daemon.start()
+            self._ready.set()
+            await self.daemon.serve_until_stopped()
+
+        asyncio.run(main())
+
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("drill daemon failed to start within 10s")
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self.daemon is not None:
+            self._loop.call_soon_threadsafe(self.daemon.stop)
+        self._thread.join(timeout=30)
+
+
+def _workload() -> tuple[dict, str]:
+    """The drill's solve body and its cold bit-exact answer."""
+    from repro.clusters import central_cluster
+    from repro.core import TransientModel
+    from repro.distributions import Shape
+    from repro.experiments.journal import encode_value
+    from repro.experiments.params import BASE_APP
+    from repro.network.serialize import spec_to_dict
+
+    spec = central_cluster(BASE_APP, {"rdisk": Shape.scv(10.0)})
+    cold = TransientModel(spec, 5).makespan(30)
+    return {"spec": spec_to_dict(spec), "K": 5, "N": 30}, encode_value(cold)
+
+
+@dataclass
+class _ArmTrace:
+    """Thread-shared event log for one drill arm."""
+
+    events: list = field(default_factory=list)   # (t_rel, kind)
+    values: list = field(default_factory=list)   # "value" of every ok
+
+    def rate(self, kind: str, lo: float, hi: float) -> float:
+        n = sum(1 for t, k in self.events if k == kind and lo <= t < hi)
+        return n / (hi - lo)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for _, k in self.events if k == kind)
+
+
+def _worker(wid: int, client: ServeClient, doc: dict, trace: _ArmTrace,
+            stop: threading.Event, t0: float, think: float) -> None:
+    stop.wait(wid * think / max(1, 8))  # de-synchronize arrivals
+    while not stop.is_set():
+        try:
+            answer = client.solve(doc)
+        except (OverloadError, CircuitOpenError,
+                RetryBudgetExhaustedError):
+            trace.events.append((time.monotonic() - t0, "fail"))
+        except (RuntimeError, OSError):
+            trace.events.append((time.monotonic() - t0, "error"))
+        else:
+            trace.events.append((time.monotonic() - t0, "ok"))
+            trace.values.append(answer.get("value"))
+        stop.wait(think)
+
+
+def _make_clients(cfg: DrillConfig, host: str, port: int, *,
+                  budgeted: bool) -> tuple[list, object, object]:
+    """Build the fleet: one client per worker, guards shared (or absent)."""
+    if budgeted:
+        budget = _SharedBudget()
+        breaker = _SharedBreaker(failure_threshold=5, cooldown=0.5)
+        policy = RetryPolicy(
+            max_attempts=cfg.max_attempts, base_delay=0.05,
+            multiplier=2.0, max_delay=1.0, jitter=0.25,
+            inline_fallback=False,
+        )
+        honor = True
+    else:
+        budget = breaker = None
+        policy = RetryPolicy(
+            max_attempts=cfg.max_attempts, base_delay=0.0,
+            multiplier=1.0, max_delay=0.0, jitter=0.0,
+            inline_fallback=False,
+        )
+        honor = False
+    clients = [
+        ServeClient(
+            host, port, policy=policy, budget=budget, breaker=breaker,
+            attempt_timeout=cfg.attempt_timeout, honor_retry_after=honor,
+        )
+        for _ in range(cfg.clients)
+    ]
+    return clients, budget, breaker
+
+
+def run_arm(cfg: DrillConfig, *, budgeted: bool,
+            log=lambda s: None) -> dict:
+    """One full collapse scenario against a fresh daemon; returns the
+    arm's measurement document (no verdicts — see :func:`run_drill`)."""
+    name = "budgeted" if budgeted else "naive"
+    doc, expected = _workload()
+    hostd = _DaemonHost(cfg)
+    host, port = hostd.start()
+    log(f"[{name}] daemon on {host}:{port}, base service "
+        f"{cfg.slow_base:g}s on {cfg.max_inflight} slots")
+    control = ServeClient(host, port,
+                          policy=RetryPolicy(max_attempts=1),
+                          honor_retry_after=False)
+    clients, budget, breaker = _make_clients(cfg, host, port,
+                                             budgeted=budgeted)
+    trace = _ArmTrace()
+    stop = threading.Event()
+    try:
+        control.solve(doc)  # warm the model cache outside the clock
+        t0 = time.monotonic()
+        workers = [
+            threading.Thread(
+                target=_worker, name=f"drill-{name}-{i}",
+                args=(i, c, doc, trace, stop, t0, cfg.think_seconds),
+                daemon=True,
+            )
+            for i, c in enumerate(clients)
+        ]
+        for w in workers:
+            w.start()
+
+        def sleep_until(mark: float) -> None:
+            time.sleep(max(0.0, mark - (time.monotonic() - t0)))
+
+        sleep_until(cfg.baseline_seconds)
+        log(f"[{name}] fault: slow-solve@{cfg.slow_fault:g} "
+            f"for {cfg.fault_seconds:g}s")
+        control.drill(f"slow-solve@{cfg.slow_fault}")
+        sleep_until(cfg.baseline_seconds + cfg.fault_seconds)
+        log(f"[{name}] fault cleared (service back to "
+            f"{cfg.slow_base:g}s)")
+        control.drill(f"slow-solve@{cfg.slow_base}")
+        adm_clear = control.status()["admission"]
+        sleep_until(cfg.total_seconds - cfg.tail_seconds)
+        sleep_until(cfg.total_seconds)
+        adm_end = control.status()["admission"]
+        stop.set()
+        for w in workers:
+            w.join(timeout=cfg.max_attempts * cfg.attempt_timeout + 10)
+    finally:
+        stop.set()
+        for c in clients:
+            c.close()
+        control.close()
+        hostd.stop()
+
+    baseline_rate = trace.rate("ok", cfg.warmup_seconds,
+                               cfg.baseline_seconds)
+    tail_rate = trace.rate("ok", cfg.total_seconds - cfg.tail_seconds,
+                           cfg.total_seconds)
+    bad_values = [v for v in trace.values if v != expected]
+    fleet = {
+        "requests": sum(c.requests for c in clients),
+        "retries": sum(c.retries for c in clients),
+        "ok": sum(c.ok for c in clients),
+        "shed_seen": sum(c.shed_seen for c in clients),
+        "timeouts": sum(c.timeouts for c in clients),
+        "failures": sum(c.failures for c in clients),
+        "connections_opened": sum(c.connections_opened for c in clients),
+    }
+    if budget is not None:
+        fleet["budget"] = budget.stats()
+    if breaker is not None:
+        fleet["breaker"] = breaker.stats()
+    log(f"[{name}] baseline {baseline_rate:.2f} ok/s → tail "
+        f"{tail_rate:.2f} ok/s; sheds {adm_end['shed_total']}, "
+        f"abandoned {adm_end['abandoned']}")
+    return {
+        "arm": name,
+        "baseline_rate": round(baseline_rate, 4),
+        "tail_rate": round(tail_rate, 4),
+        "ok": trace.count("ok"),
+        "fail": trace.count("fail"),
+        "error": trace.count("error"),
+        "bit_identical": not bad_values,
+        "bad_values": bad_values[:3],
+        "expected_value": expected,
+        "fleet": fleet,
+        "admission_at_clear": adm_clear,
+        "admission_end": adm_end,
+    }
+
+
+def _checks(cfg: DrillConfig, arm: dict) -> list[dict]:
+    """Turn one arm's measurements into pass/fail verdicts."""
+    name = arm["arm"]
+    out = []
+
+    def check(label: str, passed: bool, detail: str) -> None:
+        out.append({"arm": name, "check": label, "passed": bool(passed),
+                    "detail": detail})
+
+    check("baseline-goodput",
+          arm["baseline_rate"] >= cfg.min_baseline_rate,
+          f"baseline {arm['baseline_rate']:.2f} ok/s "
+          f"(need >= {cfg.min_baseline_rate:g})")
+    check("bit-identical", arm["bit_identical"],
+          f"{arm['ok']} answers vs cold solve "
+          f"({len(arm['bad_values'])} mismatches)" if not arm["bit_identical"]
+          else f"{arm['ok']} answers all byte-equal to the cold solve")
+    if name == "naive":
+        limit = cfg.collapse_ratio * arm["baseline_rate"]
+        check("metastable-collapse", arm["tail_rate"] <= limit,
+              f"tail {arm['tail_rate']:.2f} ok/s vs collapse bound "
+              f"{limit:.2f} (= {cfg.collapse_ratio:g} x baseline) "
+              f"after the fault cleared")
+        shed_delta = (arm["admission_end"]["shed_total"]
+                      - arm["admission_at_clear"]["shed_total"])
+        check("sustained-shedding", shed_delta >= cfg.min_tail_sheds,
+              f"{shed_delta} sheds after the fault cleared "
+              f"(need >= {cfg.min_tail_sheds})")
+        check("abandoned-work-accounted",
+              arm["admission_end"]["abandoned"] >= 1,
+              f"{arm['admission_end']['abandoned']} abandoned solves "
+              f"counted by the server")
+    else:
+        floor = cfg.recovery_ratio * arm["baseline_rate"]
+        check("goodput-recovers", arm["tail_rate"] >= floor,
+              f"tail {arm['tail_rate']:.2f} ok/s vs recovery floor "
+              f"{floor:.2f} (= {cfg.recovery_ratio:g} x baseline)")
+        breaker = arm["fleet"].get("breaker", {})
+        check("breaker-engaged", breaker.get("opens", 0) >= 1,
+              f"circuit opened {breaker.get('opens', 0)} time(s) "
+              f"during the fault")
+        budget = arm["fleet"].get("budget", {})
+        bound = 0.1 * budget.get("deposits", 0) + 10.0
+        check("bounded-amplification",
+              budget.get("withdrawals", 0) <= bound,
+              f"{budget.get('withdrawals', 0)} budgeted retries vs "
+              f"token-bucket bound {bound:.1f}")
+    return out
+
+
+def run_drill(cfg: DrillConfig | None = None, *,
+              arms: tuple[str, ...] = ("naive", "budgeted"),
+              log=lambda s: None) -> dict:
+    """Run the requested arms and assemble the verdict document."""
+    cfg = cfg if cfg is not None else DrillConfig()
+    report = {
+        "schema": "repro-serve-drill/1",
+        "config": asdict(cfg),
+        "arms": {},
+        "checks": [],
+    }
+    for arm_name in arms:
+        arm = run_arm(cfg, budgeted=arm_name == "budgeted", log=log)
+        report["arms"][arm_name] = arm
+        report["checks"].extend(_checks(cfg, arm))
+    report["passed"] = all(c["passed"] for c in report["checks"])
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.drill",
+        description="Metastable-collapse drill for the repro serve "
+                    "daemon (naive clients collapse it, budgeted "
+                    "clients recover it).",
+    )
+    parser.add_argument("--arm", choices=("both", "naive", "budgeted"),
+                        default="both",
+                        help="which client fleet(s) to drill")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report document here "
+                             "('-' for stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines on stderr")
+    args = parser.parse_args(argv)
+
+    def log(line: str) -> None:
+        if not args.quiet:
+            print(line, file=sys.stderr)
+
+    arms = ("naive", "budgeted") if args.arm == "both" else (args.arm,)
+    report = run_drill(arms=arms, log=log)
+    for c in report["checks"]:
+        mark = "PASS" if c["passed"] else "FAIL"
+        print(f"{mark} [{c['arm']}] {c['check']}: {c['detail']}")
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text)
+    print("drill: " + ("all checks passed" if report["passed"]
+                       else "CHECKS FAILED"))
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""Admission controller semantics: slots, queue, eviction, brownout, drain.
+
+Pure event-loop unit tests (no HTTP, no solver pool): the controller is
+driven directly with ``asyncio.run`` scenarios, so every shed reason,
+the FIFO slot transfer, the brownout hysteresis and the drain terminal
+state are pinned without timing slop from real solves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.clusters import central_cluster
+from repro.distributions import Shape
+from repro.experiments.params import BASE_APP
+from repro.serve.admission import (
+    SHED_REASONS,
+    AdmissionConfig,
+    AdmissionController,
+    ShedError,
+)
+
+
+def _spec():
+    return central_cluster(BASE_APP, {"rdisk": Shape.scv(10.0)})
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionConfig(max_inflight=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            AdmissionConfig(queue_depth=-1)
+        with pytest.raises(ValueError, match="queue_deadline"):
+            AdmissionConfig(queue_deadline=0)
+        with pytest.raises(ValueError, match="brownout_watermark"):
+            AdmissionConfig(brownout_watermark=0)
+        with pytest.raises(ValueError, match="retry_after"):
+            AdmissionConfig(retry_after=0)
+
+    def test_brownout_clear_mark_hysteresis(self):
+        assert AdmissionConfig().clear_mark == 0
+        assert AdmissionConfig(brownout_watermark=8).clear_mark == 4
+        assert AdmissionConfig(brownout_watermark=8,
+                               brownout_clear=2).clear_mark == 2
+        # the clear mark can never sit above the watermark
+        assert AdmissionConfig(brownout_watermark=4,
+                               brownout_clear=9).clear_mark == 4
+
+    def test_shed_error_vocabulary(self):
+        with pytest.raises(ValueError, match="unknown shed reason"):
+            ShedError("bogus", "x", code=429, retry_after=1.0)
+        err = ShedError("queue-full", "x", code=429, retry_after=0.5)
+        assert err.reason in SHED_REASONS
+        assert err.code == 429 and err.retry_after == 0.5
+
+
+class TestSlotsAndQueue:
+    def test_admits_up_to_max_inflight(self):
+        async def scenario():
+            ctl = AdmissionController(AdmissionConfig(max_inflight=2,
+                                                      queue_depth=0))
+            t1 = await ctl.acquire()
+            t2 = await ctl.acquire()
+            assert ctl.inflight == 2 and ctl.queued == 0
+            with pytest.raises(ShedError) as err:
+                await ctl.acquire()
+            assert err.value.reason == "queue-full"
+            assert err.value.code == 429
+            t1.release()
+            t2.release()
+            await asyncio.sleep(0)  # let call_soon_threadsafe land
+            assert ctl.idle
+
+        _run(scenario())
+
+    def test_release_transfers_slot_to_oldest_waiter(self):
+        async def scenario():
+            ctl = AdmissionController(AdmissionConfig(max_inflight=1,
+                                                      queue_depth=4))
+            held = await ctl.acquire()
+            order = []
+
+            async def waiter(tag):
+                ticket = await ctl.acquire()
+                order.append(tag)
+                return ticket
+
+            tasks = [asyncio.create_task(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0.01)
+            assert ctl.queued == 3
+            held.release()
+            first = await tasks[0]
+            await asyncio.sleep(0.01)
+            assert order == [0]  # strictly FIFO, one slot → one grant
+            assert ctl.inflight == 1  # transferred, never over-admitted
+            first.release()
+            (await tasks[1]).release()
+            (await tasks[2]).release()
+            await asyncio.sleep(0.01)
+            assert ctl.idle
+            assert ctl.stats()["admitted"] == 4
+            assert ctl.stats()["max_queue_seen"] == 3
+
+        _run(scenario())
+
+    def test_queue_deadline_evicts_with_503(self):
+        async def scenario():
+            ctl = AdmissionController(
+                AdmissionConfig(max_inflight=1, queue_depth=4,
+                                queue_deadline=0.05)
+            )
+            held = await ctl.acquire()
+            with pytest.raises(ShedError) as err:
+                await ctl.acquire()
+            assert err.value.reason == "queue-deadline"
+            assert err.value.code == 503
+            assert ctl.queued == 0  # the evicted waiter left the queue
+            held.release()
+            await asyncio.sleep(0)
+            assert ctl.idle
+
+        _run(scenario())
+
+    def test_ticket_release_is_idempotent(self):
+        async def scenario():
+            ctl = AdmissionController(AdmissionConfig(max_inflight=1))
+            ticket = await ctl.acquire()
+            ticket.release()
+            ticket.release()
+            ticket.release()
+            await asyncio.sleep(0)
+            assert ctl.inflight == 0  # not driven negative
+
+        _run(scenario())
+
+    def test_zero_queue_depth_sheds_immediately(self):
+        async def scenario():
+            ctl = AdmissionController(AdmissionConfig(max_inflight=1,
+                                                      queue_depth=0))
+            await ctl.acquire()
+            with pytest.raises(ShedError) as err:
+                await ctl.acquire()
+            assert err.value.reason == "queue-full"
+
+        _run(scenario())
+
+
+class TestBrownout:
+    def test_enters_at_watermark_clears_with_hysteresis(self):
+        async def scenario():
+            ctl = AdmissionController(
+                AdmissionConfig(max_inflight=1, queue_depth=8,
+                                brownout_watermark=2, brownout_clear=0)
+            )
+            held = await ctl.acquire()
+            assert not ctl.brownout
+            w1 = asyncio.create_task(ctl.acquire())
+            await asyncio.sleep(0.01)
+            assert not ctl.brownout  # one queued < watermark
+            w2 = asyncio.create_task(ctl.acquire())
+            await asyncio.sleep(0.01)
+            assert ctl.brownout  # queue hit the watermark
+            held.release()
+            await asyncio.sleep(0.01)
+            # queue length 1 > clear mark 0: hysteresis holds brownout on
+            assert ctl.brownout
+            (await w1).release()
+            await asyncio.sleep(0.01)
+            assert not ctl.brownout  # drained to the clear mark
+            (await w2).release()
+            stats = ctl.stats()
+            assert stats["brownouts"] == 1
+            assert stats["brownout_seconds"] > 0
+
+        _run(scenario())
+
+    def test_brownout_solves_counted(self):
+        ctl = AdmissionController(AdmissionConfig())
+        ctl.note_brownout_solve()
+        ctl.note_brownout_solve()
+        assert ctl.stats()["brownout_solves"] == 2
+
+
+class TestDrain:
+    def test_drain_evicts_queue_and_refuses_new_work(self):
+        async def scenario():
+            ctl = AdmissionController(AdmissionConfig(max_inflight=1,
+                                                      queue_depth=4))
+            held = await ctl.acquire()
+            queued = asyncio.create_task(ctl.acquire())
+            await asyncio.sleep(0.01)
+            ctl.begin_drain()
+            with pytest.raises(ShedError) as err:
+                await queued
+            assert err.value.reason == "draining"
+            assert err.value.code == 503
+            with pytest.raises(ShedError) as err:
+                await ctl.acquire()
+            assert err.value.reason == "draining"
+            assert ctl.draining and ctl.queued == 0
+            assert ctl.inflight == 1  # live work keeps its slot
+            held.release()
+            await asyncio.sleep(0)
+            assert ctl.idle  # the drain-completion signal
+
+        _run(scenario())
+
+    def test_begin_drain_idempotent(self):
+        ctl = AdmissionController(AdmissionConfig())
+        ctl.begin_drain()
+        ctl.begin_drain()
+        assert ctl.stats()["draining"] is True
+
+
+class TestCostAwareAdmission:
+    def test_no_caps_skips_prediction(self):
+        ctl = AdmissionController(AdmissionConfig())
+        verdict, cost = ctl.assess_cost(_spec(), 5, can_downtier=False)
+        assert verdict == "admit" and cost is None
+
+    def test_within_caps_admits_with_prediction(self):
+        ctl = AdmissionController(
+            AdmissionConfig(max_query_states=10**9, max_query_bytes=2**60)
+        )
+        verdict, cost = ctl.assess_cost(_spec(), 5, can_downtier=False)
+        assert verdict == "admit"
+        assert cost is not None and cost.peak_states >= 1
+
+    def test_over_cost_downtiers_when_allowed(self):
+        ctl = AdmissionController(AdmissionConfig(max_query_states=1))
+        verdict, cost = ctl.assess_cost(_spec(), 5, can_downtier=True)
+        assert verdict == "downtier"
+        assert cost.peak_states > 1
+        assert ctl.stats()["downtiered"] == 1
+
+    def test_over_cost_sheds_when_downtier_disallowed(self):
+        ctl = AdmissionController(AdmissionConfig(max_query_states=1))
+        with pytest.raises(ShedError) as err:
+            ctl.assess_cost(_spec(), 5, can_downtier=False)
+        assert err.value.reason == "over-cost"
+        assert err.value.code == 429
+        assert ctl.stats()["shed"] == {"over-cost": 1}
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        async def scenario():
+            ctl = AdmissionController(AdmissionConfig(max_inflight=1,
+                                                      queue_depth=0))
+            held = await ctl.acquire()
+            with pytest.raises(ShedError):
+                await ctl.acquire()
+            held.release()
+            ctl.note_abandoned()
+            await asyncio.sleep(0)
+            stats = ctl.stats()
+            assert stats["admitted"] == 1
+            assert stats["shed_total"] == 1
+            assert stats["shed"] == {"queue-full": 1}
+            assert stats["abandoned"] == 1
+            assert stats["inflight"] == 0 and stats["queued"] == 0
+            for key in ("max_inflight", "queue_depth", "queue_deadline",
+                        "max_queue_seen", "downtiered", "brownout",
+                        "brownout_watermark", "brownouts",
+                        "brownout_solves", "brownout_seconds", "draining"):
+                assert key in stats
+
+        _run(scenario())
+
+    def test_metrics_flow_through_instrumentation(self):
+        from repro.obs import Instrumentation
+
+        async def scenario():
+            ins = Instrumentation.enabled()
+            ctl = AdmissionController(
+                AdmissionConfig(max_inflight=1, queue_depth=0), instrument=ins
+            )
+            held = await ctl.acquire()
+            with pytest.raises(ShedError):
+                await ctl.acquire()
+            held.release()
+            await asyncio.sleep(0)
+            doc = ins.metrics.to_dict()
+            series = doc["repro_admission_total"]["series"]
+            outcomes = {tuple(s["labels"].items()): s["value"]
+                        for s in series}
+            assert outcomes[(("outcome", "admitted"),)] == 1.0
+            assert outcomes[(("outcome", "shed"),)] == 1.0
+            shed = doc["repro_shed_total"]["series"]
+            assert shed[0]["labels"] == {"reason": "queue-full"}
+            assert doc["repro_admission_wait_seconds"]["series"]
+
+        _run(scenario())

@@ -186,6 +186,71 @@ class TestSingleBuildUnderRace:
         assert all(m is got[0] for m in got)  # one shared object
         assert cache.stats()["misses"] == 1
 
+    def test_asyncio_callers_race_one_fingerprint_at_byte_budget(self):
+        """The daemon's shape of the race: N asyncio tasks offload the
+        same cold fingerprint to executor threads while the cache sits at
+        a byte budget that fits nothing.  The build latch must still
+        collapse them to ONE build, and budget-pressure eviction must not
+        tear the entry out from under the racers mid-flight."""
+        import asyncio
+
+        builds = 0
+        build_gate = threading.Event()
+        orig_init = TransientModel.__init__
+
+        def counting_init(self, *a, **kw):
+            nonlocal builds
+            builds += 1
+            build_gate.wait(5.0)
+            orig_init(self, *a, **kw)
+
+        cache = ModelCache(max_bytes=1)  # over budget from the first entry
+        spec = _h2_spec()
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            racers = [
+                loop.run_in_executor(None, cache.get_or_build, spec, 5)
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0.2)  # all eight are parked on the latch
+            build_gate.set()
+            return await asyncio.gather(*racers)
+
+        try:
+            TransientModel.__init__ = counting_init
+            got = asyncio.run(scenario())
+        finally:
+            TransientModel.__init__ = orig_init
+        assert builds == 1
+        assert all(m is got[0] for m in got)
+        # latch waiters return the winner's model without a table hit, so
+        # only `misses` is deterministic here; the hit/waiter split is
+        # executor-timing dependent.
+        assert cache.stats()["misses"] == 1
+        assert len(cache) == 1  # just-used entry survives the budget
+
+    def test_two_fingerprints_race_at_tight_budget_without_deadlock(self):
+        """Two distinct fingerprints built concurrently under a budget
+        that holds only one: both cohorts complete (no latch/evict
+        deadlock) and each sees its own model."""
+        import asyncio
+
+        cache = ModelCache(max_bytes=1)
+        spec = _h2_spec()
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            racers = [
+                loop.run_in_executor(None, cache.get_or_build, spec, K)
+                for K in (4, 5) for _ in range(4)
+            ]
+            return await asyncio.wait_for(asyncio.gather(*racers), 60.0)
+
+        got = asyncio.run(scenario())
+        assert [m.K for m in got] == [4, 4, 4, 4, 5, 5, 5, 5]
+        assert cache.stats()["misses"] == 2
+
     def test_failed_build_raises_in_every_waiter_and_caches_nothing(self):
         cache = ModelCache()
         spec = _h2_spec()

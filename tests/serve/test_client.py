@@ -1,0 +1,336 @@
+"""Client-half overload safety: budget, breaker, backoff, keep-alive.
+
+Unit tests pin the :class:`RetryBudget` token arithmetic and the
+:class:`CircuitBreaker` state machine (injected clock, no sleeps); the
+integration tests run a real :class:`~repro.serve.daemon.ServeDaemon`
+on a loopback port and drive :class:`~repro.serve.client.ServeClient`
+against genuinely shed (429) and slow (timeout/504) responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.clusters import central_cluster
+from repro.core import TransientModel
+from repro.distributions import Shape
+from repro.experiments.journal import encode_value
+from repro.experiments.params import BASE_APP
+from repro.network.serialize import spec_to_dict
+from repro.resilience.errors import (
+    CircuitOpenError,
+    OverloadError,
+    RetryBudgetExhaustedError,
+)
+from repro.resilience.retry import CircuitBreaker, RetryBudget, RetryPolicy
+from repro.serve.admission import AdmissionConfig
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+
+
+def _spec():
+    return central_cluster(BASE_APP, {"rdisk": Shape.scv(10.0)})
+
+
+def _body(**over):
+    doc = {"spec": spec_to_dict(_spec()), "K": 5, "N": 30}
+    doc.update(over)
+    return doc
+
+
+@contextlib.contextmanager
+def _daemon(*, threads=2, **kw):
+    """A live daemon on its own thread + loop; yields (host, port, daemon)."""
+    holder = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            daemon = ServeDaemon(port=0, threads=threads, **kw)
+            holder["daemon"] = daemon
+            holder["loop"] = asyncio.get_running_loop()
+            holder["addr"] = await daemon.start()
+            ready.set()
+            await daemon.serve_until_stopped()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "daemon failed to start"
+    try:
+        host, port = holder["addr"]
+        yield host, port, holder["daemon"]
+    finally:
+        holder["loop"].call_soon_threadsafe(holder["daemon"].stop)
+        thread.join(20)
+
+
+def _occupy(host, port, seconds, *, count=1):
+    """Park `count` slow solves on the daemon from background threads."""
+    def post():
+        with ServeClient(host, port,
+                         policy=RetryPolicy(max_attempts=1)) as c:
+            with contextlib.suppress(Exception):
+                c.solve(_body(N=31))
+
+    threads = [threading.Thread(target=post, daemon=True)
+               for _ in range(count)]
+    for t in threads:
+        t.start()
+    time.sleep(0.2)  # let them be admitted before the test fires
+    return threads
+
+
+class TestRetryBudget:
+    def test_seed_then_dry(self):
+        budget = RetryBudget(deposit_per_call=0.0, min_retries=2)
+        assert budget.try_withdraw()
+        assert budget.try_withdraw()
+        assert not budget.try_withdraw()  # seed spent, nothing deposited
+        assert budget.stats() == {
+            "tokens": 0.0, "deposits": 0, "withdrawals": 2, "refusals": 1,
+        }
+
+    def test_deposits_fund_retries_at_ten_percent(self):
+        budget = RetryBudget(deposit_per_call=0.1, withdraw_per_retry=1.0,
+                             min_retries=0)
+        for _ in range(10):
+            budget.deposit()
+        assert budget.try_withdraw()      # 10 calls bought exactly 1 retry
+        assert not budget.try_withdraw()
+
+    def test_bucket_is_capped(self):
+        budget = RetryBudget(deposit_per_call=5.0, min_retries=0,
+                             max_tokens=7.0)
+        for _ in range(10):
+            budget.deposit()
+        assert budget.tokens == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="withdraw_per_retry"):
+            RetryBudget(withdraw_per_retry=0)
+        with pytest.raises(ValueError, match="deposit_per_call"):
+            RetryBudget(deposit_per_call=-1)
+
+
+class TestCircuitBreaker:
+    def test_state_machine_with_injected_clock(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                                 clock=lambda: now[0])
+        assert breaker.allow() and breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.cooldown_remaining() == 10.0
+        now[0] = 10.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()            # the single probe is claimed...
+        assert not breaker.allow()        # ...and re-arms the cooldown
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+        assert breaker.opens == 1
+
+    def test_failed_probe_reopens_for_full_cooldown(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()          # the probe failed
+        assert breaker.state == "open"
+        now[0] = 9.9
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.allow()
+
+    def test_success_resets_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # the run restarted after success
+
+
+class TestClientRoundTrips:
+    def test_solve_bit_exact_and_connection_reuse(self):
+        cold = TransientModel(_spec(), 5).makespan(30)
+        with _daemon() as (host, port, _):
+            with ServeClient(host, port) as client:
+                first = client.solve(_body())
+                second = client.solve(_body())
+                assert first["value"] == encode_value(cold)
+                assert second["cached"]
+                assert client.status()["schema"] == "repro-serve-status/2"
+                assert client.healthz() and client.readyz()
+                # solve ×2 + status + healthz + readyz over ONE connection
+                assert client.connections_opened == 1
+                # every 200 counts as ok: 2 solves + 3 probe GETs
+                assert client.stats()["ok"] == 5
+
+    def test_server_bounded_keepalive_forces_reconnect(self):
+        with _daemon(keepalive_requests=2) as (host, port, _):
+            with ServeClient(host, port) as client:
+                for _ in range(4):
+                    assert client.healthz()
+                # 2 requests per connection → 4 requests = 2 connections
+                assert client.connections_opened == 2
+
+    def test_solve_many_round_trip(self):
+        with _daemon() as (host, port, _):
+            with ServeClient(host, port) as client:
+                doc = client.solve_many([_body(), _body(N=40)])
+                assert len(doc["answers"]) == 2
+
+
+class TestRetryBehaviour:
+    def test_retries_through_shed_until_slot_frees(self):
+        with _daemon(
+            threads=1,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.1),
+            drill=None, drill_endpoint=True,
+        ) as (host, port, daemon):
+            with ServeClient(host, port) as control:
+                control.solve(_body())  # warm the model first
+                control.drill("slow-solve@0.5")
+            _occupy(host, port, 0.5)
+            client = ServeClient(
+                host, port,
+                policy=RetryPolicy(max_attempts=10, base_delay=0.1,
+                                   multiplier=1.0, max_delay=0.1,
+                                   jitter=0.0, inline_fallback=False),
+            )
+            with client:
+                answer = client.solve(_body())
+            assert answer["status"] == "ok"
+            assert client.retries >= 1          # it was shed at least once
+            assert client.shed_seen >= 1
+            assert daemon.admission.stats()["shed"]["queue-full"] >= 1
+
+    def test_overload_error_after_all_attempts_shed(self):
+        with _daemon(
+            threads=1,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.05),
+            drill_endpoint=True,
+        ) as (host, port, _):
+            with ServeClient(host, port) as control:
+                control.solve(_body())
+                control.drill("slow-solve@2.0")
+            _occupy(host, port, 2.0)
+            client = ServeClient(
+                host, port,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                   jitter=0.0, inline_fallback=False),
+                honor_retry_after=False,
+            )
+            with client, pytest.raises(OverloadError) as err:
+                client.solve(_body())
+            assert err.value.code == 429
+            assert err.value.shed_reason == "queue-full"
+            assert err.value.attempts == 2
+            assert client.failures == 1 and client.shed_seen == 2
+
+    def test_retry_budget_exhaustion_stops_amplification(self):
+        with _daemon(
+            threads=1,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.05),
+            drill_endpoint=True,
+        ) as (host, port, _):
+            with ServeClient(host, port) as control:
+                control.solve(_body())
+                control.drill("slow-solve@2.0")
+            _occupy(host, port, 2.0)
+            client = ServeClient(
+                host, port,
+                policy=RetryPolicy(max_attempts=5, base_delay=0.01,
+                                   jitter=0.0, inline_fallback=False),
+                budget=RetryBudget(deposit_per_call=0.0, min_retries=0),
+                honor_retry_after=False,
+            )
+            with client, pytest.raises(RetryBudgetExhaustedError):
+                client.solve(_body())
+            # exactly ONE wire attempt: the retry was refused, not sent
+            assert client.shed_seen == 1 and client.retries == 0
+
+    def test_circuit_breaker_opens_and_fails_locally(self):
+        with _daemon(
+            threads=1,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.05),
+            drill_endpoint=True,
+        ) as (host, port, _):
+            with ServeClient(host, port) as control:
+                control.solve(_body())
+                control.drill("slow-solve@2.0")
+            _occupy(host, port, 2.0)
+            client = ServeClient(
+                host, port,
+                policy=RetryPolicy(max_attempts=3, base_delay=0.01,
+                                   jitter=0.0, inline_fallback=False),
+                breaker=CircuitBreaker(failure_threshold=1, cooldown=60.0),
+                honor_retry_after=False,
+            )
+            with client:
+                with pytest.raises(CircuitOpenError):
+                    client.solve(_body())     # first shed opens the circuit
+                opened = client.connections_opened
+                with pytest.raises(CircuitOpenError):
+                    client.solve(_body())     # fails locally: no wire I/O
+                assert client.connections_opened == opened
+                assert client.requests == 2 and client.failures == 2
+
+    def test_deadline_propagates_to_server_side_abandonment(self):
+        with _daemon(
+            threads=1,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=2),
+            drill_endpoint=True,
+        ) as (host, port, daemon):
+            with ServeClient(host, port) as control:
+                control.solve(_body())
+                control.drill("slow-solve@1.0")
+            client = ServeClient(
+                host, port, policy=RetryPolicy(max_attempts=1),
+            )
+            with client, pytest.raises(OverloadError):
+                client.solve(_body(), deadline=0.3)
+            assert client.timeouts >= 1
+            time.sleep(0.5)  # let the server's own 504 path fire
+            assert daemon.admission.stats()["abandoned"] >= 1
+
+    def test_honors_retry_after_spacing(self):
+        with _daemon(
+            threads=1,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.4),
+            drill_endpoint=True,
+        ) as (host, port, _):
+            with ServeClient(host, port) as control:
+                control.solve(_body())
+                control.drill("slow-solve@2.0")
+            _occupy(host, port, 2.0)
+            client = ServeClient(
+                host, port,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                   multiplier=1.0, max_delay=0.0,
+                                   jitter=0.0, inline_fallback=False),
+                honor_retry_after=True,
+            )
+            t0 = time.monotonic()
+            with client, pytest.raises(OverloadError):
+                client.solve(_body())
+            # the single retry waited out the server's Retry-After hint
+            assert time.monotonic() - t0 >= 0.4

@@ -22,6 +22,8 @@ from repro.distributions import Shape
 from repro.experiments.journal import encode_value
 from repro.experiments.params import BASE_APP
 from repro.network.serialize import spec_to_dict
+from repro.resilience.faults import ServeFaultPlan
+from repro.serve.admission import AdmissionConfig
 from repro.serve.daemon import ServeDaemon
 
 
@@ -59,6 +61,20 @@ class _Client:
                 return r.status, r.read().decode()
         except urllib.error.HTTPError as e:
             return e.code, e.read().decode()
+
+
+def _post_raw(base: str, path: str, doc: dict) -> tuple[int, dict, dict]:
+    """POST keeping the response headers (Retry-After assertions)."""
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as r:
+            return r.status, json.loads(r.read()), dict(r.headers)
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read()), dict(e.headers)
 
 
 def _drive(test_coro_fn, **daemon_kw):
@@ -154,10 +170,15 @@ class TestStatusAndMetrics:
             code, text = await get("/status")
             assert code == 200
             doc = json.loads(text)
-            assert doc["schema"] == "repro-serve-status/1"
+            assert doc["schema"] == "repro-serve-status/2"
             assert doc["requests"] >= 1
             assert doc["cache"]["misses"] == 1
             assert doc["fleet"] is None  # no --shard-dir
+            assert doc["ready"] is True
+            adm = doc["admission"]
+            assert adm["admitted"] >= 1
+            assert adm["inflight"] == 0 and adm["queued"] == 0
+            assert adm["shed_total"] == 0 and adm["draining"] is False
 
         _drive(scenario)
 
@@ -219,6 +240,300 @@ class TestErrors:
             assert code == 504
 
         _drive(scenario, deadline=1e-4)
+
+
+class TestOverloadControl:
+    def test_flood_past_max_inflight_sheds_429_with_retry_after(self):
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())  # warm build outside the flood
+            base = f"http://{daemon.host}:{daemon.port}"
+            loop = asyncio.get_running_loop()
+            results = await asyncio.gather(*[
+                loop.run_in_executor(None, _post_raw, base, "/solve",
+                                     _body())
+                for _ in range(5)
+            ])
+            codes = sorted(r[0] for r in results)
+            assert 200 in codes  # the admitted one answered
+            assert 429 in codes  # the rest were shed, not queued
+            shed = next(r for r in results if r[0] == 429)
+            _, doc, headers = shed
+            assert doc["status"] == "shed"
+            assert doc["reason"] == "queue-full"
+            assert doc["retry_after"] == 0.25
+            assert headers.get("Retry-After") == "0.25"
+            stats = daemon.admission.stats()
+            assert stats["shed"]["queue-full"] >= 1
+
+        _drive(
+            scenario,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.25),
+            drill=ServeFaultPlan(slow_seconds=0.5),
+        )
+
+    def test_brownout_answers_203_on_cheap_rungs(self):
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())  # warm build
+            loop = asyncio.get_running_loop()
+            base = f"http://{daemon.host}:{daemon.port}"
+            # occupy the slot, then queue one (hits watermark=1) …
+            first = loop.run_in_executor(None, _post_raw, base, "/solve",
+                                         _body())
+            await asyncio.sleep(0.1)
+            second = loop.run_in_executor(None, _post_raw, base, "/solve",
+                                          _body())
+            await asyncio.sleep(0.1)
+            assert daemon.admission.brownout
+            # … so the NEXT makespan solve browns out onto cheap rungs.
+            code, doc = await post("/solve", _body())
+            assert code == 203
+            assert doc["status"] == "degraded" and doc["rung"] == 1
+            assert doc["brownout"] is True
+            assert doc["method"] in ("approximation", "amva")
+            assert "value" in doc and "summary" in doc
+            await first
+            await second
+            stats = daemon.admission.stats()
+            assert stats["brownouts"] >= 1
+            assert stats["brownout_solves"] >= 1
+            assert stats["brownout_seconds"] > 0
+
+        _drive(
+            scenario,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=4,
+                                      brownout_watermark=1,
+                                      brownout_clear=0, retry_after=0.05),
+            drill=ServeFaultPlan(slow_seconds=0.4),
+        )
+
+    def test_cost_caps_downtier_makespan_and_shed_the_rest(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post("/solve", _body())
+            assert code == 203
+            assert doc["downtier"] is True and doc["rung"] == 1
+            assert doc["method"] == "amva"
+            # array metrics cannot down-tier: shed with over-cost
+            code, doc = await post("/solve", _body(metric="interdeparture"))
+            assert code == 429
+            assert doc["reason"] == "over-cost"
+            # batches are admitted whole or not at all
+            code, doc = await post("/solve_many", {"queries": [_body()]})
+            assert code == 429 and doc["reason"] == "over-cost"
+            stats = daemon.admission.stats()
+            assert stats["downtiered"] == 1
+            assert stats["shed"]["over-cost"] == 2
+
+        _drive(scenario,
+               admission=AdmissionConfig(max_query_states=1))
+
+    def test_abandoned_work_keeps_slot_until_thread_finishes(self):
+        """PR 9 regression: a 504'd request's thread still holds its
+        admission slot (honest accounting) and frees it on completion."""
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())  # warm build
+            code, doc = await post("/solve",
+                                   _body(N=40, deadline=0.1))
+            assert code == 504
+            stats = daemon.admission.stats()
+            assert stats["abandoned"] == 1
+            assert stats["inflight"] == 1  # the zombie still counted
+            # while the abandoned solve runs, the pool is honestly full:
+            code, doc = await post("/solve", _body(N=41))
+            assert code == 429 and doc["reason"] == "queue-full"
+            await asyncio.sleep(0.8)  # the abandoned thread finishes
+            assert daemon.admission.stats()["inflight"] == 0
+            code, doc = await post("/solve", _body(N=42))
+            assert code == 200  # slot recovered, service healthy
+            code, text = await get("/metrics")
+            assert "repro_abandoned_work_total 1" in text
+
+        _drive(
+            scenario,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=0,
+                                      retry_after=0.05),
+            drill=ServeFaultPlan(slow_seconds=0.5),
+        )
+
+    def test_error_burst_maps_to_500_then_recovers(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post("/solve", _body())
+            assert code == 500
+            assert doc["status"] == "error"
+            assert doc["reason"] == "injected-fault"
+            code, doc = await post("/solve", _body())
+            assert code == 200  # the burst window passed
+
+        _drive(scenario, drill=ServeFaultPlan(error_burst=1))
+
+
+class TestKeepAlive:
+    def test_one_connection_serves_many_requests(self):
+        async def scenario(daemon, post, get):
+            import http.client
+
+            def exchange():
+                conn = http.client.HTTPConnection(daemon.host, daemon.port,
+                                                  timeout=60)
+                try:
+                    sockets = []
+                    for _ in range(3):
+                        body = json.dumps(_body()).encode()
+                        conn.request("POST", "/solve", body=body, headers={
+                            "Content-Type": "application/json"})
+                        resp = conn.getresponse()
+                        resp.read()
+                        sockets.append(id(conn.sock))
+                        assert resp.status == 200
+                        assert not resp.will_close
+                        assert resp.getheader("Connection") == "keep-alive"
+                        assert "max=100" in resp.getheader("Keep-Alive")
+                    return sockets
+                finally:
+                    conn.close()
+
+            loop = asyncio.get_running_loop()
+            sockets = await loop.run_in_executor(None, exchange)
+            assert len(set(sockets)) == 1  # one TCP connection throughout
+
+        _drive(scenario)
+
+    def test_bounded_requests_per_connection(self):
+        async def scenario(daemon, post, get):
+            import http.client
+
+            def exchange():
+                conn = http.client.HTTPConnection(daemon.host, daemon.port,
+                                                  timeout=60)
+                try:
+                    conn.request("GET", "/healthz")
+                    first = conn.getresponse()
+                    first.read()
+                    assert first.getheader("Connection") == "keep-alive"
+                    conn.request("GET", "/healthz")
+                    second = conn.getresponse()
+                    second.read()
+                    # request 2 of 2: the server says close and means it
+                    assert second.getheader("Connection") == "close"
+                    assert second.will_close
+                finally:
+                    conn.close()
+
+            await asyncio.get_running_loop().run_in_executor(None, exchange)
+
+        _drive(scenario, keepalive_requests=2)
+
+    def test_connection_close_is_honored(self):
+        async def scenario(daemon, post, get):
+            import http.client
+
+            def exchange():
+                conn = http.client.HTTPConnection(daemon.host, daemon.port,
+                                                  timeout=60)
+                try:
+                    conn.request("GET", "/healthz",
+                                 headers={"Connection": "close"})
+                    resp = conn.getresponse()
+                    resp.read()
+                    assert resp.getheader("Connection") == "close"
+                finally:
+                    conn.close()
+
+            await asyncio.get_running_loop().run_in_executor(None, exchange)
+
+        _drive(scenario)
+
+
+class TestGracefulDrain:
+    def test_readyz_flips_and_inflight_finishes(self):
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())  # warm build
+            code, _ = await get("/readyz")
+            assert code == 200
+            loop = asyncio.get_running_loop()
+            base = f"http://{daemon.host}:{daemon.port}"
+            inflight = loop.run_in_executor(None, _post_raw, base,
+                                            "/solve", _body())
+            await asyncio.sleep(0.2)  # let it be admitted
+            daemon.stop()
+            await asyncio.sleep(0.1)  # drain begins
+            code, text = await get("/readyz")
+            assert code == 503
+            assert json.loads(text)["reason"] == "draining"
+            code, _ = await get("/healthz")
+            assert code == 200  # alive, just not ready
+            code, doc = await post("/solve", _body())
+            assert code == 503 and doc["reason"] == "draining"
+            status, doc, _headers = await inflight
+            assert status == 200  # in-flight work finished inside grace
+            assert not daemon.ready
+            assert not daemon.busy_at_exit
+
+        _drive(
+            scenario,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=2),
+            drill=ServeFaultPlan(slow_seconds=0.8),
+            drain_grace=5.0,
+        )
+
+    def test_drain_flushes_metrics_to_file(self, tmp_path):
+        out = tmp_path / "final.prom"
+
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())
+
+        _drive(scenario, metrics_out=str(out))
+        text = out.read_text()
+        assert "repro_requests_total" in text
+        assert "repro_cache_misses_total 1" in text
+
+    def test_queued_waiters_are_shed_on_drain(self):
+        async def scenario(daemon, post, get):
+            await post("/solve", _body())  # warm build
+            loop = asyncio.get_running_loop()
+            base = f"http://{daemon.host}:{daemon.port}"
+            running = loop.run_in_executor(None, _post_raw, base,
+                                           "/solve", _body())
+            await asyncio.sleep(0.15)
+            queued = loop.run_in_executor(None, _post_raw, base,
+                                          "/solve", _body(N=31))
+            await asyncio.sleep(0.15)
+            assert daemon.admission.queued == 1
+            daemon.stop()
+            status, doc, _ = await queued
+            assert status == 503 and doc["reason"] == "draining"
+            status, _, _ = await running
+            assert status == 200
+
+        _drive(
+            scenario,
+            admission=AdmissionConfig(max_inflight=1, queue_depth=2),
+            drill=ServeFaultPlan(slow_seconds=0.8),
+        )
+
+
+class TestDrillEndpoint:
+    def test_disabled_by_default(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post("/drill", {"faults": "slow-solve@0.1"})
+            assert code == 404
+
+        _drive(scenario)
+
+    def test_swaps_and_disarms_fault_plan(self):
+        async def scenario(daemon, post, get):
+            code, doc = await post("/drill", {"faults": "slow-solve@0.2"})
+            assert code == 200
+            assert doc["faults"]["slow_seconds"] == 0.2
+            code, text = await get("/status")
+            assert json.loads(text)["faults"]["slow_seconds"] == 0.2
+            code, doc = await post("/drill", {"faults": "none"})
+            assert code == 200 and doc["faults"] is None
+            assert daemon.fault_plan is None
+            code, doc = await post("/drill", {"faults": "bogus@1"})
+            assert code == 400
+
+        _drive(scenario, drill_endpoint=True)
 
 
 class TestCli:

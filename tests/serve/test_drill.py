@@ -1,0 +1,129 @@
+"""Drill machinery: fault plans, trigger windows, and a mini scenario.
+
+The full metastable-collapse drill (naive fleet collapses, budgeted
+fleet recovers — the CI overload step) takes ~20 s of wall clock and is
+run by ``python -m repro.serve.drill`` in CI; here we pin the pieces it
+is built from and run one *miniature* arm end to end to keep the
+daemon-thread harness, the phase control and the report shape honest.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.resilience.errors import InjectedFaultError
+from repro.resilience.faults import ServeFaultPlan, trigger_serve_fault
+from repro.serve.drill import DrillConfig, _ArmTrace, run_arm
+
+
+class TestServeFaultPlan:
+    def test_parse_full_spec(self):
+        plan = ServeFaultPlan.parse("slow-solve@0.25, pool-stall@30, "
+                                    "error-burst@10")
+        assert plan.slow_seconds == 0.25
+        assert plan.stall_seconds == 30.0
+        assert plan.error_burst == 10
+        assert plan.active
+
+    def test_parse_none_and_empty_disarm(self):
+        assert not ServeFaultPlan.parse("none").active
+        assert not ServeFaultPlan.parse("").active
+        assert not ServeFaultPlan().active
+
+    def test_parse_rejects_bad_atoms(self):
+        with pytest.raises(ValueError, match="NAME@VALUE"):
+            ServeFaultPlan.parse("slow-solve")
+        with pytest.raises(ValueError, match="unknown serve-fault"):
+            ServeFaultPlan.parse("gc-pause@1")
+        with pytest.raises(ValueError, match="bad serve-fault atom"):
+            ServeFaultPlan.parse("slow-solve@fast")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slow_seconds"):
+            ServeFaultPlan(slow_seconds=-1)
+        with pytest.raises(ValueError, match="error_burst"):
+            ServeFaultPlan(error_burst=-1)
+
+    def test_windows_are_1_based_half_open(self):
+        plan = ServeFaultPlan(stall_seconds=1.0, stall_from=3,
+                              stall_until=5, error_burst=2, error_from=6)
+        assert [plan.stalls(s) for s in range(1, 8)] == [
+            False, False, True, True, False, False, False,
+        ]
+        assert [plan.errors(s) for s in range(1, 9)] == [
+            False, False, False, False, False, True, True, False,
+        ]
+
+
+class TestTriggerServeFault:
+    def test_none_and_inactive_are_free(self):
+        trigger_serve_fault(None, 1)
+        trigger_serve_fault(ServeFaultPlan(), 1)  # no sleep, no raise
+
+    def test_error_burst_raises_injected_fault(self):
+        plan = ServeFaultPlan(error_burst=2, error_from=1)
+        for seq in (1, 2):
+            with pytest.raises(InjectedFaultError):
+                trigger_serve_fault(plan, seq)
+        trigger_serve_fault(plan, 3)  # past the burst: clean
+
+    def test_slow_solve_sleeps(self):
+        plan = ServeFaultPlan(slow_seconds=0.05)
+        t0 = time.perf_counter()
+        trigger_serve_fault(plan, 1)
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_stall_wins_over_error(self):
+        plan = ServeFaultPlan(stall_seconds=0.01, error_burst=5)
+        trigger_serve_fault(plan, 1)  # stalled briefly, did NOT raise
+
+
+class TestDrillConfig:
+    def test_defaults_are_consistent(self):
+        cfg = DrillConfig()
+        assert cfg.total_seconds == pytest.approx(
+            cfg.baseline_seconds + cfg.fault_seconds + cfg.recovery_seconds
+        )
+        # the fault must outrun the attempt timeout to force timeouts
+        assert cfg.slow_fault > cfg.attempt_timeout > cfg.slow_base
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tail window"):
+            DrillConfig(recovery_seconds=1.0, tail_seconds=2.0)
+        with pytest.raises(ValueError, match="warmup"):
+            DrillConfig(warmup_seconds=3.0, baseline_seconds=2.0)
+
+
+class TestArmTrace:
+    def test_windowed_rates(self):
+        trace = _ArmTrace()
+        trace.events = [(0.1, "ok"), (0.5, "ok"), (1.5, "ok"),
+                        (1.7, "fail"), (2.5, "ok")]
+        assert trace.rate("ok", 0.0, 1.0) == pytest.approx(2.0)
+        assert trace.rate("ok", 1.0, 2.0) == pytest.approx(1.0)
+        assert trace.rate("fail", 1.0, 2.0) == pytest.approx(1.0)
+        assert trace.count("ok") == 4
+
+
+class TestMiniArm:
+    def test_mini_budgeted_arm_report_shape(self):
+        """One tiny budgeted arm end to end: daemon thread, phase
+        control over /drill, status sampling, bit-identity bookkeeping."""
+        cfg = DrillConfig(
+            clients=2, think_seconds=0.1, attempt_timeout=0.5,
+            max_attempts=2, slow_base=0.02, slow_fault=0.6,
+            warmup_seconds=0.1, baseline_seconds=0.6, fault_seconds=0.4,
+            recovery_seconds=1.0, tail_seconds=0.5,
+        )
+        arm = run_arm(cfg, budgeted=True)
+        assert arm["arm"] == "budgeted"
+        assert arm["ok"] >= 1
+        assert arm["bit_identical"], arm["bad_values"]
+        assert arm["baseline_rate"] > 0
+        assert "breaker" in arm["fleet"] and "budget" in arm["fleet"]
+        assert arm["admission_end"]["admitted"] >= 1
+        assert arm["admission_end"]["shed_total"] >= 0
+        assert set(arm) >= {"tail_rate", "admission_at_clear",
+                            "expected_value", "fleet"}
